@@ -1,0 +1,30 @@
+//! Criterion bench: sequential baselines (Hierholzer, Fleury) versus the
+//! partition-centric pipeline on the same graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use euler_baseline::{fleury_circuit, hierholzer_circuit};
+use euler_core::{run_partitioned, EulerConfig};
+use euler_gen::synthetic;
+use euler_partition::{LdgPartitioner, Partitioner};
+use std::hint::black_box;
+
+fn baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    let torus = synthetic::torus_grid(40, 40);
+    group.bench_function(BenchmarkId::new("hierholzer", torus.num_edges()), |b| {
+        b.iter(|| black_box(hierholzer_circuit(&torus).unwrap()))
+    });
+    let small = synthetic::torus_grid(10, 10);
+    group.bench_function(BenchmarkId::new("fleury", small.num_edges()), |b| {
+        b.iter(|| black_box(fleury_circuit(&small).unwrap()))
+    });
+    let a = LdgPartitioner::new(4).partition(&torus);
+    group.bench_function(BenchmarkId::new("partition_centric_4_parts", torus.num_edges()), |b| {
+        b.iter(|| black_box(run_partitioned(&torus, &a, &EulerConfig::default()).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, baselines);
+criterion_main!(benches);

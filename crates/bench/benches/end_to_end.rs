@@ -1,0 +1,24 @@
+//! Criterion bench: the full partition-centric pipeline (Phases 1-3) on the
+//! scaled G-family — the per-graph cost underlying Fig. 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use euler_core::{run_partitioned, EulerConfig};
+use euler_gen::configs::PAPER_CONFIGS;
+use euler_partition::{LdgPartitioner, Partitioner};
+use std::hint::black_box;
+
+fn end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_g_family");
+    group.sample_size(10);
+    for config in &PAPER_CONFIGS[..3] {
+        let (g, _) = config.generate(-6);
+        let a = LdgPartitioner::new(config.partitions).partition(&g);
+        group.bench_with_input(BenchmarkId::new("phases_1_to_3", config.name), &(&g, &a), |b, (g, a)| {
+            b.iter(|| black_box(run_partitioned(g, a, &EulerConfig::default()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, end_to_end);
+criterion_main!(benches);

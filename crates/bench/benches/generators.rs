@@ -1,0 +1,25 @@
+//! Criterion bench: the R-MAT generator and the Eulerizer (the paper's input
+//! preparation pipeline, §4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use euler_gen::eulerize::eulerize;
+use euler_gen::rmat::RmatGenerator;
+use std::hint::black_box;
+
+fn generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    group.sample_size(10);
+    for scale in [12u32, 14] {
+        group.bench_with_input(BenchmarkId::new("rmat", scale), &scale, |b, &s| {
+            b.iter(|| black_box(RmatGenerator::new(s).with_seed(7).generate()))
+        });
+        let g = RmatGenerator::new(scale).with_seed(7).generate();
+        group.bench_with_input(BenchmarkId::new("eulerize", scale), &g, |b, g| {
+            b.iter(|| black_box(eulerize(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, generators);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: greedy maximal weighted matching and merge-tree
+//! construction over meta-graphs of growing size (Alg. 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use euler_core::merge_tree::{greedy_maximal_matching, MergeTree};
+use euler_graph::{MetaGraph, PartitionId};
+use std::hint::black_box;
+
+fn random_meta(n: u32) -> MetaGraph {
+    let vertices: Vec<PartitionId> = (0..n).map(PartitionId).collect();
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            // Deterministic pseudo-weights.
+            pairs.push((PartitionId(i), PartitionId(j), ((i * 31 + j * 17) % 97 + 1) as u64));
+        }
+    }
+    MetaGraph::from_weights(vertices, &pairs)
+}
+
+fn matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_tree");
+    group.sample_size(20);
+    for n in [8u32, 32, 128] {
+        let meta = random_meta(n);
+        group.bench_with_input(BenchmarkId::new("greedy_matching", n), &meta, |b, m| {
+            b.iter(|| black_box(greedy_maximal_matching(&m.edges)))
+        });
+        group.bench_with_input(BenchmarkId::new("build_tree", n), &meta, |b, m| {
+            b.iter(|| black_box(MergeTree::build(m)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, matching);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench (ablation): the three §5 merge strategies on the same
+//! input — the runtime side of the Fig.-8 memory comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use euler_core::{run_partitioned, EulerConfig, MergeStrategy};
+use euler_gen::configs::GraphConfig;
+use euler_partition::{LdgPartitioner, Partitioner};
+use std::hint::black_box;
+
+fn merge_strategies(c: &mut Criterion) {
+    let (g, _) = GraphConfig::by_name("G40/P8").unwrap().generate(-6);
+    let a = LdgPartitioner::new(8).partition(&g);
+    let mut group = c.benchmark_group("merge_strategy_ablation");
+    group.sample_size(10);
+    for strategy in MergeStrategy::all() {
+        let config = EulerConfig::default().with_merge_strategy(strategy);
+        group.bench_with_input(BenchmarkId::new("pipeline", strategy.name()), &config, |b, cfg| {
+            b.iter(|| black_box(run_partitioned(&g, &a, cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, merge_strategies);
+criterion_main!(benches);

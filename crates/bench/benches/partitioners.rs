@@ -1,0 +1,20 @@
+//! Criterion bench: the three partitioners (ParHIP substitutes) on an
+//! Eulerized R-MAT graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use euler_gen::configs::GraphConfig;
+use euler_partition::{BfsPartitioner, HashPartitioner, LdgPartitioner, Partitioner};
+use std::hint::black_box;
+
+fn partitioners(c: &mut Criterion) {
+    let (g, _) = GraphConfig::by_name("G40/P8").unwrap().generate(-6);
+    let mut group = c.benchmark_group("partitioners_8_way");
+    group.sample_size(10);
+    group.bench_function("hash", |b| b.iter(|| black_box(HashPartitioner::new(8).partition(&g))));
+    group.bench_function("ldg", |b| b.iter(|| black_box(LdgPartitioner::new(8).partition(&g))));
+    group.bench_function("bfs", |b| b.iter(|| black_box(BfsPartitioner::new(8).partition(&g))));
+    group.finish();
+}
+
+criterion_group!(benches, partitioners);
+criterion_main!(benches);

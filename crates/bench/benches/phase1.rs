@@ -1,0 +1,33 @@
+//! Criterion bench: the Phase-1 kernel on a single partition, across
+//! partition sizes — the computational core whose O(|B|+|I|+|L|) behaviour
+//! Fig. 7 validates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use euler_core::fragment::FragmentStore;
+use euler_core::phase1::run_phase1;
+use euler_core::WorkingPartition;
+use euler_gen::synthetic;
+use euler_graph::{PartitionAssignment, PartitionedGraph};
+use std::hint::black_box;
+
+fn phase1_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase1_single_partition");
+    group.sample_size(20);
+    for side in [16u64, 32, 64] {
+        let g = synthetic::torus_grid(side, side);
+        let a = PartitionAssignment::from_labels(vec![0; (side * side) as usize], 1).unwrap();
+        let pg = PartitionedGraph::from_assignment(&g, &a).unwrap();
+        let template = WorkingPartition::from_partition(&pg.partitions()[0]);
+        group.bench_with_input(BenchmarkId::new("torus_local_edges", g.num_edges()), &template, |b, t| {
+            b.iter(|| {
+                let store = FragmentStore::new();
+                let mut wp = t.clone();
+                black_box(run_phase1(&mut wp, &store));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, phase1_kernel);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Reproduces Fig. 2: the merge tree built by Phase 2's greedy maximal
+//! matching, shown for the paper's Fig.-1 example and for the G-family.
+
+use euler_bench::{parse_scale_shift, prepared_input};
+use euler_core::MergeTree;
+use euler_gen::configs::PAPER_CONFIGS;
+use euler_gen::synthetic::paper_fig1;
+use euler_graph::{MetaGraph, PartitionedGraph};
+use euler_metrics::{Report, Table};
+
+fn main() {
+    let shift = parse_scale_shift();
+    let mut report = Report::new("fig2_merge_tree");
+
+    // The worked example of Fig. 1/2.
+    let (g, a) = paper_fig1();
+    let pg = PartitionedGraph::from_assignment(&g, &a).expect("fig1 assignment covers the graph");
+    let meta = MetaGraph::from_partitioned(&pg);
+    let tree = MergeTree::build(&meta);
+    report.note("Fig. 1 example graph (4 partitions):");
+    report.note(tree.render());
+
+    let mut table = Table::new(
+        "Merge tree shape per input graph",
+        &["Graph", "Parts", "Merge levels", "Phase-1 supersteps (paper: 2,3,3,4)"],
+    );
+    for config in PAPER_CONFIGS {
+        let input = prepared_input(config, shift);
+        let pg = PartitionedGraph::from_assignment(&input.graph, &input.assignment).expect("covers");
+        let tree = MergeTree::build(&MetaGraph::from_partitioned(&pg));
+        table.row(&[
+            config.name.to_string(),
+            config.partitions.to_string(),
+            tree.height().to_string(),
+            tree.num_supersteps().to_string(),
+        ]);
+    }
+    report.add_table(table);
+    println!("{}", report.render());
+}

@@ -1,0 +1,41 @@
+//! Reproduces Fig. 6: the split of user compute time per partition per merge
+//! level for the G50/P8 graph — copy source partition, copy sink partition,
+//! create partition object, Phase-1 tour.
+
+use euler_bench::{parse_scale_shift, prepared_input};
+use euler_bsp::BspConfig;
+use euler_core::{DistributedRunner, EulerConfig};
+use euler_gen::configs::GraphConfig;
+use euler_metrics::{Report, Table};
+
+fn main() {
+    let shift = parse_scale_shift();
+    let config = GraphConfig::by_name("G50/P8").expect("known config");
+    let input = prepared_input(config, shift);
+    let runner = DistributedRunner::new(EulerConfig::default())
+        .with_engine(BspConfig::one_worker_per_partition());
+    let outcome = runner.run(&input.graph, &input.assignment).expect("eulerized input");
+
+    let mut report = Report::new("fig6_time_split");
+    report.note(format!("G50/P8 scaled with scale_shift = {shift}; one executor per partition"));
+    let mut table = Table::new(
+        "Fig. 6: user compute split per partition per level (ms)",
+        &["Level", "Partition", "Copy source", "Create object + copy sink", "Phase 1 tour", "Other"],
+    );
+    for step in &outcome.engine_stats.supersteps {
+        for (partition, breakdown) in &step.per_partition_compute {
+            let ms = |k: &str| format!("{:.2}", breakdown.get(k).as_secs_f64() * 1e3);
+            let copy_sink = breakdown.get("create_partition_object") + breakdown.get("copy_sink_partition");
+            table.row(&[
+                step.superstep.to_string(),
+                format!("P{partition}"),
+                ms("copy_source_partition"),
+                format!("{:.2}", copy_sink.as_secs_f64() * 1e3),
+                ms("phase1_tour"),
+                ms("uncategorised"),
+            ]);
+        }
+    }
+    report.add_table(table);
+    println!("{}", report.render());
+}

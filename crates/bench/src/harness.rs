@@ -1,0 +1,80 @@
+//! Shared plumbing for the experiment binaries.
+
+use euler_gen::configs::GraphConfig;
+use euler_gen::eulerize::EulerizeReport;
+use euler_graph::{Graph, PartitionAssignment};
+use euler_partition::{LdgPartitioner, Partitioner};
+
+/// Default scale shift applied to the paper configurations when none is given
+/// on the command line. `-4` keeps every harness in the seconds range on a
+/// laptop while preserving the partition counts and cut regimes.
+pub const DEFAULT_SCALE_SHIFT: i32 = -4;
+
+/// A generated, Eulerized and partitioned experiment input.
+pub struct ExperimentInput {
+    /// The paper configuration this input mirrors.
+    pub config: GraphConfig,
+    /// The Eulerized graph.
+    pub graph: Graph,
+    /// The partition assignment (LDG, `config.partitions` parts).
+    pub assignment: PartitionAssignment,
+    /// Eulerizer statistics.
+    pub eulerize: EulerizeReport,
+    /// The scale shift used.
+    pub scale_shift: i32,
+}
+
+/// Parses the optional `scale_shift` CLI argument (first positional argument
+/// or the value after `--scale-shift`).
+pub fn parse_scale_shift() -> i32 {
+    let args: Vec<String> = std::env::args().collect();
+    let mut iter = args.iter().skip(1);
+    while let Some(a) = iter.next() {
+        if a == "--scale-shift" {
+            if let Some(v) = iter.next() {
+                if let Ok(s) = v.parse() {
+                    return s;
+                }
+            }
+        } else if let Ok(s) = a.parse() {
+            return s;
+        }
+    }
+    DEFAULT_SCALE_SHIFT
+}
+
+/// Generates, Eulerizes and partitions the given paper configuration.
+pub fn prepared_input(config: GraphConfig, scale_shift: i32) -> ExperimentInput {
+    let (graph, eulerize) = config.generate(scale_shift);
+    let assignment = LdgPartitioner::new(config.partitions).partition(&graph);
+    ExperimentInput { config, graph, assignment, eulerize, scale_shift }
+}
+
+/// Formats a `Duration` in seconds with millisecond resolution.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use euler_gen::configs::PAPER_CONFIGS;
+
+    #[test]
+    fn prepared_input_is_eulerian_and_partitioned() {
+        let input = prepared_input(PAPER_CONFIGS[0], -8);
+        assert!(euler_graph::is_eulerian(&input.graph).is_ok());
+        assert_eq!(input.assignment.num_partitions(), PAPER_CONFIGS[0].partitions);
+        assert_eq!(input.assignment.num_vertices(), input.graph.num_vertices());
+    }
+
+    #[test]
+    fn default_scale_shift_is_negative() {
+        assert!(DEFAULT_SCALE_SHIFT < 0);
+    }
+
+    #[test]
+    fn secs_formats_three_decimals() {
+        assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.500");
+    }
+}

@@ -1,0 +1,234 @@
+//! The BSP engine: runs a partition program to completion.
+
+use crate::cost_model::PlatformCostModel;
+use crate::message::Envelope;
+use crate::program::PartitionProgram;
+use crate::stats::EngineStats;
+use crate::superstep::execute_superstep;
+use crate::worker::PartitionPlacement;
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BspConfig {
+    /// Number of simulated machines. The paper's deployment uses one executor
+    /// per partition; [`BspConfig::one_worker_per_partition`] reproduces that.
+    pub num_workers: usize,
+    /// Platform cost model used to report modelled overhead (never mixed into
+    /// measured numbers).
+    pub cost_model: PlatformCostModel,
+    /// Safety bound on the number of supersteps.
+    pub max_supersteps: u32,
+}
+
+impl Default for BspConfig {
+    fn default() -> Self {
+        BspConfig { num_workers: 4, cost_model: PlatformCostModel::zero(), max_supersteps: 10_000 }
+    }
+}
+
+impl BspConfig {
+    /// Configuration with `num_workers` workers.
+    pub fn with_workers(num_workers: usize) -> Self {
+        BspConfig { num_workers, ..Default::default() }
+    }
+
+    /// One worker per partition, like the paper's one-executor-per-partition
+    /// deployment.
+    pub fn one_worker_per_partition() -> Self {
+        BspConfig { num_workers: 0, ..Default::default() } // resolved at run time
+    }
+
+    /// Sets the cost model.
+    pub fn with_cost_model(mut self, m: PlatformCostModel) -> Self {
+        self.cost_model = m;
+        self
+    }
+
+    /// Sets the superstep bound.
+    pub fn with_max_supersteps(mut self, n: u32) -> Self {
+        self.max_supersteps = n;
+        self
+    }
+}
+
+/// Result of an engine run: final per-partition states plus statistics.
+pub struct RunOutcome<S> {
+    /// Final state of every partition, indexed by engine partition index.
+    pub states: Vec<S>,
+    /// Collected statistics.
+    pub stats: EngineStats,
+}
+
+/// The BSP engine.
+#[derive(Clone, Debug, Default)]
+pub struct BspEngine {
+    config: BspConfig,
+}
+
+impl BspEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: BspConfig) -> Self {
+        BspEngine { config }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &BspConfig {
+        &self.config
+    }
+
+    /// Runs `program` over `initial` partition states until every partition
+    /// has voted to halt and no messages are in flight (or the superstep bound
+    /// is hit). Partition `p`'s state is `initial[p]`.
+    pub fn run<P: PartitionProgram>(&self, program: &P, initial: Vec<P::State>) -> RunOutcome<P::State> {
+        let num_partitions = initial.len();
+        let num_workers = if self.config.num_workers == 0 {
+            num_partitions.max(1)
+        } else {
+            self.config.num_workers
+        };
+        let placement = PartitionPlacement::round_robin(num_partitions, num_workers);
+        self.run_with_placement(program, initial, &placement)
+    }
+
+    /// Runs with an explicit partition placement.
+    pub fn run_with_placement<P: PartitionProgram>(
+        &self,
+        program: &P,
+        initial: Vec<P::State>,
+        placement: &PartitionPlacement,
+    ) -> RunOutcome<P::State> {
+        let num_partitions = initial.len();
+        assert_eq!(placement.num_partitions(), num_partitions, "placement must cover all partitions");
+
+        let run_start = Instant::now();
+        let mut states: Vec<Option<P::State>> = initial.into_iter().map(Some).collect();
+        let mut inboxes: Vec<Vec<Envelope>> = (0..num_partitions).map(|_| Vec::new()).collect();
+        let mut halted = vec![false; num_partitions];
+        let mut stats = EngineStats { num_workers: placement.num_workers(), ..Default::default() };
+
+        for superstep in 0..self.config.max_supersteps {
+            let any_active = halted.iter().enumerate().any(|(p, &h)| !h || !inboxes[p].is_empty());
+            if !any_active {
+                break;
+            }
+            let outcome = execute_superstep(program, superstep, &mut states, &mut inboxes, &halted, placement);
+            halted = outcome.halted;
+            for env in outcome.outgoing {
+                let to = env.to as usize;
+                assert!(to < num_partitions, "message addressed to unknown partition {to}");
+                inboxes[to].push(env);
+            }
+            stats.supersteps.push(outcome.stats);
+        }
+
+        stats.total_wall_time = run_start.elapsed();
+        stats.modelled_platform_overhead = self.config.cost_model.overhead(&stats);
+        let states = states.into_iter().map(|s| s.expect("state present")).collect();
+        RunOutcome { states, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{codec, Envelope};
+    use crate::program::PartitionContext;
+
+    /// Ring-sum program: for `rounds` supersteps every partition sends its
+    /// value to the next partition in the ring and adds what it receives.
+    struct RingSum {
+        rounds: u32,
+        num_partitions: u32,
+    }
+
+    impl PartitionProgram for RingSum {
+        type State = u64;
+
+        fn superstep(&self, ctx: &mut PartitionContext, state: &mut u64, messages: Vec<Envelope>) -> Vec<Envelope> {
+            for m in &messages {
+                *state += codec::decode_u64s(&m.payload).iter().sum::<u64>();
+            }
+            ctx.report_memory_longs(1);
+            if ctx.superstep >= self.rounds {
+                ctx.vote_to_halt();
+                return vec![];
+            }
+            let next = (ctx.partition + 1) % self.num_partitions;
+            vec![Envelope::new(ctx.partition, next, 0, codec::encode_u64s(&[ctx.partition as u64 + 1]))]
+        }
+    }
+
+    #[test]
+    fn ring_sum_converges_with_expected_supersteps() {
+        let program = RingSum { rounds: 3, num_partitions: 4 };
+        let engine = BspEngine::new(BspConfig::with_workers(2));
+        let outcome = engine.run(&program, vec![0u64; 4]);
+        // Supersteps: 0,1,2 send; superstep 3 receives the last batch, halts.
+        assert_eq!(outcome.stats.num_supersteps(), 4);
+        // Each partition received its predecessor's value 3 times.
+        let expected: Vec<u64> = (0..4u64).map(|p| 3 * ((p + 3) % 4 + 1)).collect();
+        assert_eq!(outcome.states, expected);
+        assert!(outcome.stats.total_messages() >= 12);
+    }
+
+    /// Program that never sends and halts immediately.
+    struct HaltNow;
+    impl PartitionProgram for HaltNow {
+        type State = ();
+        fn superstep(&self, ctx: &mut PartitionContext, _state: &mut (), _m: Vec<Envelope>) -> Vec<Envelope> {
+            ctx.vote_to_halt();
+            vec![]
+        }
+    }
+
+    #[test]
+    fn immediate_halt_takes_one_superstep() {
+        let engine = BspEngine::new(BspConfig::with_workers(3));
+        let outcome = engine.run(&HaltNow, vec![(); 5]);
+        assert_eq!(outcome.stats.num_supersteps(), 1);
+        assert_eq!(outcome.states.len(), 5);
+    }
+
+    /// Program that never halts — the superstep bound must stop it.
+    struct NeverHalt;
+    impl PartitionProgram for NeverHalt {
+        type State = u32;
+        fn superstep(&self, _ctx: &mut PartitionContext, state: &mut u32, _m: Vec<Envelope>) -> Vec<Envelope> {
+            *state += 1;
+            vec![]
+        }
+    }
+
+    #[test]
+    fn max_supersteps_bound_enforced() {
+        let engine = BspEngine::new(BspConfig::with_workers(1).with_max_supersteps(7));
+        let outcome = engine.run(&NeverHalt, vec![0u32; 2]);
+        assert_eq!(outcome.stats.num_supersteps(), 7);
+        assert_eq!(outcome.states, vec![7, 7]);
+    }
+
+    #[test]
+    fn one_worker_per_partition_mode() {
+        let engine = BspEngine::new(BspConfig::one_worker_per_partition());
+        let outcome = engine.run(&HaltNow, vec![(); 6]);
+        assert_eq!(outcome.stats.num_workers, 6);
+    }
+
+    #[test]
+    fn cost_model_produces_nonzero_overhead() {
+        let engine = BspEngine::new(BspConfig::with_workers(2).with_cost_model(PlatformCostModel::spark_like()));
+        let program = RingSum { rounds: 2, num_partitions: 3 };
+        let outcome = engine.run(&program, vec![0u64; 3]);
+        assert!(outcome.stats.modelled_platform_overhead > std::time::Duration::ZERO);
+        assert!(outcome.stats.modelled_total_time() > outcome.stats.total_wall_time);
+    }
+
+    #[test]
+    fn empty_partition_set_runs_zero_supersteps() {
+        let engine = BspEngine::new(BspConfig::default());
+        let outcome = engine.run(&HaltNow, Vec::<()>::new());
+        assert_eq!(outcome.stats.num_supersteps(), 0);
+        assert!(outcome.states.is_empty());
+    }
+}

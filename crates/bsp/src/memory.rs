@@ -1,0 +1,118 @@
+//! Per-level memory tracking across an engine run.
+//!
+//! Fig. 8 of the paper plots the cumulative and average partition state (in
+//! Longs) per merge level for the current algorithm, an ideal constant-memory
+//! case, and the proposed Sec.-5 heuristics. [`MemoryTracker`] collects the
+//! per-level snapshots from which those series are produced.
+
+use euler_metrics::MemoryState;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Thread-safe collector of per-level memory snapshots.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryTracker {
+    inner: Arc<Mutex<Vec<MemoryState>>>,
+}
+
+/// A finished, immutable view of the tracked memory states.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MemoryTimeline {
+    /// One snapshot per level, in level order.
+    pub levels: Vec<MemoryState>,
+}
+
+impl MemoryTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the memory state of `partition` (in Longs) at `level`.
+    /// Creates the level snapshot on first use.
+    pub fn record(&self, level: u32, partition: impl Into<String>, longs: u64) {
+        let mut states = self.inner.lock();
+        while states.len() <= level as usize {
+            let l = states.len() as u32;
+            states.push(MemoryState::new(l));
+        }
+        states[level as usize].record(partition, longs);
+    }
+
+    /// Returns the snapshots collected so far.
+    pub fn timeline(&self) -> MemoryTimeline {
+        MemoryTimeline { levels: self.inner.lock().clone() }
+    }
+}
+
+impl MemoryTimeline {
+    /// Cumulative Longs per level (solid lines of Fig. 8).
+    pub fn cumulative(&self) -> Vec<u64> {
+        self.levels.iter().map(|l| l.cumulative()).collect()
+    }
+
+    /// Average Longs per active partition per level (dashed lines of Fig. 8).
+    pub fn average(&self) -> Vec<f64> {
+        self.levels.iter().map(|l| l.average()).collect()
+    }
+
+    /// Number of levels recorded.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Peak single-partition memory across the whole run: the quantity that
+    /// must fit on one machine (§4.3's scaling limit).
+    pub fn peak_partition(&self) -> u64 {
+        self.levels.iter().map(|l| l.max_partition()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_level() {
+        let t = MemoryTracker::new();
+        t.record(0, "P0", 100);
+        t.record(0, "P1", 200);
+        t.record(1, "P1", 250);
+        let timeline = t.timeline();
+        assert_eq!(timeline.num_levels(), 2);
+        assert_eq!(timeline.cumulative(), vec![300, 250]);
+        assert_eq!(timeline.average(), vec![150.0, 250.0]);
+        assert_eq!(timeline.peak_partition(), 250);
+    }
+
+    #[test]
+    fn levels_created_on_demand() {
+        let t = MemoryTracker::new();
+        t.record(3, "P7", 10);
+        let timeline = t.timeline();
+        assert_eq!(timeline.num_levels(), 4);
+        assert_eq!(timeline.cumulative(), vec![0, 0, 0, 10]);
+    }
+
+    #[test]
+    fn tracker_is_shareable_across_threads() {
+        let t = MemoryTracker::new();
+        std::thread::scope(|s| {
+            for i in 0..4u32 {
+                let t = t.clone();
+                s.spawn(move || t.record(0, format!("P{i}"), 100 * (i as u64 + 1)));
+            }
+        });
+        let timeline = t.timeline();
+        assert_eq!(timeline.cumulative(), vec![1000]);
+        assert_eq!(timeline.levels[0].num_partitions(), 4);
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let t = MemoryTracker::new();
+        assert_eq!(t.timeline().num_levels(), 0);
+        assert_eq!(t.timeline().peak_partition(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Partition-to-worker placement.
+//!
+//! The engine simulates a cluster of `num_workers` machines; every engine
+//! partition lives on exactly one worker. Placement determines which message
+//! traffic is "remote" (counted as shuffle bytes) and how much parallelism a
+//! superstep really has (partitions on the same worker execute sequentially,
+//! like tasks sharing an executor).
+
+use crate::message::WorkerId;
+use serde::{Deserialize, Serialize};
+
+/// Mapping from engine partition index to worker.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct PartitionPlacement {
+    map: Vec<WorkerId>,
+    num_workers: usize,
+}
+
+impl PartitionPlacement {
+    /// Places `num_partitions` partitions round-robin over `num_workers`
+    /// workers — the paper's setup assigns one executor per partition, which
+    /// is the special case `num_workers == num_partitions`.
+    pub fn round_robin(num_partitions: usize, num_workers: usize) -> Self {
+        assert!(num_workers >= 1, "need at least one worker");
+        let map = (0..num_partitions).map(|p| WorkerId((p % num_workers) as u32)).collect();
+        PartitionPlacement { map, num_workers }
+    }
+
+    /// Explicit placement.
+    pub fn explicit(map: Vec<WorkerId>, num_workers: usize) -> Self {
+        assert!(num_workers >= 1);
+        assert!(map.iter().all(|w| w.index() < num_workers), "worker id out of range");
+        PartitionPlacement { map, num_workers }
+    }
+
+    /// Worker hosting partition `p`.
+    pub fn worker_of(&self, p: u32) -> WorkerId {
+        self.map[p as usize]
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Partition indices hosted by worker `w`.
+    pub fn partitions_of(&self, w: WorkerId) -> Vec<u32> {
+        self.map
+            .iter()
+            .enumerate()
+            .filter(|(_, &h)| h == w)
+            .map(|(p, _)| p as u32)
+            .collect()
+    }
+
+    /// True when the two partitions are on the same worker (their traffic is
+    /// local, not shuffle).
+    pub fn colocated(&self, a: u32, b: u32) -> bool {
+        self.worker_of(a) == self.worker_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_distributes_evenly() {
+        let p = PartitionPlacement::round_robin(8, 4);
+        assert_eq!(p.num_partitions(), 8);
+        assert_eq!(p.num_workers(), 4);
+        for w in 0..4 {
+            assert_eq!(p.partitions_of(WorkerId(w)).len(), 2);
+        }
+        assert_eq!(p.worker_of(5), WorkerId(1));
+    }
+
+    #[test]
+    fn one_partition_per_worker_like_the_paper() {
+        let p = PartitionPlacement::round_robin(8, 8);
+        for i in 0..8u32 {
+            assert_eq!(p.worker_of(i), WorkerId(i));
+        }
+    }
+
+    #[test]
+    fn colocated_detection() {
+        let p = PartitionPlacement::round_robin(4, 2);
+        assert!(p.colocated(0, 2)); // both on worker 0
+        assert!(!p.colocated(0, 1));
+    }
+
+    #[test]
+    fn explicit_placement_respected() {
+        let p = PartitionPlacement::explicit(vec![WorkerId(1), WorkerId(1), WorkerId(0)], 2);
+        assert_eq!(p.partitions_of(WorkerId(1)), vec![0, 1]);
+        assert_eq!(p.partitions_of(WorkerId(0)), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker id out of range")]
+    fn explicit_placement_validates_ids() {
+        PartitionPlacement::explicit(vec![WorkerId(5)], 2);
+    }
+}

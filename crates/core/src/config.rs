@@ -1,0 +1,90 @@
+//! Algorithm configuration.
+
+use crate::merge_strategy::MergeStrategy;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the partition-centric Euler circuit algorithm.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+pub struct EulerConfig {
+    /// Strategy for handling remote edges across merge levels (§5).
+    pub merge_strategy: MergeStrategy,
+    /// Run Phase 1 of the partitions at one level in parallel (rayon). The
+    /// paper's partitions execute concurrently on different machines; turning
+    /// this off makes runs easier to profile per partition.
+    pub parallel_within_level: bool,
+    /// Verify the reconstructed circuit against the input graph before
+    /// returning (every edge exactly once, chained, closed).
+    pub verify: bool,
+    /// Reject inputs that are not Eulerian instead of producing per-component
+    /// open results. The paper assumes Eulerian inputs; tests exercise both.
+    pub require_eulerian: bool,
+}
+
+impl Default for EulerConfig {
+    fn default() -> Self {
+        EulerConfig {
+            merge_strategy: MergeStrategy::Duplicated,
+            parallel_within_level: true,
+            verify: false,
+            require_eulerian: true,
+        }
+    }
+}
+
+impl EulerConfig {
+    /// Configuration using the paper's baseline merge strategy.
+    pub fn paper_baseline() -> Self {
+        Self::default()
+    }
+
+    /// Configuration using the §5 improvements (remote-edge deduplication and
+    /// deferred transfer).
+    pub fn improved() -> Self {
+        EulerConfig { merge_strategy: MergeStrategy::Deferred, ..Default::default() }
+    }
+
+    /// Enables result verification.
+    pub fn with_verify(mut self, yes: bool) -> Self {
+        self.verify = yes;
+        self
+    }
+
+    /// Sets the merge strategy.
+    pub fn with_merge_strategy(mut self, s: MergeStrategy) -> Self {
+        self.merge_strategy = s;
+        self
+    }
+
+    /// Disables intra-level parallelism.
+    pub fn sequential(mut self) -> Self {
+        self.parallel_within_level = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_baseline() {
+        assert_eq!(EulerConfig::default(), EulerConfig::paper_baseline());
+        assert_eq!(EulerConfig::default().merge_strategy, MergeStrategy::Duplicated);
+    }
+
+    #[test]
+    fn improved_uses_deferred() {
+        assert_eq!(EulerConfig::improved().merge_strategy, MergeStrategy::Deferred);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = EulerConfig::default()
+            .with_verify(true)
+            .with_merge_strategy(MergeStrategy::Deduplicated)
+            .sequential();
+        assert!(c.verify);
+        assert!(!c.parallel_within_level);
+        assert_eq!(c.merge_strategy, MergeStrategy::Deduplicated);
+    }
+}

@@ -1,0 +1,381 @@
+//! Path and cycle fragments, and the fragment store ("persist to disk").
+//!
+//! Phase 1 consumes local edges and produces *fragments*: maximal local paths
+//! between odd-degree boundary vertices and local cycles anchored at a vertex.
+//! Each path fragment is replaced in partition memory by a single coarse
+//! "OB-pair" edge (a [`TourEdge::Virtual`] reference to the fragment); cycle
+//! fragments are removed from memory entirely and only re-read during Phase 3.
+//! The paper persists this book-keeping to disk; here the [`FragmentStore`]
+//! plays that role (append-only, shared across partitions/workers, cheap to
+//! write, only read back in Phase 3), with the same effect on the partitions'
+//! *in-memory* Long accounting.
+
+use euler_graph::{EdgeId, PartitionId, VertexId};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Identifier of a fragment in the [`FragmentStore`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FragmentId(pub u64);
+
+impl FragmentId {
+    /// Returns the identifier as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for FragmentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// One traversed edge of a fragment, in traversal order and direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TourEdge {
+    /// A real graph edge traversed from `from` to `to`.
+    Real {
+        /// The underlying edge.
+        edge: EdgeId,
+        /// Vertex the traversal enters the edge at.
+        from: VertexId,
+        /// Vertex the traversal leaves the edge at.
+        to: VertexId,
+    },
+    /// A coarse edge standing for a lower-level path fragment, traversed from
+    /// `from` to `to` (which are the fragment's endpoints, possibly reversed).
+    Virtual {
+        /// The referenced path fragment.
+        fragment: FragmentId,
+        /// Entry vertex.
+        from: VertexId,
+        /// Exit vertex.
+        to: VertexId,
+    },
+}
+
+impl TourEdge {
+    /// Vertex this tour edge starts at.
+    pub fn from(&self) -> VertexId {
+        match *self {
+            TourEdge::Real { from, .. } | TourEdge::Virtual { from, .. } => from,
+        }
+    }
+
+    /// Vertex this tour edge ends at.
+    pub fn to(&self) -> VertexId {
+        match *self {
+            TourEdge::Real { to, .. } | TourEdge::Virtual { to, .. } => to,
+        }
+    }
+
+    /// The same tour edge traversed in the opposite direction.
+    pub fn reversed(&self) -> TourEdge {
+        match *self {
+            TourEdge::Real { edge, from, to } => TourEdge::Real { edge, from: to, to: from },
+            TourEdge::Virtual { fragment, from, to } => TourEdge::Virtual { fragment, from: to, to: from },
+        }
+    }
+
+    /// True for [`TourEdge::Real`].
+    pub fn is_real(&self) -> bool {
+        matches!(self, TourEdge::Real { .. })
+    }
+}
+
+/// Whether a fragment is an open path (OB-pair) or a closed cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FragmentKind {
+    /// Maximal local path between two odd-degree boundary vertices.
+    Path,
+    /// Local cycle anchored at (starting and ending at) one vertex.
+    Cycle,
+}
+
+/// A path or cycle found by Phase 1.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fragment {
+    /// Identifier in the store.
+    pub id: FragmentId,
+    /// Path or cycle.
+    pub kind: FragmentKind,
+    /// Merge level at which the fragment was found (0 = leaf partitions).
+    pub level: u32,
+    /// Partition (current merged id) that found the fragment.
+    pub partition: PartitionId,
+    /// Traversed edges in order. For a path, `edges[0].from()` is the start
+    /// vertex and `edges.last().to()` the end vertex; for a cycle both equal
+    /// the anchor.
+    pub edges: Vec<TourEdge>,
+}
+
+impl Fragment {
+    /// Start vertex (first tour edge's source). Cycles start at their anchor.
+    pub fn start(&self) -> VertexId {
+        self.edges.first().expect("fragments are never empty").from()
+    }
+
+    /// End vertex (last tour edge's target). Equals [`start`](Self::start)
+    /// for cycles.
+    pub fn end(&self) -> VertexId {
+        self.edges.last().expect("fragments are never empty").to()
+    }
+
+    /// Number of tour edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Fragments are never empty, but the standard pairing is provided.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// All distinct vertices that appear as tour-edge endpoints, in first-seen
+    /// order. These are the "visible" vertices at this fragment's granularity
+    /// (vertices interior to nested virtual edges are not included).
+    pub fn visible_vertices(&self) -> Vec<VertexId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for e in &self.edges {
+            for v in [e.from(), e.to()] {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks the internal chaining invariant: consecutive tour edges share a
+    /// vertex and (for cycles) the fragment closes.
+    pub fn is_well_formed(&self) -> bool {
+        if self.edges.is_empty() {
+            return false;
+        }
+        for w in self.edges.windows(2) {
+            if w[0].to() != w[1].from() {
+                return false;
+            }
+        }
+        match self.kind {
+            FragmentKind::Cycle => self.start() == self.end(),
+            FragmentKind::Path => true,
+        }
+    }
+
+    /// Number of Longs the fragment occupies *on disk* (not in partition
+    /// memory): kind/level/partition header plus 3 per tour edge.
+    pub fn disk_longs(&self) -> u64 {
+        4 + 3 * self.edges.len() as u64
+    }
+}
+
+/// Append-only store of fragments, shared across partitions and workers.
+///
+/// Plays the role of the paper's per-partition disk persistence: writes are
+/// cheap and do not count toward partition memory; Phase 3 reads everything
+/// back once.
+#[derive(Clone, Debug, Default)]
+pub struct FragmentStore {
+    inner: Arc<Mutex<Vec<Fragment>>>,
+}
+
+impl FragmentStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a fragment, assigning and returning its id. The `id` field of
+    /// the passed fragment is overwritten.
+    pub fn push(&self, mut fragment: Fragment) -> FragmentId {
+        let mut inner = self.inner.lock();
+        let id = FragmentId(inner.len() as u64);
+        fragment.id = id;
+        inner.push(fragment);
+        id
+    }
+
+    /// Returns a clone of the fragment with the given id.
+    pub fn get(&self, id: FragmentId) -> Fragment {
+        self.inner.lock()[id.index()].clone()
+    }
+
+    /// Replaces an existing fragment (used by `mergeInto` when an internal
+    /// cycle is spliced into a fragment created earlier in the same Phase-1
+    /// invocation).
+    pub fn replace(&self, id: FragmentId, fragment: Fragment) {
+        let mut inner = self.inner.lock();
+        let mut fragment = fragment;
+        fragment.id = id;
+        inner[id.index()] = fragment;
+    }
+
+    /// Number of fragments stored.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when no fragments are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of every fragment (used by Phase 3 and tests).
+    pub fn snapshot(&self) -> Vec<Fragment> {
+        self.inner.lock().clone()
+    }
+
+    /// Ids of all cycle fragments (the ones Phase 3 must splice).
+    pub fn cycle_ids(&self) -> Vec<FragmentId> {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|f| f.kind == FragmentKind::Cycle)
+            .map(|f| f.id)
+            .collect()
+    }
+
+    /// Total Longs written to "disk".
+    pub fn disk_longs(&self) -> u64 {
+        self.inner.lock().iter().map(|f| f.disk_longs()).sum()
+    }
+
+    /// Total number of *real* edges recorded across all fragments. When the
+    /// run is complete this must equal the number of graph edges.
+    pub fn total_real_edges(&self) -> u64 {
+        self.inner
+            .lock()
+            .iter()
+            .flat_map(|f| f.edges.iter())
+            .filter(|e| e.is_real())
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn real(edge: u64, from: u64, to: u64) -> TourEdge {
+        TourEdge::Real { edge: EdgeId(edge), from: VertexId(from), to: VertexId(to) }
+    }
+
+    #[test]
+    fn tour_edge_endpoints_and_reverse() {
+        let e = real(3, 1, 2);
+        assert_eq!(e.from(), VertexId(1));
+        assert_eq!(e.to(), VertexId(2));
+        let r = e.reversed();
+        assert_eq!(r.from(), VertexId(2));
+        assert_eq!(r.to(), VertexId(1));
+        assert!(e.is_real());
+        let v = TourEdge::Virtual { fragment: FragmentId(0), from: VertexId(5), to: VertexId(6) };
+        assert!(!v.is_real());
+        assert_eq!(v.reversed().from(), VertexId(6));
+    }
+
+    #[test]
+    fn fragment_well_formedness() {
+        let path = Fragment {
+            id: FragmentId(0),
+            kind: FragmentKind::Path,
+            level: 0,
+            partition: PartitionId(0),
+            edges: vec![real(0, 1, 2), real(1, 2, 3)],
+        };
+        assert!(path.is_well_formed());
+        assert_eq!(path.start(), VertexId(1));
+        assert_eq!(path.end(), VertexId(3));
+        assert_eq!(path.len(), 2);
+        assert_eq!(path.visible_vertices(), vec![VertexId(1), VertexId(2), VertexId(3)]);
+
+        let broken = Fragment { edges: vec![real(0, 1, 2), real(1, 3, 4)], ..path.clone() };
+        assert!(!broken.is_well_formed());
+
+        let open_cycle = Fragment { kind: FragmentKind::Cycle, ..path.clone() };
+        assert!(!open_cycle.is_well_formed());
+
+        let cycle = Fragment {
+            kind: FragmentKind::Cycle,
+            edges: vec![real(0, 1, 2), real(1, 2, 1)],
+            ..path
+        };
+        assert!(cycle.is_well_formed());
+        assert_eq!(cycle.start(), cycle.end());
+    }
+
+    #[test]
+    fn store_assigns_sequential_ids() {
+        let store = FragmentStore::new();
+        let f = Fragment {
+            id: FragmentId(999),
+            kind: FragmentKind::Path,
+            level: 0,
+            partition: PartitionId(0),
+            edges: vec![real(0, 0, 1)],
+        };
+        let id0 = store.push(f.clone());
+        let id1 = store.push(f);
+        assert_eq!(id0, FragmentId(0));
+        assert_eq!(id1, FragmentId(1));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(id1).id, id1);
+        assert_eq!(store.total_real_edges(), 2);
+    }
+
+    #[test]
+    fn store_replace_overwrites() {
+        let store = FragmentStore::new();
+        let f = Fragment {
+            id: FragmentId(0),
+            kind: FragmentKind::Cycle,
+            level: 0,
+            partition: PartitionId(1),
+            edges: vec![real(0, 1, 1)],
+        };
+        let id = store.push(f.clone());
+        let longer = Fragment { edges: vec![real(0, 1, 2), real(1, 2, 1)], ..f };
+        store.replace(id, longer);
+        assert_eq!(store.get(id).len(), 2);
+        assert_eq!(store.cycle_ids(), vec![id]);
+    }
+
+    #[test]
+    fn store_is_shareable_across_threads() {
+        let store = FragmentStore::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let store = store.clone();
+                s.spawn(move || {
+                    store.push(Fragment {
+                        id: FragmentId(0),
+                        kind: FragmentKind::Path,
+                        level: 0,
+                        partition: PartitionId(t as u32),
+                        edges: vec![real(t, t, t + 1)],
+                    });
+                });
+            }
+        });
+        assert_eq!(store.len(), 4);
+        let ids: std::collections::HashSet<u64> = store.snapshot().iter().map(|f| f.id.0).collect();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn disk_longs_accounting() {
+        let store = FragmentStore::new();
+        store.push(Fragment {
+            id: FragmentId(0),
+            kind: FragmentKind::Path,
+            level: 0,
+            partition: PartitionId(0),
+            edges: vec![real(0, 0, 1), real(1, 1, 2)],
+        });
+        assert_eq!(store.disk_longs(), 4 + 6);
+    }
+}

@@ -1,0 +1,65 @@
+//! # euler-core
+//!
+//! The partition-centric distributed Euler circuit algorithm of Jaiswal &
+//! Simmhan (IPDPSW 2019) — the primary contribution reproduced by this
+//! workspace.
+//!
+//! The algorithm runs over a graph partitioned across machines and proceeds
+//! in three phases, executed iteratively under a BSP model:
+//!
+//! * **Phase 1** ([`phase1`]): concurrently within every partition, find
+//!   edge-disjoint maximal local *paths* between odd-degree boundary vertices
+//!   and local *cycles* anchored at even-degree boundary or internal vertices,
+//!   consuming every local edge. Each path is replaced by a single coarse
+//!   "OB-pair" edge; cycles are recorded against their anchor vertex. The
+//!   consumed edges are persisted to the fragment store (the paper's
+//!   "persist to disk") so partition memory shrinks.
+//! * **Phase 2** ([`phase2`], [`merge_tree`]): pair up partitions using a
+//!   greedy maximal weighted matching over the partition meta-graph, merge
+//!   each pair onto one machine (remote edges between them become local), and
+//!   re-run Phase 1 — recursively, up a merge tree of height `⌈log n⌉`.
+//! * **Phase 3** ([`phase3`]): unroll the fragments recorded at every level
+//!   into the final Euler circuit, splicing cycles at pivot vertices and
+//!   expanding coarse edges back into the paths they stand for.
+//!
+//! Section 5 of the paper proposes two memory heuristics — avoiding remote
+//! edge duplication and deferring remote-edge transfer up the merge tree —
+//! which it evaluates only analytically. Both are implemented here as
+//! [`MergeStrategy`] options and also modelled analytically in
+//! [`memory_model`] so the Fig.-8 comparison (current / ideal / proposed) can
+//! be regenerated either way.
+//!
+//! The top-level entry points are [`find_euler_circuit`] (in-process,
+//! rayon-parallel across partitions within a level) and
+//! [`runner::DistributedRunner`] (executes the same phases on the
+//! `euler-bsp` engine with per-worker state, serialised transfers and
+//! superstep statistics).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod fragment;
+pub mod memory_model;
+pub mod merge_strategy;
+pub mod merge_tree;
+pub mod pathmap;
+pub mod phase1;
+pub mod phase2;
+pub mod phase3;
+pub mod runner;
+pub mod state;
+pub mod verify;
+
+pub use config::EulerConfig;
+pub use error::EulerError;
+pub use fragment::{Fragment, FragmentId, FragmentKind, FragmentStore, TourEdge};
+pub use merge_strategy::MergeStrategy;
+pub use merge_tree::{MergePair, MergeTree, MergeTreeNode};
+pub use pathmap::PathMap;
+pub use phase3::{CircuitResult, CircuitStep};
+pub use runner::{
+    find_euler_circuit, run_partitioned, DistributedOutcome, DistributedRunner, LevelPartitionReport,
+    RunReport,
+};
+pub use state::{VertexTypeCounts, WorkingPartition};

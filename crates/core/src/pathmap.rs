@@ -1,0 +1,101 @@
+//! The `pathMap`: the per-partition summary produced by Phase 1 (§3.3.1).
+//!
+//! After Phase 1 a partition is described entirely by its path map: the OB
+//! paths it found (now coarse edges), the cycles it anchored, the boundary
+//! vertices and the remote edges it retains. This is what travels to the
+//! parent partition during Phase 2, so its serialised size (in Longs) is also
+//! the communication cost `O(|B_i| + |R_i|)` of §3.5.
+
+use crate::fragment::FragmentId;
+use euler_graph::{PartitionId, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Summary of one path (OB-pair) found by Phase 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathEntry {
+    /// Fragment holding the path's edges.
+    pub fragment: FragmentId,
+    /// Start odd-degree boundary vertex.
+    pub from: VertexId,
+    /// End odd-degree boundary vertex.
+    pub to: VertexId,
+}
+
+/// Summary of one cycle found by Phase 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleEntry {
+    /// Fragment holding the cycle's edges.
+    pub fragment: FragmentId,
+    /// The vertex the cycle starts and ends at.
+    pub anchor: VertexId,
+}
+
+/// Per-partition, per-level output summary of Phase 1.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PathMap {
+    /// Partition (current merged id) that produced this map.
+    pub partition: PartitionId,
+    /// Level at which Phase 1 ran.
+    pub level: u32,
+    /// OB-pair paths found.
+    pub paths: Vec<PathEntry>,
+    /// Cycles found (EB cycles plus any internal cycles that could not be
+    /// spliced into an existing fragment).
+    pub cycles: Vec<CycleEntry>,
+    /// Number of internal-vertex cycles that were spliced (`mergeInto`) into
+    /// an existing fragment rather than kept separately.
+    pub internal_cycles_merged: u64,
+    /// Number of local edges consumed by this Phase-1 run.
+    pub local_edges_consumed: u64,
+}
+
+impl PathMap {
+    /// Creates an empty path map.
+    pub fn new(partition: PartitionId, level: u32) -> Self {
+        PathMap { partition, level, ..Default::default() }
+    }
+
+    /// Number of paths found. With `2n` odd boundary vertices this is `n`
+    /// when every OB vertex terminates exactly one path, and can be larger
+    /// when high-degree OB vertices terminate several.
+    pub fn num_paths(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Number of standalone cycles found.
+    pub fn num_cycles(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Serialised size of the path map in Longs: 3 per path entry, 2 per
+    /// cycle entry, plus a small header.
+    pub fn longs(&self) -> u64 {
+        4 + 3 * self.paths.len() as u64 + 2 * self.cycles.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pathmap_counts_and_longs() {
+        let mut pm = PathMap::new(PartitionId(2), 1);
+        pm.paths.push(PathEntry { fragment: FragmentId(0), from: VertexId(1), to: VertexId(2) });
+        pm.paths.push(PathEntry { fragment: FragmentId(1), from: VertexId(3), to: VertexId(4) });
+        pm.cycles.push(CycleEntry { fragment: FragmentId(2), anchor: VertexId(5) });
+        assert_eq!(pm.num_paths(), 2);
+        assert_eq!(pm.num_cycles(), 1);
+        assert_eq!(pm.longs(), 4 + 6 + 2);
+        assert_eq!(pm.partition, PartitionId(2));
+        assert_eq!(pm.level, 1);
+    }
+
+    #[test]
+    fn empty_pathmap_has_header_only() {
+        let pm = PathMap::new(PartitionId(0), 0);
+        assert_eq!(pm.longs(), 4);
+        assert_eq!(pm.num_paths(), 0);
+        assert_eq!(pm.num_cycles(), 0);
+    }
+}

@@ -1,0 +1,473 @@
+//! Phase 1: identifying local paths and cycles within a partition (Alg. 1).
+//!
+//! Within one partition, Phase 1 consumes *every* local edge exactly once:
+//!
+//! 1. While some vertex has odd unvisited local degree, start a maximal
+//!    traversal there. By Lemma 1 it ends at another odd-degree vertex,
+//!    yielding an edge-disjoint **path** between two odd boundary vertices
+//!    (an *OB-pair*). The path is persisted as a fragment and replaced in
+//!    memory by a single coarse edge between its endpoints.
+//! 2. For every boundary vertex that still has unvisited local edges, start a
+//!    maximal traversal. By Lemma 2 it returns to its start, yielding a
+//!    **cycle** anchored at that boundary vertex, persisted and dropped from
+//!    memory.
+//! 3. While unvisited local edges remain, start a maximal traversal at one of
+//!    their endpoints (an internal vertex), yielding an internal cycle. Per
+//!    Lemma 3 it intersects an earlier fragment of this run at a *pivot*
+//!    vertex, into which it is spliced (`mergeInto`); if the partition's
+//!    local subgraph is disconnected and no pivot exists, the cycle is kept
+//!    as a standalone anchored cycle (a generalisation the paper's
+//!    connected-partition assumption makes unnecessary).
+//!
+//! The function is deterministic: traversal starts are chosen in ascending
+//! vertex order and edges are consumed in insertion order.
+
+use crate::fragment::{Fragment, FragmentId, FragmentKind, FragmentStore, TourEdge};
+use crate::pathmap::{CycleEntry, PathEntry, PathMap};
+use crate::state::{EdgeRef, LocalEdge, VertexTypeCounts, WorkingPartition};
+use euler_graph::VertexId;
+use std::collections::{BTreeSet, HashMap};
+
+/// Output of one Phase-1 run on one partition.
+#[derive(Clone, Debug)]
+pub struct Phase1Output {
+    /// Summary of the fragments found (the paper's `pathMap`).
+    pub path_map: PathMap,
+    /// Vertex/edge composition at the start of the run (Fig. 9 input).
+    pub counts_before: VertexTypeCounts,
+    /// The complexity measure `|B| + |I| + |L|` at the start of the run
+    /// (Fig. 7's x axis).
+    pub complexity: u64,
+}
+
+/// Internal traversal helper over the local edges of one partition.
+struct Traverser<'a> {
+    edges: &'a [LocalEdge],
+    /// For every vertex, the indices of its incident local-edge slots.
+    adjacency: HashMap<VertexId, Vec<usize>>,
+    /// Per-vertex cursor into its adjacency list (already-consumed prefix).
+    cursor: HashMap<VertexId, usize>,
+    visited: Vec<bool>,
+    /// Remaining (unvisited) local degree per vertex.
+    remaining: HashMap<VertexId, u64>,
+}
+
+impl<'a> Traverser<'a> {
+    fn new(edges: &'a [LocalEdge]) -> Self {
+        let mut adjacency: HashMap<VertexId, Vec<usize>> = HashMap::new();
+        let mut remaining: HashMap<VertexId, u64> = HashMap::new();
+        for (i, e) in edges.iter().enumerate() {
+            adjacency.entry(e.u).or_default().push(i);
+            adjacency.entry(e.v).or_default().push(i);
+            *remaining.entry(e.u).or_insert(0) += 1;
+            *remaining.entry(e.v).or_insert(0) += 1;
+        }
+        Traverser {
+            edges,
+            adjacency,
+            cursor: HashMap::new(),
+            visited: vec![false; edges.len()],
+            remaining,
+        }
+    }
+
+    fn remaining_degree(&self, v: VertexId) -> u64 {
+        self.remaining.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Next unvisited incident slot of `v`, if any.
+    fn next_slot(&mut self, v: VertexId) -> Option<usize> {
+        let list = self.adjacency.get(&v)?;
+        let cursor = self.cursor.entry(v).or_insert(0);
+        while *cursor < list.len() {
+            let slot = list[*cursor];
+            if !self.visited[slot] {
+                return Some(slot);
+            }
+            *cursor += 1;
+        }
+        None
+    }
+
+    /// Maximal traversal from `start` along unvisited local edges, consuming
+    /// them. Returns the tour edges in traversal order (possibly empty).
+    fn walk(&mut self, start: VertexId) -> Vec<TourEdge> {
+        let mut tour = Vec::new();
+        let mut current = start;
+        while let Some(slot) = self.next_slot(current) {
+            self.visited[slot] = true;
+            let e = &self.edges[slot];
+            let next = if e.u == current { e.v } else { e.u };
+            *self.remaining.get_mut(&e.u).expect("endpoint tracked") -= 1;
+            *self.remaining.get_mut(&e.v).expect("endpoint tracked") -= 1;
+            tour.push(match e.edge {
+                EdgeRef::Real(edge) => TourEdge::Real { edge, from: current, to: next },
+                EdgeRef::Virtual(fragment) => TourEdge::Virtual { fragment, from: current, to: next },
+            });
+            current = next;
+        }
+        tour
+    }
+
+    fn any_unvisited(&self) -> Option<usize> {
+        self.visited.iter().position(|&v| !v)
+    }
+}
+
+/// A fragment under construction during one Phase-1 run, before it receives
+/// its global id from the store.
+struct PendingFragment {
+    kind: FragmentKind,
+    edges: Vec<TourEdge>,
+}
+
+/// Which pending fragment a visible vertex belongs to. The exact position is
+/// looked up at splice time (earlier splices shift positions).
+#[derive(Clone, Copy)]
+struct PivotRef {
+    fragment: usize,
+}
+
+/// Runs Phase 1 on `wp`, persisting fragments into `store` and replacing the
+/// partition's local edges with the coarse OB-pair edges of the paths found.
+pub fn run_phase1(wp: &mut WorkingPartition, store: &FragmentStore) -> Phase1Output {
+    let counts_before = wp.vertex_type_counts();
+    let complexity = counts_before.phase1_complexity();
+    let remote_deg = wp.remote_degrees();
+    let local_edges = std::mem::take(&mut wp.local_edges);
+    let mut traverser = Traverser::new(&local_edges);
+
+    let mut pending: Vec<PendingFragment> = Vec::new();
+    // First position of every visible vertex in every pending fragment, used
+    // by mergeInto to find pivots.
+    let mut visible: HashMap<VertexId, PivotRef> = HashMap::new();
+
+    fn register_visible(visible: &mut HashMap<VertexId, PivotRef>, fragment: usize, edges: &[TourEdge]) {
+        for e in edges {
+            visible.entry(e.from()).or_insert(PivotRef { fragment });
+        }
+        if let Some(last) = edges.last() {
+            visible.entry(last.to()).or_insert(PivotRef { fragment });
+        }
+    }
+
+    // --- Step 1: OB paths. -------------------------------------------------
+    let mut odd: BTreeSet<VertexId> = traverser
+        .remaining
+        .iter()
+        .filter(|(_, &d)| d % 2 == 1)
+        .map(|(&v, _)| v)
+        .collect();
+    while let Some(&start) = odd.iter().next() {
+        odd.remove(&start);
+        let tour = traverser.walk(start);
+        debug_assert!(!tour.is_empty(), "odd-degree vertex must have an unvisited edge");
+        let end = tour.last().expect("non-empty").to();
+        debug_assert_ne!(start, end, "a maximal walk from an odd vertex ends elsewhere (Lemma 1)");
+        odd.remove(&end);
+        let idx = pending.len();
+        register_visible(&mut visible, idx, &tour);
+        pending.push(PendingFragment { kind: FragmentKind::Path, edges: tour });
+    }
+
+    // --- Step 2: cycles at boundary vertices. -------------------------------
+    let mut boundary: Vec<VertexId> = remote_deg.keys().copied().collect();
+    boundary.sort_unstable();
+    for b in boundary {
+        if traverser.remaining_degree(b) == 0 {
+            continue; // trivial singleton: nothing to record
+        }
+        let tour = traverser.walk(b);
+        debug_assert_eq!(tour.last().map(|e| e.to()), Some(b), "even-degree traversal closes (Lemma 2)");
+        let idx = pending.len();
+        register_visible(&mut visible, idx, &tour);
+        pending.push(PendingFragment { kind: FragmentKind::Cycle, edges: tour });
+    }
+
+    // --- Step 3: cycles at internal vertices, spliced at pivots. ------------
+    let mut internal_cycles_merged = 0u64;
+    while let Some(slot) = traverser.any_unvisited() {
+        let start = local_edges[slot].u;
+        let tour = traverser.walk(start);
+        debug_assert_eq!(tour.last().map(|e| e.to()), Some(start), "internal traversal closes (Lemma 2)");
+        // mergeInto: find a pivot vertex shared with an existing fragment.
+        let pivot = tour
+            .iter()
+            .map(|e| e.from())
+            .find(|v| visible.contains_key(v))
+            .map(|v| (v, visible[&v]));
+        match pivot {
+            Some((pivot_vertex, at)) => {
+                // Rotate the cycle to start at the pivot, then splice it into
+                // the containing fragment at the pivot's current position.
+                let rot = tour
+                    .iter()
+                    .position(|e| e.from() == pivot_vertex)
+                    .expect("pivot is a tour endpoint");
+                let mut rotated = Vec::with_capacity(tour.len());
+                rotated.extend_from_slice(&tour[rot..]);
+                rotated.extend_from_slice(&tour[..rot]);
+                let target = &mut pending[at.fragment].edges;
+                let insert_at = target
+                    .iter()
+                    .position(|e| e.from() == pivot_vertex)
+                    .unwrap_or(target.len());
+                for e in &rotated {
+                    visible.entry(e.from()).or_insert(PivotRef { fragment: at.fragment });
+                }
+                target.splice(insert_at..insert_at, rotated);
+                internal_cycles_merged += 1;
+            }
+            None => {
+                // Disconnected local subgraph: keep as a standalone cycle.
+                let idx = pending.len();
+                register_visible(&mut visible, idx, &tour);
+                pending.push(PendingFragment { kind: FragmentKind::Cycle, edges: tour });
+            }
+        }
+    }
+
+    // --- Persist fragments and rebuild the in-memory state. -----------------
+    let mut path_map = PathMap::new(wp.id, wp.level);
+    path_map.internal_cycles_merged = internal_cycles_merged;
+    path_map.local_edges_consumed = local_edges.len() as u64;
+    let mut new_local = Vec::new();
+    for pf in pending {
+        let fragment = Fragment {
+            id: FragmentId(0),
+            kind: pf.kind,
+            level: wp.level,
+            partition: wp.id,
+            edges: pf.edges,
+        };
+        debug_assert!(fragment.is_well_formed(), "phase 1 produced a malformed fragment");
+        let start = fragment.start();
+        let end = fragment.end();
+        let kind = fragment.kind;
+        let id = store.push(fragment);
+        match kind {
+            FragmentKind::Path => {
+                path_map.paths.push(PathEntry { fragment: id, from: start, to: end });
+                new_local.push(LocalEdge { edge: EdgeRef::Virtual(id), u: start, v: end });
+            }
+            FragmentKind::Cycle => {
+                path_map.cycles.push(CycleEntry { fragment: id, anchor: start });
+            }
+        }
+    }
+
+    wp.local_edges = new_local;
+    wp.isolated_vertices = 0; // internal vertices are dropped from memory
+    Phase1Output { path_map, counts_before, complexity }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::WorkingPartition;
+    use euler_gen::synthetic::{self, paper_fig1};
+    use euler_graph::{PartitionId, PartitionedGraph};
+
+    fn fig1_working() -> Vec<WorkingPartition> {
+        let (g, a) = paper_fig1();
+        let pg = PartitionedGraph::from_assignment(&g, &a).unwrap();
+        pg.partitions().iter().map(WorkingPartition::from_partition).collect()
+    }
+
+    #[test]
+    fn fig1_p3_produces_one_ob_pair() {
+        // Paper's P3 = {v6..v9} has local path e6,7 e7,8 e8,9 which becomes
+        // the OB-pair e6,9 (Fig. 1b).
+        let mut wps = fig1_working();
+        let store = FragmentStore::new();
+        let out = run_phase1(&mut wps[2], &store);
+        assert_eq!(out.path_map.num_paths(), 1);
+        assert_eq!(out.path_map.num_cycles(), 0);
+        let p = out.path_map.paths[0];
+        let endpoints = [p.from.0, p.to.0];
+        assert!(endpoints.contains(&5) && endpoints.contains(&8)); // v6 and v9
+        // The partition's memory now holds one coarse edge and 2 remote edges.
+        assert_eq!(wps[2].local_edges.len(), 1);
+        assert!(matches!(wps[2].local_edges[0].edge, EdgeRef::Virtual(_)));
+        assert_eq!(out.path_map.local_edges_consumed, 3);
+    }
+
+    #[test]
+    fn fig1_p2_produces_one_eb_cycle() {
+        // Paper's P2 = {v3, v4, v5}: local cycle e3,4 e4,5 e3,5 anchored at v3.
+        let mut wps = fig1_working();
+        let store = FragmentStore::new();
+        let out = run_phase1(&mut wps[1], &store);
+        assert_eq!(out.path_map.num_paths(), 0);
+        assert_eq!(out.path_map.num_cycles(), 1);
+        assert_eq!(out.path_map.cycles[0].anchor, euler_graph::VertexId(2)); // v3
+        assert!(wps[1].local_edges.is_empty());
+        assert_eq!(wps[1].remote_edges.len(), 2);
+        let frag = store.get(out.path_map.cycles[0].fragment);
+        assert_eq!(frag.len(), 3);
+        assert!(frag.is_well_formed());
+    }
+
+    #[test]
+    fn all_local_edges_consumed_exactly_once() {
+        let mut wps = fig1_working();
+        let store = FragmentStore::new();
+        let mut consumed = 0;
+        for wp in &mut wps {
+            let before = wp.local_edges.len() as u64;
+            let out = run_phase1(wp, &store);
+            assert_eq!(out.path_map.local_edges_consumed, before);
+            consumed += before;
+        }
+        // Real edges recorded in the store equal the local edges consumed.
+        assert_eq!(store.total_real_edges(), consumed);
+    }
+
+    #[test]
+    fn lemma1_paths_end_at_odd_boundary_vertices() {
+        let mut wps = fig1_working();
+        let store = FragmentStore::new();
+        for wp in &mut wps {
+            let remote = wp.remote_degrees();
+            let local = wp.local_degrees();
+            let out = run_phase1(wp, &store);
+            for p in &out.path_map.paths {
+                for v in [p.from, p.to] {
+                    let ld = local.get(&v).copied().unwrap_or(0);
+                    assert_eq!(ld % 2, 1, "path endpoint {v} must have odd local degree");
+                    assert!(remote.contains_key(&v), "path endpoint {v} must be a boundary vertex");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma2_cycles_close_on_their_anchor() {
+        let mut wps = fig1_working();
+        let store = FragmentStore::new();
+        for wp in &mut wps {
+            let out = run_phase1(wp, &store);
+            for c in &out.path_map.cycles {
+                let frag = store.get(c.fragment);
+                assert_eq!(frag.start(), c.anchor);
+                assert_eq!(frag.end(), c.anchor);
+            }
+        }
+    }
+
+    #[test]
+    fn internal_cycles_are_merged_into_prior_fragments() {
+        // A single partition containing two triangles sharing a vertex plus a
+        // pendant path to a boundary: the second triangle must be spliced.
+        // Build: boundary vertex 0 with 1 remote edge, triangle 0-1-2-0,
+        // triangle 2-3-4-2 (internal), so the traversal from 0 may leave the
+        // second triangle for step 3.
+        let local = vec![
+            (0u64, 1u64),
+            (1, 2),
+            (2, 0),
+            (2, 3),
+            (3, 4),
+            (4, 2),
+        ];
+        let mut wp = WorkingPartition {
+            id: PartitionId(0),
+            leaves: vec![PartitionId(0)],
+            level: 0,
+            local_edges: local
+                .iter()
+                .enumerate()
+                .map(|(i, &(u, v))| LocalEdge {
+                    edge: EdgeRef::Real(euler_graph::EdgeId(i as u64)),
+                    u: euler_graph::VertexId(u),
+                    v: euler_graph::VertexId(v),
+                })
+                .collect(),
+            remote_edges: vec![
+                crate::state::RemoteRef {
+                    edge: euler_graph::EdgeId(100),
+                    local: euler_graph::VertexId(0),
+                    remote: euler_graph::VertexId(99),
+                    local_leaf: PartitionId(0),
+                    remote_leaf: PartitionId(1),
+                },
+                crate::state::RemoteRef {
+                    edge: euler_graph::EdgeId(101),
+                    local: euler_graph::VertexId(0),
+                    remote: euler_graph::VertexId(99),
+                    local_leaf: PartitionId(0),
+                    remote_leaf: PartitionId(1),
+                },
+            ],
+            isolated_vertices: 0,
+        };
+        let store = FragmentStore::new();
+        let out = run_phase1(&mut wp, &store);
+        // All 6 local edges must be captured in fragments of this partition.
+        assert_eq!(store.total_real_edges(), 6);
+        // No paths (vertex 0 has even local degree), everything hangs off the
+        // boundary cycle at v0, with the second triangle spliced or anchored.
+        assert_eq!(out.path_map.num_paths(), 0);
+        assert!(out.path_map.num_cycles() >= 1);
+        let total_frag_edges: usize = store.snapshot().iter().map(|f| f.len()).sum();
+        assert_eq!(total_frag_edges, 6);
+    }
+
+    #[test]
+    fn disconnected_internal_component_kept_as_standalone_cycle() {
+        // Two vertex-disjoint triangles, no remote edges at all: the second
+        // triangle cannot be merged into the first and is kept standalone.
+        let local = vec![(0u64, 1u64), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)];
+        let mut wp = WorkingPartition {
+            id: PartitionId(0),
+            leaves: vec![PartitionId(0)],
+            level: 0,
+            local_edges: local
+                .iter()
+                .enumerate()
+                .map(|(i, &(u, v))| LocalEdge {
+                    edge: EdgeRef::Real(euler_graph::EdgeId(i as u64)),
+                    u: euler_graph::VertexId(u),
+                    v: euler_graph::VertexId(v),
+                })
+                .collect(),
+            remote_edges: vec![],
+            isolated_vertices: 0,
+        };
+        let store = FragmentStore::new();
+        let out = run_phase1(&mut wp, &store);
+        assert_eq!(out.path_map.num_cycles(), 2);
+        assert_eq!(out.path_map.internal_cycles_merged, 0);
+    }
+
+    #[test]
+    fn torus_partition_consumes_everything_without_paths() {
+        // A whole torus as a single partition (no remote edges): step 3 only.
+        let g = synthetic::torus_grid(6, 6);
+        let a = euler_graph::PartitionAssignment::from_labels(vec![0; 36], 1).unwrap();
+        let pg = PartitionedGraph::from_assignment(&g, &a).unwrap();
+        let mut wp = WorkingPartition::from_partition(&pg.partitions()[0]);
+        let store = FragmentStore::new();
+        let out = run_phase1(&mut wp, &store);
+        assert_eq!(out.path_map.num_paths(), 0);
+        assert_eq!(store.total_real_edges(), g.num_edges());
+        assert!(wp.local_edges.is_empty());
+        assert!(wp.is_exhausted());
+        // The torus is connected, so everything ends up in standalone cycles
+        // plus splices; at least one standalone cycle seeds the process and
+        // every edge is accounted for exactly once.
+        assert!(out.path_map.num_cycles() >= 1);
+        let fragment_edges: usize = store.snapshot().iter().map(|f| f.len()).sum();
+        assert_eq!(fragment_edges as u64, g.num_edges());
+    }
+
+    #[test]
+    fn complexity_measure_reported() {
+        let mut wps = fig1_working();
+        let store = FragmentStore::new();
+        let out = run_phase1(&mut wps[1], &store);
+        // P2: B=1, I=2, L=3.
+        assert_eq!(out.complexity, 6);
+        assert_eq!(out.counts_before.local_edges, 3);
+    }
+}

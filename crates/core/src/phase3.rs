@@ -1,0 +1,464 @@
+//! Phase 3: unrolling the fragments into the final Euler circuit.
+//!
+//! After the last Phase-1 run on the single root partition, every edge of the
+//! graph sits inside exactly one fragment: paths are referenced as coarse
+//! virtual edges by exactly one higher-level fragment, and cycles are
+//! free-standing, waiting to be spliced wherever their vertices occur in the
+//! final walk. Phase 3 reconstructs the circuit in a single pass over this
+//! book-keeping: it starts from a root cycle, emits its real edges, expands
+//! virtual edges by recursing into the referenced path fragments (in the
+//! traversed direction), and whenever the walk arrives at a vertex with a
+//! pending cycle, splices that cycle in (rotated to start at that vertex)
+//! before continuing.
+//!
+//! The paper defers a detailed Phase-3 algorithm; this implementation
+//! completes it and is verified against the sequential Hierholzer oracle in
+//! the integration tests. Splicing is indexed by *every* visible vertex of a
+//! pending cycle (not only its anchor), which also covers partitions whose
+//! local subgraph is disconnected.
+
+use crate::error::EulerError;
+use crate::fragment::{Fragment, FragmentId, FragmentKind, FragmentStore, TourEdge};
+use euler_graph::{EdgeId, VertexId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One step of the reconstructed circuit: a real graph edge traversed from
+/// `from` to `to`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CircuitStep {
+    /// The traversed edge.
+    pub edge: EdgeId,
+    /// Vertex the step starts at.
+    pub from: VertexId,
+    /// Vertex the step ends at.
+    pub to: VertexId,
+}
+
+/// The result of Phase 3: one closed circuit per connected (edge-bearing)
+/// component of the input graph.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CircuitResult {
+    /// Closed circuits, one per component, each a sequence of steps.
+    pub circuits: Vec<Vec<CircuitStep>>,
+}
+
+impl CircuitResult {
+    /// The single Euler circuit, if the graph's edges form one component.
+    pub fn circuit(&self) -> Option<&[CircuitStep]> {
+        if self.circuits.len() == 1 {
+            Some(&self.circuits[0])
+        } else {
+            None
+        }
+    }
+
+    /// Total number of edges covered across all circuits.
+    pub fn total_edges(&self) -> u64 {
+        self.circuits.iter().map(|c| c.len() as u64).sum()
+    }
+
+    /// Number of separate circuits (1 for a connected Eulerian graph).
+    pub fn num_circuits(&self) -> usize {
+        self.circuits.len()
+    }
+
+    /// The circuit as a vertex sequence (first circuit only), starting and
+    /// ending at the same vertex — the representation used in §3 of the paper.
+    pub fn vertex_sequence(&self) -> Option<Vec<VertexId>> {
+        let c = self.circuit()?;
+        let mut seq = Vec::with_capacity(c.len() + 1);
+        if let Some(first) = c.first() {
+            seq.push(first.from);
+        }
+        seq.extend(c.iter().map(|s| s.to));
+        Some(seq)
+    }
+}
+
+/// Index of pending (not yet spliced) cycles, keyed by every visible vertex.
+struct PendingCycles {
+    by_vertex: HashMap<VertexId, Vec<FragmentId>>,
+    spliced: HashMap<FragmentId, bool>,
+}
+
+impl PendingCycles {
+    fn new(store: &FragmentStore) -> Self {
+        let mut by_vertex: HashMap<VertexId, Vec<FragmentId>> = HashMap::new();
+        let mut spliced = HashMap::new();
+        for f in store.snapshot() {
+            if f.kind == FragmentKind::Cycle {
+                spliced.insert(f.id, false);
+                for v in f.visible_vertices() {
+                    by_vertex.entry(v).or_default().push(f.id);
+                }
+            }
+        }
+        PendingCycles { by_vertex, spliced }
+    }
+
+    /// Pops one not-yet-spliced cycle containing `v`, if any.
+    fn pop_at(&mut self, v: VertexId) -> Option<FragmentId> {
+        let list = self.by_vertex.get_mut(&v)?;
+        while let Some(id) = list.pop() {
+            let done = self.spliced.get_mut(&id).expect("registered");
+            if !*done {
+                *done = true;
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Any not-yet-spliced cycle (used to seed a new circuit / detect
+    /// disconnected components).
+    fn pop_any(&mut self) -> Option<FragmentId> {
+        let id = self
+            .spliced
+            .iter()
+            .filter(|(_, &done)| !done)
+            .map(|(&id, _)| id)
+            .min()?; // deterministic
+        *self.spliced.get_mut(&id).expect("present") = true;
+        Some(id)
+    }
+}
+
+/// An expansion frame: a fragment being walked, possibly reversed, with the
+/// tour edges to process. Cycles spliced mid-walk are rotated before pushing.
+struct Frame {
+    edges: Vec<TourEdge>,
+    pos: usize,
+}
+
+impl Frame {
+    fn forward(f: &Fragment) -> Frame {
+        Frame { edges: f.edges.clone(), pos: 0 }
+    }
+
+    fn reversed(f: &Fragment) -> Frame {
+        Frame { edges: f.edges.iter().rev().map(|e| e.reversed()).collect(), pos: 0 }
+    }
+
+    fn rotated(f: &Fragment, start: VertexId) -> Frame {
+        let rot = f.edges.iter().position(|e| e.from() == start).unwrap_or(0);
+        let mut edges = Vec::with_capacity(f.edges.len());
+        edges.extend_from_slice(&f.edges[rot..]);
+        edges.extend_from_slice(&f.edges[..rot]);
+        Frame { edges, pos: 0 }
+    }
+}
+
+/// Unrolls every fragment in `store` into closed circuits.
+///
+/// Returns one circuit per group of fragments reachable from each other;
+/// for a connected Eulerian input this is a single circuit covering all
+/// edges.
+pub fn unroll(store: &FragmentStore) -> CircuitResult {
+    let mut pending = PendingCycles::new(store);
+    let mut result = CircuitResult::default();
+
+    while let Some(seed) = pending.pop_any() {
+        let mut circuit: Vec<CircuitStep> = Vec::new();
+        let seed_fragment = store.get(seed);
+        let mut stack: Vec<Frame> = vec![Frame::forward(&seed_fragment)];
+        // Splice anything already pending at the seed's start vertex.
+        let mut splice_here = seed_fragment.start();
+        while let Some(extra) = pending.pop_at(splice_here) {
+            let f = store.get(extra);
+            stack.push(Frame::rotated(&f, splice_here));
+        }
+
+        while let Some(frame) = stack.last_mut() {
+            if frame.pos >= frame.edges.len() {
+                stack.pop();
+                continue;
+            }
+            let te = frame.edges[frame.pos];
+            frame.pos += 1;
+            match te {
+                TourEdge::Real { edge, from, to } => {
+                    circuit.push(CircuitStep { edge, from, to });
+                    splice_here = to;
+                    while let Some(extra) = pending.pop_at(splice_here) {
+                        let f = store.get(extra);
+                        stack.push(Frame::rotated(&f, splice_here));
+                    }
+                }
+                TourEdge::Virtual { fragment, from, to } => {
+                    let f = store.get(fragment);
+                    let frame = if f.start() == from && f.end() == to {
+                        Frame::forward(&f)
+                    } else {
+                        debug_assert!(
+                            f.start() == to && f.end() == from,
+                            "virtual edge endpoints must match the fragment"
+                        );
+                        Frame::reversed(&f)
+                    };
+                    stack.push(frame);
+                }
+            }
+        }
+        if !circuit.is_empty() {
+            result.circuits.push(circuit);
+        }
+    }
+    result.circuits = stitch_circuits(result.circuits);
+    result
+}
+
+/// Splices closed circuits that share a vertex into one another until no two
+/// remaining circuits intersect. Needed when the seeding order visits a
+/// dependent cycle before the fragment whose hidden vertices connect it to
+/// the rest of the walk; the classic Hierholzer merge applies unchanged
+/// because every circuit is closed.
+fn stitch_circuits(circuits: Vec<Vec<CircuitStep>>) -> Vec<Vec<CircuitStep>> {
+    let mut finals: Vec<Vec<CircuitStep>> = Vec::new();
+    let mut pending = circuits;
+    while !pending.is_empty() {
+        if finals.is_empty() {
+            finals.push(pending.remove(0));
+            continue;
+        }
+        let mut progressed = false;
+        let mut still_pending = Vec::new();
+        for candidate in pending {
+            let mut placed = false;
+            for host in finals.iter_mut() {
+                // First position of every vertex along the host walk.
+                let mut host_pos: HashMap<VertexId, usize> = HashMap::new();
+                for (i, step) in host.iter().enumerate() {
+                    host_pos.entry(step.from).or_insert(i);
+                }
+                if let Some(last) = host.last() {
+                    host_pos.entry(last.to).or_insert(host.len());
+                }
+                if let Some((rot, at)) = candidate
+                    .iter()
+                    .enumerate()
+                    .find_map(|(j, s)| host_pos.get(&s.from).map(|&i| (j, i)))
+                {
+                    let mut rotated = Vec::with_capacity(candidate.len());
+                    rotated.extend_from_slice(&candidate[rot..]);
+                    rotated.extend_from_slice(&candidate[..rot]);
+                    host.splice(at..at, rotated);
+                    placed = true;
+                    progressed = true;
+                    break;
+                }
+            }
+            if !placed {
+                still_pending.push(candidate);
+            }
+        }
+        pending = still_pending;
+        if !progressed && !pending.is_empty() {
+            // Remaining circuits are disconnected from every current final:
+            // they form their own component(s).
+            finals.push(pending.remove(0));
+        }
+    }
+    finals
+}
+
+/// Convenience: unrolls and checks that a single closed circuit covering
+/// `expected_edges` edges was produced.
+pub fn unroll_single(store: &FragmentStore, expected_edges: u64) -> Result<Vec<CircuitStep>, EulerError> {
+    let result = unroll(store);
+    if result.num_circuits() != 1 {
+        return Err(EulerError::MultipleCircuits { count: result.num_circuits() });
+    }
+    let circuit = result.circuits.into_iter().next().expect("one circuit");
+    if (circuit.len() as u64) < expected_edges {
+        return Err(EulerError::MissingEdges { missing: expected_edges - circuit.len() as u64 });
+    }
+    Ok(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::{Fragment, FragmentKind};
+    use euler_graph::PartitionId;
+
+    fn real(edge: u64, from: u64, to: u64) -> TourEdge {
+        TourEdge::Real { edge: EdgeId(edge), from: VertexId(from), to: VertexId(to) }
+    }
+
+    fn cycle(store: &FragmentStore, level: u32, edges: Vec<TourEdge>) -> FragmentId {
+        store.push(Fragment {
+            id: FragmentId(0),
+            kind: FragmentKind::Cycle,
+            level,
+            partition: PartitionId(0),
+            edges,
+        })
+    }
+
+    fn path(store: &FragmentStore, level: u32, edges: Vec<TourEdge>) -> FragmentId {
+        store.push(Fragment {
+            id: FragmentId(0),
+            kind: FragmentKind::Path,
+            level,
+            partition: PartitionId(0),
+            edges,
+        })
+    }
+
+    #[test]
+    fn single_triangle_cycle_unrolls() {
+        let store = FragmentStore::new();
+        cycle(&store, 0, vec![real(0, 0, 1), real(1, 1, 2), real(2, 2, 0)]);
+        let result = unroll(&store);
+        assert_eq!(result.num_circuits(), 1);
+        assert_eq!(result.total_edges(), 3);
+        let seq = result.vertex_sequence().unwrap();
+        assert_eq!(seq.first(), seq.last());
+    }
+
+    #[test]
+    fn virtual_edge_expands_forward_and_reverse() {
+        let store = FragmentStore::new();
+        // Path fragment 1 -> 2 -> 3.
+        let p = path(&store, 0, vec![real(10, 1, 2), real(11, 2, 3)]);
+        // Root cycle: 0 ->1, virtual(1->3), 3->0  (forward use).
+        cycle(
+            &store,
+            1,
+            vec![
+                real(0, 0, 1),
+                TourEdge::Virtual { fragment: p, from: VertexId(1), to: VertexId(3) },
+                real(1, 3, 0),
+            ],
+        );
+        let result = unroll(&store);
+        assert_eq!(result.num_circuits(), 1);
+        let edges: Vec<u64> = result.circuits[0].iter().map(|s| s.edge.0).collect();
+        assert_eq!(edges, vec![0, 10, 11, 1]);
+
+        // Reverse use: 0 -> 3, virtual(3->1), 1 -> 0.
+        let store2 = FragmentStore::new();
+        let p2 = path(&store2, 0, vec![real(10, 1, 2), real(11, 2, 3)]);
+        cycle(
+            &store2,
+            1,
+            vec![
+                real(0, 0, 3),
+                TourEdge::Virtual { fragment: p2, from: VertexId(3), to: VertexId(1) },
+                real(1, 1, 0),
+            ],
+        );
+        let result2 = unroll(&store2);
+        let steps = &result2.circuits[0];
+        assert_eq!(steps.iter().map(|s| s.edge.0).collect::<Vec<_>>(), vec![0, 11, 10, 1]);
+        // Reversed direction flips from/to.
+        assert_eq!(steps[1].from, VertexId(3));
+        assert_eq!(steps[1].to, VertexId(2));
+    }
+
+    #[test]
+    fn pending_cycle_spliced_at_shared_vertex() {
+        let store = FragmentStore::new();
+        // Main cycle around 0-1-2-0 and a separate cycle 1-3-4-1 anchored at 1.
+        cycle(&store, 0, vec![real(0, 0, 1), real(1, 1, 2), real(2, 2, 0)]);
+        cycle(&store, 0, vec![real(3, 1, 3), real(4, 3, 4), real(5, 4, 1)]);
+        let result = unroll(&store);
+        assert_eq!(result.num_circuits(), 1);
+        assert_eq!(result.total_edges(), 6);
+        // The combined walk is still closed.
+        let seq = result.vertex_sequence().unwrap();
+        assert_eq!(seq.first(), seq.last());
+    }
+
+    #[test]
+    fn cycle_spliced_even_when_anchor_not_shared() {
+        let store = FragmentStore::new();
+        // Main cycle 0-1-2-0; second cycle anchored at 5 but passing through 2:
+        // 5-2, 2-6, 6-5. Anchor (5) is not on the main cycle, but vertex 2 is.
+        cycle(&store, 0, vec![real(0, 0, 1), real(1, 1, 2), real(2, 2, 0)]);
+        cycle(&store, 0, vec![real(3, 5, 2), real(4, 2, 6), real(5, 6, 5)]);
+        let result = unroll(&store);
+        assert_eq!(result.num_circuits(), 1, "splicing must use all visible vertices, not only anchors");
+        assert_eq!(result.total_edges(), 6);
+    }
+
+    #[test]
+    fn disconnected_cycles_produce_two_circuits() {
+        let store = FragmentStore::new();
+        cycle(&store, 0, vec![real(0, 0, 1), real(1, 1, 2), real(2, 2, 0)]);
+        cycle(&store, 0, vec![real(3, 10, 11), real(4, 11, 12), real(5, 12, 10)]);
+        let result = unroll(&store);
+        assert_eq!(result.num_circuits(), 2);
+        assert_eq!(result.total_edges(), 6);
+        assert!(result.circuit().is_none());
+        assert!(unroll_single(&store, 6).is_err());
+    }
+
+    #[test]
+    fn nested_virtual_edges_expand_recursively() {
+        let store = FragmentStore::new();
+        // Level-0 path A: 1 -> 2 -> 3.
+        let a = path(&store, 0, vec![real(0, 1, 2), real(1, 2, 3)]);
+        // Level-1 path B: 0 -> 1 ~A~> 3 -> 4 (contains A).
+        let b = path(
+            &store,
+            1,
+            vec![
+                real(2, 0, 1),
+                TourEdge::Virtual { fragment: a, from: VertexId(1), to: VertexId(3) },
+                real(3, 3, 4),
+            ],
+        );
+        // Level-2 root cycle: 5 -> 0 ~B~> 4 -> 5.
+        cycle(
+            &store,
+            2,
+            vec![
+                real(4, 5, 0),
+                TourEdge::Virtual { fragment: b, from: VertexId(0), to: VertexId(4) },
+                real(5, 4, 5),
+            ],
+        );
+        let result = unroll(&store);
+        assert_eq!(result.num_circuits(), 1);
+        let edges: Vec<u64> = result.circuits[0].iter().map(|s| s.edge.0).collect();
+        assert_eq!(edges, vec![4, 2, 0, 1, 3, 5]);
+    }
+
+    #[test]
+    fn splice_happens_inside_virtual_expansion() {
+        let store = FragmentStore::new();
+        // Path through hidden vertex 2: 1 -> 2 -> 3; pending cycle at 2.
+        let p = path(&store, 0, vec![real(0, 1, 2), real(1, 2, 3)]);
+        cycle(&store, 0, vec![real(10, 2, 7), real(11, 7, 2)]);
+        cycle(
+            &store,
+            1,
+            vec![
+                real(2, 3, 1),
+                TourEdge::Virtual { fragment: p, from: VertexId(1), to: VertexId(3) },
+            ],
+        );
+        let result = unroll(&store);
+        assert_eq!(result.num_circuits(), 1);
+        assert_eq!(result.total_edges(), 5);
+        // Every edge appears exactly once, the walk chains and closes.
+        let steps = &result.circuits[0];
+        let mut edges: Vec<u64> = steps.iter().map(|s| s.edge.0).collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![0, 1, 2, 10, 11]);
+        for w in steps.windows(2) {
+            assert_eq!(w[0].to, w[1].from);
+        }
+        assert_eq!(steps.first().unwrap().from, steps.last().unwrap().to);
+    }
+
+    #[test]
+    fn empty_store_yields_no_circuits() {
+        let store = FragmentStore::new();
+        let result = unroll(&store);
+        assert_eq!(result.num_circuits(), 0);
+        assert_eq!(result.total_edges(), 0);
+    }
+}

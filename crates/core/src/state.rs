@@ -1,0 +1,286 @@
+//! The evolving in-memory state of a (possibly merged) partition.
+//!
+//! A [`WorkingPartition`] is what a machine holds for one partition at one
+//! merge level: the local edges Phase 1 must consume (real graph edges at
+//! level 0; a mix of newly-localised former remote edges and coarse virtual
+//! edges at higher levels), plus the remote edges that still point at other
+//! partitions. Everything else — consumed edges, interior vertices of paths,
+//! cycles — lives in the [`crate::FragmentStore`] ("disk") and does not count
+//! toward partition memory, exactly as in the paper's design.
+
+use crate::fragment::FragmentId;
+use euler_graph::{EdgeId, Partition, PartitionId, VertexId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Reference to a traversable local edge: either a real graph edge or a
+/// coarse OB-pair edge standing for a lower-level path fragment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeRef {
+    /// A real edge of the input graph.
+    Real(EdgeId),
+    /// A coarse edge standing for a path fragment.
+    Virtual(FragmentId),
+}
+
+/// A local edge of a working partition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalEdge {
+    /// What is being traversed.
+    pub edge: EdgeRef,
+    /// One endpoint.
+    pub u: VertexId,
+    /// The other endpoint.
+    pub v: VertexId,
+}
+
+/// A remote edge of a working partition: one endpoint here, one in another
+/// partition (identified by the *leaf* partition that originally owned it;
+/// the current merged owner is resolved through the merge tree).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemoteRef {
+    /// The underlying graph edge.
+    pub edge: EdgeId,
+    /// The endpoint inside this partition.
+    pub local: VertexId,
+    /// The endpoint inside the other partition.
+    pub remote: VertexId,
+    /// Leaf partition that originally owned the local endpoint (used to
+    /// decide, via the merge tree, at which level this edge becomes local).
+    pub local_leaf: PartitionId,
+    /// Leaf partition that originally owned the remote endpoint.
+    pub remote_leaf: PartitionId,
+}
+
+/// Per-partition vertex/edge composition at the start of a Phase-1 run —
+/// the quantities plotted per partition and level in Fig. 9.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VertexTypeCounts {
+    /// Internal vertices (no remote edges), necessarily of even local degree.
+    pub even_internal: u64,
+    /// Boundary vertices with even local degree (`EB`).
+    pub even_boundary: u64,
+    /// Boundary vertices with odd local degree (`OB`).
+    pub odd_boundary: u64,
+    /// Remote edges held by the partition.
+    pub remote_edges: u64,
+    /// Local edges held by the partition.
+    pub local_edges: u64,
+}
+
+impl VertexTypeCounts {
+    /// Total vertices counted.
+    pub fn total_vertices(&self) -> u64 {
+        self.even_internal + self.even_boundary + self.odd_boundary
+    }
+
+    /// The Phase-1 complexity measure `O(|B| + |I| + |L|)` (§3.5).
+    pub fn phase1_complexity(&self) -> u64 {
+        self.total_vertices() + self.local_edges
+    }
+}
+
+/// The in-memory state of one (possibly merged) partition at one level.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct WorkingPartition {
+    /// Current partition id (the id of the merge-tree parent representing it).
+    pub id: PartitionId,
+    /// Leaf partitions merged into this one (including itself).
+    pub leaves: Vec<PartitionId>,
+    /// Merge level this state belongs to (0 = original partitions).
+    pub level: u32,
+    /// Local edges awaiting consumption by Phase 1 at this level.
+    pub local_edges: Vec<LocalEdge>,
+    /// Remote edges to partitions not yet merged in.
+    pub remote_edges: Vec<RemoteRef>,
+    /// Vertices that carry no edges at all in this partition (isolated within
+    /// the partition). Kept only for faithful vertex accounting at level 0.
+    pub isolated_vertices: u64,
+}
+
+impl WorkingPartition {
+    /// Builds the level-0 working state from a static graph partition.
+    pub fn from_partition(p: &Partition) -> Self {
+        let local_edges = p
+            .local_edges
+            .iter()
+            .map(|&(e, u, v)| LocalEdge { edge: EdgeRef::Real(e), u, v })
+            .collect();
+        let remote_edges = p
+            .remote_edges
+            .iter()
+            .map(|r| RemoteRef {
+                edge: r.edge,
+                local: r.local_vertex,
+                remote: r.remote_vertex,
+                local_leaf: p.id,
+                remote_leaf: r.remote_partition,
+            })
+            .collect();
+        let mut wp = WorkingPartition {
+            id: p.id,
+            leaves: vec![p.id],
+            level: 0,
+            local_edges,
+            remote_edges,
+            isolated_vertices: 0,
+        };
+        // Count vertices of the original partition that touch no edge at all.
+        let with_edges: std::collections::HashSet<VertexId> = wp
+            .local_edges
+            .iter()
+            .flat_map(|e| [e.u, e.v])
+            .chain(wp.remote_edges.iter().map(|r| r.local))
+            .collect();
+        wp.isolated_vertices = p.vertices().filter(|v| !with_edges.contains(v)).count() as u64;
+        wp
+    }
+
+    /// Local degree of every vertex appearing in the local edges. A self-loop
+    /// contributes 2.
+    pub fn local_degrees(&self) -> HashMap<VertexId, u64> {
+        let mut deg: HashMap<VertexId, u64> = HashMap::new();
+        for e in &self.local_edges {
+            *deg.entry(e.u).or_insert(0) += 1;
+            *deg.entry(e.v).or_insert(0) += 1;
+        }
+        deg
+    }
+
+    /// Remote degree of every vertex appearing in the remote edges.
+    pub fn remote_degrees(&self) -> HashMap<VertexId, u64> {
+        let mut deg: HashMap<VertexId, u64> = HashMap::new();
+        for r in &self.remote_edges {
+            *deg.entry(r.local).or_insert(0) += 1;
+        }
+        deg
+    }
+
+    /// Classifies the partition's vertices and edges (Fig.-9 composition).
+    pub fn vertex_type_counts(&self) -> VertexTypeCounts {
+        let local = self.local_degrees();
+        let remote = self.remote_degrees();
+        let mut counts = VertexTypeCounts {
+            remote_edges: self.remote_edges.len() as u64,
+            local_edges: self.local_edges.len() as u64,
+            even_internal: self.isolated_vertices,
+            ..Default::default()
+        };
+        let mut all: std::collections::HashSet<VertexId> = local.keys().copied().collect();
+        all.extend(remote.keys().copied());
+        for v in all {
+            let ld = local.get(&v).copied().unwrap_or(0);
+            let is_boundary = remote.get(&v).copied().unwrap_or(0) > 0;
+            match (is_boundary, ld % 2 == 1) {
+                (true, true) => counts.odd_boundary += 1,
+                (true, false) => counts.even_boundary += 1,
+                (false, _) => counts.even_internal += 1,
+            }
+        }
+        counts
+    }
+
+    /// The Phase-1 complexity measure `O(|B| + |I| + |L|)` for this state.
+    pub fn phase1_complexity(&self) -> u64 {
+        self.vertex_type_counts().phase1_complexity()
+    }
+
+    /// In-memory state size in Longs, using the paper's accounting: one Long
+    /// per retained vertex, three per local edge (edge id + endpoints) and
+    /// four per remote edge (edge id, endpoints, owner).
+    pub fn memory_longs(&self) -> u64 {
+        let c = self.vertex_type_counts();
+        c.total_vertices() + 3 * c.local_edges + 4 * c.remote_edges
+    }
+
+    /// Number of Longs that would be serialised to ship this partition's
+    /// state to another machine (Phase-2 transfer).
+    pub fn transfer_longs(&self) -> u64 {
+        // Same representation is shipped: vertices are implicit in the edges.
+        3 * self.local_edges.len() as u64 + 4 * self.remote_edges.len() as u64 + 4
+    }
+
+    /// True when nothing remains to do for this partition at this level.
+    pub fn is_exhausted(&self) -> bool {
+        self.local_edges.is_empty() && self.remote_edges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use euler_gen::synthetic::paper_fig1;
+    use euler_graph::PartitionedGraph;
+
+    fn fig1_working() -> Vec<WorkingPartition> {
+        let (g, a) = paper_fig1();
+        let pg = PartitionedGraph::from_assignment(&g, &a).unwrap();
+        pg.partitions().iter().map(WorkingPartition::from_partition).collect()
+    }
+
+    #[test]
+    fn level0_conversion_counts_match_fig1() {
+        let wps = fig1_working();
+        // Paper's P2 (index 1) = {v3, v4, v5}: 3 local edges, 2 remote edges, 1 EB, 2 internal.
+        let p2 = &wps[1];
+        assert_eq!(p2.local_edges.len(), 3);
+        assert_eq!(p2.remote_edges.len(), 2);
+        let c = p2.vertex_type_counts();
+        assert_eq!(c.even_boundary, 1);
+        assert_eq!(c.odd_boundary, 0);
+        assert_eq!(c.even_internal, 2);
+        assert_eq!(c.phase1_complexity(), 3 + 3);
+    }
+
+    #[test]
+    fn fig1_p3_has_two_odd_boundaries() {
+        let wps = fig1_working();
+        let p3 = &wps[2];
+        let c = p3.vertex_type_counts();
+        assert_eq!(c.odd_boundary, 2);
+        assert_eq!(c.even_boundary, 0);
+        assert_eq!(c.even_internal, 2);
+    }
+
+    #[test]
+    fn memory_longs_positive_and_consistent() {
+        for wp in fig1_working() {
+            let c = wp.vertex_type_counts();
+            assert_eq!(
+                wp.memory_longs(),
+                c.total_vertices() + 3 * c.local_edges + 4 * c.remote_edges
+            );
+            assert!(wp.memory_longs() > 0);
+        }
+    }
+
+    #[test]
+    fn degrees_follow_parity_invariant() {
+        // Eulerian input: local degree + remote degree is even for every vertex.
+        for wp in fig1_working() {
+            let local = wp.local_degrees();
+            let remote = wp.remote_degrees();
+            let mut all: std::collections::HashSet<VertexId> = local.keys().copied().collect();
+            all.extend(remote.keys().copied());
+            for v in all {
+                let total = local.get(&v).copied().unwrap_or(0) + remote.get(&v).copied().unwrap_or(0);
+                assert_eq!(total % 2, 0, "vertex {v} has odd total degree");
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_counted() {
+        let p = Partition {
+            id: PartitionId(0),
+            internal: vec![VertexId(0), VertexId(1)],
+            boundary: vec![],
+            local_edges: vec![],
+            remote_edges: vec![],
+        };
+        let wp = WorkingPartition::from_partition(&p);
+        assert_eq!(wp.isolated_vertices, 2);
+        assert!(wp.is_exhausted());
+        assert_eq!(wp.vertex_type_counts().even_internal, 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! Degree-distribution histograms (Fig. 4).
+//!
+//! Fig. 4 of the paper overlays the degree distribution of the raw R-MAT
+//! graph and its Eulerized counterpart to show that the Eulerizer barely
+//! perturbs the distribution. [`DegreeHistogram`] computes the same
+//! `degree → number of vertices` mapping and simple similarity measures.
+
+use euler_graph::Graph;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Histogram of vertex degrees: `degree -> number of vertices with that degree`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct DegreeHistogram {
+    counts: BTreeMap<u64, u64>,
+    num_vertices: u64,
+}
+
+impl DegreeHistogram {
+    /// Computes the histogram of `g`.
+    pub fn of(g: &Graph) -> Self {
+        let mut counts = BTreeMap::new();
+        for v in g.vertices() {
+            *counts.entry(g.degree(v)).or_insert(0) += 1;
+        }
+        DegreeHistogram { counts, num_vertices: g.num_vertices() }
+    }
+
+    /// Number of vertices with exactly `degree`.
+    pub fn count(&self, degree: u64) -> u64 {
+        self.counts.get(&degree).copied().unwrap_or(0)
+    }
+
+    /// Maximum degree present.
+    pub fn max_degree(&self) -> u64 {
+        self.counts.keys().last().copied().unwrap_or(0)
+    }
+
+    /// Mean degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_vertices == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.counts.iter().map(|(d, c)| d * c).sum();
+        sum as f64 / self.num_vertices as f64
+    }
+
+    /// Iterator over `(degree, count)` pairs in degree order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&d, &c)| (d, c))
+    }
+
+    /// Number of distinct degrees.
+    pub fn num_bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total variation distance between two histograms viewed as probability
+    /// distributions over degrees: `0` means identical, `1` means disjoint.
+    /// Fig. 4's claim is that the Eulerized distribution is very close to the
+    /// original; this gives a single-number check of that claim.
+    pub fn total_variation_distance(&self, other: &DegreeHistogram) -> f64 {
+        if self.num_vertices == 0 || other.num_vertices == 0 {
+            return if self.num_vertices == other.num_vertices { 0.0 } else { 1.0 };
+        }
+        let mut degrees: Vec<u64> = self.counts.keys().copied().collect();
+        degrees.extend(other.counts.keys().copied());
+        degrees.sort_unstable();
+        degrees.dedup();
+        let mut dist = 0.0;
+        for d in degrees {
+            let p = self.count(d) as f64 / self.num_vertices as f64;
+            let q = other.count(d) as f64 / other.num_vertices as f64;
+            dist += (p - q).abs();
+        }
+        dist / 2.0
+    }
+
+    /// Buckets the histogram logarithmically (powers of two), which is how
+    /// heavy-tailed distributions are usually plotted.
+    pub fn log_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out: BTreeMap<u64, u64> = BTreeMap::new();
+        for (&d, &c) in &self.counts {
+            let bucket = if d == 0 { 0 } else { 1u64 << (63 - d.leading_zeros()) };
+            *out.entry(bucket).or_insert(0) += c;
+        }
+        out.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eulerize::eulerize;
+    use crate::rmat::RmatGenerator;
+    use euler_graph::builder::graph_from_edges;
+
+    #[test]
+    fn histogram_of_triangle() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0)]);
+        let h = DegreeHistogram::of(&g);
+        assert_eq!(h.count(2), 3);
+        assert_eq!(h.count(1), 0);
+        assert_eq!(h.max_degree(), 2);
+        assert!((h.mean_degree() - 2.0).abs() < 1e-12);
+        assert_eq!(h.num_bins(), 1);
+    }
+
+    #[test]
+    fn identical_histograms_have_zero_distance() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0)]);
+        let h1 = DegreeHistogram::of(&g);
+        let h2 = DegreeHistogram::of(&g);
+        assert_eq!(h1.total_variation_distance(&h2), 0.0);
+    }
+
+    #[test]
+    fn disjoint_histograms_have_distance_one() {
+        let g1 = graph_from_edges(&[(0, 1)]); // all degree 1
+        let g2 = graph_from_edges(&[(0, 1), (1, 0)]); // all degree 2
+        let h1 = DegreeHistogram::of(&g1);
+        let h2 = DegreeHistogram::of(&g2);
+        assert!((h1.total_variation_distance(&h2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig4_shape_eulerized_close_to_original() {
+        let g = RmatGenerator::new(11).with_seed(4).generate();
+        let (e, _) = eulerize(&g);
+        let h_orig = DegreeHistogram::of(&g);
+        let h_euler = DegreeHistogram::of(&e);
+        let d = h_orig.total_variation_distance(&h_euler);
+        // Every vertex degree changes by at most 1-2, so the distributions
+        // must remain close (the paper's Fig. 4 overlays them).
+        assert!(d < 0.6, "distributions diverged: tvd={d}");
+        // Mean degree grows only slightly (≈5 % extra edges in the paper).
+        assert!(h_euler.mean_degree() >= h_orig.mean_degree());
+        assert!(h_euler.mean_degree() < h_orig.mean_degree() * 1.6);
+    }
+
+    #[test]
+    fn log_buckets_cover_all_vertices() {
+        let g = RmatGenerator::new(9).with_seed(2).generate();
+        let h = DegreeHistogram::of(&g);
+        let total: u64 = h.log_buckets().iter().map(|(_, c)| c).sum();
+        assert_eq!(total, g.num_vertices());
+    }
+
+    #[test]
+    fn empty_graph_histogram() {
+        let g = euler_graph::Graph::empty(0);
+        let h = DegreeHistogram::of(&g);
+        assert_eq!(h.mean_degree(), 0.0);
+        assert_eq!(h.max_degree(), 0);
+    }
+}

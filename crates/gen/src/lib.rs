@@ -1,0 +1,28 @@
+//! # euler-gen
+//!
+//! Workload generators for the Euler circuit experiments:
+//!
+//! * [`rmat`] — a parallel R-MAT power-law graph generator (the paper's input
+//!   graphs are produced by an RMAT tool with average undirected degree 5).
+//! * [`eulerize`] — the paper's custom "Eulerizer": adds edges between
+//!   odd-degree vertices so every vertex has even degree, while keeping the
+//!   degree distribution close to the original (≈5 % extra edges in practice).
+//! * [`degree`] — degree-distribution histograms (Fig. 4).
+//! * [`synthetic`] — deterministic Eulerian families used by tests, examples
+//!   and benches: cycles, circulant graphs, torus grids, unions of random
+//!   cycles, polyhedral wireframes, and the paper's Fig.-1 example graph.
+//! * [`configs`] — named graph configurations mirroring the paper's
+//!   G20/P2 … G50/P8 inputs, scaled to run on a single host.
+
+#![warn(missing_docs)]
+
+pub mod configs;
+pub mod degree;
+pub mod eulerize;
+pub mod rmat;
+pub mod synthetic;
+
+pub use configs::GraphConfig;
+pub use degree::DegreeHistogram;
+pub use eulerize::{eulerize, EulerizeReport};
+pub use rmat::RmatGenerator;

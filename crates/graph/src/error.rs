@@ -1,0 +1,117 @@
+//! Error types for graph construction, I/O and validation.
+
+use crate::ids::{PartitionId, VertexId};
+use std::fmt;
+
+/// Errors raised by the graph substrate.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A vertex identifier was outside `0..num_vertices`.
+    VertexOutOfRange {
+        /// Offending vertex.
+        vertex: VertexId,
+        /// Number of vertices in the graph.
+        num_vertices: u64,
+    },
+    /// A partition identifier was outside `0..num_partitions`.
+    PartitionOutOfRange {
+        /// Offending partition.
+        partition: PartitionId,
+        /// Number of partitions.
+        num_partitions: u32,
+    },
+    /// A partition assignment did not cover every vertex of the graph.
+    IncompleteAssignment {
+        /// Number of vertices in the graph.
+        expected: u64,
+        /// Number of vertices in the assignment.
+        actual: u64,
+    },
+    /// The graph is not Eulerian: at least one vertex has odd degree.
+    NotEulerian {
+        /// An example vertex with odd degree.
+        vertex: VertexId,
+        /// Its degree.
+        degree: u64,
+    },
+    /// The edges of the graph do not form a single connected component, so a
+    /// single Euler circuit covering all edges cannot exist.
+    Disconnected {
+        /// Number of non-trivial connected components found.
+        components: usize,
+    },
+    /// An I/O error when reading or writing a graph file.
+    Io(std::io::Error),
+    /// A parse error in an edge-list file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} out of range (graph has {num_vertices} vertices)")
+            }
+            GraphError::PartitionOutOfRange { partition, num_partitions } => {
+                write!(f, "partition {partition} out of range ({num_partitions} partitions)")
+            }
+            GraphError::IncompleteAssignment { expected, actual } => {
+                write!(f, "partition assignment covers {actual} vertices, graph has {expected}")
+            }
+            GraphError::NotEulerian { vertex, degree } => {
+                write!(f, "graph is not Eulerian: vertex {vertex} has odd degree {degree}")
+            }
+            GraphError::Disconnected { components } => {
+                write!(f, "graph edges span {components} connected components; a single Euler circuit requires one")
+            }
+            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_fields() {
+        let e = GraphError::VertexOutOfRange { vertex: VertexId(9), num_vertices: 5 };
+        assert!(e.to_string().contains("v9"));
+        assert!(e.to_string().contains('5'));
+
+        let e = GraphError::NotEulerian { vertex: VertexId(2), degree: 3 };
+        assert!(e.to_string().contains("odd degree 3"));
+
+        let e = GraphError::Disconnected { components: 4 };
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,215 @@
+//! The undirected multigraph type.
+
+use crate::error::GraphError;
+use crate::ids::{EdgeId, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// An undirected multigraph with stable edge identifiers.
+///
+/// Vertices are contiguous `0..num_vertices()`. Each undirected edge is stored
+/// once as an ordered pair of endpoints plus an adjacency index that lists, for
+/// each vertex, its incident `(neighbour, edge)` pairs. Parallel edges and
+/// self-loops are permitted (the Eulerizer in `euler-gen` may create parallel
+/// edges); a self-loop contributes 2 to the degree of its vertex, consistent
+/// with the handshaking lemma.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Graph {
+    pub(crate) num_vertices: u64,
+    /// Endpoints of every edge, indexed by `EdgeId`.
+    pub(crate) endpoints: Vec<(VertexId, VertexId)>,
+    /// Adjacency list: for each vertex, the incident `(neighbour, edge)` pairs.
+    /// A self-loop appears twice in its vertex's list.
+    pub(crate) adjacency: Vec<Vec<(VertexId, EdgeId)>>,
+}
+
+impl Graph {
+    /// Creates an empty graph with `num_vertices` vertices and no edges.
+    pub fn empty(num_vertices: u64) -> Self {
+        Graph {
+            num_vertices,
+            endpoints: Vec::new(),
+            adjacency: vec![Vec::new(); num_vertices as usize],
+        }
+    }
+
+    /// Number of vertices (including isolated ones).
+    #[inline]
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.endpoints.len() as u64
+    }
+
+    /// Returns the two endpoints of an edge, in the order they were inserted.
+    #[inline]
+    pub fn endpoints(&self, edge: EdgeId) -> (VertexId, VertexId) {
+        self.endpoints[edge.index()]
+    }
+
+    /// Given an edge and one of its endpoints, returns the opposite endpoint.
+    ///
+    /// For a self-loop both endpoints are the same vertex and that vertex is
+    /// returned.
+    #[inline]
+    pub fn other_endpoint(&self, edge: EdgeId, vertex: VertexId) -> VertexId {
+        let (a, b) = self.endpoints[edge.index()];
+        if a == vertex {
+            b
+        } else {
+            debug_assert_eq!(b, vertex, "vertex {vertex} is not an endpoint of {edge}");
+            a
+        }
+    }
+
+    /// Degree of a vertex. A self-loop counts twice.
+    #[inline]
+    pub fn degree(&self, vertex: VertexId) -> u64 {
+        self.adjacency[vertex.index()].len() as u64
+    }
+
+    /// Incident `(neighbour, edge)` pairs of a vertex.
+    #[inline]
+    pub fn neighbors(&self, vertex: VertexId) -> &[(VertexId, EdgeId)] {
+        &self.adjacency[vertex.index()]
+    }
+
+    /// Iterator over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices).map(VertexId)
+    }
+
+    /// Iterator over all edges as `(edge, u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId)> + '_ {
+        self.endpoints
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (EdgeId(i as u64), u, v))
+    }
+
+    /// Adds an undirected edge between `u` and `v`, returning its identifier.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::VertexOutOfRange`] if either endpoint does not
+    /// exist.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<EdgeId, GraphError> {
+        for w in [u, v] {
+            if w.0 >= self.num_vertices {
+                return Err(GraphError::VertexOutOfRange { vertex: w, num_vertices: self.num_vertices });
+            }
+        }
+        let id = EdgeId(self.endpoints.len() as u64);
+        self.endpoints.push((u, v));
+        self.adjacency[u.index()].push((v, id));
+        if u == v {
+            // Self-loop: the single adjacency entry above plus this one makes
+            // the loop contribute 2 to the degree.
+            self.adjacency[u.index()].push((v, id));
+        } else {
+            self.adjacency[v.index()].push((u, id));
+        }
+        Ok(id)
+    }
+
+    /// Total memory state of the graph in 8-byte Longs, using the paper's
+    /// accounting: one Long per vertex plus two Longs per directed edge
+    /// (an undirected edge is represented as a pair of directed edges).
+    pub fn memory_longs(&self) -> u64 {
+        self.num_vertices + 4 * self.num_edges()
+    }
+
+    /// True if the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::empty(3);
+        g.add_edge(VertexId(0), VertexId(1)).unwrap();
+        g.add_edge(VertexId(1), VertexId(2)).unwrap();
+        g.add_edge(VertexId(2), VertexId(0)).unwrap();
+        g
+    }
+
+    #[test]
+    fn empty_graph_has_no_edges() {
+        let g = Graph::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.is_empty());
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn triangle_degrees_and_endpoints() {
+        let g = triangle();
+        assert_eq!(g.num_edges(), 3);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert_eq!(g.endpoints(EdgeId(0)), (VertexId(0), VertexId(1)));
+        assert_eq!(g.other_endpoint(EdgeId(0), VertexId(0)), VertexId(1));
+        assert_eq!(g.other_endpoint(EdgeId(0), VertexId(1)), VertexId(0));
+    }
+
+    #[test]
+    fn parallel_edges_get_distinct_ids() {
+        let mut g = Graph::empty(2);
+        let e1 = g.add_edge(VertexId(0), VertexId(1)).unwrap();
+        let e2 = g.add_edge(VertexId(0), VertexId(1)).unwrap();
+        assert_ne!(e1, e2);
+        assert_eq!(g.degree(VertexId(0)), 2);
+        assert_eq!(g.degree(VertexId(1)), 2);
+    }
+
+    #[test]
+    fn self_loop_counts_twice() {
+        let mut g = Graph::empty(1);
+        g.add_edge(VertexId(0), VertexId(0)).unwrap();
+        assert_eq!(g.degree(VertexId(0)), 2);
+        assert_eq!(g.other_endpoint(EdgeId(0), VertexId(0)), VertexId(0));
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let mut g = Graph::empty(2);
+        let err = g.add_edge(VertexId(0), VertexId(2)).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn edges_iterator_yields_all() {
+        let g = triangle();
+        let collected: Vec<_> = g.edges().collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[1], (EdgeId(1), VertexId(1), VertexId(2)));
+    }
+
+    #[test]
+    fn memory_longs_accounting() {
+        let g = triangle();
+        // 3 vertices + 4 Longs per undirected edge (pair of directed edges).
+        assert_eq!(g.memory_longs(), 3 + 12);
+    }
+
+    #[test]
+    fn neighbors_list_matches_degree() {
+        let g = triangle();
+        let n0 = g.neighbors(VertexId(0));
+        assert_eq!(n0.len(), 2);
+        let targets: Vec<_> = n0.iter().map(|(v, _)| *v).collect();
+        assert!(targets.contains(&VertexId(1)));
+        assert!(targets.contains(&VertexId(2)));
+    }
+}

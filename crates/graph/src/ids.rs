@@ -1,0 +1,163 @@
+//! Strongly-typed identifiers for vertices, edges and partitions.
+//!
+//! The paper accounts for memory in numbers of 8-byte `Long`s, so vertex and
+//! edge identifiers are 64-bit. Partition identifiers are 32-bit since the
+//! number of partitions is small (tens to hundreds).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a vertex. Vertices of a [`crate::Graph`] are contiguous
+/// `0..num_vertices`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct VertexId(pub u64);
+
+/// Identifier of an undirected edge. Edges of a [`crate::Graph`] are
+/// contiguous `0..num_edges`; parallel edges (multi-edges) receive distinct
+/// identifiers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct EdgeId(pub u64);
+
+/// Identifier of a partition in a [`crate::PartitionedGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct PartitionId(pub u32);
+
+impl VertexId {
+    /// Returns the identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Returns the identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PartitionId {
+    /// Returns the identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u64> for VertexId {
+    fn from(v: u64) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<usize> for VertexId {
+    fn from(v: usize) -> Self {
+        VertexId(v as u64)
+    }
+}
+
+impl From<u64> for EdgeId {
+    fn from(v: u64) -> Self {
+        EdgeId(v)
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(v: usize) -> Self {
+        EdgeId(v as u64)
+    }
+}
+
+impl From<u32> for PartitionId {
+    fn from(v: u32) -> Self {
+        PartitionId(v)
+    }
+}
+
+impl From<usize> for PartitionId {
+    fn from(v: usize) -> Self {
+        PartitionId(v as u32)
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Debug for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::from(42usize);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, VertexId(42));
+        assert_eq!(format!("{v}"), "v42");
+        assert_eq!(format!("{v:?}"), "v42");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::from(7u64);
+        assert_eq!(e.index(), 7);
+        assert_eq!(format!("{e}"), "e7");
+    }
+
+    #[test]
+    fn partition_id_roundtrip() {
+        let p = PartitionId::from(3usize);
+        assert_eq!(p.index(), 3);
+        assert_eq!(format!("{p}"), "P3");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(EdgeId(9) > EdgeId(3));
+        assert!(PartitionId(0) < PartitionId(1));
+    }
+
+    #[test]
+    fn ids_are_hashable_defaults() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(VertexId::default());
+        s.insert(VertexId(0));
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Plain-text edge-list I/O and partition-assignment files.
+//!
+//! The formats mirror the de-facto standard used by graph tools such as
+//! ParHIP/KaHIP drivers and the RMAT generators referenced in the paper:
+//! an edge list is one `u v` pair per line (`#`-prefixed comment lines are
+//! ignored); a partition file is one partition id per line, in vertex order.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::partitioned::PartitionAssignment;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Writes `g` as a plain-text edge list (`u v` per line) to `writer`.
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# vertices {} edges {}", g.num_vertices(), g.num_edges())?;
+    for (_, u, v) in g.edges() {
+        writeln!(w, "{} {}", u.0, v.0)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes `g` as a plain-text edge list to the file at `path`.
+pub fn write_edge_list_file<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), GraphError> {
+    let f = std::fs::File::create(path)?;
+    write_edge_list(g, f)
+}
+
+/// Reads a plain-text edge list from `reader`.
+///
+/// Lines starting with `#` or `%` are ignored. The vertex count is the largest
+/// id seen plus one (or the count declared in a `# vertices N edges M` header
+/// if larger).
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    let r = BufReader::new(reader);
+    let mut builder = GraphBuilder::new();
+    let mut declared_vertices: u64 = 0;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            // Optional header: "# vertices N edges M"
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            if toks.len() >= 2 && toks[0] == "vertices" {
+                if let Ok(n) = toks[1].parse::<u64>() {
+                    declared_vertices = declared_vertices.max(n);
+                }
+            }
+            continue;
+        }
+        if line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u = parse_field(it.next(), lineno + 1)?;
+        let v = parse_field(it.next(), lineno + 1)?;
+        builder.add_edge(u, v);
+    }
+    builder.ensure_vertices(declared_vertices);
+    builder.build()
+}
+
+fn parse_field(tok: Option<&str>, line: usize) -> Result<u64, GraphError> {
+    let tok = tok.ok_or(GraphError::Parse { line, message: "expected two vertex ids".into() })?;
+    tok.parse::<u64>().map_err(|e| GraphError::Parse { line, message: format!("bad vertex id {tok:?}: {e}") })
+}
+
+/// Reads an edge list from the file at `path`.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
+    let f = std::fs::File::open(path)?;
+    read_edge_list(f)
+}
+
+/// Writes a partition assignment, one partition id per line in vertex order.
+pub fn write_partition_file<W: Write>(a: &PartitionAssignment, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    for v in 0..a.num_vertices() {
+        writeln!(w, "{}", a.partition_of(crate::ids::VertexId(v)).0)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a partition assignment written by [`write_partition_file`].
+pub fn read_partition_file<R: Read>(reader: R) -> Result<PartitionAssignment, GraphError> {
+    let r = BufReader::new(reader);
+    let mut labels = Vec::new();
+    let mut max_label = 0u32;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let label: u32 = line
+            .parse()
+            .map_err(|e| GraphError::Parse { line: lineno + 1, message: format!("bad partition id: {e}") })?;
+        max_label = max_label.max(label);
+        labels.push(label);
+    }
+    PartitionAssignment::from_labels(labels, max_label + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::ids::{PartitionId, VertexId};
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), g2.degree(v));
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a comment\n% another\n\n0 1\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_vertices(), 3);
+    }
+
+    #[test]
+    fn header_vertex_count_respected() {
+        let text = "# vertices 10 edges 1\n0 1\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let text = "0 1\nnot_a_vertex 2\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_second_vertex_is_a_parse_error() {
+        let text = "0\n";
+        assert!(matches!(read_edge_list(text.as_bytes()), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn partition_file_roundtrip() {
+        let a = PartitionAssignment::from_labels(vec![0, 1, 1, 2, 0], 3).unwrap();
+        let mut buf = Vec::new();
+        write_partition_file(&a, &mut buf).unwrap();
+        let a2 = read_partition_file(&buf[..]).unwrap();
+        assert_eq!(a2.num_partitions(), 3);
+        for v in 0..5 {
+            assert_eq!(a2.partition_of(VertexId(v)), a.partition_of(VertexId(v)));
+        }
+        assert_eq!(a2.partition_of(VertexId(3)), PartitionId(2));
+    }
+
+    #[test]
+    fn file_roundtrip_on_disk() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0)]);
+        let dir = std::env::temp_dir().join("euler_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("triangle.el");
+        write_edge_list_file(&g, &path).unwrap();
+        let g2 = read_edge_list_file(&path).unwrap();
+        assert_eq!(g2.num_edges(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

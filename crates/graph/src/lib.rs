@@ -1,0 +1,42 @@
+//! # euler-graph
+//!
+//! Graph substrate for the partition-centric Euler circuit library.
+//!
+//! This crate provides the data structures that every other crate in the
+//! workspace builds on:
+//!
+//! * [`Graph`] — an undirected multigraph with stable [`EdgeId`]s and an
+//!   adjacency index, built through [`GraphBuilder`].
+//! * [`Csr`] — a compressed sparse row view used by compute kernels.
+//! * [`PartitionedGraph`] / [`Partition`] — the partition-centric view used by
+//!   the paper: internal vertices, boundary vertices, local edges and remote
+//!   edges per partition (§3.1 of the paper).
+//! * [`MetaGraph`] — the weighted partition meta-graph over which the Phase-2
+//!   merge tree is computed.
+//! * Graph property queries (degrees, Eulerian-ness, connectivity) in
+//!   [`properties`].
+//! * Plain-text edge-list I/O in [`io`].
+//!
+//! The vertex and edge identifier types are 64-bit, matching the paper's
+//! memory accounting in numbers of Java `Long`s.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod io;
+pub mod metagraph;
+pub mod partitioned;
+pub mod properties;
+
+pub use builder::GraphBuilder;
+pub use csr::Csr;
+pub use error::GraphError;
+pub use graph::Graph;
+pub use ids::{EdgeId, PartitionId, VertexId};
+pub use metagraph::{MetaEdge, MetaGraph};
+pub use partitioned::{Partition, PartitionAssignment, PartitionedGraph, RemoteEdge};
+pub use properties::{connected_components, is_connected_on_edges, is_eulerian, odd_vertices};

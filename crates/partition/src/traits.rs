@@ -1,0 +1,52 @@
+//! The [`Partitioner`] trait implemented by every partitioning strategy.
+
+use euler_graph::{Graph, PartitionAssignment};
+
+/// A strategy that assigns every vertex of a graph to one of `k` partitions.
+pub trait Partitioner {
+    /// Number of partitions this partitioner produces.
+    fn num_partitions(&self) -> u32;
+
+    /// Computes a partition assignment for `g`.
+    ///
+    /// Implementations must return an assignment covering every vertex of `g`
+    /// with labels in `0..num_partitions()`.
+    fn partition(&self, g: &Graph) -> PartitionAssignment;
+
+    /// Human-readable name used in reports and benches.
+    fn name(&self) -> &'static str {
+        "partitioner"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use euler_graph::builder::graph_from_edges;
+    use euler_graph::PartitionId;
+
+    struct RoundRobin(u32);
+
+    impl Partitioner for RoundRobin {
+        fn num_partitions(&self) -> u32 {
+            self.0
+        }
+        fn partition(&self, g: &Graph) -> PartitionAssignment {
+            let labels = (0..g.num_vertices()).map(|v| (v % self.0 as u64) as u32).collect();
+            PartitionAssignment::from_labels(labels, self.0).unwrap()
+        }
+        fn name(&self) -> &'static str {
+            "round-robin"
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 3)]);
+        let p: Box<dyn Partitioner> = Box::new(RoundRobin(2));
+        let a = p.partition(&g);
+        assert_eq!(a.num_partitions(), 2);
+        assert_eq!(a.partition_of(euler_graph::VertexId(2)), PartitionId(0));
+        assert_eq!(p.name(), "round-robin");
+    }
+}

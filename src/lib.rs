@@ -1,0 +1,69 @@
+//! # euler-circuit
+//!
+//! Facade crate for the partition-centric distributed Euler circuit library, a
+//! Rust reproduction of *"A Partition-centric Distributed Algorithm for
+//! Identifying Euler Circuits in Large Graphs"* (Jaiswal & Simmhan, IEEE
+//! IPDPSW/HPBDC 2019).
+//!
+//! The workspace is organised as one crate per subsystem; this crate
+//! re-exports them under stable module names so applications can depend on a
+//! single crate:
+//!
+//! * [`graph`] — graph substrate (undirected multigraphs, CSR, partitioned
+//!   graphs, meta-graphs).
+//! * [`gen`] — workload generators (R-MAT, Eulerizer, synthetic Eulerian
+//!   families, paper graph configs).
+//! * [`partition`] — graph partitioners and partition-quality statistics.
+//! * [`bsp`] — the Bulk Synchronous Parallel execution engine used as the
+//!   distributed substrate (Apache Spark substitute).
+//! * [`algo`] — the partition-centric Euler circuit algorithm itself
+//!   (Phases 1–3, merge strategies, memory model, verification).
+//! * [`baseline`] — sequential and vertex-centric baselines (Hierholzer,
+//!   Fleury, Makki).
+//! * [`metrics`] — instrumentation and experiment reporting.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use euler_circuit::prelude::*;
+//!
+//! // A small Eulerian graph: two triangles sharing vertex 0.
+//! let graph = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]);
+//! assert!(is_eulerian(&graph).is_ok());
+//!
+//! // Partition it into 2 parts and run the full partition-centric pipeline.
+//! let assignment = LdgPartitioner::new(2).partition(&graph);
+//! let config = EulerConfig::default();
+//! let result = find_euler_circuit(&graph, &assignment, &config).unwrap();
+//!
+//! // The circuit uses every edge exactly once and returns to its start.
+//! let circuit = result.circuit().expect("graph is Eulerian and connected");
+//! assert_eq!(circuit.len(), graph.num_edges() as usize);
+//! verify_circuit(&graph, circuit).unwrap();
+//! ```
+
+pub use euler_baseline as baseline;
+pub use euler_bsp as bsp;
+pub use euler_core as algo;
+pub use euler_gen as gen;
+pub use euler_graph as graph;
+pub use euler_metrics as metrics;
+pub use euler_partition as partition;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use euler_baseline::{fleury::fleury_circuit, hierholzer::hierholzer_circuit, makki::MakkiRunner};
+    pub use euler_core::{
+        find_euler_circuit, verify::verify_circuit, CircuitResult, EulerConfig, MergeStrategy,
+    };
+    pub use euler_gen::{
+        configs::GraphConfig, eulerize::eulerize, rmat::RmatGenerator, synthetic,
+    };
+    pub use euler_graph::{
+        builder::graph_from_edges, is_eulerian, Csr, EdgeId, Graph, GraphBuilder, MetaGraph,
+        Partition, PartitionAssignment, PartitionId, PartitionedGraph, VertexId,
+    };
+    pub use euler_partition::{
+        BfsPartitioner, HashPartitioner, LdgPartitioner, PartitionQuality, Partitioner,
+    };
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration tests: the distributed partition-centric pipeline
+//! against the sequential baselines, over every generator family and
+//! partitioner in the workspace.
+
+use euler_circuit::algo::{self, verify::verify_result};
+use euler_circuit::prelude::*;
+
+/// Runs the partition-centric pipeline and checks it covers exactly the same
+/// edge set as the Hierholzer oracle, with valid closed circuits.
+fn check_against_oracle(g: &Graph, parts: u32) {
+    let assignment = LdgPartitioner::new(parts).partition(g);
+    let config = EulerConfig::default();
+    let (result, report) = algo::run_partitioned(g, &assignment, &config).unwrap();
+    verify_result(g, &result).unwrap();
+
+    let oracle = hierholzer_circuit(g).unwrap();
+    assert_eq!(result.total_edges(), oracle.total_edges());
+    assert_eq!(result.num_circuits(), oracle.num_circuits());
+    assert_eq!(result.total_edges(), g.num_edges());
+    assert!(report.supersteps >= 1);
+}
+
+#[test]
+fn torus_grids_across_partition_counts() {
+    for (rows, cols, parts) in [(6, 6, 1u32), (8, 10, 2), (10, 10, 4), (12, 12, 8)] {
+        let g = synthetic::torus_grid(rows, cols);
+        check_against_oracle(&g, parts);
+    }
+}
+
+#[test]
+fn circulant_graphs() {
+    for (n, offsets) in [(31u64, vec![1u64, 2]), (60, vec![1, 3, 7]), (101, vec![2, 5])] {
+        let g = synthetic::circulant(n, &offsets);
+        check_against_oracle(&g, 4);
+    }
+}
+
+#[test]
+fn random_eulerian_graphs_many_seeds() {
+    for seed in 0..8u64 {
+        let g = synthetic::random_eulerian_connected(150, 20, 6, seed);
+        check_against_oracle(&g, 5);
+    }
+}
+
+#[test]
+fn eulerized_rmat_graphs() {
+    for name in ["G20/P2", "G40/P8"] {
+        let config = GraphConfig::by_name(name).unwrap();
+        let (g, info) = config.generate(-7);
+        assert!(info.final_edges >= info.original_edges);
+        check_against_oracle(&g, config.partitions);
+    }
+}
+
+#[test]
+fn polyhedra_after_eulerization() {
+    for mesh in [synthetic::octahedron(), synthetic::icosahedron()] {
+        let (g, _) = eulerize(&mesh);
+        check_against_oracle(&g, 2);
+    }
+}
+
+#[test]
+fn fleury_and_makki_agree_with_partition_centric() {
+    let g = synthetic::random_eulerian_connected(40, 6, 5, 3);
+    let assignment = HashPartitioner::new(3).partition(&g);
+    let (pc, _) = algo::run_partitioned(&g, &assignment, &EulerConfig::default()).unwrap();
+    let fleury = fleury_circuit(&g).unwrap();
+    let makki = MakkiRunner::new().run(&g).unwrap();
+    assert_eq!(pc.total_edges(), fleury.total_edges());
+    assert_eq!(pc.total_edges(), makki.result.total_edges());
+    assert_eq!(pc.num_circuits(), 1);
+    assert_eq!(makki.result.num_circuits(), 1);
+}
+
+#[test]
+fn all_partitioners_produce_valid_inputs_for_the_pipeline() {
+    let g = synthetic::torus_grid(12, 12);
+    let partitioners: Vec<Box<dyn Partitioner>> = vec![
+        Box::new(HashPartitioner::new(4)),
+        Box::new(LdgPartitioner::new(4)),
+        Box::new(BfsPartitioner::new(4)),
+    ];
+    for p in partitioners {
+        let assignment = p.partition(&g);
+        let (result, _) = algo::run_partitioned(&g, &assignment, &EulerConfig::default()).unwrap();
+        verify_result(&g, &result).unwrap();
+        assert_eq!(result.total_edges(), g.num_edges(), "partitioner {}", p.name());
+    }
+}
+
+#[test]
+fn refined_partition_reduces_cut_and_still_works() {
+    let g = synthetic::torus_grid(16, 16);
+    let rough = HashPartitioner::new(4).partition(&g);
+    let (refined, _) = euler_circuit::partition::fm_refine(&g, &rough, Default::default());
+    let before = PartitionQuality::evaluate(&g, &rough);
+    let after = PartitionQuality::evaluate(&g, &refined);
+    assert!(after.cut_edges <= before.cut_edges);
+    let (result, _) = algo::run_partitioned(&g, &refined, &EulerConfig::default()).unwrap();
+    verify_result(&g, &result).unwrap();
+}
+
+#[test]
+fn distributed_runner_agrees_with_in_process_runner() {
+    let g = synthetic::random_eulerian_connected(100, 12, 5, 7);
+    let assignment = LdgPartitioner::new(4).partition(&g);
+    let (in_process, report) = algo::run_partitioned(&g, &assignment, &EulerConfig::default()).unwrap();
+    let outcome = algo::DistributedRunner::new(EulerConfig::default()).run(&g, &assignment).unwrap();
+    verify_result(&g, &outcome.result).unwrap();
+    assert_eq!(in_process.total_edges(), outcome.result.total_edges());
+    assert_eq!(u32::from(report.supersteps), outcome.engine_stats.num_supersteps());
+}

@@ -1,0 +1,98 @@
+//! Property-based tests over the end-to-end pipeline: for randomly generated
+//! Eulerian graphs, random partition counts and every merge strategy, the
+//! reconstructed circuit must cover every edge exactly once, chain, and close.
+
+use euler_circuit::algo::{run_partitioned, verify::verify_result};
+use euler_circuit::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a connected Eulerian graph from a seed: a shuffled Hamiltonian
+/// backbone plus extra random cycles.
+fn graph_from(seed: u64, n: u64, extra: usize) -> Graph {
+    synthetic::random_eulerian_connected(n.max(4), extra, 5, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The circuit covers every edge exactly once and closes, for any seed,
+    /// size, partition count and partitioner.
+    #[test]
+    fn circuit_covers_every_edge_exactly_once(
+        seed in 0u64..1000,
+        n in 8u64..120,
+        extra in 0usize..12,
+        parts in 1u32..9,
+        use_hash in any::<bool>(),
+    ) {
+        let g = graph_from(seed, n, extra);
+        let assignment = if use_hash {
+            HashPartitioner::new(parts).partition(&g)
+        } else {
+            LdgPartitioner::new(parts).partition(&g)
+        };
+        let (result, report) = run_partitioned(&g, &assignment, &EulerConfig::default()).unwrap();
+        prop_assert!(verify_result(&g, &result).is_ok());
+        prop_assert_eq!(result.total_edges(), g.num_edges());
+        prop_assert_eq!(result.num_circuits(), 1);
+        // Coordination cost is logarithmic in the partition count.
+        prop_assert!(report.supersteps <= (parts as f64).log2().ceil() as u32 + 1);
+    }
+
+    /// All three merge strategies produce valid circuits over the same input,
+    /// and the deferred strategy never uses more active memory than the
+    /// baseline.
+    #[test]
+    fn merge_strategies_are_equivalent_in_coverage(
+        seed in 0u64..500,
+        n in 12u64..80,
+        parts in 2u32..7,
+    ) {
+        let g = graph_from(seed, n, 6);
+        let assignment = LdgPartitioner::new(parts).partition(&g);
+        let mut totals = Vec::new();
+        let mut baseline_memory = None;
+        for strategy in MergeStrategy::all() {
+            let config = EulerConfig::default().with_merge_strategy(strategy);
+            let (result, report) = run_partitioned(&g, &assignment, &config).unwrap();
+            prop_assert!(verify_result(&g, &result).is_ok());
+            totals.push(result.total_edges());
+            let cumulative: u64 = report.cumulative_memory_by_level().iter().sum();
+            match strategy {
+                MergeStrategy::Duplicated => baseline_memory = Some(cumulative),
+                _ => prop_assert!(cumulative <= baseline_memory.unwrap()),
+            }
+        }
+        prop_assert!(totals.iter().all(|&t| t == g.num_edges()));
+    }
+
+    /// The partition-centric result always matches the sequential Hierholzer
+    /// oracle in edge coverage and circuit count.
+    #[test]
+    fn matches_hierholzer_oracle(seed in 0u64..500, n in 8u64..100, parts in 1u32..6) {
+        let g = graph_from(seed, n, 4);
+        let assignment = HashPartitioner::new(parts).partition(&g);
+        let (result, _) = run_partitioned(&g, &assignment, &EulerConfig::default()).unwrap();
+        let oracle = hierholzer_circuit(&g).unwrap();
+        prop_assert_eq!(result.total_edges(), oracle.total_edges());
+        prop_assert_eq!(result.num_circuits(), oracle.num_circuits());
+    }
+
+    /// Eulerization always produces a graph the pipeline can solve, whatever
+    /// the input (including disconnected and odd-degree-heavy graphs).
+    #[test]
+    fn eulerized_arbitrary_graphs_are_solved(
+        edges in prop::collection::vec((0u64..40, 0u64..40), 1..150),
+        parts in 1u32..5,
+    ) {
+        let mut b = GraphBuilder::with_vertices(40);
+        b.extend_edges(edges.iter().copied());
+        let raw = b.build().unwrap();
+        let (g, _) = eulerize(&raw);
+        prop_assert!(is_eulerian(&g).is_ok());
+        let assignment = LdgPartitioner::new(parts).partition(&g);
+        let (result, _) = run_partitioned(&g, &assignment, &EulerConfig::default()).unwrap();
+        prop_assert!(verify_result(&g, &result).is_ok());
+        prop_assert_eq!(result.total_edges(), g.num_edges());
+    }
+}
