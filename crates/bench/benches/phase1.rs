@@ -1,30 +1,81 @@
 //! Criterion bench: the Phase-1 kernel on a single partition, across
 //! partition sizes — the computational core whose O(|B|+|I|+|L|) behaviour
-//! Fig. 7 validates.
+//! Fig. 7 validates. Each workload is benched twice: the dense flat-array
+//! kernel (`run_phase1`) against the retained hash-map reference
+//! (`run_phase1_reference`), so the speedup of the CSR-arena rewrite stays
+//! visible. `cargo run --release -p euler-bench --bin bench_phase1` produces
+//! the committed `BENCH_phase1.json` from the same pairing at 1M-edge scale.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use euler_bench::single_working_partition;
 use euler_core::fragment::FragmentStore;
+use euler_core::phase1::reference::run_phase1_reference;
 use euler_core::phase1::run_phase1;
 use euler_core::WorkingPartition;
+use euler_gen::eulerize::eulerize;
+use euler_gen::rmat::RmatGenerator;
 use euler_gen::synthetic;
-use euler_graph::{PartitionAssignment, PartitionedGraph};
+use euler_graph::Graph;
 use std::hint::black_box;
+
+fn single_partition(g: &Graph) -> WorkingPartition {
+    single_working_partition(g).into_iter().next().expect("one partition")
+}
 
 fn phase1_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("phase1_single_partition");
     group.sample_size(20);
     for side in [16u64, 32, 64] {
         let g = synthetic::torus_grid(side, side);
-        let a = PartitionAssignment::from_labels(vec![0; (side * side) as usize], 1).unwrap();
-        let pg = PartitionedGraph::from_assignment(&g, &a).unwrap();
-        let template = WorkingPartition::from_partition(&pg.partitions()[0]);
-        group.bench_with_input(BenchmarkId::new("torus_local_edges", g.num_edges()), &template, |b, t| {
-            b.iter(|| {
-                let store = FragmentStore::new();
-                let mut wp = t.clone();
-                black_box(run_phase1(&mut wp, &store));
-            })
-        });
+        let template = single_partition(&g);
+        group.bench_with_input(
+            BenchmarkId::new("dense_torus", g.num_edges()),
+            &template,
+            |b, t| {
+                b.iter(|| {
+                    let store = FragmentStore::new();
+                    let mut wp = t.clone();
+                    black_box(run_phase1(&mut wp, &store));
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference_torus", g.num_edges()),
+            &template,
+            |b, t| {
+                b.iter(|| {
+                    let store = FragmentStore::new();
+                    let mut wp = t.clone();
+                    black_box(run_phase1_reference(&mut wp, &store));
+                })
+            },
+        );
+    }
+    for scale in [10u32, 12] {
+        let (g, _) = eulerize(&RmatGenerator::new(scale).with_seed(7).generate());
+        let template = single_partition(&g);
+        group.bench_with_input(
+            BenchmarkId::new("dense_rmat_eulerized", g.num_edges()),
+            &template,
+            |b, t| {
+                b.iter(|| {
+                    let store = FragmentStore::new();
+                    let mut wp = t.clone();
+                    black_box(run_phase1(&mut wp, &store));
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference_rmat_eulerized", g.num_edges()),
+            &template,
+            |b, t| {
+                b.iter(|| {
+                    let store = FragmentStore::new();
+                    let mut wp = t.clone();
+                    black_box(run_phase1_reference(&mut wp, &store));
+                })
+            },
+        );
     }
     group.finish();
 }

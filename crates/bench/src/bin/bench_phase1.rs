@@ -1,0 +1,107 @@
+//! Before/after measurement for the dense Phase-1 rewrite.
+//!
+//! Runs the retained hash-map reference kernel
+//! (`euler_core::phase1::reference::run_phase1_reference`, the "before") and
+//! the dense CSR-arena kernel (`euler_core::phase1::run_phase1`, the
+//! "after") over single partitions up to 1M+ local edges — an Eulerized
+//! R-MAT graph and a torus, plus a 4-way partitioned R-MAT whose partitions
+//! are timed together — and writes the paired timings to
+//! `BENCH_phase1.json`.
+//!
+//! Usage: `cargo run --release -p euler-bench --bin bench_phase1 [reps]`
+//! (default 5 repetitions; the minimum over reps is reported).
+
+use euler_bench::{round_robin_working_partitions, single_working_partition};
+use euler_core::fragment::FragmentStore;
+use euler_core::phase1::reference::run_phase1_reference;
+use euler_core::phase1::run_phase1;
+use euler_core::WorkingPartition;
+use euler_gen::eulerize::eulerize;
+use euler_gen::rmat::RmatGenerator;
+use euler_gen::synthetic;
+use euler_metrics::json::Value;
+use std::time::Instant;
+
+/// Minimum wall time over `reps` runs of `kernel` across all partitions of
+/// the workload, and the fragment count of the last run (sanity check that
+/// both kernels do the same work).
+fn time_kernel(
+    template: &[WorkingPartition],
+    reps: u32,
+    kernel: impl Fn(&mut WorkingPartition, &FragmentStore),
+) -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut fragments = 0;
+    for _ in 0..reps {
+        let mut wps: Vec<WorkingPartition> = template.to_vec();
+        let store = FragmentStore::new();
+        let start = Instant::now();
+        for wp in &mut wps {
+            kernel(wp, &store);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        best = best.min(elapsed);
+        fragments = store.len();
+    }
+    (best, fragments)
+}
+
+fn main() {
+    // At least one repetition, or the reported minima would be infinite.
+    let reps: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5)
+        .max(1);
+    let workloads: Vec<(&str, Vec<WorkingPartition>)> = {
+        let (rmat_1m, _) = eulerize(&RmatGenerator::new(18).with_avg_degree(8.0).with_seed(7).generate());
+        let torus_1m = synthetic::torus_grid(708, 708);
+        let (rmat_4p, _) = eulerize(&RmatGenerator::new(16).with_avg_degree(8.0).with_seed(11).generate());
+        vec![
+            ("rmat18_eulerized_1_partition", single_working_partition(&rmat_1m)),
+            ("torus_708x708_1_partition", single_working_partition(&torus_1m)),
+            ("rmat16_eulerized_4_partitions", round_robin_working_partitions(&rmat_4p, 4)),
+        ]
+    };
+
+    let mut rows = Vec::new();
+    for (name, template) in &workloads {
+        let local_edges: u64 = template.iter().map(|wp| wp.local_edges.len() as u64).sum();
+        let (ref_s, ref_frags) =
+            time_kernel(template, reps, |wp, store| {
+                run_phase1_reference(wp, store);
+            });
+        let (dense_s, dense_frags) = time_kernel(template, reps, |wp, store| {
+            run_phase1(wp, store);
+        });
+        assert_eq!(ref_frags, dense_frags, "kernels must produce identical fragment counts");
+        let speedup = ref_s / dense_s;
+        println!(
+            "{name}: {local_edges} local edges | reference {ref_s:.3}s | dense {dense_s:.3}s | {speedup:.2}x"
+        );
+        rows.push(Value::obj(vec![
+            ("workload", Value::str(*name)),
+            ("partitions", Value::Num(template.len() as f64)),
+            ("local_edges", Value::Num(local_edges as f64)),
+            ("fragments", Value::Num(dense_frags as f64)),
+            ("reference_seconds", Value::Num(ref_s)),
+            ("dense_seconds", Value::Num(dense_s)),
+            ("speedup", Value::Num(speedup)),
+        ]));
+    }
+
+    let doc = Value::obj(vec![
+        ("experiment", Value::str("phase1_dense_vs_reference")),
+        (
+            "description",
+            Value::str(
+                "Phase-1 kernel wall time, hash-map reference (before) vs dense CSR-arena \
+                 rewrite (after); minimum over repetitions",
+            ),
+        ),
+        ("repetitions", Value::Num(reps as f64)),
+        ("results", Value::Arr(rows)),
+    ]);
+    std::fs::write("BENCH_phase1.json", doc.to_pretty() + "\n").expect("write BENCH_phase1.json");
+    println!("wrote BENCH_phase1.json");
+}

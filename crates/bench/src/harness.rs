@@ -1,8 +1,9 @@
 //! Shared plumbing for the experiment binaries.
 
+use euler_core::WorkingPartition;
 use euler_gen::configs::GraphConfig;
 use euler_gen::eulerize::EulerizeReport;
-use euler_graph::{Graph, PartitionAssignment};
+use euler_graph::{Graph, PartitionAssignment, PartitionedGraph};
 use euler_partition::{LdgPartitioner, Partitioner};
 
 /// Default scale shift applied to the paper configurations when none is given
@@ -55,6 +56,24 @@ pub fn secs(d: std::time::Duration) -> String {
     format!("{:.3}", d.as_secs_f64())
 }
 
+/// The whole graph as one Phase-1 working partition (no remote edges) —
+/// the single-partition workload shape used by the Phase-1 kernel benches.
+pub fn single_working_partition(g: &Graph) -> Vec<WorkingPartition> {
+    let a = PartitionAssignment::from_labels(vec![0; g.num_vertices() as usize], 1)
+        .expect("single-label assignment is always valid");
+    let pg = PartitionedGraph::from_assignment(g, &a).expect("assignment covers the graph");
+    pg.partitions().iter().map(WorkingPartition::from_partition).collect()
+}
+
+/// Level-0 working partitions for a `parts`-way round-robin vertex split —
+/// the multi-partition workload shape used by the Phase-1 kernel benches.
+pub fn round_robin_working_partitions(g: &Graph, parts: u32) -> Vec<WorkingPartition> {
+    let labels: Vec<u32> = (0..g.num_vertices()).map(|v| (v % parts as u64) as u32).collect();
+    let a = PartitionAssignment::from_labels(labels, parts).expect("labels in range");
+    let pg = PartitionedGraph::from_assignment(g, &a).expect("assignment covers the graph");
+    pg.partitions().iter().map(WorkingPartition::from_partition).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,8 +88,17 @@ mod tests {
     }
 
     #[test]
-    fn default_scale_shift_is_negative() {
-        assert!(DEFAULT_SCALE_SHIFT < 0);
+    fn default_scale_shift_shrinks_the_paper_sizes() {
+        // The compiled-in default must shrink (not grow) the paper
+        // configurations so every harness stays laptop-sized out of the box.
+        // Guards against someone bumping the constant past zero.
+        #[allow(clippy::assertions_on_constants)]
+        {
+            assert!(
+                DEFAULT_SCALE_SHIFT < 0,
+                "default scale shift must shrink the inputs, got {DEFAULT_SCALE_SHIFT}"
+            );
+        }
     }
 
     #[test]

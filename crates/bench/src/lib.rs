@@ -15,4 +15,7 @@
 
 pub mod harness;
 
-pub use harness::{parse_scale_shift, prepared_input, ExperimentInput, DEFAULT_SCALE_SHIFT};
+pub use harness::{
+    parse_scale_shift, prepared_input, round_robin_working_partitions, single_working_partition,
+    ExperimentInput, DEFAULT_SCALE_SHIFT,
+};

@@ -8,12 +8,31 @@ use crate::superstep::execute_superstep;
 use crate::worker::PartitionPlacement;
 use std::time::Instant;
 
+/// Worker-count policy of a [`BspConfig`].
+///
+/// Previously "one worker per partition" was encoded as the sentinel
+/// `num_workers: 0`, which asserted deep inside
+/// [`PartitionPlacement::round_robin`] (`num_workers >= 1`) whenever a caller
+/// built a placement without resolving the sentinel first. The policy is now
+/// a proper enum: an unresolved count cannot be mistaken for a cluster size,
+/// the fixed count is a `NonZeroUsize` so a zero-size cluster is
+/// unrepresentable, and [`BspConfig::resolved_workers`] is the single
+/// resolution point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerCount {
+    /// One worker (executor) per partition — the paper's deployment. The
+    /// actual count is resolved against the partition count at run time.
+    PerPartition,
+    /// A fixed cluster size (structurally `>= 1`).
+    Fixed(std::num::NonZeroUsize),
+}
+
 /// Engine configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct BspConfig {
     /// Number of simulated machines. The paper's deployment uses one executor
     /// per partition; [`BspConfig::one_worker_per_partition`] reproduces that.
-    pub num_workers: usize,
+    pub workers: WorkerCount,
     /// Platform cost model used to report modelled overhead (never mixed into
     /// measured numbers).
     pub cost_model: PlatformCostModel,
@@ -23,20 +42,37 @@ pub struct BspConfig {
 
 impl Default for BspConfig {
     fn default() -> Self {
-        BspConfig { num_workers: 4, cost_model: PlatformCostModel::zero(), max_supersteps: 10_000 }
+        BspConfig {
+            workers: WorkerCount::Fixed(std::num::NonZeroUsize::new(4).expect("non-zero")),
+            cost_model: PlatformCostModel::zero(),
+            max_supersteps: 10_000,
+        }
     }
 }
 
 impl BspConfig {
-    /// Configuration with `num_workers` workers.
+    /// Configuration with a fixed number of workers. Panics when
+    /// `num_workers` is zero — a zero-size cluster cannot run anything; use
+    /// [`BspConfig::one_worker_per_partition`] for the adaptive policy.
     pub fn with_workers(num_workers: usize) -> Self {
-        BspConfig { num_workers, ..Default::default() }
+        let n = std::num::NonZeroUsize::new(num_workers)
+            .expect("a BSP cluster needs at least one worker");
+        BspConfig { workers: WorkerCount::Fixed(n), ..Default::default() }
     }
 
     /// One worker per partition, like the paper's one-executor-per-partition
     /// deployment.
     pub fn one_worker_per_partition() -> Self {
-        BspConfig { num_workers: 0, ..Default::default() } // resolved at run time
+        BspConfig { workers: WorkerCount::PerPartition, ..Default::default() }
+    }
+
+    /// The concrete worker count for a run over `num_partitions` partitions
+    /// (at least 1, even for an empty partition set).
+    pub fn resolved_workers(&self, num_partitions: usize) -> usize {
+        match self.workers {
+            WorkerCount::PerPartition => num_partitions.max(1),
+            WorkerCount::Fixed(n) => n.get(),
+        }
     }
 
     /// Sets the cost model.
@@ -82,11 +118,7 @@ impl BspEngine {
     /// is hit). Partition `p`'s state is `initial[p]`.
     pub fn run<P: PartitionProgram>(&self, program: &P, initial: Vec<P::State>) -> RunOutcome<P::State> {
         let num_partitions = initial.len();
-        let num_workers = if self.config.num_workers == 0 {
-            num_partitions.max(1)
-        } else {
-            self.config.num_workers
-        };
+        let num_workers = self.config.resolved_workers(num_partitions);
         let placement = PartitionPlacement::round_robin(num_partitions, num_workers);
         self.run_with_placement(program, initial, &placement)
     }
@@ -213,6 +245,34 @@ mod tests {
         let engine = BspEngine::new(BspConfig::one_worker_per_partition());
         let outcome = engine.run(&HaltNow, vec![(); 6]);
         assert_eq!(outcome.stats.num_workers, 6);
+    }
+
+    #[test]
+    fn per_partition_policy_resolves_before_placement() {
+        let config = BspConfig::one_worker_per_partition();
+        assert_eq!(config.workers, WorkerCount::PerPartition);
+        assert_eq!(config.resolved_workers(5), 5);
+        // Even an empty partition set resolves to a valid (>= 1) worker
+        // count, so the placement assert can never fire.
+        assert_eq!(config.resolved_workers(0), 1);
+        let engine = BspEngine::new(config);
+        let outcome = engine.run(&HaltNow, Vec::<()>::new());
+        assert_eq!(outcome.stats.num_supersteps(), 0);
+    }
+
+    #[test]
+    fn fixed_policy_resolves_to_itself() {
+        let config = BspConfig::with_workers(3);
+        let three = std::num::NonZeroUsize::new(3).unwrap();
+        assert_eq!(config.workers, WorkerCount::Fixed(three));
+        assert_eq!(config.resolved_workers(0), 3);
+        assert_eq!(config.resolved_workers(100), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_fixed_workers_rejected_at_construction() {
+        let _ = BspConfig::with_workers(0);
     }
 
     #[test]

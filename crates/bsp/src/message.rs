@@ -91,7 +91,7 @@ pub mod codec {
 
     /// Number of Longs a payload of `bytes` bytes represents (rounded up).
     pub fn longs_in(bytes: usize) -> u64 {
-        (bytes as u64 + 7) / 8
+        (bytes as u64).div_ceil(8)
     }
 }
 

@@ -10,13 +10,13 @@
 //! write, only read back in Phase 3), with the same effect on the partitions'
 //! *in-memory* Long accounting.
 
-use euler_graph::{EdgeId, PartitionId, VertexId};
+use euler_graph::{EdgeId, LocalIndex, PartitionId, VertexId};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Identifier of a fragment in the [`FragmentStore`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FragmentId(pub u64);
 
 impl FragmentId {
@@ -136,12 +136,18 @@ impl Fragment {
     /// All distinct vertices that appear as tour-edge endpoints, in first-seen
     /// order. These are the "visible" vertices at this fragment's granularity
     /// (vertices interior to nested virtual edges are not included).
+    /// De-duplication runs over an interned slot bitmap rather than a hash
+    /// set.
     pub fn visible_vertices(&self) -> Vec<VertexId> {
-        let mut seen = std::collections::HashSet::new();
-        let mut out = Vec::new();
+        let index =
+            LocalIndex::from_vertices(self.edges.iter().flat_map(|e| [e.from(), e.to()]));
+        let mut seen: Vec<bool> = index.zeroed();
+        let mut out = Vec::with_capacity(index.len());
         for e in &self.edges {
             for v in [e.from(), e.to()] {
-                if seen.insert(v) {
+                let s = index.slot(v).expect("endpoint interned") as usize;
+                if !seen[s] {
+                    seen[s] = true;
                     out.push(v);
                 }
             }
@@ -224,9 +230,15 @@ impl FragmentStore {
         self.len() == 0
     }
 
-    /// Snapshot of every fragment (used by Phase 3 and tests).
+    /// Snapshot of every fragment (used by tests and reporting).
     pub fn snapshot(&self) -> Vec<Fragment> {
         self.inner.lock().clone()
+    }
+
+    /// Runs `f` over all fragments under the lock, without cloning them —
+    /// the zero-copy read path Phase 3 uses to build its splice index.
+    pub fn with_all<R>(&self, f: impl FnOnce(&[Fragment]) -> R) -> R {
+        f(&self.inner.lock())
     }
 
     /// Ids of all cycle fragments (the ones Phase 3 must splice).

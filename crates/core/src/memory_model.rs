@@ -69,10 +69,7 @@ pub fn model_series(trace: &[LevelTrace], strategy: MergeStrategy) -> MemoryMode
             let remote = match strategy {
                 MergeStrategy::Duplicated => p.remote_edges,
                 MergeStrategy::Deduplicated => p.remote_edges.div_ceil(2),
-                MergeStrategy::Deferred => p.remote_needed_now.min(p.remote_edges).div_ceil(2).max(
-                    // at the root there are no remote edges at all
-                    0,
-                ),
+                MergeStrategy::Deferred => p.remote_needed_now.min(p.remote_edges).div_ceil(2),
             };
             total += p.vertices + 3 * p.local_edges + 4 * remote;
         }

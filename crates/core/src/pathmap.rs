@@ -31,7 +31,7 @@ pub struct CycleEntry {
 }
 
 /// Per-partition, per-level output summary of Phase 1.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PathMap {
     /// Partition (current merged id) that produced this map.
     pub partition: PartitionId,

@@ -19,14 +19,39 @@
 //!    as a standalone anchored cycle (a generalisation the paper's
 //!    connected-partition assumption makes unnecessary).
 //!
+//! # Dense traversal state
+//!
+//! Phase 1 touches every local edge exactly once, so its inner loop is the
+//! dominant per-superstep cost. [`run_phase1`] therefore keeps all traversal
+//! state in flat arrays over *interned* vertex slots rather than hash maps
+//! (the layout the W-streaming / StrSort Euler-tour algorithms rely on for
+//! their bounds):
+//!
+//! * a [`LocalIndex`] assigns each distinct endpoint a dense `u32` slot in
+//!   ascending `VertexId` order;
+//! * adjacency is a CSR pair (`offsets` + `incidence` of edge slots), built
+//!   with two counting passes, preserving edge insertion order per vertex;
+//! * per-vertex cursors and remaining degrees are `Vec<u32>` indexed by slot;
+//! * visited edges are one bit each in a `Vec<u64>` bitset;
+//! * step-1/step-3 start vertices come from ascending slot scans (slot order
+//!   *is* ascending vertex order), replacing the reference `BTreeSet`.
+//!
+//! The inner traversal loop performs no `HashMap`/`BTreeSet` operations at
+//! all. The original hash-map implementation is preserved unchanged in
+//! [`reference`] and the two are proven bit-identical (same fragments, same
+//! `PathMap`, same residual partition state) by the property tests in
+//! `tests/property_circuit.rs`.
+//!
 //! The function is deterministic: traversal starts are chosen in ascending
 //! vertex order and edges are consumed in insertion order.
+
+pub mod reference;
 
 use crate::fragment::{Fragment, FragmentId, FragmentKind, FragmentStore, TourEdge};
 use crate::pathmap::{CycleEntry, PathEntry, PathMap};
 use crate::state::{EdgeRef, LocalEdge, VertexTypeCounts, WorkingPartition};
-use euler_graph::VertexId;
-use std::collections::{BTreeSet, HashMap};
+use euler_graph::{bucket_by_slot, LocalIndex, VertexId};
+use std::collections::HashMap;
 
 /// Output of one Phase-1 run on one partition.
 #[derive(Clone, Debug)]
@@ -40,80 +65,6 @@ pub struct Phase1Output {
     pub complexity: u64,
 }
 
-/// Internal traversal helper over the local edges of one partition.
-struct Traverser<'a> {
-    edges: &'a [LocalEdge],
-    /// For every vertex, the indices of its incident local-edge slots.
-    adjacency: HashMap<VertexId, Vec<usize>>,
-    /// Per-vertex cursor into its adjacency list (already-consumed prefix).
-    cursor: HashMap<VertexId, usize>,
-    visited: Vec<bool>,
-    /// Remaining (unvisited) local degree per vertex.
-    remaining: HashMap<VertexId, u64>,
-}
-
-impl<'a> Traverser<'a> {
-    fn new(edges: &'a [LocalEdge]) -> Self {
-        let mut adjacency: HashMap<VertexId, Vec<usize>> = HashMap::new();
-        let mut remaining: HashMap<VertexId, u64> = HashMap::new();
-        for (i, e) in edges.iter().enumerate() {
-            adjacency.entry(e.u).or_default().push(i);
-            adjacency.entry(e.v).or_default().push(i);
-            *remaining.entry(e.u).or_insert(0) += 1;
-            *remaining.entry(e.v).or_insert(0) += 1;
-        }
-        Traverser {
-            edges,
-            adjacency,
-            cursor: HashMap::new(),
-            visited: vec![false; edges.len()],
-            remaining,
-        }
-    }
-
-    fn remaining_degree(&self, v: VertexId) -> u64 {
-        self.remaining.get(&v).copied().unwrap_or(0)
-    }
-
-    /// Next unvisited incident slot of `v`, if any.
-    fn next_slot(&mut self, v: VertexId) -> Option<usize> {
-        let list = self.adjacency.get(&v)?;
-        let cursor = self.cursor.entry(v).or_insert(0);
-        while *cursor < list.len() {
-            let slot = list[*cursor];
-            if !self.visited[slot] {
-                return Some(slot);
-            }
-            *cursor += 1;
-        }
-        None
-    }
-
-    /// Maximal traversal from `start` along unvisited local edges, consuming
-    /// them. Returns the tour edges in traversal order (possibly empty).
-    fn walk(&mut self, start: VertexId) -> Vec<TourEdge> {
-        let mut tour = Vec::new();
-        let mut current = start;
-        while let Some(slot) = self.next_slot(current) {
-            self.visited[slot] = true;
-            let e = &self.edges[slot];
-            let next = if e.u == current { e.v } else { e.u };
-            *self.remaining.get_mut(&e.u).expect("endpoint tracked") -= 1;
-            *self.remaining.get_mut(&e.v).expect("endpoint tracked") -= 1;
-            tour.push(match e.edge {
-                EdgeRef::Real(edge) => TourEdge::Real { edge, from: current, to: next },
-                EdgeRef::Virtual(fragment) => TourEdge::Virtual { fragment, from: current, to: next },
-            });
-            current = next;
-        }
-        tour
-    }
-
-    fn any_unvisited(&self) -> Option<usize> {
-        self.visited.iter().position(|&v| !v)
-    }
-}
-
 /// A fragment under construction during one Phase-1 run, before it receives
 /// its global id from the store.
 struct PendingFragment {
@@ -121,108 +72,321 @@ struct PendingFragment {
     edges: Vec<TourEdge>,
 }
 
-/// Which pending fragment a visible vertex belongs to. The exact position is
-/// looked up at splice time (earlier splices shift positions).
+/// Which pending fragment a visible vertex belongs to (reference
+/// implementation). The exact position is looked up at splice time (earlier
+/// splices shift positions).
 #[derive(Clone, Copy)]
 struct PivotRef {
     fragment: usize,
 }
 
-/// Runs Phase 1 on `wp`, persisting fragments into `store` and replacing the
-/// partition's local edges with the coarse OB-pair edges of the paths found.
-pub fn run_phase1(wp: &mut WorkingPartition, store: &FragmentStore) -> Phase1Output {
-    let counts_before = wp.vertex_type_counts();
-    let complexity = counts_before.phase1_complexity();
-    let remote_deg = wp.remote_degrees();
-    let local_edges = std::mem::take(&mut wp.local_edges);
-    let mut traverser = Traverser::new(&local_edges);
+/// Registers the vertices of `edges` as visible in `fragment` (reference
+/// implementation's hash-map form).
+fn register_visible_ref(
+    visible: &mut HashMap<VertexId, PivotRef>,
+    fragment: usize,
+    edges: &[TourEdge],
+) {
+    for e in edges {
+        visible.entry(e.from()).or_insert(PivotRef { fragment });
+    }
+    if let Some(last) = edges.last() {
+        visible.entry(last.to()).or_insert(PivotRef { fragment });
+    }
+}
 
-    let mut pending: Vec<PendingFragment> = Vec::new();
-    // First position of every visible vertex in every pending fragment, used
-    // by mergeInto to find pivots.
-    let mut visible: HashMap<VertexId, PivotRef> = HashMap::new();
+/// Sentinel slot value: "not visible in any pending fragment".
+const NOT_VISIBLE: u32 = u32::MAX;
 
-    fn register_visible(visible: &mut HashMap<VertexId, PivotRef>, fragment: usize, edges: &[TourEdge]) {
-        for e in edges {
-            visible.entry(e.from()).or_insert(PivotRef { fragment });
-        }
-        if let Some(last) = edges.last() {
-            visible.entry(last.to()).or_insert(PivotRef { fragment });
+/// Flat-array traversal state over interned vertex slots.
+///
+/// All per-vertex state is indexed by [`LocalIndex`] slot; all per-edge state
+/// by edge slot (position in the partition's `local_edges`). The walk loop
+/// below touches only these arrays.
+struct DenseTraverser<'a> {
+    edges: &'a [LocalEdge],
+    /// Interning table; slot order is ascending global vertex order.
+    index: LocalIndex,
+    /// Interned endpoints `[u, v]` of each edge slot.
+    ends: Vec<[u32; 2]>,
+    /// CSR offsets into `incidence`: vertex slot `s` owns
+    /// `incidence[offsets[s] .. offsets[s + 1]]`.
+    offsets: Vec<u32>,
+    /// Incident edge slots, grouped by vertex, in edge insertion order
+    /// (a self-loop appears twice under its vertex, as in the reference).
+    incidence: Vec<u32>,
+    /// Per-vertex absolute cursor into `incidence` (consumed prefix).
+    cursor: Vec<u32>,
+    /// Remaining (unvisited) local degree per vertex slot.
+    remaining: Vec<u32>,
+    /// One bit per edge slot.
+    visited: Vec<u64>,
+    /// Monotone scan cursor for "first unvisited edge" (step 3); visited
+    /// bits are never cleared, so this never moves backwards.
+    unvisited_scan: usize,
+}
+
+impl<'a> DenseTraverser<'a> {
+    fn new(edges: &'a [LocalEdge]) -> Self {
+        let index = LocalIndex::from_vertices(edges.iter().flat_map(|e| [e.u, e.v]));
+        let n = index.len();
+        let ends: Vec<[u32; 2]> = edges
+            .iter()
+            .map(|e| {
+                [
+                    index.slot(e.u).expect("endpoint interned"),
+                    index.slot(e.v).expect("endpoint interned"),
+                ]
+            })
+            .collect();
+
+        // Counting-sort CSR build; filling in edge order means each vertex
+        // sees its incident edges in insertion order, and a self-loop
+        // contributes two entries under its vertex (as in the reference).
+        let (offsets, incidence) = bucket_by_slot(n, || {
+            ends.iter()
+                .enumerate()
+                .flat_map(|(i, &[u, v])| [(u, i as u32), (v, i as u32)])
+        });
+        // The unvisited degree starts as the full CSR row width.
+        let remaining: Vec<u32> = offsets.windows(2).map(|w| w[1] - w[0]).collect();
+        let cursor = offsets[..n].to_vec();
+        DenseTraverser {
+            edges,
+            index,
+            ends,
+            offsets,
+            incidence,
+            cursor,
+            remaining,
+            visited: vec![0u64; edges.len().div_ceil(64)],
+            unvisited_scan: 0,
         }
     }
 
+    #[inline]
+    fn is_visited(&self, e: u32) -> bool {
+        self.visited[(e >> 6) as usize] & (1u64 << (e & 63)) != 0
+    }
+
+    #[inline]
+    fn mark_visited(&mut self, e: u32) {
+        self.visited[(e >> 6) as usize] |= 1u64 << (e & 63);
+    }
+
+    /// Next unvisited incident edge slot of vertex slot `s`, if any. The
+    /// cursor parks on the returned edge (it is consumed by the caller) and
+    /// never re-scans the consumed prefix.
+    #[inline]
+    fn next_edge(&mut self, s: u32) -> Option<u32> {
+        let end = self.offsets[s as usize + 1];
+        let mut cur = self.cursor[s as usize];
+        while cur < end {
+            let e = self.incidence[cur as usize];
+            if !self.is_visited(e) {
+                self.cursor[s as usize] = cur;
+                return Some(e);
+            }
+            cur += 1;
+        }
+        self.cursor[s as usize] = cur;
+        None
+    }
+
+    /// Maximal traversal from vertex slot `start`, consuming unvisited local
+    /// edges. Appends tour edges to `tour` and the visited vertex-slot
+    /// sequence (`tour.len() + 1` entries) to `vslots`.
+    fn walk(&mut self, start: u32, tour: &mut Vec<TourEdge>, vslots: &mut Vec<u32>) {
+        tour.clear();
+        vslots.clear();
+        vslots.push(start);
+        let mut current = start;
+        let mut current_v = self.index.vertex(current);
+        while let Some(e) = self.next_edge(current) {
+            self.mark_visited(e);
+            let [su, sv] = self.ends[e as usize];
+            let next = if su == current { sv } else { su };
+            self.remaining[su as usize] -= 1;
+            self.remaining[sv as usize] -= 1;
+            let next_v = self.index.vertex(next);
+            tour.push(match self.edges[e as usize].edge {
+                EdgeRef::Real(edge) => TourEdge::Real { edge, from: current_v, to: next_v },
+                EdgeRef::Virtual(fragment) => {
+                    TourEdge::Virtual { fragment, from: current_v, to: next_v }
+                }
+            });
+            vslots.push(next);
+            current = next;
+            current_v = next_v;
+        }
+    }
+
+    /// First unvisited edge slot, if any (monotone linear scan overall).
+    fn any_unvisited(&mut self) -> Option<u32> {
+        let m = self.edges.len();
+        while self.unvisited_scan < m {
+            let e = self.unvisited_scan as u32;
+            if !self.is_visited(e) {
+                return Some(e);
+            }
+            self.unvisited_scan += 1;
+        }
+        None
+    }
+}
+
+/// Marks every slot of `vslots` visible in `fragment` (first registration
+/// wins, matching the reference's `or_insert`).
+fn register_visible(visible: &mut [u32], fragment: u32, vslots: &[u32]) {
+    for &s in vslots {
+        if visible[s as usize] == NOT_VISIBLE {
+            visible[s as usize] = fragment;
+        }
+    }
+}
+
+/// The Fig.-9 vertex classification, computed from the traverser's pre-walk
+/// arrays by merging two sorted sequences (interned local-endpoint vertices
+/// and boundary vertices) — equal to `WorkingPartition::vertex_type_counts`
+/// without building a second index.
+fn counts_from_traverser(
+    tr: &DenseTraverser,
+    boundary: &[VertexId],
+    remote_edges: u64,
+    isolated: u64,
+) -> VertexTypeCounts {
+    let mut counts = VertexTypeCounts {
+        remote_edges,
+        local_edges: tr.edges.len() as u64,
+        even_internal: isolated,
+        ..Default::default()
+    };
+    let mut bi = 0;
+    for (s, &v) in tr.index.vertices().iter().enumerate() {
+        // Boundary vertices below `v` touch no local edge: even (degree 0).
+        while bi < boundary.len() && boundary[bi] < v {
+            counts.even_boundary += 1;
+            bi += 1;
+        }
+        let is_boundary = bi < boundary.len() && boundary[bi] == v;
+        if is_boundary {
+            bi += 1;
+        }
+        match (is_boundary, tr.remaining[s] % 2 == 1) {
+            (true, true) => counts.odd_boundary += 1,
+            (true, false) => counts.even_boundary += 1,
+            (false, _) => counts.even_internal += 1,
+        }
+    }
+    counts.even_boundary += (boundary.len() - bi) as u64;
+    counts
+}
+
+/// Runs Phase 1 on `wp`, persisting fragments into `store` and replacing the
+/// partition's local edges with the coarse OB-pair edges of the paths found.
+///
+/// Deterministic and bit-identical to [`reference::run_phase1_reference`]:
+/// ascending-slot scans visit vertices in ascending global order (the
+/// `BTreeSet` order of the reference), parity of the remaining degree tracks
+/// membership in the shrinking odd set (interior visits consume two
+/// incidences, endpoints one), and CSR incidence preserves per-vertex edge
+/// insertion order.
+pub fn run_phase1(wp: &mut WorkingPartition, store: &FragmentStore) -> Phase1Output {
+    let boundary = wp.boundary_vertices_sorted();
+    let local_edges = std::mem::take(&mut wp.local_edges);
+    let mut tr = DenseTraverser::new(&local_edges);
+    let counts_before =
+        counts_from_traverser(&tr, &boundary, wp.remote_edges.len() as u64, wp.isolated_vertices);
+    let complexity = counts_before.phase1_complexity();
+    let n = tr.index.len();
+
+    let mut pending: Vec<PendingFragment> = Vec::new();
+    // First pending fragment each vertex slot is visible in (mergeInto pivot
+    // lookup), NOT_VISIBLE when none.
+    let mut visible = vec![NOT_VISIBLE; n];
+    let mut tour: Vec<TourEdge> = Vec::new();
+    let mut vslots: Vec<u32> = Vec::new();
+
     // --- Step 1: OB paths. -------------------------------------------------
-    let mut odd: BTreeSet<VertexId> = traverser
-        .remaining
-        .iter()
-        .filter(|(_, &d)| d % 2 == 1)
-        .map(|(&v, _)| v)
-        .collect();
-    while let Some(&start) = odd.iter().next() {
-        odd.remove(&start);
-        let tour = traverser.walk(start);
+    // The odd set is fixed at the start of the step: every walk turns exactly
+    // its two endpoints even and leaves all other parities unchanged, so
+    // "still has odd remaining degree" is equivalent to membership in the
+    // reference implementation's shrinking BTreeSet.
+    let odd_slots: Vec<u32> =
+        (0..n as u32).filter(|&s| tr.remaining[s as usize] % 2 == 1).collect();
+    for s in odd_slots {
+        if tr.remaining[s as usize].is_multiple_of(2) {
+            continue; // consumed as the far endpoint of an earlier walk
+        }
+        tr.walk(s, &mut tour, &mut vslots);
         debug_assert!(!tour.is_empty(), "odd-degree vertex must have an unvisited edge");
-        let end = tour.last().expect("non-empty").to();
-        debug_assert_ne!(start, end, "a maximal walk from an odd vertex ends elsewhere (Lemma 1)");
-        odd.remove(&end);
-        let idx = pending.len();
-        register_visible(&mut visible, idx, &tour);
-        pending.push(PendingFragment { kind: FragmentKind::Path, edges: tour });
+        debug_assert_ne!(
+            vslots.first(),
+            vslots.last(),
+            "a maximal walk from an odd vertex ends elsewhere (Lemma 1)"
+        );
+        let idx = pending.len() as u32;
+        register_visible(&mut visible, idx, &vslots);
+        pending.push(PendingFragment { kind: FragmentKind::Path, edges: tour.clone() });
     }
 
     // --- Step 2: cycles at boundary vertices. -------------------------------
-    let mut boundary: Vec<VertexId> = remote_deg.keys().copied().collect();
-    boundary.sort_unstable();
     for b in boundary {
-        if traverser.remaining_degree(b) == 0 {
+        let Some(s) = tr.index.slot(b) else { continue }; // no local edges at all
+        if tr.remaining[s as usize] == 0 {
             continue; // trivial singleton: nothing to record
         }
-        let tour = traverser.walk(b);
-        debug_assert_eq!(tour.last().map(|e| e.to()), Some(b), "even-degree traversal closes (Lemma 2)");
-        let idx = pending.len();
-        register_visible(&mut visible, idx, &tour);
-        pending.push(PendingFragment { kind: FragmentKind::Cycle, edges: tour });
+        tr.walk(s, &mut tour, &mut vslots);
+        debug_assert_eq!(
+            vslots.last(),
+            Some(&s),
+            "even-degree traversal closes (Lemma 2)"
+        );
+        let idx = pending.len() as u32;
+        register_visible(&mut visible, idx, &vslots);
+        pending.push(PendingFragment { kind: FragmentKind::Cycle, edges: tour.clone() });
     }
 
     // --- Step 3: cycles at internal vertices, spliced at pivots. ------------
     let mut internal_cycles_merged = 0u64;
-    while let Some(slot) = traverser.any_unvisited() {
-        let start = local_edges[slot].u;
-        let tour = traverser.walk(start);
-        debug_assert_eq!(tour.last().map(|e| e.to()), Some(start), "internal traversal closes (Lemma 2)");
+    while let Some(e) = tr.any_unvisited() {
+        let start = tr.ends[e as usize][0];
+        tr.walk(start, &mut tour, &mut vslots);
+        debug_assert_eq!(
+            vslots.last(),
+            Some(&start),
+            "internal traversal closes (Lemma 2)"
+        );
         // mergeInto: find a pivot vertex shared with an existing fragment.
-        let pivot = tour
+        // Only the `tour.len()` from-slots are candidates (the final slot
+        // closes the cycle and duplicates the first), as in the reference.
+        let pivot = vslots[..tour.len()]
             .iter()
-            .map(|e| e.from())
-            .find(|v| visible.contains_key(v))
-            .map(|v| (v, visible[&v]));
+            .enumerate()
+            .find(|(_, &s)| visible[s as usize] != NOT_VISIBLE)
+            .map(|(rot, &s)| (rot, s, visible[s as usize]));
         match pivot {
-            Some((pivot_vertex, at)) => {
+            Some((rot, pivot_slot, at)) => {
                 // Rotate the cycle to start at the pivot, then splice it into
                 // the containing fragment at the pivot's current position.
-                let rot = tour
-                    .iter()
-                    .position(|e| e.from() == pivot_vertex)
-                    .expect("pivot is a tour endpoint");
+                let pivot_vertex = tr.index.vertex(pivot_slot);
                 let mut rotated = Vec::with_capacity(tour.len());
                 rotated.extend_from_slice(&tour[rot..]);
                 rotated.extend_from_slice(&tour[..rot]);
-                let target = &mut pending[at.fragment].edges;
+                let target = &mut pending[at as usize].edges;
                 let insert_at = target
                     .iter()
                     .position(|e| e.from() == pivot_vertex)
                     .unwrap_or(target.len());
-                for e in &rotated {
-                    visible.entry(e.from()).or_insert(PivotRef { fragment: at.fragment });
-                }
+                register_visible(&mut visible, at, &vslots);
                 target.splice(insert_at..insert_at, rotated);
                 internal_cycles_merged += 1;
             }
             None => {
                 // Disconnected local subgraph: keep as a standalone cycle.
-                let idx = pending.len();
-                register_visible(&mut visible, idx, &tour);
-                pending.push(PendingFragment { kind: FragmentKind::Cycle, edges: tour });
+                let idx = pending.len() as u32;
+                register_visible(&mut visible, idx, &vslots);
+                pending.push(PendingFragment { kind: FragmentKind::Cycle, edges: tour.clone() });
             }
         }
     }
@@ -263,6 +427,7 @@ pub fn run_phase1(wp: &mut WorkingPartition, store: &FragmentStore) -> Phase1Out
 
 #[cfg(test)]
 mod tests {
+    use super::reference::run_phase1_reference;
     use super::*;
     use crate::state::WorkingPartition;
     use euler_gen::synthetic::{self, paper_fig1};
@@ -362,14 +527,12 @@ mod tests {
         // Build: boundary vertex 0 with 1 remote edge, triangle 0-1-2-0,
         // triangle 2-3-4-2 (internal), so the traversal from 0 may leave the
         // second triangle for step 3.
-        let local = vec![
-            (0u64, 1u64),
+        let local = [(0u64, 1u64),
             (1, 2),
             (2, 0),
             (2, 3),
             (3, 4),
-            (4, 2),
-        ];
+            (4, 2)];
         let mut wp = WorkingPartition {
             id: PartitionId(0),
             leaves: vec![PartitionId(0)],
@@ -417,7 +580,7 @@ mod tests {
     fn disconnected_internal_component_kept_as_standalone_cycle() {
         // Two vertex-disjoint triangles, no remote edges at all: the second
         // triangle cannot be merged into the first and is kept standalone.
-        let local = vec![(0u64, 1u64), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)];
+        let local = [(0u64, 1u64), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)];
         let mut wp = WorkingPartition {
             id: PartitionId(0),
             leaves: vec![PartitionId(0)],
@@ -469,5 +632,81 @@ mod tests {
         // P2: B=1, I=2, L=3.
         assert_eq!(out.complexity, 6);
         assert_eq!(out.counts_before.local_edges, 3);
+    }
+
+    /// Asserts the dense and reference implementations produce bit-identical
+    /// outputs on `wp`.
+    fn assert_equivalent(wp: &WorkingPartition) {
+        let store_dense = FragmentStore::new();
+        let store_ref = FragmentStore::new();
+        let mut wp_dense = wp.clone();
+        let mut wp_ref = wp.clone();
+        let out_dense = run_phase1(&mut wp_dense, &store_dense);
+        let out_ref = run_phase1_reference(&mut wp_ref, &store_ref);
+        assert_eq!(out_dense.path_map, out_ref.path_map, "path maps must match");
+        assert_eq!(out_dense.complexity, out_ref.complexity);
+        assert_eq!(out_dense.counts_before, out_ref.counts_before);
+        assert_eq!(wp_dense.local_edges, wp_ref.local_edges, "residual coarse edges must match");
+        assert_eq!(wp_dense.remote_edges, wp_ref.remote_edges);
+        let frags_dense = store_dense.snapshot();
+        let frags_ref = store_ref.snapshot();
+        assert_eq!(frags_dense.len(), frags_ref.len(), "fragment counts must match");
+        for (d, r) in frags_dense.iter().zip(&frags_ref) {
+            assert_eq!(d.id, r.id);
+            assert_eq!(d.kind, r.kind);
+            assert_eq!(d.edges, r.edges, "fragment {:?} edges must match", d.id);
+        }
+    }
+
+    #[test]
+    fn dense_matches_reference_on_fig1() {
+        for wp in fig1_working() {
+            assert_equivalent(&wp);
+        }
+    }
+
+    #[test]
+    fn dense_matches_reference_on_torus_and_random_graphs() {
+        let g = synthetic::torus_grid(8, 8);
+        let a = euler_graph::PartitionAssignment::from_labels(
+            (0..64).map(|i| (i % 4) as u32).collect(),
+            4,
+        )
+        .unwrap();
+        let pg = PartitionedGraph::from_assignment(&g, &a).unwrap();
+        for p in pg.partitions() {
+            assert_equivalent(&WorkingPartition::from_partition(p));
+        }
+        for seed in 0..10 {
+            let g = synthetic::random_eulerian_connected(60, 8, 5, seed);
+            let labels: Vec<u32> = (0..60).map(|i| (i % 3) as u32).collect();
+            let a = euler_graph::PartitionAssignment::from_labels(labels, 3).unwrap();
+            let pg = PartitionedGraph::from_assignment(&g, &a).unwrap();
+            for p in pg.partitions() {
+                assert_equivalent(&WorkingPartition::from_partition(p));
+            }
+        }
+    }
+
+    #[test]
+    fn dense_matches_reference_with_self_loops_and_multi_edges() {
+        let local = [(0u64, 0u64), (0, 1), (1, 2), (2, 0), (0, 1), (1, 0)];
+        let wp = WorkingPartition {
+            id: PartitionId(0),
+            leaves: vec![PartitionId(0)],
+            level: 0,
+            local_edges: local
+                .iter()
+                .enumerate()
+                .map(|(i, &(u, v))| LocalEdge {
+                    edge: EdgeRef::Real(euler_graph::EdgeId(i as u64)),
+                    u: euler_graph::VertexId(u),
+                    v: euler_graph::VertexId(v),
+                })
+                .collect(),
+            remote_edges: vec![],
+            isolated_vertices: 0,
+        };
+        assert_equivalent(&wp);
     }
 }

@@ -88,7 +88,7 @@ pub fn merge_partitions(
     merged.local_edges.extend(child.local_edges.iter().copied());
 
     let mut converted: HashSet<euler_graph::EdgeId> = HashSet::new();
-    for r in parent.remote_edges.into_iter().chain(child.remote_edges.into_iter()) {
+    for r in parent.remote_edges.into_iter().chain(child.remote_edges) {
         let other_now = tree.representative_after(r.remote_leaf, level);
         if other_now == merged_id {
             // Becomes a local edge of the merged partition (once per edge id).

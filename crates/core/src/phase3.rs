@@ -19,9 +19,8 @@
 
 use crate::error::EulerError;
 use crate::fragment::{Fragment, FragmentId, FragmentKind, FragmentStore, TourEdge};
-use euler_graph::{EdgeId, VertexId};
+use euler_graph::{bucket_by_slot, EdgeId, LocalIndex, VertexId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// One step of the reconstructed circuit: a real graph edge traversed from
 /// `from` to `to`.
@@ -77,33 +76,73 @@ impl CircuitResult {
 }
 
 /// Index of pending (not yet spliced) cycles, keyed by every visible vertex.
+///
+/// Dense layout: visible vertices are interned through a [`LocalIndex`] and
+/// the per-vertex cycle lists live in one flat CSR-style arena (`buckets`
+/// sliced by `bucket_lo`/`bucket_end`). Fragment ids are store indices, so
+/// the spliced set is a plain `Vec<bool>`. All orders match the previous
+/// hash-map implementation: buckets hold ids ascending and are popped from
+/// the back; `pop_any` yields the minimum unspliced cycle id via a monotone
+/// scan (spliced flags are never cleared).
 struct PendingCycles {
-    by_vertex: HashMap<VertexId, Vec<FragmentId>>,
-    spliced: HashMap<FragmentId, bool>,
+    /// Interning table over every visible vertex of every cycle fragment.
+    index: LocalIndex,
+    /// CSR start of each vertex slot's bucket.
+    bucket_lo: Vec<u32>,
+    /// Current live end of each bucket (consumed from the back).
+    bucket_end: Vec<u32>,
+    /// Flattened buckets: cycle ids visible at each vertex, id-ascending.
+    buckets: Vec<FragmentId>,
+    /// Whether fragment id `i` is a cycle (paths are never pending).
+    is_cycle: Vec<bool>,
+    /// Whether cycle id `i` has been spliced into the walk already.
+    spliced: Vec<bool>,
+    /// Monotone cursor for [`PendingCycles::pop_any`].
+    scan: usize,
 }
 
 impl PendingCycles {
     fn new(store: &FragmentStore) -> Self {
-        let mut by_vertex: HashMap<VertexId, Vec<FragmentId>> = HashMap::new();
-        let mut spliced = HashMap::new();
-        for f in store.snapshot() {
-            if f.kind == FragmentKind::Cycle {
-                spliced.insert(f.id, false);
-                for v in f.visible_vertices() {
-                    by_vertex.entry(v).or_default().push(f.id);
+        // One locked pass: per-cycle visible vertices, no fragment clones.
+        let (num_fragments, is_cycle, pairs) = store.with_all(|frags| {
+            let mut is_cycle = vec![false; frags.len()];
+            let mut pairs: Vec<(VertexId, FragmentId)> = Vec::new();
+            for f in frags {
+                if f.kind == FragmentKind::Cycle {
+                    is_cycle[f.id.index()] = true;
+                    for v in f.visible_vertices() {
+                        pairs.push((v, f.id));
+                    }
                 }
             }
+            (frags.len(), is_cycle, pairs)
+        });
+        let index = LocalIndex::from_vertices(pairs.iter().map(|&(v, _)| v));
+        let n = index.len();
+        // Counting-sort the (vertex, cycle) pairs into per-slot buckets,
+        // preserving id-ascending insertion order within each slot.
+        let (offsets, buckets) = bucket_by_slot(n, || {
+            pairs.iter().map(|&(v, id)| (index.slot(v).expect("interned"), id))
+        });
+        PendingCycles {
+            bucket_lo: offsets[..n].to_vec(),
+            bucket_end: offsets[1..].to_vec(),
+            index,
+            buckets,
+            is_cycle,
+            spliced: vec![false; num_fragments],
+            scan: 0,
         }
-        PendingCycles { by_vertex, spliced }
     }
 
     /// Pops one not-yet-spliced cycle containing `v`, if any.
     fn pop_at(&mut self, v: VertexId) -> Option<FragmentId> {
-        let list = self.by_vertex.get_mut(&v)?;
-        while let Some(id) = list.pop() {
-            let done = self.spliced.get_mut(&id).expect("registered");
-            if !*done {
-                *done = true;
+        let s = self.index.slot(v)? as usize;
+        while self.bucket_end[s] > self.bucket_lo[s] {
+            self.bucket_end[s] -= 1;
+            let id = self.buckets[self.bucket_end[s] as usize];
+            if !self.spliced[id.index()] {
+                self.spliced[id.index()] = true;
                 return Some(id);
             }
         }
@@ -111,16 +150,18 @@ impl PendingCycles {
     }
 
     /// Any not-yet-spliced cycle (used to seed a new circuit / detect
-    /// disconnected components).
+    /// disconnected components). Yields ids ascending, like the previous
+    /// `min`-scan, but amortised O(1) per call.
     fn pop_any(&mut self) -> Option<FragmentId> {
-        let id = self
-            .spliced
-            .iter()
-            .filter(|(_, &done)| !done)
-            .map(|(&id, _)| id)
-            .min()?; // deterministic
-        *self.spliced.get_mut(&id).expect("present") = true;
-        Some(id)
+        while self.scan < self.spliced.len() {
+            let id = self.scan;
+            if self.is_cycle[id] && !self.spliced[id] {
+                self.spliced[id] = true;
+                return Some(FragmentId(id as u64));
+            }
+            self.scan += 1;
+        }
+        None
     }
 }
 
@@ -208,6 +249,47 @@ pub fn unroll(store: &FragmentStore) -> CircuitResult {
     result
 }
 
+/// First position of every vertex along a closed walk, as a dense interned
+/// map (the stitch map, hash-free).
+struct WalkPositions {
+    index: LocalIndex,
+    first_pos: Vec<u32>,
+}
+
+/// Sentinel for "vertex interned but position not yet recorded".
+const POS_UNSET: u32 = u32::MAX;
+
+impl WalkPositions {
+    fn new(walk: &[CircuitStep]) -> Self {
+        // The walk chains (step i's `to` is step i+1's `from`), so the
+        // distinct vertices are the `from`s plus the final `to`.
+        let index = LocalIndex::from_vertices(
+            walk.iter().map(|s| s.from).chain(walk.last().map(|s| s.to)),
+        );
+        let mut first_pos = vec![POS_UNSET; index.len()];
+        for (i, step) in walk.iter().enumerate() {
+            let s = index.slot(step.from).expect("interned") as usize;
+            if first_pos[s] == POS_UNSET {
+                first_pos[s] = i as u32;
+            }
+        }
+        if let Some(last) = walk.last() {
+            let s = index.slot(last.to).expect("interned") as usize;
+            if first_pos[s] == POS_UNSET {
+                first_pos[s] = walk.len() as u32;
+            }
+        }
+        WalkPositions { index, first_pos }
+    }
+
+    fn position_of(&self, v: VertexId) -> Option<usize> {
+        let s = self.index.slot(v)? as usize;
+        let p = self.first_pos[s];
+        debug_assert_ne!(p, POS_UNSET, "every interned vertex has a position");
+        Some(p as usize)
+    }
+}
+
 /// Splices closed circuits that share a vertex into one another until no two
 /// remaining circuits intersect. Needed when the seeding order visits a
 /// dependent cycle before the fragment whose hidden vertices connect it to
@@ -226,18 +308,11 @@ fn stitch_circuits(circuits: Vec<Vec<CircuitStep>>) -> Vec<Vec<CircuitStep>> {
         for candidate in pending {
             let mut placed = false;
             for host in finals.iter_mut() {
-                // First position of every vertex along the host walk.
-                let mut host_pos: HashMap<VertexId, usize> = HashMap::new();
-                for (i, step) in host.iter().enumerate() {
-                    host_pos.entry(step.from).or_insert(i);
-                }
-                if let Some(last) = host.last() {
-                    host_pos.entry(last.to).or_insert(host.len());
-                }
+                let host_pos = WalkPositions::new(host);
                 if let Some((rot, at)) = candidate
                     .iter()
                     .enumerate()
-                    .find_map(|(j, s)| host_pos.get(&s.from).map(|&i| (j, i)))
+                    .find_map(|(j, s)| host_pos.position_of(s.from).map(|i| (j, i)))
                 {
                     let mut rotated = Vec::with_capacity(candidate.len());
                     rotated.extend_from_slice(&candidate[rot..]);

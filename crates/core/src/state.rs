@@ -9,7 +9,7 @@
 //! toward partition memory, exactly as in the paper's design.
 
 use crate::fragment::FragmentId;
-use euler_graph::{EdgeId, Partition, PartitionId, VertexId};
+use euler_graph::{EdgeId, LocalIndex, Partition, PartitionId, VertexId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -126,13 +126,13 @@ impl WorkingPartition {
             isolated_vertices: 0,
         };
         // Count vertices of the original partition that touch no edge at all.
-        let with_edges: std::collections::HashSet<VertexId> = wp
-            .local_edges
-            .iter()
-            .flat_map(|e| [e.u, e.v])
-            .chain(wp.remote_edges.iter().map(|r| r.local))
-            .collect();
-        wp.isolated_vertices = p.vertices().filter(|v| !with_edges.contains(v)).count() as u64;
+        let with_edges = LocalIndex::from_vertices(
+            wp.local_edges
+                .iter()
+                .flat_map(|e| [e.u, e.v])
+                .chain(wp.remote_edges.iter().map(|r| r.local)),
+        );
+        wp.isolated_vertices = p.vertices().filter(|v| !with_edges.contains(*v)).count() as u64;
         wp
     }
 
@@ -156,22 +156,52 @@ impl WorkingPartition {
         deg
     }
 
+    /// The partition's boundary vertices (local endpoints of remote edges),
+    /// ascending and de-duplicated. Computed without hashing — this is the
+    /// start-vertex list for Phase 1's step 2, whose order is part of the
+    /// algorithm's determinism contract.
+    pub fn boundary_vertices_sorted(&self) -> Vec<VertexId> {
+        let mut boundary: Vec<VertexId> = self.remote_edges.iter().map(|r| r.local).collect();
+        boundary.sort_unstable();
+        boundary.dedup();
+        boundary
+    }
+
+    /// A dense index over every vertex this partition currently retains
+    /// (endpoints of local edges plus local endpoints of remote edges), with
+    /// per-slot local degrees and boundary flags — the flat-array form of the
+    /// edge/boundary bookkeeping used by the vertex classification below and
+    /// by the Phase-1 kernel.
+    pub fn degree_index(&self) -> (LocalIndex, Vec<u32>, Vec<bool>) {
+        let index = LocalIndex::from_vertices(
+            self.local_edges
+                .iter()
+                .flat_map(|e| [e.u, e.v])
+                .chain(self.remote_edges.iter().map(|r| r.local)),
+        );
+        let mut local_deg: Vec<u32> = index.zeroed();
+        for e in &self.local_edges {
+            local_deg[index.slot(e.u).expect("interned") as usize] += 1;
+            local_deg[index.slot(e.v).expect("interned") as usize] += 1;
+        }
+        let mut is_boundary: Vec<bool> = index.zeroed();
+        for r in &self.remote_edges {
+            is_boundary[index.slot(r.local).expect("interned") as usize] = true;
+        }
+        (index, local_deg, is_boundary)
+    }
+
     /// Classifies the partition's vertices and edges (Fig.-9 composition).
     pub fn vertex_type_counts(&self) -> VertexTypeCounts {
-        let local = self.local_degrees();
-        let remote = self.remote_degrees();
+        let (index, local_deg, is_boundary) = self.degree_index();
         let mut counts = VertexTypeCounts {
             remote_edges: self.remote_edges.len() as u64,
             local_edges: self.local_edges.len() as u64,
             even_internal: self.isolated_vertices,
             ..Default::default()
         };
-        let mut all: std::collections::HashSet<VertexId> = local.keys().copied().collect();
-        all.extend(remote.keys().copied());
-        for v in all {
-            let ld = local.get(&v).copied().unwrap_or(0);
-            let is_boundary = remote.get(&v).copied().unwrap_or(0) > 0;
-            match (is_boundary, ld % 2 == 1) {
+        for s in 0..index.len() {
+            match (is_boundary[s], local_deg[s] % 2 == 1) {
                 (true, true) => counts.odd_boundary += 1,
                 (true, false) => counts.even_boundary += 1,
                 (false, _) => counts.even_internal += 1,

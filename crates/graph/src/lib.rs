@@ -28,6 +28,7 @@ pub mod error;
 pub mod graph;
 pub mod ids;
 pub mod io;
+pub mod local_index;
 pub mod metagraph;
 pub mod partitioned;
 pub mod properties;
@@ -37,6 +38,7 @@ pub use csr::Csr;
 pub use error::GraphError;
 pub use graph::Graph;
 pub use ids::{EdgeId, PartitionId, VertexId};
+pub use local_index::{bucket_by_slot, LocalIndex};
 pub use metagraph::{MetaEdge, MetaGraph};
 pub use partitioned::{Partition, PartitionAssignment, PartitionedGraph, RemoteEdge};
 pub use properties::{connected_components, is_connected_on_edges, is_eulerian, odd_vertices};

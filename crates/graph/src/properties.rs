@@ -16,7 +16,7 @@ pub fn odd_vertices(g: &Graph) -> Vec<VertexId> {
 /// This is the degree half of Euler's theorem; combined with
 /// [`is_connected_on_edges`] it characterises graphs with an Euler circuit.
 pub fn all_degrees_even(g: &Graph) -> bool {
-    g.vertices().all(|v| g.degree(v) % 2 == 0)
+    g.vertices().all(|v| g.degree(v).is_multiple_of(2))
 }
 
 /// Labels the connected component of every vertex, ignoring edge multiplicity.

@@ -137,7 +137,7 @@ proptest! {
         let mut b = GraphBuilder::with_vertices(16);
         b.extend_edges(edges);
         let g = b.build().unwrap();
-        let even = g.vertices().all(|v| g.degree(v) % 2 == 0);
+        let even = g.vertices().all(|v| g.degree(v).is_multiple_of(2));
         let one_comp = properties::non_trivial_components(&g) <= 1;
         prop_assert_eq!(properties::is_eulerian(&g).is_ok(), even && one_comp);
     }

@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod longs;
 pub mod report;
 pub mod series;

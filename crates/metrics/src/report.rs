@@ -132,7 +132,80 @@ impl Report {
 
     /// Serialises the report to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report is always serialisable")
+        use crate::json::Value;
+        let tables = self
+            .tables
+            .iter()
+            .map(|t| {
+                Value::obj(vec![
+                    ("title", Value::str(&t.title)),
+                    ("columns", Value::str_arr(&t.columns)),
+                    ("rows", Value::Arr(t.rows.iter().map(Value::str_arr).collect())),
+                ])
+            })
+            .collect();
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                Value::obj(vec![
+                    ("name", Value::str(&s.name)),
+                    (
+                        "points",
+                        Value::Arr(
+                            s.points
+                                .iter()
+                                .map(|p| {
+                                    Value::obj(vec![
+                                        ("label", Value::str(&p.label)),
+                                        ("x", Value::Num(p.x)),
+                                        ("y", Value::Num(p.y)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Value::obj(vec![
+            ("experiment", Value::str(&self.experiment)),
+            ("notes", Value::str_arr(&self.notes)),
+            ("tables", Value::Arr(tables)),
+            ("series", Value::Arr(series)),
+        ])
+        .to_pretty()
+    }
+
+    /// Parses a report serialised by [`Report::to_json`]. Returns `None` on
+    /// malformed input.
+    pub fn from_json(text: &str) -> Option<Report> {
+        use crate::json::{parse, Value};
+        fn strings(v: &Value) -> Option<Vec<String>> {
+            v.as_arr()?.iter().map(|s| s.as_str().map(String::from)).collect()
+        }
+        let root = parse(text)?;
+        let mut report = Report::new(root.get("experiment")?.as_str()?);
+        report.notes = strings(root.get("notes")?)?;
+        for t in root.get("tables")?.as_arr()? {
+            report.tables.push(Table {
+                title: t.get("title")?.as_str()?.to_string(),
+                columns: strings(t.get("columns")?)?,
+                rows: t.get("rows")?.as_arr()?.iter().map(strings).collect::<Option<_>>()?,
+            });
+        }
+        for s in root.get("series")?.as_arr()? {
+            let mut series = Series::new(s.get("name")?.as_str()?);
+            for p in s.get("points")?.as_arr()? {
+                series.points.push(crate::series::DataPoint {
+                    label: p.get("label")?.as_str()?.to_string(),
+                    x: p.get("x")?.as_f64()?,
+                    y: p.get("y")?.as_f64()?,
+                });
+            }
+            report.series.push(series);
+        }
+        Some(report)
     }
 }
 
@@ -174,10 +247,18 @@ mod tests {
     fn report_json_roundtrip() {
         let mut r = Report::new("exp");
         r.note("n");
+        let mut t = Table::new("t", &["a"]);
+        t.row(&["cell with \"quotes\""]);
+        r.add_table(t);
+        let mut s = Series::new("series");
+        s.push("p", 1.5, -2.0);
+        r.add_series(s);
         let json = r.to_json();
-        let back: Report = serde_json::from_str(&json).unwrap();
+        let back = Report::from_json(&json).unwrap();
         assert_eq!(back.experiment, "exp");
         assert_eq!(back.notes, vec!["n".to_string()]);
+        assert_eq!(back.tables, r.tables);
+        assert_eq!(back.series, r.series);
     }
 
     #[test]

@@ -127,7 +127,9 @@ mod tests {
         let mut t = PhaseTimer::new();
         let x = t.time("compute", || 21 * 2);
         assert_eq!(x, 42);
-        assert!(t.breakdown().get("compute") > Duration::ZERO || true); // may be ~0 on fast machines
+        // The measured duration may legitimately be ~0 on fast machines, so
+        // no lower bound is asserted; the phases() check below covers that
+        // the phase was recorded at all.
         assert_eq!(t.breakdown().phases(), vec!["compute"]);
     }
 

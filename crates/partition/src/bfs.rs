@@ -49,7 +49,7 @@ impl Partitioner for BfsPartitioner {
     fn partition(&self, g: &Graph) -> PartitionAssignment {
         let n = g.num_vertices() as usize;
         let k = self.k as usize;
-        let capacity = (n + k - 1) / k;
+        let capacity = n.div_ceil(k);
         let mut labels: Vec<u32> = vec![u32::MAX; n];
         let mut sizes = vec![0usize; k];
         let mut queues: Vec<VecDeque<VertexId>> = vec![VecDeque::new(); k];
@@ -92,10 +92,10 @@ impl Partitioner for BfsPartitioner {
 
         // Any vertex not reached (disconnected, or all regions full) goes to
         // the currently smallest partition.
-        for v in 0..n {
-            if labels[v] == u32::MAX {
+        for label in labels.iter_mut().take(n) {
+            if *label == u32::MAX {
                 let p = (0..k).min_by_key(|&p| sizes[p]).unwrap_or(0);
-                labels[v] = p as u32;
+                *label = p as u32;
                 sizes[p] += 1;
             }
         }

@@ -1,0 +1,251 @@
+//! Offline shim for `rayon`.
+//!
+//! Implements the subset of the parallel-iterator surface this workspace
+//! uses (`par_iter_mut().map(..).collect()`, `into_par_iter()` on ranges with
+//! `map`/`flat_map_iter`) with genuine parallelism over `std::thread::scope`,
+//! one contiguous chunk per available core. Results are collected in input
+//! order, so behaviour is deterministic and identical to sequential code.
+
+use std::ops::Range;
+
+/// Commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefMutIterator};
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` over each index block `[lo, hi)` of `0..n` on its own thread and
+/// returns the per-block outputs in block order.
+fn run_blocks<R: Send>(n: usize, f: impl Fn(usize, usize) -> R + Sync) -> Vec<R> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = num_threads().min(n);
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = &f;
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                s.spawn(move || f(lo, hi))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rayon-shim worker panicked")).collect()
+    })
+}
+
+/// Conversion into a "parallel" iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = ParVec<T>;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+/// Parallel iterator over an index range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Maps each index through `f` in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParResults<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let base = self.range.start;
+        let n = self.range.len();
+        let blocks = run_blocks(n, |lo, hi| (lo..hi).map(|i| f(base + i)).collect::<Vec<R>>());
+        ParResults { items: blocks.into_iter().flatten().collect() }
+    }
+
+    /// Maps each index to a sequential iterator and concatenates the results
+    /// in index order (rayon's `flat_map_iter`).
+    pub fn flat_map_iter<I, F>(self, f: F) -> ParResults<I::Item>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(usize) -> I + Sync,
+    {
+        let base = self.range.start;
+        let n = self.range.len();
+        let blocks = run_blocks(n, |lo, hi| {
+            (lo..hi).flat_map(|i| f(base + i)).collect::<Vec<I::Item>>()
+        });
+        ParResults { items: blocks.into_iter().flatten().collect() }
+    }
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct ParVec<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParVec<T> {
+    /// Maps each item through `f` in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParResults<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let mut slots: Vec<Option<T>> = self.items.into_iter().map(Some).collect();
+        let n = slots.len();
+        let threads = num_threads().min(n.max(1));
+        let chunk = n.div_ceil(threads.max(1)).max(1);
+        let blocks = std::thread::scope(|s| {
+            let handles: Vec<_> = slots
+                .chunks_mut(chunk)
+                .map(|block| {
+                    let f = &f;
+                    s.spawn(move || {
+                        block
+                            .iter_mut()
+                            .map(|slot| f(slot.take().expect("item present")))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon-shim worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        ParResults { items: blocks.into_iter().flatten().collect() }
+    }
+}
+
+/// Mutable parallel iteration, mirroring
+/// `rayon::iter::IntoParallelRefMutIterator` (`par_iter_mut`).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The parallel iterator type.
+    type Iter;
+    /// Creates a parallel iterator over mutable references.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = ParSliceMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParSliceMut<'a, T> {
+        ParSliceMut { data: self.as_mut_slice() }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = ParSliceMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParSliceMut<'a, T> {
+        ParSliceMut { data: self }
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct ParSliceMut<'a, T: Send> {
+    data: &'a mut [T],
+}
+
+impl<'a, T: Send> ParSliceMut<'a, T> {
+    /// Maps each element through `f` in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParResults<R>
+    where
+        R: Send,
+        F: Fn(&mut T) -> R + Sync,
+    {
+        let n = self.data.len();
+        if n == 0 {
+            return ParResults { items: Vec::new() };
+        }
+        let threads = num_threads().min(n);
+        let chunk = n.div_ceil(threads);
+        let blocks = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .data
+                .chunks_mut(chunk)
+                .map(|block| {
+                    let f = &f;
+                    s.spawn(move || block.iter_mut().map(f).collect::<Vec<R>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon-shim worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        ParResults { items: blocks.into_iter().flatten().collect() }
+    }
+
+    /// Runs `f` on each element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        self.map(f).items.into_iter().for_each(drop);
+    }
+}
+
+/// Already-computed results of a parallel stage, exposing `collect`.
+pub struct ParResults<R> {
+    items: Vec<R>,
+}
+
+impl<R> ParResults<R> {
+    /// Collects the results, in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_preserves_order() {
+        let out: Vec<usize> = (0..100).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_iter_concatenates_in_order() {
+        let out: Vec<usize> = (0..10).into_par_iter().flat_map_iter(|i| vec![i; i]).collect();
+        assert_eq!(out, (0..10).flat_map(|i| vec![i; i]).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_maps_and_mutates() {
+        let mut v: Vec<u64> = (0..37).collect();
+        let doubled: Vec<u64> = v.par_iter_mut().map(|x| {
+            *x += 1;
+            *x * 2
+        }).collect();
+        assert_eq!(v, (1..38).collect::<Vec<u64>>());
+        assert_eq!(doubled, (1..38u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let out: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+        let mut v: Vec<u8> = vec![];
+        let out: Vec<u8> = v.par_iter_mut().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline shim for `serde`.
+//!
+//! The container image has no crates.io access, so this workspace vendors a
+//! minimal stand-in: `Serialize` / `Deserialize` are marker traits satisfied
+//! by every type, and the derives (re-exported from the sibling
+//! `serde_derive` shim) expand to nothing. Code that needs actual JSON
+//! output (`euler-metrics`) hand-rolls it instead of going through serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Stand-in for `serde::de`.
+pub mod de {
+    /// Marker trait standing in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: Sized {}
+    impl<T> DeserializeOwned for T {}
+}

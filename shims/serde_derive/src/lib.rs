@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The real derives generate (de)serialisation code; this workspace only uses
+//! the traits as markers (the one JSON consumer, `euler-metrics`, hand-rolls
+//! its JSON), so the derives expand to nothing. The blanket impls in the
+//! `serde` shim make every type satisfy the trait bounds.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

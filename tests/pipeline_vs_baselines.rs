@@ -111,5 +111,5 @@ fn distributed_runner_agrees_with_in_process_runner() {
     let outcome = algo::DistributedRunner::new(EulerConfig::default()).run(&g, &assignment).unwrap();
     verify_result(&g, &outcome.result).unwrap();
     assert_eq!(in_process.total_edges(), outcome.result.total_edges());
-    assert_eq!(u32::from(report.supersteps), outcome.engine_stats.num_supersteps());
+    assert_eq!(report.supersteps, outcome.engine_stats.num_supersteps());
 }

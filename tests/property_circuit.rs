@@ -78,6 +78,50 @@ proptest! {
         prop_assert_eq!(result.num_circuits(), oracle.num_circuits());
     }
 
+    /// Determinism regression for the dense Phase-1 rewrite: on every
+    /// partition of every generated Eulerian graph, the flat-array kernel
+    /// (`run_phase1`) and the retained hash-map reference
+    /// (`run_phase1_reference`) must produce bit-identical fragments, path
+    /// maps and residual partition state.
+    #[test]
+    fn phase1_dense_matches_reference_semantics(
+        seed in 0u64..500,
+        n in 8u64..100,
+        extra in 0usize..10,
+        parts in 1u32..7,
+        use_hash in any::<bool>(),
+    ) {
+        use euler_circuit::algo::phase1::{reference::run_phase1_reference, run_phase1};
+        use euler_circuit::algo::{FragmentStore, WorkingPartition};
+        let g = graph_from(seed, n, extra);
+        let assignment = if use_hash {
+            HashPartitioner::new(parts).partition(&g)
+        } else {
+            LdgPartitioner::new(parts).partition(&g)
+        };
+        let pg = PartitionedGraph::from_assignment(&g, &assignment).unwrap();
+        for p in pg.partitions() {
+            let mut wp_dense = WorkingPartition::from_partition(p);
+            let mut wp_ref = wp_dense.clone();
+            let store_dense = FragmentStore::new();
+            let store_ref = FragmentStore::new();
+            let out_dense = run_phase1(&mut wp_dense, &store_dense);
+            let out_ref = run_phase1_reference(&mut wp_ref, &store_ref);
+            prop_assert_eq!(out_dense.path_map, out_ref.path_map);
+            prop_assert_eq!(out_dense.complexity, out_ref.complexity);
+            prop_assert_eq!(wp_dense.local_edges, wp_ref.local_edges);
+            prop_assert_eq!(wp_dense.remote_edges, wp_ref.remote_edges);
+            let frags_dense = store_dense.snapshot();
+            let frags_ref = store_ref.snapshot();
+            prop_assert_eq!(frags_dense.len(), frags_ref.len());
+            for (d, r) in frags_dense.iter().zip(&frags_ref) {
+                prop_assert_eq!(d.id, r.id);
+                prop_assert_eq!(d.kind, r.kind);
+                prop_assert_eq!(&d.edges, &r.edges);
+            }
+        }
+    }
+
     /// Eulerization always produces a graph the pipeline can solve, whatever
     /// the input (including disconnected and odd-degree-heavy graphs).
     #[test]
