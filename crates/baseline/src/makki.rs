@@ -1,6 +1,6 @@
 //! Makki-style vertex-centric distributed Euler walk.
 //!
-//! Makki [17] adapts Hierholzer's algorithm to a distributed, vertex-centric
+//! Makki \[17\] adapts Hierholzer's algorithm to a distributed, vertex-centric
 //! setting: at every step exactly one vertex is active, it picks one of its
 //! unvisited edges, and the "walker" moves across that edge — one
 //! barrier-synchronised superstep per edge traversal. The paper's criticism

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use euler_baseline::{fleury_circuit, hierholzer_circuit};
-use euler_core::{run_partitioned, EulerConfig};
+use euler_core::{run_with_backend, InProcessBackend, EulerConfig};
 use euler_gen::synthetic;
 use euler_partition::{LdgPartitioner, Partitioner};
 use std::hint::black_box;
@@ -21,7 +21,7 @@ fn baselines(c: &mut Criterion) {
     });
     let a = LdgPartitioner::new(4).partition(&torus);
     group.bench_function(BenchmarkId::new("partition_centric_4_parts", torus.num_edges()), |b| {
-        b.iter(|| black_box(run_partitioned(&torus, &a, &EulerConfig::default()).unwrap()))
+        b.iter(|| black_box(run_with_backend(&torus, &a, &EulerConfig::default(), &InProcessBackend::new()).unwrap()))
     });
     group.finish();
 }

@@ -2,7 +2,7 @@
 //! scaled G-family — the per-graph cost underlying Fig. 5.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use euler_core::{run_partitioned, EulerConfig};
+use euler_core::{run_with_backend, InProcessBackend, EulerConfig};
 use euler_gen::configs::PAPER_CONFIGS;
 use euler_partition::{LdgPartitioner, Partitioner};
 use std::hint::black_box;
@@ -14,7 +14,7 @@ fn end_to_end(c: &mut Criterion) {
         let (g, _) = config.generate(-6);
         let a = LdgPartitioner::new(config.partitions).partition(&g);
         group.bench_with_input(BenchmarkId::new("phases_1_to_3", config.name), &(&g, &a), |b, (g, a)| {
-            b.iter(|| black_box(run_partitioned(g, a, &EulerConfig::default()).unwrap()))
+            b.iter(|| black_box(run_with_backend(g, a, &EulerConfig::default(), &InProcessBackend::new()).unwrap()))
         });
     }
     group.finish();

@@ -2,7 +2,7 @@
 //! input — the runtime side of the Fig.-8 memory comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use euler_core::{run_partitioned, EulerConfig, MergeStrategy};
+use euler_core::{run_with_backend, InProcessBackend, EulerConfig, MergeStrategy};
 use euler_gen::configs::GraphConfig;
 use euler_partition::{LdgPartitioner, Partitioner};
 use std::hint::black_box;
@@ -15,7 +15,7 @@ fn merge_strategies(c: &mut Criterion) {
     for strategy in MergeStrategy::all() {
         let config = EulerConfig::default().with_merge_strategy(strategy);
         group.bench_with_input(BenchmarkId::new("pipeline", strategy.name()), &config, |b, cfg| {
-            b.iter(|| black_box(run_partitioned(&g, &a, cfg).unwrap()))
+            b.iter(|| black_box(run_with_backend(&g, &a, cfg, &InProcessBackend::new()).unwrap()))
         });
     }
     group.finish();

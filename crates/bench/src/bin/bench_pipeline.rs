@@ -1,0 +1,147 @@
+//! Overhead measurement for the `EulerPipeline` API redesign.
+//!
+//! The redesign routed every driver through one shared merge-tree walk
+//! (`euler_core::pipeline::run_with_backend`) behind the builder API. This
+//! harness checks the abstraction costs nothing: it times the same workloads
+//! through (a) the deprecated `run_partitioned` shim — the "direct" path
+//! migrating callers come from — (b) the mid-level `run_with_backend` call,
+//! and (c) the full `EulerPipeline` builder with its `GraphSource` /
+//! staged-output plumbing, and writes the paired timings to
+//! `BENCH_pipeline.json`.
+//!
+//! Usage: `cargo run --release -p euler-bench --bin bench_pipeline [reps]`
+//! (default 5 repetitions; the minimum over reps is reported).
+
+#![allow(deprecated)] // the point is to time the deprecated path
+
+use euler_core::{run_partitioned, run_with_backend, EulerConfig, EulerPipeline, InProcessBackend};
+use euler_gen::eulerize::eulerize;
+use euler_gen::rmat::RmatGenerator;
+use euler_gen::synthetic;
+use euler_graph::{Graph, InMemorySource, PartitionAssignment};
+use euler_metrics::json::Value;
+use euler_partition::{LdgPartitioner, Partitioner};
+use std::time::Instant;
+
+/// Minimum wall time over `reps` runs of `f`, plus the edge count of the last
+/// run's circuit (sanity check that every path does the same work).
+fn time_runs(reps: u32, mut f: impl FnMut() -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut edges = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        edges = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, edges)
+}
+
+fn bench_workload(name: &str, g: &Graph, assignment: &PartitionAssignment, reps: u32) -> Value {
+    let config = EulerConfig::default();
+
+    let (direct_s, direct_edges) = time_runs(reps, || {
+        let (result, _) = run_partitioned(g, assignment, &config).unwrap();
+        result.total_edges()
+    });
+    let (mid_s, mid_edges) = time_runs(reps, || {
+        let (result, _) = run_with_backend(g, assignment, &config, &InProcessBackend::new()).unwrap();
+        result.total_edges()
+    });
+    // The builder pipeline, constructed once (the graph copy into the
+    // InMemorySource happens at build time); each run exercises the
+    // source/partition staging plus the shared walk.
+    let pipeline = EulerPipeline::builder()
+        .graph(g)
+        .assignment(assignment.clone())
+        .config(config)
+        .build()
+        .unwrap();
+    let (builder_s, builder_edges) = time_runs(reps, || {
+        pipeline.run().unwrap().circuit.result.total_edges()
+    });
+
+    assert_eq!(direct_edges, mid_edges, "paths must cover the same edges");
+    assert_eq!(direct_edges, builder_edges, "paths must cover the same edges");
+    let overhead = builder_s / direct_s - 1.0;
+    println!(
+        "{name}: {} edges, {} parts | direct {direct_s:.3}s | run_with_backend {mid_s:.3}s | \
+         builder {builder_s:.3}s | builder overhead {:+.1}%",
+        g.num_edges(),
+        assignment.num_partitions(),
+        overhead * 100.0
+    );
+    Value::obj(vec![
+        ("workload", Value::str(name)),
+        ("edges", Value::Num(g.num_edges() as f64)),
+        ("partitions", Value::Num(assignment.num_partitions() as f64)),
+        ("direct_run_partitioned_seconds", Value::Num(direct_s)),
+        ("run_with_backend_seconds", Value::Num(mid_s)),
+        ("pipeline_builder_seconds", Value::Num(builder_s)),
+        ("builder_overhead_fraction", Value::Num(overhead)),
+    ])
+}
+
+fn main() {
+    // At least one repetition, or the reported minima would be infinite.
+    let reps: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(5).max(1);
+
+    let (rmat, _) = eulerize(&RmatGenerator::new(16).with_avg_degree(8.0).with_seed(11).generate());
+    let torus = synthetic::torus_grid(354, 354);
+    let workloads: Vec<(&str, &Graph, u32)> =
+        vec![("rmat16_eulerized_8_parts", &rmat, 8), ("torus_354x354_4_parts", &torus, 4)];
+
+    let mut rows = Vec::new();
+    for (name, g, parts) in workloads {
+        let assignment = LdgPartitioner::new(parts).partition(g);
+        rows.push(bench_workload(name, g, &assignment, reps));
+    }
+
+    // Sanity check the file-source staging too: load a mid-sized edge list
+    // through the chunked reader and compare against the resident source.
+    let dir = std::env::temp_dir().join("euler_bench_pipeline");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("torus.el");
+    euler_graph::io::write_edge_list_file(&torus, &path).expect("write edge list");
+    let a4 = LdgPartitioner::new(4).partition(&torus);
+    let file_pipeline = EulerPipeline::builder()
+        .source(euler_graph::EdgeListFileSource::new(&path))
+        .assignment(a4.clone())
+        .build()
+        .unwrap();
+    let (file_s, file_edges) = time_runs(reps, || {
+        file_pipeline.run().unwrap().circuit.result.total_edges()
+    });
+    let mem_pipeline =
+        EulerPipeline::builder().source(InMemorySource::new(torus.clone())).assignment(a4).build().unwrap();
+    let (mem_s, mem_edges) = time_runs(reps, || {
+        mem_pipeline.run().unwrap().circuit.result.total_edges()
+    });
+    assert_eq!(file_edges, mem_edges);
+    println!(
+        "graph_source: edge-list file {file_s:.3}s vs in-memory {mem_s:.3}s (chunked load included)"
+    );
+    rows.push(Value::obj(vec![
+        ("workload", Value::str("torus_354x354_source_comparison")),
+        ("edges", Value::Num(torus.num_edges() as f64)),
+        ("partitions", Value::Num(4.0)),
+        ("edge_list_file_source_seconds", Value::Num(file_s)),
+        ("in_memory_source_seconds", Value::Num(mem_s)),
+    ]));
+    std::fs::remove_file(&path).ok();
+
+    let doc = Value::obj(vec![
+        ("experiment", Value::str("pipeline_api_overhead")),
+        (
+            "description",
+            Value::str(
+                "End-to-end wall time of the same runs through the deprecated run_partitioned \
+                 shim (direct), the mid-level run_with_backend walk, and the EulerPipeline \
+                 builder; minimum over repetitions. The builder must add no measurable overhead.",
+            ),
+        ),
+        ("repetitions", Value::Num(reps as f64)),
+        ("results", Value::Arr(rows)),
+    ]);
+    std::fs::write("BENCH_pipeline.json", doc.to_pretty() + "\n").expect("write BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json");
+}

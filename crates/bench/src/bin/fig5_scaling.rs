@@ -6,7 +6,7 @@
 
 use euler_bench::{harness::secs, parse_scale_shift, prepared_input};
 use euler_bsp::{BspConfig, PlatformCostModel};
-use euler_core::{DistributedRunner, EulerConfig};
+use euler_core::{run_with_backend, BspBackend, EulerConfig};
 use euler_gen::configs::PAPER_CONFIGS;
 use euler_metrics::{Report, Series, Table};
 
@@ -26,11 +26,12 @@ fn main() {
     );
     for (i, config) in PAPER_CONFIGS.iter().enumerate() {
         let input = prepared_input(*config, shift);
-        let runner = DistributedRunner::new(EulerConfig::default()).with_engine(
+        let backend = BspBackend::with_engine(
             BspConfig::one_worker_per_partition().with_cost_model(PlatformCostModel::spark_like()),
         );
-        let outcome = runner.run(&input.graph, &input.assignment).expect("eulerized input");
-        let stats = &outcome.engine_stats;
+        let (_, run) = run_with_backend(&input.graph, &input.assignment, &EulerConfig::default(), &backend)
+            .expect("eulerized input");
+        let stats = run.engine.as_ref().expect("BSP backend reports engine stats");
         let compute = stats.total_compute_time();
         let total = stats.modelled_total_time();
         table.row(&[

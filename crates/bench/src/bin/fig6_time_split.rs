@@ -4,7 +4,7 @@
 
 use euler_bench::{parse_scale_shift, prepared_input};
 use euler_bsp::BspConfig;
-use euler_core::{DistributedRunner, EulerConfig};
+use euler_core::{run_with_backend, BspBackend, EulerConfig};
 use euler_gen::configs::GraphConfig;
 use euler_metrics::{Report, Table};
 
@@ -12,9 +12,10 @@ fn main() {
     let shift = parse_scale_shift();
     let config = GraphConfig::by_name("G50/P8").expect("known config");
     let input = prepared_input(config, shift);
-    let runner = DistributedRunner::new(EulerConfig::default())
-        .with_engine(BspConfig::one_worker_per_partition());
-    let outcome = runner.run(&input.graph, &input.assignment).expect("eulerized input");
+    let backend = BspBackend::with_engine(BspConfig::one_worker_per_partition());
+    let (_, run) = run_with_backend(&input.graph, &input.assignment, &EulerConfig::default(), &backend)
+        .expect("eulerized input");
+    let engine = run.engine.as_ref().expect("BSP backend reports engine stats");
 
     let mut report = Report::new("fig6_time_split");
     report.note(format!("G50/P8 scaled with scale_shift = {shift}; one executor per partition"));
@@ -22,7 +23,7 @@ fn main() {
         "Fig. 6: user compute split per partition per level (ms)",
         &["Level", "Partition", "Copy source", "Create object + copy sink", "Phase 1 tour", "Other"],
     );
-    for step in &outcome.engine_stats.supersteps {
+    for step in &engine.supersteps {
         for (partition, breakdown) in &step.per_partition_compute {
             let ms = |k: &str| format!("{:.2}", breakdown.get(k).as_secs_f64() * 1e3);
             let copy_sink = breakdown.get("create_partition_object") + breakdown.get("copy_sink_partition");

@@ -3,7 +3,7 @@
 //! with a least-squares trend line and the correlation coefficient.
 
 use euler_bench::{parse_scale_shift, prepared_input};
-use euler_core::{run_partitioned, EulerConfig};
+use euler_core::{run_with_backend, InProcessBackend, EulerConfig};
 use euler_gen::configs::GraphConfig;
 use euler_metrics::{Report, Series, Table};
 
@@ -15,8 +15,13 @@ fn main() {
         let config = GraphConfig::by_name(name).expect("known config");
         let input = prepared_input(config, shift);
         // Sequential within a level so per-partition timings are undisturbed.
-        let (_, run) = run_partitioned(&input.graph, &input.assignment, &EulerConfig::default().sequential())
-            .expect("eulerized input");
+        let (_, run) = run_with_backend(
+            &input.graph,
+            &input.assignment,
+            &EulerConfig::default().sequential(),
+            &InProcessBackend::new(),
+        )
+        .expect("eulerized input");
         let mut series = Series::new(format!("{name} phase1_time_ms_vs_complexity"));
         let mut table = Table::new(
             format!("Fig. 7 ({name}): expected vs observed Phase-1 time"),

@@ -5,7 +5,7 @@
 
 use euler_bench::{parse_scale_shift, prepared_input};
 use euler_core::memory_model::{ideal_series, model_series};
-use euler_core::{run_partitioned, EulerConfig, MergeStrategy};
+use euler_core::{run_with_backend, InProcessBackend, EulerConfig, MergeStrategy};
 use euler_gen::configs::GraphConfig;
 use euler_metrics::{Report, Series, Table};
 
@@ -17,7 +17,8 @@ fn main() {
         let config = GraphConfig::by_name(name).expect("known config");
         let input = prepared_input(config, shift);
         let (_, baseline_run) =
-            run_partitioned(&input.graph, &input.assignment, &EulerConfig::default()).expect("eulerized");
+            run_with_backend(&input.graph, &input.assignment, &EulerConfig::default(), &InProcessBackend::new())
+                .expect("eulerized");
         let trace = baseline_run.level_trace();
 
         let current = model_series(&trace, MergeStrategy::Duplicated);
@@ -43,10 +44,11 @@ fn main() {
 
         // Also report the *measured* series under the actually-implemented strategies.
         for strategy in MergeStrategy::all() {
-            let (_, run) = run_partitioned(
+            let (_, run) = run_with_backend(
                 &input.graph,
                 &input.assignment,
                 &EulerConfig::default().with_merge_strategy(strategy),
+                &InProcessBackend::new(),
             )
             .expect("eulerized");
             let mut s = Series::new(format!("{name} measured cumulative ({strategy})"));

@@ -3,7 +3,7 @@
 //! remote edges.
 
 use euler_bench::{parse_scale_shift, prepared_input};
-use euler_core::{run_partitioned, EulerConfig};
+use euler_core::{run_with_backend, InProcessBackend, EulerConfig};
 use euler_gen::configs::GraphConfig;
 use euler_metrics::{Report, Table};
 
@@ -12,7 +12,8 @@ fn main() {
     let config = GraphConfig::by_name("G50/P8").expect("known config");
     let input = prepared_input(config, shift);
     let (_, run) =
-        run_partitioned(&input.graph, &input.assignment, &EulerConfig::default()).expect("eulerized");
+        run_with_backend(&input.graph, &input.assignment, &EulerConfig::default(), &InProcessBackend::new())
+            .expect("eulerized");
 
     let mut report = Report::new("fig9_vertex_types");
     report.note(format!("G50/P8 scaled with scale_shift = {shift}; counts at the start of each level"));

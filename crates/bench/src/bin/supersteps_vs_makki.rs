@@ -5,7 +5,7 @@
 
 use euler_baseline::MakkiRunner;
 use euler_bench::{parse_scale_shift, prepared_input};
-use euler_core::{run_partitioned, EulerConfig};
+use euler_core::{run_with_backend, InProcessBackend, EulerConfig};
 use euler_gen::configs::PAPER_CONFIGS;
 use euler_metrics::{Report, Table};
 
@@ -25,7 +25,8 @@ fn main() {
         // keep the harness fast; superstep counts are reported per graph.
         let input = prepared_input(config, shift - 2);
         let (_, run) =
-            run_partitioned(&input.graph, &input.assignment, &EulerConfig::default()).expect("eulerized");
+            run_with_backend(&input.graph, &input.assignment, &EulerConfig::default(), &InProcessBackend::new())
+                .expect("eulerized");
         let makki = MakkiRunner::new().run(&input.graph).expect("eulerized");
         table.row(&[
             config.name.to_string(),

@@ -51,13 +51,18 @@ impl Default for BspConfig {
 }
 
 impl BspConfig {
-    /// Configuration with a fixed number of workers. Panics when
-    /// `num_workers` is zero — a zero-size cluster cannot run anything; use
-    /// [`BspConfig::one_worker_per_partition`] for the adaptive policy.
+    /// Configuration with a fixed number of workers.
+    ///
+    /// `num_workers == 0` used to panic deep inside the `NonZeroUsize`
+    /// construction; a zero-size cluster is meaningless, so it now falls back
+    /// to the only sensible adaptive policy,
+    /// [`BspConfig::one_worker_per_partition`] (the paper's deployment), and
+    /// the worker count resolves against the partition count at run time.
     pub fn with_workers(num_workers: usize) -> Self {
-        let n = std::num::NonZeroUsize::new(num_workers)
-            .expect("a BSP cluster needs at least one worker");
-        BspConfig { workers: WorkerCount::Fixed(n), ..Default::default() }
+        match std::num::NonZeroUsize::new(num_workers) {
+            Some(n) => BspConfig { workers: WorkerCount::Fixed(n), ..Default::default() },
+            None => Self::one_worker_per_partition(),
+        }
     }
 
     /// One worker per partition, like the paper's one-executor-per-partition
@@ -130,33 +135,125 @@ impl BspEngine {
         initial: Vec<P::State>,
         placement: &PartitionPlacement,
     ) -> RunOutcome<P::State> {
+        let mut run = StepRun::with_placement(self.config, program, initial, placement.clone());
+        while run.step() {}
+        run.into_outcome()
+    }
+}
+
+/// A BSP engine run driven one superstep at a time — the adapter external
+/// drivers (the Euler pipeline's `BspBackend`) use to interleave engine
+/// supersteps with their own per-level bookkeeping.
+///
+/// A `StepRun` owns everything [`BspEngine::run`] keeps on its stack —
+/// program, per-partition states, in-flight inboxes, halt flags and
+/// statistics — but hands control back to the caller after every barrier.
+/// [`BspEngine::run`]/[`BspEngine::run_with_placement`] are implemented on
+/// top of it, so stepped and free-running execution share one superstep loop.
+pub struct StepRun<P: PartitionProgram> {
+    config: BspConfig,
+    program: P,
+    placement: PartitionPlacement,
+    states: Vec<Option<P::State>>,
+    inboxes: Vec<Vec<Envelope>>,
+    halted: Vec<bool>,
+    stats: EngineStats,
+    next_superstep: u32,
+    started: Instant,
+}
+
+impl<P: PartitionProgram> StepRun<P> {
+    /// Creates a stepped run over `initial` partition states, placing
+    /// partitions round-robin over the configured worker count (resolved
+    /// against the partition count, as in [`BspEngine::run`]).
+    pub fn new(config: BspConfig, program: P, initial: Vec<P::State>) -> Self {
+        let num_partitions = initial.len();
+        let num_workers = config.resolved_workers(num_partitions);
+        let placement = PartitionPlacement::round_robin(num_partitions, num_workers);
+        Self::with_placement(config, program, initial, placement)
+    }
+
+    /// Creates a stepped run with an explicit placement.
+    pub fn with_placement(
+        config: BspConfig,
+        program: P,
+        initial: Vec<P::State>,
+        placement: PartitionPlacement,
+    ) -> Self {
         let num_partitions = initial.len();
         assert_eq!(placement.num_partitions(), num_partitions, "placement must cover all partitions");
-
-        let run_start = Instant::now();
-        let mut states: Vec<Option<P::State>> = initial.into_iter().map(Some).collect();
-        let mut inboxes: Vec<Vec<Envelope>> = (0..num_partitions).map(|_| Vec::new()).collect();
-        let mut halted = vec![false; num_partitions];
-        let mut stats = EngineStats { num_workers: placement.num_workers(), ..Default::default() };
-
-        for superstep in 0..self.config.max_supersteps {
-            let any_active = halted.iter().enumerate().any(|(p, &h)| !h || !inboxes[p].is_empty());
-            if !any_active {
-                break;
-            }
-            let outcome = execute_superstep(program, superstep, &mut states, &mut inboxes, &halted, placement);
-            halted = outcome.halted;
-            for env in outcome.outgoing {
-                let to = env.to as usize;
-                assert!(to < num_partitions, "message addressed to unknown partition {to}");
-                inboxes[to].push(env);
-            }
-            stats.supersteps.push(outcome.stats);
+        StepRun {
+            config,
+            program,
+            stats: EngineStats { num_workers: placement.num_workers(), ..Default::default() },
+            placement,
+            states: initial.into_iter().map(Some).collect(),
+            inboxes: (0..num_partitions).map(|_| Vec::new()).collect(),
+            halted: vec![false; num_partitions],
+            next_superstep: 0,
+            started: Instant::now(),
         }
+    }
 
-        stats.total_wall_time = run_start.elapsed();
+    /// The program driving this run.
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+
+    /// Number of partitions this run executes over.
+    pub fn num_partitions(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True while another superstep would execute: some partition has not
+    /// voted to halt or has messages pending, and the superstep bound has not
+    /// been reached.
+    pub fn is_active(&self) -> bool {
+        self.next_superstep < self.config.max_supersteps
+            && self.halted.iter().enumerate().any(|(p, &h)| !h || !self.inboxes[p].is_empty())
+    }
+
+    /// Executes one superstep (compute + barrier + message delivery).
+    /// Returns `false` — without running anything — once the run is no
+    /// longer [`active`](StepRun::is_active).
+    pub fn step(&mut self) -> bool {
+        if !self.is_active() {
+            return false;
+        }
+        let outcome = execute_superstep(
+            &self.program,
+            self.next_superstep,
+            &mut self.states,
+            &mut self.inboxes,
+            &self.halted,
+            &self.placement,
+        );
+        self.halted = outcome.halted;
+        let num_partitions = self.states.len();
+        for env in outcome.outgoing {
+            let to = env.to as usize;
+            assert!(to < num_partitions, "message addressed to unknown partition {to}");
+            self.inboxes[to].push(env);
+        }
+        self.stats.supersteps.push(outcome.stats);
+        self.next_superstep += 1;
+        true
+    }
+
+    /// Snapshot of the statistics so far, finalised as a completed run's
+    /// would be: wall time measured since construction, modelled platform
+    /// overhead applied by the configured cost model.
+    pub fn stats(&self) -> EngineStats {
+        let mut stats = self.stats.clone();
+        stats.total_wall_time = self.started.elapsed();
         stats.modelled_platform_overhead = self.config.cost_model.overhead(&stats);
-        let states = states.into_iter().map(|s| s.expect("state present")).collect();
+        stats
+    }
+
+    /// Finishes the run, returning final states and finalised statistics.
+    pub fn into_outcome(self) -> RunOutcome<P::State> {
+        let stats = self.stats();
+        let states = self.states.into_iter().map(|s| s.expect("state present")).collect();
         RunOutcome { states, stats }
     }
 }
@@ -270,9 +367,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_fixed_workers_rejected_at_construction() {
-        let _ = BspConfig::with_workers(0);
+    fn zero_fixed_workers_falls_back_to_one_worker_per_partition() {
+        // `with_workers(0)` used to panic via the NonZeroUsize construction;
+        // it now degrades to the adaptive per-partition policy.
+        let config = BspConfig::with_workers(0);
+        assert_eq!(config.workers, WorkerCount::PerPartition);
+        assert_eq!(config.resolved_workers(5), 5);
+        assert_eq!(config.resolved_workers(0), 1);
+        let engine = BspEngine::new(config);
+        let outcome = engine.run(&HaltNow, vec![(); 3]);
+        assert_eq!(outcome.stats.num_workers, 3);
+        assert_eq!(outcome.stats.num_supersteps(), 1);
+    }
+
+    #[test]
+    fn stepped_run_matches_free_running_engine() {
+        let program = RingSum { rounds: 3, num_partitions: 4 };
+        let free = BspEngine::new(BspConfig::with_workers(2)).run(&program, vec![0u64; 4]);
+
+        let mut run = StepRun::new(BspConfig::with_workers(2), &program, vec![0u64; 4]);
+        let mut steps = 0;
+        while run.step() {
+            steps += 1;
+            // Mid-run snapshots stay consistent with the steps taken.
+            assert_eq!(run.stats().num_supersteps(), steps);
+        }
+        assert!(!run.is_active());
+        assert!(!run.step(), "stepping an inactive run is a no-op");
+        let stepped = run.into_outcome();
+
+        assert_eq!(stepped.states, free.states);
+        assert_eq!(stepped.stats.num_supersteps(), free.stats.num_supersteps());
+        assert_eq!(stepped.stats.total_messages(), free.stats.total_messages());
+        assert_eq!(stepped.stats.num_workers, free.stats.num_workers);
+    }
+
+    #[test]
+    fn stepped_run_respects_superstep_bound() {
+        let mut run = StepRun::new(BspConfig::with_workers(1).with_max_supersteps(4), NeverHalt, vec![0u32; 2]);
+        while run.step() {}
+        let outcome = run.into_outcome();
+        assert_eq!(outcome.stats.num_supersteps(), 4);
+        assert_eq!(outcome.states, vec![4, 4]);
     }
 
     #[test]

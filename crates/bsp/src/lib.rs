@@ -42,7 +42,7 @@ pub mod vertex;
 pub mod worker;
 
 pub use cost_model::PlatformCostModel;
-pub use engine::{BspConfig, BspEngine, RunOutcome, WorkerCount};
+pub use engine::{BspConfig, BspEngine, RunOutcome, StepRun, WorkerCount};
 pub use memory::{MemoryTimeline, MemoryTracker};
 pub use message::{Envelope, WorkerId};
 pub use program::{PartitionContext, PartitionProgram, VertexContext, VertexProgram};

@@ -86,6 +86,22 @@ pub trait PartitionProgram: Sync {
     ) -> Vec<Envelope>;
 }
 
+/// A shared reference to a program is itself a program, so drivers like
+/// [`crate::engine::StepRun`] can either own their program or borrow one
+/// (as [`crate::engine::BspEngine::run`] does).
+impl<P: PartitionProgram + ?Sized> PartitionProgram for &P {
+    type State = P::State;
+
+    fn superstep(
+        &self,
+        ctx: &mut PartitionContext,
+        state: &mut Self::State,
+        messages: Vec<Envelope>,
+    ) -> Vec<Envelope> {
+        (**self).superstep(ctx, state, messages)
+    }
+}
+
 /// Context handed to a [`VertexProgram`] for one vertex in one superstep.
 #[derive(Debug)]
 pub struct VertexContext {

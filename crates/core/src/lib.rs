@@ -29,11 +29,16 @@
 //! [`memory_model`] so the Fig.-8 comparison (current / ideal / proposed) can
 //! be regenerated either way.
 //!
-//! The top-level entry points are [`find_euler_circuit`] (in-process,
-//! rayon-parallel across partitions within a level) and
-//! [`runner::DistributedRunner`] (executes the same phases on the
+//! The top-level entry point is the [`pipeline`] module's [`EulerPipeline`]:
+//! a builder over a graph source, a partitioner, a merge strategy and an
+//! [`ExecutionBackend`] — [`InProcessBackend`] (rayon-parallel across the
+//! partitions of a level) or [`BspBackend`] (the same phases on the
 //! `euler-bsp` engine with per-worker state, serialised transfers and
-//! superstep statistics).
+//! superstep statistics). Both backends execute through one shared
+//! merge-tree walk ([`pipeline::run_with_backend`]) and produce one unified
+//! [`RunReport`]. The pre-pipeline drivers (`find_euler_circuit`,
+//! `run_partitioned`, `DistributedRunner`) survive in [`runner`] as
+//! deprecated wrappers.
 
 #![warn(missing_docs)]
 
@@ -47,6 +52,7 @@ pub mod pathmap;
 pub mod phase1;
 pub mod phase2;
 pub mod phase3;
+pub mod pipeline;
 pub mod runner;
 pub mod state;
 pub mod verify;
@@ -58,8 +64,11 @@ pub use merge_strategy::MergeStrategy;
 pub use merge_tree::{MergePair, MergeTree, MergeTreeNode};
 pub use pathmap::PathMap;
 pub use phase3::{CircuitResult, CircuitStep};
-pub use runner::{
-    find_euler_circuit, run_partitioned, DistributedOutcome, DistributedRunner, LevelPartitionReport,
-    RunReport,
+pub use pipeline::{
+    run_with_backend, BspBackend, CircuitStage, EulerPipeline, EulerPipelineBuilder,
+    ExecutionBackend, InProcessBackend, LevelOutcome, LevelPartitionReport, LevelWork, MergeStage,
+    PartitionStage, PipelineRun, RunReport,
 };
+#[allow(deprecated)]
+pub use runner::{find_euler_circuit, run_partitioned, DistributedOutcome, DistributedRunner};
 pub use state::{VertexTypeCounts, WorkingPartition};

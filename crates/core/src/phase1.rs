@@ -38,7 +38,7 @@
 //!
 //! The inner traversal loop performs no `HashMap`/`BTreeSet` operations at
 //! all. The original hash-map implementation is preserved unchanged in
-//! [`reference`] and the two are proven bit-identical (same fragments, same
+//! [`reference`](mod@reference) and the two are proven bit-identical (same fragments, same
 //! `PathMap`, same residual partition state) by the property tests in
 //! `tests/property_circuit.rs`.
 //!

@@ -1,0 +1,1228 @@
+//! The unified Euler pipeline: one merge-tree walk, pluggable execution
+//! backends, staged outputs.
+//!
+//! The paper's algorithm is a single pipeline — load the graph, partition it,
+//! run the Phase-1/2 merge tree, unroll the circuit in Phase 3 — that the
+//! paper separates cleanly from its Spark substrate. This module mirrors that
+//! separation:
+//!
+//! * [`EulerPipeline`] is the session-style entry point: a builder
+//!   (`EulerPipeline::builder().source(..).partitioner(..).strategy(..)
+//!   .backend(..).build()`) producing a [`PipelineRun`] whose typed stages
+//!   ([`PartitionStage`] → [`MergeStage`] → [`CircuitStage`]) each carry
+//!   their slice of the unified [`RunReport`].
+//! * [`ExecutionBackend`] is the substrate seam. The merge-tree walk lives
+//!   *here*, in [`run_with_backend`]; a backend only executes one level at a
+//!   time ([`ExecutionBackend::run_level`]). [`InProcessBackend`] fans the
+//!   level's partitions out on rayon threads; [`BspBackend`] executes the
+//!   level as one superstep of the `euler-bsp` engine (serialised transfers,
+//!   shuffle accounting, per-partition time splits), stepping the engine via
+//!   [`euler_bsp::StepRun`].
+//! * [`euler_graph::GraphSource`] is the input seam (see
+//!   [`EulerPipelineBuilder::source`]): in-memory graphs, chunked edge-list
+//!   files, and — per the W-streaming Euler-tour line of work — whatever
+//!   edge-streaming loader comes next, without either backend changing.
+//!
+//! The pre-redesign entry points (`find_euler_circuit`, `run_partitioned`,
+//! `DistributedRunner`) survive in [`crate::runner`] as deprecated wrappers
+//! over this module, so their test suites prove the pipeline behaves
+//! identically.
+
+use crate::config::EulerConfig;
+use crate::error::EulerError;
+use crate::fragment::FragmentStore;
+use crate::memory_model::{LevelTrace, PartitionLevelState};
+use crate::merge_strategy::MergeStrategy;
+use crate::merge_tree::{MergePair, MergeTree};
+use crate::phase1::{run_phase1, Phase1Output};
+use crate::phase2::{apply_remote_edge_dedup, merge_partitions, remote_edge_needed_level};
+use crate::phase3::{unroll, CircuitResult};
+use crate::state::{VertexTypeCounts, WorkingPartition};
+use crate::verify::verify_result;
+use euler_graph::{
+    properties, Graph, GraphSource, MetaGraph, PartitionAssignment, PartitionId, PartitionedGraph,
+};
+use euler_partition::Partitioner;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// The unified run report.
+// ---------------------------------------------------------------------------
+
+/// Per-partition, per-level record of one Phase-1 execution.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LevelPartitionReport {
+    /// Merge level (0 = leaf partitions).
+    pub level: u32,
+    /// Partition (current merged id).
+    pub partition: PartitionId,
+    /// Vertex/edge composition at the start of the level (Fig. 9).
+    pub counts: VertexTypeCounts,
+    /// The `|B|+|I|+|L|` complexity measure (Fig. 7 x-axis).
+    pub complexity: u64,
+    /// Measured Phase-1 time (Fig. 7 y-axis).
+    pub phase1_time: Duration,
+    /// Time spent merging child partitions into this one before Phase 1
+    /// (zero at level 0).
+    pub merge_time: Duration,
+    /// Active in-memory state in Longs at the start of the level, under the
+    /// configured merge strategy (Fig. 8).
+    pub memory_longs: u64,
+    /// Remote edges that become local at this level's merge (input to the
+    /// deferred-transfer model).
+    pub remote_needed_now: u64,
+    /// Longs received from merged children at the start of this level.
+    pub transfer_in_longs: u64,
+    /// Paths (OB-pairs) found by Phase 1.
+    pub paths_found: u64,
+    /// Standalone cycles found by Phase 1.
+    pub cycles_found: u64,
+    /// Internal cycles spliced into earlier fragments.
+    pub internal_cycles_merged: u64,
+}
+
+/// Full report of one pipeline run — the same record for every backend.
+///
+/// The in-process and BSP drivers used to produce disjoint reports (a
+/// `RunReport` vs. bare engine statistics); the shared merge-tree walk now
+/// assembles this unified report for both, and a BSP run additionally carries
+/// its engine statistics in [`RunReport::engine`].
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Number of leaf partitions.
+    pub num_partitions: u32,
+    /// Number of Phase-1 rounds executed (the coordination cost, §3.5).
+    pub supersteps: u32,
+    /// Merge strategy used.
+    pub strategy: MergeStrategy,
+    /// Per-partition, per-level records.
+    pub per_partition: Vec<LevelPartitionReport>,
+    /// Total wall time of phases 1–2.
+    pub phase12_time: Duration,
+    /// Wall time of Phase 3.
+    pub phase3_time: Duration,
+    /// Total Longs shipped between partitions across all merges.
+    pub total_transfer_longs: u64,
+    /// Longs written to the fragment store ("disk").
+    pub fragment_disk_longs: u64,
+    /// The merge tree used.
+    pub merge_tree: MergeTree,
+    /// Name of the execution backend that ran the merge-tree walk.
+    pub backend: String,
+    /// BSP engine statistics (superstep wall/compute splits, shuffle bytes,
+    /// modelled platform overhead) when the run executed on [`BspBackend`];
+    /// `None` for in-process runs.
+    pub engine: Option<euler_bsp::EngineStats>,
+}
+
+impl RunReport {
+    /// Records for one level.
+    pub fn level(&self, level: u32) -> Vec<&LevelPartitionReport> {
+        self.per_partition.iter().filter(|r| r.level == level).collect()
+    }
+
+    /// Cumulative active memory (Longs) per level — the solid lines of Fig. 8.
+    pub fn cumulative_memory_by_level(&self) -> Vec<u64> {
+        (0..self.supersteps)
+            .map(|l| self.level(l).iter().map(|r| r.memory_longs).sum())
+            .collect()
+    }
+
+    /// Average active memory per partition per level — the dashed lines of Fig. 8.
+    pub fn average_memory_by_level(&self) -> Vec<f64> {
+        (0..self.supersteps)
+            .map(|l| {
+                let rs = self.level(l);
+                if rs.is_empty() {
+                    0.0
+                } else {
+                    rs.iter().map(|r| r.memory_longs).sum::<u64>() as f64 / rs.len() as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Converts the report into the per-level trace consumed by the
+    /// analytical memory model (Fig. 8 current/ideal/proposed).
+    pub fn level_trace(&self) -> Vec<LevelTrace> {
+        (0..self.supersteps)
+            .map(|l| LevelTrace {
+                level: l,
+                partitions: self
+                    .level(l)
+                    .iter()
+                    .map(|r| PartitionLevelState {
+                        vertices: r.counts.total_vertices(),
+                        local_edges: r.counts.local_edges,
+                        remote_edges: r.counts.remote_edges,
+                        remote_needed_now: r.remote_needed_now,
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Total user compute time (Phase 1 + merging) across all partitions.
+    pub fn total_compute_time(&self) -> Duration {
+        self.per_partition.iter().map(|r| r.phase1_time + r.merge_time).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared accounting helpers (used by both backends).
+// ---------------------------------------------------------------------------
+
+/// Accounts the active in-memory Longs of a partition under a merge strategy.
+pub(crate) fn active_memory_longs(
+    wp: &WorkingPartition,
+    tree: &MergeTree,
+    level: u32,
+    strategy: MergeStrategy,
+) -> u64 {
+    let counts = wp.vertex_type_counts();
+    let base = counts.total_vertices() + 3 * counts.local_edges;
+    let remote = match strategy {
+        MergeStrategy::Duplicated | MergeStrategy::Deduplicated => counts.remote_edges,
+        MergeStrategy::Deferred => wp
+            .remote_edges
+            .iter()
+            .filter(|r| remote_edge_needed_level(tree, r) <= level)
+            .count() as u64,
+    };
+    base + 4 * remote
+}
+
+/// Longs shipped when this partition's state is sent to its merge parent.
+pub(crate) fn transfer_longs(
+    wp: &WorkingPartition,
+    tree: &MergeTree,
+    level: u32,
+    strategy: MergeStrategy,
+) -> u64 {
+    let remote = match strategy {
+        MergeStrategy::Duplicated | MergeStrategy::Deduplicated => wp.remote_edges.len() as u64,
+        MergeStrategy::Deferred => wp
+            .remote_edges
+            .iter()
+            .filter(|r| remote_edge_needed_level(tree, r) <= level)
+            .count() as u64,
+    };
+    3 * wp.local_edges.len() as u64 + 4 * remote + 4
+}
+
+/// Remote edges that become local exactly at `level`'s merge.
+pub(crate) fn remote_needed_now(wp: &WorkingPartition, tree: &MergeTree, level: u32) -> u64 {
+    wp.remote_edges.iter().filter(|r| remote_edge_needed_level(tree, r) == level).count() as u64
+}
+
+// ---------------------------------------------------------------------------
+// The execution-backend seam.
+// ---------------------------------------------------------------------------
+
+/// One level of the merge-tree walk, handed to a backend for execution.
+///
+/// A level consists of a Phase-1 run on every live partition followed by the
+/// Phase-2 merges in [`LevelWork::pairs`] (empty at the root level). The
+/// partition states live *inside* the backend between levels — like executors
+/// holding partition state on a cluster — and are seeded exactly once, at
+/// level 0, through [`LevelWork::seed`].
+pub struct LevelWork<'a> {
+    /// Merge level to execute (0 = leaf partitions). The walk runs levels
+    /// `0..tree.num_supersteps()`.
+    pub level: u32,
+    /// Merges planned for this level (empty at the last level).
+    pub pairs: &'a [MergePair],
+    /// The merge tree being walked.
+    pub tree: &'a MergeTree,
+    /// Fragment store Phase 1 persists into.
+    pub store: &'a FragmentStore,
+    /// Algorithm configuration.
+    pub config: &'a EulerConfig,
+    /// Level-0 partition states, sorted by ascending partition id. `Some` on
+    /// the first level of a run, `None` afterwards; receiving a new seed
+    /// resets any state the backend kept from a previous run.
+    pub seed: Option<Vec<WorkingPartition>>,
+}
+
+/// What a backend reports back from one level.
+#[derive(Clone, Debug, Default)]
+pub struct LevelOutcome {
+    /// One record per partition that ran Phase 1 this level, ascending by
+    /// partition id.
+    pub reports: Vec<LevelPartitionReport>,
+    /// Longs shipped to merge parents by the merges initiated this level.
+    pub transfer_longs: u64,
+}
+
+/// An execution substrate for the merge-tree walk.
+///
+/// The walk itself ([`run_with_backend`]) is backend-independent: it plans
+/// the levels, seeds the backend once, calls
+/// [`run_level`](ExecutionBackend::run_level) per level and assembles the
+/// unified [`RunReport`]. Implementations decide *how* a level's Phase-1 runs
+/// and Phase-2 merges execute: on rayon threads in this process
+/// ([`InProcessBackend`]) or as supersteps of the BSP engine
+/// ([`BspBackend`]). The trait is object-safe; pipelines hold
+/// `Box<dyn ExecutionBackend>`.
+pub trait ExecutionBackend {
+    /// Short backend name, recorded in [`RunReport::backend`].
+    fn name(&self) -> &'static str;
+
+    /// Executes one level: Phase 1 on every live partition, then the level's
+    /// merges, keeping the resulting states for the next call.
+    fn run_level(&self, work: LevelWork<'_>) -> LevelOutcome;
+
+    /// Engine statistics accumulated over the walk, for backends that run on
+    /// an engine that collects them (the BSP backend). Called by the walk
+    /// after the last level.
+    fn engine_stats(&self) -> Option<euler_bsp::EngineStats> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-process backend (rayon).
+// ---------------------------------------------------------------------------
+
+/// State the in-process backend keeps between levels.
+#[derive(Default)]
+struct InProcessState {
+    states: Vec<WorkingPartition>,
+    /// Merge time and shipped Longs awaiting attribution to the merged
+    /// partition's record at the next level.
+    pending: HashMap<PartitionId, (Duration, u64)>,
+}
+
+/// Executes levels in this process: Phase 1 of a level's partitions runs
+/// concurrently on rayon threads (unless
+/// [`EulerConfig::parallel_within_level`] is off), merges run sequentially.
+///
+/// This backend absorbs the pre-redesign `run_partitioned` driver; it
+/// produces the detailed per-level, per-partition quantities the paper's
+/// Figs. 6–9 are built from. Within a level, partitions execute in ascending
+/// partition-id order (the BSP engine's slot order), so sequential runs of
+/// both backends persist fragments identically.
+#[derive(Default)]
+pub struct InProcessBackend {
+    inner: RefCell<InProcessState>,
+}
+
+impl InProcessBackend {
+    /// Creates the backend. One instance serves one pipeline run at a time;
+    /// re-seeding (a new run) resets it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ExecutionBackend for InProcessBackend {
+    fn name(&self) -> &'static str {
+        "in-process"
+    }
+
+    fn run_level(&self, work: LevelWork<'_>) -> LevelOutcome {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(seed) = work.seed {
+            *inner = InProcessState { states: seed, pending: HashMap::new() };
+        }
+        let st = &mut *inner;
+        // Deterministic execution order: ascending partition id.
+        st.states.sort_by_key(|s| s.id);
+
+        let level = work.level;
+        let strategy = work.config.merge_strategy;
+        let tree = work.tree;
+        let store = work.store;
+
+        // --- Phase 1 on all active partitions of this level. ---------------
+        let run_one = |wp: &mut WorkingPartition| -> (PartitionId, u64, u64, Phase1Output, Duration) {
+            let memory = active_memory_longs(wp, tree, level, strategy);
+            let needed_now = remote_needed_now(wp, tree, level);
+            let t0 = Instant::now();
+            let out = run_phase1(wp, store);
+            (wp.id, memory, needed_now, out, t0.elapsed())
+        };
+        let outputs: Vec<(PartitionId, u64, u64, Phase1Output, Duration)> =
+            if work.config.parallel_within_level {
+                st.states.par_iter_mut().map(run_one).collect()
+            } else {
+                st.states.iter_mut().map(run_one).collect()
+            };
+        let mut reports = Vec::with_capacity(outputs.len());
+        for (pid, memory, needed_now, out, elapsed) in outputs {
+            let (merge_time, transfer_in) = st.pending.remove(&pid).unwrap_or_default();
+            reports.push(LevelPartitionReport {
+                level,
+                partition: pid,
+                counts: out.counts_before,
+                complexity: out.complexity,
+                phase1_time: elapsed,
+                merge_time,
+                memory_longs: memory,
+                remote_needed_now: needed_now,
+                transfer_in_longs: transfer_in,
+                paths_found: out.path_map.num_paths() as u64,
+                cycles_found: out.path_map.num_cycles() as u64,
+                internal_cycles_merged: out.path_map.internal_cycles_merged,
+            });
+        }
+
+        // --- Phase 2: merge the pairs planned for this level. ---------------
+        let mut shipped_total = 0u64;
+        for pair in work.pairs {
+            let child_idx = st.states.iter().position(|s| s.id == pair.child);
+            let has_parent = st.states.iter().any(|s| s.id == pair.parent);
+            let Some(child_idx) = child_idx.filter(|_| has_parent) else {
+                continue;
+            };
+            let child = st.states.swap_remove(child_idx);
+            // Locate the parent after the swap_remove above.
+            let parent_idx =
+                st.states.iter().position(|s| s.id == pair.parent).expect("parent present");
+            let parent = st.states.swap_remove(parent_idx);
+            let shipped = transfer_longs(&child, tree, level, strategy);
+            shipped_total += shipped;
+            let t0 = Instant::now();
+            let (merged, _stats) = merge_partitions(parent, child, tree, level);
+            let merge_elapsed = t0.elapsed();
+            let entry = st.pending.entry(merged.id).or_default();
+            entry.0 += merge_elapsed;
+            entry.1 += shipped;
+            st.states.push(merged);
+        }
+        // Unmerged partitions are carried to the next level unchanged.
+        for s in &mut st.states {
+            if s.level == level {
+                s.level = level + 1;
+            }
+        }
+
+        LevelOutcome { reports, transfer_longs: shipped_total }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BSP backend (euler-bsp engine).
+// ---------------------------------------------------------------------------
+
+/// Wire encoding of a [`WorkingPartition`] as a flat u64 sequence, used for
+/// the byte-accounted transfers of the BSP backend.
+mod wire {
+    use super::*;
+    use crate::fragment::FragmentId;
+    use crate::state::{EdgeRef, LocalEdge, RemoteRef};
+    use euler_graph::{EdgeId, VertexId};
+
+    pub fn encode(wp: &WorkingPartition) -> Vec<u64> {
+        let mut out = Vec::with_capacity(6 + wp.leaves.len() + 4 * wp.local_edges.len() + 5 * wp.remote_edges.len());
+        out.push(wp.id.0 as u64);
+        out.push(wp.level as u64);
+        out.push(wp.isolated_vertices);
+        out.push(wp.local_edges.len() as u64);
+        out.push(wp.remote_edges.len() as u64);
+        out.push(wp.leaves.len() as u64);
+        for l in &wp.leaves {
+            out.push(l.0 as u64);
+        }
+        for e in &wp.local_edges {
+            match e.edge {
+                EdgeRef::Real(id) => {
+                    out.push(0);
+                    out.push(id.0);
+                }
+                EdgeRef::Virtual(id) => {
+                    out.push(1);
+                    out.push(id.0);
+                }
+            }
+            out.push(e.u.0);
+            out.push(e.v.0);
+        }
+        for r in &wp.remote_edges {
+            out.push(r.edge.0);
+            out.push(r.local.0);
+            out.push(r.remote.0);
+            out.push(r.local_leaf.0 as u64);
+            out.push(r.remote_leaf.0 as u64);
+        }
+        out
+    }
+
+    pub fn decode(data: &[u64]) -> WorkingPartition {
+        let mut i = 0usize;
+        let mut next = || {
+            let v = data[i];
+            i += 1;
+            v
+        };
+        let id = PartitionId(next() as u32);
+        let level = next() as u32;
+        let isolated_vertices = next();
+        let n_local = next() as usize;
+        let n_remote = next() as usize;
+        let n_leaves = next() as usize;
+        let leaves = (0..n_leaves).map(|_| PartitionId(next() as u32)).collect();
+        let mut local_edges = Vec::with_capacity(n_local);
+        for _ in 0..n_local {
+            let tag = next();
+            let idv = next();
+            let u = VertexId(next());
+            let v = VertexId(next());
+            let edge = if tag == 0 { EdgeRef::Real(EdgeId(idv)) } else { EdgeRef::Virtual(FragmentId(idv)) };
+            local_edges.push(LocalEdge { edge, u, v });
+        }
+        let mut remote_edges = Vec::with_capacity(n_remote);
+        for _ in 0..n_remote {
+            remote_edges.push(RemoteRef {
+                edge: EdgeId(next()),
+                local: VertexId(next()),
+                remote: VertexId(next()),
+                local_leaf: PartitionId(next() as u32),
+                remote_leaf: PartitionId(next() as u32),
+            });
+        }
+        WorkingPartition { id, leaves, level, local_edges, remote_edges, isolated_vertices }
+    }
+}
+
+/// Per-engine-partition state of the BSP program.
+enum DistState {
+    Active(Box<WorkingPartition>),
+    Retired,
+}
+
+/// Per-level records collected by the program across its worker threads.
+#[derive(Default)]
+struct Ledger {
+    reports: Vec<LevelPartitionReport>,
+    transfer_longs: u64,
+}
+
+/// The partition program executing the walk on the engine: superstep `L`
+/// merges child states received from level `L-1`, runs Phase 1 for level
+/// `L`, and ships this partition's state to its merge parent when the tree
+/// retires it at `L`.
+struct DistProgram {
+    tree: MergeTree,
+    store: FragmentStore,
+    strategy: MergeStrategy,
+    height: u32,
+    ledger: Mutex<Ledger>,
+}
+
+impl euler_bsp::PartitionProgram for DistProgram {
+    type State = DistState;
+
+    fn superstep(
+        &self,
+        ctx: &mut euler_bsp::PartitionContext,
+        state: &mut DistState,
+        messages: Vec<euler_bsp::Envelope>,
+    ) -> Vec<euler_bsp::Envelope> {
+        let level = ctx.superstep;
+        let DistState::Active(wp) = state else {
+            ctx.vote_to_halt();
+            return vec![];
+        };
+
+        // Merge any child states received at the end of the previous level.
+        let mut merge_time = Duration::ZERO;
+        let mut transfer_in = 0u64;
+        for m in &messages {
+            let decoded = ctx.time("create_partition_object", || {
+                wire::decode(&euler_bsp::message::codec::decode_u64s(&m.payload))
+            });
+            transfer_in +=
+                transfer_longs(&decoded, &self.tree, level.saturating_sub(1), self.strategy);
+            let current = std::mem::take(wp.as_mut());
+            let t0 = Instant::now();
+            let merged = ctx.time("copy_sink_partition", || {
+                merge_partitions(current, decoded, &self.tree, level.saturating_sub(1)).0
+            });
+            merge_time += t0.elapsed();
+            **wp = merged;
+        }
+
+        // Phase 1 for this level.
+        let memory = active_memory_longs(wp, &self.tree, level, self.strategy);
+        let needed_now = remote_needed_now(wp, &self.tree, level);
+        let t1 = Instant::now();
+        let out = ctx.time("phase1_tour", || run_phase1(wp, &self.store));
+        let phase1_time = t1.elapsed();
+        ctx.report_memory_longs(wp.memory_longs());
+        self.ledger.lock().reports.push(LevelPartitionReport {
+            level,
+            partition: wp.id,
+            counts: out.counts_before,
+            complexity: out.complexity,
+            phase1_time,
+            merge_time,
+            memory_longs: memory,
+            remote_needed_now: needed_now,
+            transfer_in_longs: transfer_in,
+            paths_found: out.path_map.num_paths() as u64,
+            cycles_found: out.path_map.num_cycles() as u64,
+            internal_cycles_merged: out.path_map.internal_cycles_merged,
+        });
+
+        // Am I a child at this level? Then ship my state to the parent.
+        if level < self.height {
+            if let Some(pair) = self.tree.pairs_at(level).iter().find(|p| p.child == wp.id) {
+                let shipped = transfer_longs(wp, &self.tree, level, self.strategy);
+                self.ledger.lock().transfer_longs += shipped;
+                let parent = pair.parent;
+                let payload = ctx.time("copy_source_partition", || {
+                    euler_bsp::message::codec::encode_u64s(&wire::encode(wp))
+                });
+                let from = ctx.partition;
+                *state = DistState::Retired;
+                ctx.vote_to_halt();
+                return vec![euler_bsp::Envelope::new(from, parent.0, 0, payload)];
+            }
+            // Parent or carried-over partition: stay active for the next level.
+            return vec![];
+        }
+        // Root level reached: done.
+        ctx.vote_to_halt();
+        vec![]
+    }
+}
+
+/// Executes levels on the `euler-bsp` engine: one engine partition per graph
+/// partition, one superstep per merge level, children shipping their
+/// serialised state to their parent after each level.
+///
+/// This backend absorbs the pre-redesign `DistributedRunner`. On top of the
+/// unified [`RunReport`] it contributes the engine's superstep statistics
+/// (shuffle bytes, per-partition time splits, modelled platform overhead) via
+/// [`RunReport::engine`], which is what the Fig.-5/6 harnesses consume. The
+/// default engine configuration is one worker per partition — the paper's
+/// one-executor-per-partition deployment.
+pub struct BspBackend {
+    engine: euler_bsp::BspConfig,
+    run: RefCell<Option<euler_bsp::StepRun<DistProgram>>>,
+}
+
+impl BspBackend {
+    /// Backend over a one-worker-per-partition engine.
+    pub fn new() -> Self {
+        Self::with_engine(euler_bsp::BspConfig::one_worker_per_partition())
+    }
+
+    /// Backend over an explicitly configured engine (worker count, cost
+    /// model, superstep bound).
+    pub fn with_engine(engine: euler_bsp::BspConfig) -> Self {
+        BspBackend { engine, run: RefCell::new(None) }
+    }
+
+    /// The engine configuration.
+    pub fn engine(&self) -> &euler_bsp::BspConfig {
+        &self.engine
+    }
+}
+
+impl Default for BspBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExecutionBackend for BspBackend {
+    fn name(&self) -> &'static str {
+        "bsp"
+    }
+
+    fn run_level(&self, work: LevelWork<'_>) -> LevelOutcome {
+        let mut slot = self.run.borrow_mut();
+        if let Some(seed) = work.seed {
+            // Engine partition index i hosts graph partition i (leaf ids are
+            // contiguous; any gap is padded with a retired slot).
+            let slots = seed.iter().map(|s| s.id.0 as usize + 1).max().unwrap_or(0);
+            let mut initial: Vec<DistState> = (0..slots).map(|_| DistState::Retired).collect();
+            for wp in seed {
+                let slot = wp.id.0 as usize;
+                initial[slot] = DistState::Active(Box::new(wp));
+            }
+            let program = DistProgram {
+                tree: work.tree.clone(),
+                store: work.store.clone(),
+                strategy: work.config.merge_strategy,
+                height: work.tree.height(),
+                ledger: Mutex::new(Ledger::default()),
+            };
+            *slot = Some(euler_bsp::StepRun::new(self.engine, program, initial));
+        }
+        let run = slot.as_mut().expect("the pipeline seeds the backend at level 0");
+        let ran = run.step();
+        // An empty partition set legitimately has nothing to step; otherwise
+        // a refused step means the engine's superstep bound cut the walk
+        // short — surface that instead of silently skipping the level.
+        assert!(
+            ran || run.num_partitions() == 0,
+            "BSP engine stopped (superstep bound {} reached?) before merge level {} ran",
+            self.engine.max_supersteps,
+            work.level
+        );
+        let mut ledger = std::mem::take(&mut *run.program().ledger.lock());
+        // Worker threads race on the ledger; restore engine-slot order.
+        ledger.reports.sort_by_key(|r| r.partition);
+        debug_assert!(ledger.reports.iter().all(|r| r.level == work.level));
+        LevelOutcome { reports: ledger.reports, transfer_longs: ledger.transfer_longs }
+    }
+
+    fn engine_stats(&self) -> Option<euler_bsp::EngineStats> {
+        self.run.borrow().as_ref().map(|r| r.stats())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared merge-tree walk.
+// ---------------------------------------------------------------------------
+
+/// Runs the full three-phase algorithm over an already-partitioned graph on
+/// the given backend — the single merge-tree walk both backends execute
+/// through.
+///
+/// This is the mid-level entry point: it plans the merge tree, seeds the
+/// backend with the level-0 partition states, drives one
+/// [`ExecutionBackend::run_level`] call per level, unrolls Phase 3 and
+/// assembles the unified [`RunReport`]. Most callers want the higher-level
+/// [`EulerPipeline`] builder, which adds the [`GraphSource`] /
+/// [`Partitioner`] stages on top.
+pub fn run_with_backend(
+    g: &Graph,
+    assignment: &PartitionAssignment,
+    config: &EulerConfig,
+    backend: &dyn ExecutionBackend,
+) -> Result<(CircuitResult, RunReport), EulerError> {
+    if config.require_eulerian {
+        if let Some(v) = properties::odd_vertices(g).first() {
+            return Err(EulerError::Graph(euler_graph::GraphError::NotEulerian {
+                vertex: *v,
+                degree: g.degree(*v),
+            }));
+        }
+    }
+    let pg = PartitionedGraph::from_assignment(g, assignment)?;
+    let meta = MetaGraph::from_partitioned(&pg);
+    let tree = MergeTree::build(&meta);
+    let store = FragmentStore::new();
+
+    let mut states: Vec<WorkingPartition> =
+        pg.partitions().iter().map(WorkingPartition::from_partition).collect();
+    if config.merge_strategy.deduplicates() {
+        apply_remote_edge_dedup(&mut states);
+    }
+    states.sort_by_key(|s| s.id);
+
+    let mut report = RunReport {
+        num_partitions: pg.num_partitions(),
+        supersteps: tree.num_supersteps(),
+        strategy: config.merge_strategy,
+        merge_tree: tree.clone(),
+        backend: backend.name().to_string(),
+        ..Default::default()
+    };
+
+    let t_run = Instant::now();
+    let mut seed = Some(states);
+    for level in 0..tree.num_supersteps() {
+        let outcome = backend.run_level(LevelWork {
+            level,
+            pairs: tree.pairs_at(level),
+            tree: &tree,
+            store: &store,
+            config,
+            seed: seed.take(),
+        });
+        report.per_partition.extend(outcome.reports);
+        report.total_transfer_longs += outcome.transfer_longs;
+    }
+    report.phase12_time = t_run.elapsed();
+    // Snapshot engine statistics now, before Phase 3, so the engine's wall
+    // time covers only the superstep walk (as the free-running engine's did).
+    report.engine = backend.engine_stats();
+
+    // --- Phase 3: unroll the fragments into the circuit. --------------------
+    let t3 = Instant::now();
+    let result = unroll(&store);
+    report.phase3_time = t3.elapsed();
+    report.fragment_disk_longs = store.disk_longs();
+
+    if config.verify {
+        verify_result(g, &result)?;
+    }
+    Ok((result, report))
+}
+
+// ---------------------------------------------------------------------------
+// The EulerPipeline builder and its staged outputs.
+// ---------------------------------------------------------------------------
+
+/// How the pipeline obtains its partition assignment.
+enum PartitionSpec {
+    /// Use a precomputed assignment verbatim.
+    Assignment(PartitionAssignment),
+    /// Run a partitioner over the loaded graph.
+    Partitioner(Box<dyn Partitioner>),
+}
+
+/// Builder for [`EulerPipeline`]. Obtain one via [`EulerPipeline::builder`].
+///
+/// A source and a partition specification are required; the backend defaults
+/// to [`InProcessBackend`] and the configuration to [`EulerConfig::default`].
+#[derive(Default)]
+pub struct EulerPipelineBuilder {
+    source: Option<Box<dyn GraphSource>>,
+    partition: Option<PartitionSpec>,
+    config: EulerConfig,
+    backend: Option<Box<dyn ExecutionBackend>>,
+}
+
+impl EulerPipelineBuilder {
+    /// Sets the graph input source ([`euler_graph::InMemorySource`],
+    /// [`euler_graph::EdgeListFileSource`], or any custom [`GraphSource`]).
+    pub fn source(mut self, source: impl GraphSource + 'static) -> Self {
+        self.source = Some(Box::new(source));
+        self
+    }
+
+    /// Convenience: use a copy of `graph` as the input (an
+    /// [`euler_graph::InMemorySource`]). The clone happens once, here;
+    /// [`EulerPipeline::run`] borrows the resident graph.
+    pub fn graph(self, graph: &Graph) -> Self {
+        self.source(euler_graph::InMemorySource::new(graph.clone()))
+    }
+
+    /// Partitions the loaded graph with `partitioner` (any
+    /// [`euler_partition::Partitioner`]).
+    pub fn partitioner(mut self, partitioner: impl Partitioner + 'static) -> Self {
+        self.partition = Some(PartitionSpec::Partitioner(Box::new(partitioner)));
+        self
+    }
+
+    /// Uses a precomputed partition assignment instead of a partitioner.
+    pub fn assignment(mut self, assignment: PartitionAssignment) -> Self {
+        self.partition = Some(PartitionSpec::Assignment(assignment));
+        self
+    }
+
+    /// Replaces the whole algorithm configuration. Call before the per-field
+    /// tweaks ([`strategy`](Self::strategy), [`verify`](Self::verify),
+    /// [`sequential`](Self::sequential)) or they are overwritten.
+    pub fn config(mut self, config: EulerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the remote-edge merge strategy (§5 of the paper).
+    pub fn strategy(mut self, strategy: MergeStrategy) -> Self {
+        self.config.merge_strategy = strategy;
+        self
+    }
+
+    /// Verifies the reconstructed circuit against the input graph before
+    /// returning (every edge exactly once, chained, closed).
+    pub fn verify(mut self, yes: bool) -> Self {
+        self.config.verify = yes;
+        self
+    }
+
+    /// Disables intra-level parallelism (one partition at a time, in
+    /// ascending id order) — easier to profile, and deterministic.
+    pub fn sequential(mut self) -> Self {
+        self.config.parallel_within_level = false;
+        self
+    }
+
+    /// Sets the execution backend. Defaults to [`InProcessBackend`].
+    pub fn backend(mut self, backend: impl ExecutionBackend + 'static) -> Self {
+        self.backend = Some(Box::new(backend));
+        self
+    }
+
+    /// Builds the pipeline.
+    ///
+    /// # Errors
+    /// [`EulerError::InvalidConfig`] when no source or no partition
+    /// specification was given.
+    pub fn build(self) -> Result<EulerPipeline, EulerError> {
+        let source = self.source.ok_or_else(|| {
+            EulerError::InvalidConfig("pipeline needs a graph source (`.source(..)` or `.graph(..)`)".into())
+        })?;
+        let partition = self.partition.ok_or_else(|| {
+            EulerError::InvalidConfig(
+                "pipeline needs a partitioner (`.partitioner(..)`) or assignment (`.assignment(..)`)".into(),
+            )
+        })?;
+        Ok(EulerPipeline {
+            source,
+            partition,
+            config: self.config,
+            backend: self.backend.unwrap_or_else(|| Box::new(InProcessBackend::new())),
+        })
+    }
+}
+
+/// The unified entry point to the partition-centric Euler circuit algorithm:
+/// load (via a [`GraphSource`]) → partition (via a [`Partitioner`] or a fixed
+/// assignment) → Phase-1/2 merge tree (on an [`ExecutionBackend`]) → Phase-3
+/// unroll.
+///
+/// ```
+/// use euler_core::{EulerPipeline, InProcessBackend, MergeStrategy};
+/// use euler_graph::builder::graph_from_edges;
+/// use euler_partition::LdgPartitioner;
+///
+/// let graph = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]);
+/// let run = EulerPipeline::builder()
+///     .graph(&graph)
+///     .partitioner(LdgPartitioner::new(2))
+///     .strategy(MergeStrategy::Deferred)
+///     .backend(InProcessBackend::new())
+///     .verify(true)
+///     .build()
+///     .unwrap()
+///     .run()
+///     .unwrap();
+/// assert_eq!(run.circuit.result.total_edges(), 6);
+/// ```
+pub struct EulerPipeline {
+    source: Box<dyn GraphSource>,
+    partition: PartitionSpec,
+    config: EulerConfig,
+    backend: Box<dyn ExecutionBackend>,
+}
+
+impl std::fmt::Debug for EulerPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EulerPipeline")
+            .field("source", &self.source.name())
+            .field(
+                "partition",
+                &match &self.partition {
+                    PartitionSpec::Assignment(a) => format!("pre-assigned ({} parts)", a.num_partitions()),
+                    PartitionSpec::Partitioner(p) => p.name().to_string(),
+                },
+            )
+            .field("config", &self.config)
+            .field("backend", &self.backend.name())
+            .finish()
+    }
+}
+
+impl EulerPipeline {
+    /// Starts building a pipeline.
+    pub fn builder() -> EulerPipelineBuilder {
+        EulerPipelineBuilder::default()
+    }
+
+    /// The algorithm configuration this pipeline runs with.
+    pub fn config(&self) -> &EulerConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline, producing the staged outputs.
+    pub fn run(&self) -> Result<PipelineRun, EulerError> {
+        let t_load = Instant::now();
+        let loaded;
+        let graph: &Graph = match self.source.resident() {
+            Some(g) => g,
+            None => {
+                loaded = self.source.load()?;
+                &loaded
+            }
+        };
+        let load_time = t_load.elapsed();
+
+        let t_part = Instant::now();
+        let (assignment, partitioner) = match &self.partition {
+            PartitionSpec::Assignment(a) => (a.clone(), "pre-assigned".to_string()),
+            PartitionSpec::Partitioner(p) => (p.partition(graph), p.name().to_string()),
+        };
+        let partition_time = t_part.elapsed();
+
+        let (result, report) = run_with_backend(graph, &assignment, &self.config, self.backend.as_ref())?;
+        let RunReport {
+            num_partitions,
+            supersteps,
+            strategy,
+            per_partition,
+            phase12_time,
+            phase3_time,
+            total_transfer_longs,
+            fragment_disk_longs,
+            merge_tree,
+            backend,
+            engine,
+        } = report;
+        Ok(PipelineRun {
+            partition: PartitionStage {
+                source: self.source.name(),
+                load_time,
+                partitioner,
+                partition_time,
+                num_vertices: graph.num_vertices(),
+                num_edges: graph.num_edges(),
+                num_partitions,
+                assignment,
+            },
+            merge: MergeStage {
+                supersteps,
+                strategy,
+                backend,
+                per_partition,
+                phase12_time,
+                total_transfer_longs,
+                merge_tree,
+                engine,
+            },
+            circuit: CircuitStage { result, phase3_time, fragment_disk_longs },
+        })
+    }
+}
+
+/// Output of the load + partition stage.
+#[derive(Clone, Debug)]
+pub struct PartitionStage {
+    /// Description of the graph source.
+    pub source: String,
+    /// Time to obtain the graph from the source (zero-ish for resident
+    /// in-memory sources).
+    pub load_time: Duration,
+    /// Name of the partitioner, or `"pre-assigned"` for a fixed assignment.
+    pub partitioner: String,
+    /// Time spent partitioning.
+    pub partition_time: Duration,
+    /// Vertices in the loaded graph.
+    pub num_vertices: u64,
+    /// Edges in the loaded graph.
+    pub num_edges: u64,
+    /// Number of leaf partitions.
+    pub num_partitions: u32,
+    /// The assignment the run executed with.
+    pub assignment: PartitionAssignment,
+}
+
+/// Output of the Phase-1/2 merge-tree stage — the per-level slice of the
+/// [`RunReport`].
+#[derive(Clone, Debug)]
+pub struct MergeStage {
+    /// Number of Phase-1 rounds executed (the coordination cost, §3.5).
+    pub supersteps: u32,
+    /// Merge strategy used.
+    pub strategy: MergeStrategy,
+    /// Name of the execution backend.
+    pub backend: String,
+    /// Per-partition, per-level records.
+    pub per_partition: Vec<LevelPartitionReport>,
+    /// Total wall time of phases 1–2.
+    pub phase12_time: Duration,
+    /// Total Longs shipped between partitions across all merges.
+    pub total_transfer_longs: u64,
+    /// The merge tree walked.
+    pub merge_tree: MergeTree,
+    /// BSP engine statistics (present for [`BspBackend`] runs).
+    pub engine: Option<euler_bsp::EngineStats>,
+}
+
+/// Output of the Phase-3 unroll stage.
+#[derive(Clone, Debug)]
+pub struct CircuitStage {
+    /// The reconstructed circuit(s).
+    pub result: CircuitResult,
+    /// Wall time of Phase 3.
+    pub phase3_time: Duration,
+    /// Longs written to the fragment store ("disk").
+    pub fragment_disk_longs: u64,
+}
+
+/// The staged outputs of one pipeline run:
+/// [`PartitionStage`] → [`MergeStage`] → [`CircuitStage`].
+#[derive(Clone, Debug)]
+pub struct PipelineRun {
+    /// Load + partition stage.
+    pub partition: PartitionStage,
+    /// Phase-1/2 merge-tree stage.
+    pub merge: MergeStage,
+    /// Phase-3 unroll stage.
+    pub circuit: CircuitStage,
+}
+
+impl PipelineRun {
+    /// The reconstructed circuit(s).
+    pub fn result(&self) -> &CircuitResult {
+        &self.circuit.result
+    }
+
+    /// Consumes the run, returning just the circuit(s).
+    pub fn into_result(self) -> CircuitResult {
+        self.circuit.result
+    }
+
+    /// Reassembles the stages into the unified legacy-shaped [`RunReport`]
+    /// (per-level analysis helpers, Fig.-8 memory series, level traces).
+    pub fn report(&self) -> RunReport {
+        RunReport {
+            num_partitions: self.partition.num_partitions,
+            supersteps: self.merge.supersteps,
+            strategy: self.merge.strategy,
+            per_partition: self.merge.per_partition.clone(),
+            phase12_time: self.merge.phase12_time,
+            phase3_time: self.circuit.phase3_time,
+            total_transfer_longs: self.merge.total_transfer_longs,
+            fragment_disk_longs: self.circuit.fragment_disk_longs,
+            merge_tree: self.merge.merge_tree.clone(),
+            backend: self.merge.backend.clone(),
+            engine: self.merge.engine.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use euler_gen::synthetic;
+    use euler_partition::{HashPartitioner, LdgPartitioner, Partitioner};
+
+    fn builder_for(g: &Graph, parts: u32) -> EulerPipelineBuilder {
+        EulerPipeline::builder().graph(g).partitioner(LdgPartitioner::new(parts))
+    }
+
+    #[test]
+    fn builder_requires_source_and_partitioner() {
+        let g = synthetic::torus_grid(4, 4);
+        let err = EulerPipeline::builder().graph(&g).build().unwrap_err();
+        assert!(matches!(err, EulerError::InvalidConfig(_)));
+        let err = EulerPipeline::builder().partitioner(HashPartitioner::new(2)).build().unwrap_err();
+        assert!(matches!(err, EulerError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn pipeline_stages_carry_the_report_slices() {
+        let g = synthetic::torus_grid(8, 8);
+        let run = builder_for(&g, 4).verify(true).build().unwrap().run().unwrap();
+        // Partition stage.
+        assert!(run.partition.source.contains("in-memory"));
+        assert_eq!(run.partition.partitioner, "ldg");
+        assert_eq!(run.partition.num_partitions, 4);
+        assert_eq!(run.partition.num_edges, g.num_edges());
+        assert_eq!(run.partition.assignment.num_partitions(), 4);
+        // Merge stage: 4 partitions -> 3 supersteps, records at every level.
+        assert_eq!(run.merge.supersteps, 3);
+        assert_eq!(run.merge.backend, "in-process");
+        assert!(run.merge.engine.is_none());
+        assert!(run.merge.total_transfer_longs > 0);
+        // Circuit stage.
+        assert_eq!(run.circuit.result.total_edges(), g.num_edges());
+        assert!(run.circuit.fragment_disk_longs > 0);
+        // The reassembled unified report matches the stages.
+        let report = run.report();
+        assert_eq!(report.supersteps, 3);
+        assert_eq!(report.level(0).len(), 4);
+        assert_eq!(report.level(2).len(), 1);
+        assert_eq!(report.backend, "in-process");
+    }
+
+    #[test]
+    fn bsp_backend_carries_engine_stats() {
+        let g = synthetic::torus_grid(8, 8);
+        let run = builder_for(&g, 4).backend(BspBackend::new()).verify(true).build().unwrap().run().unwrap();
+        assert_eq!(run.merge.backend, "bsp");
+        let engine = run.merge.engine.as_ref().expect("bsp runs report engine stats");
+        // One engine superstep per merge level.
+        assert_eq!(engine.num_supersteps(), run.merge.supersteps);
+        assert!(engine.total_remote_bytes() > 0, "children ship state across workers");
+        assert_eq!(run.circuit.result.total_edges(), g.num_edges());
+        // The unified per-level report is populated identically in shape.
+        assert_eq!(run.report().level(0).len(), 4);
+    }
+
+    #[test]
+    fn backends_agree_on_circuits_and_transfers_when_sequential() {
+        let g = synthetic::random_eulerian_connected(120, 16, 6, 42);
+        let a = LdgPartitioner::new(4).partition(&g);
+        let config = EulerConfig::default().sequential();
+        let in_proc = EulerPipeline::builder()
+            .graph(&g)
+            .assignment(a.clone())
+            .config(config)
+            .backend(InProcessBackend::new())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let bsp = EulerPipeline::builder()
+            .graph(&g)
+            .assignment(a)
+            .config(config)
+            .backend(BspBackend::with_engine(euler_bsp::BspConfig::with_workers(1)))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(in_proc.circuit.result.circuits, bsp.circuit.result.circuits);
+        assert_eq!(in_proc.merge.total_transfer_longs, bsp.merge.total_transfer_longs);
+    }
+
+    #[test]
+    #[should_panic(expected = "superstep bound")]
+    fn bsp_backend_surfaces_an_exhausted_superstep_bound() {
+        // 4 partitions need 3 merge levels; a 1-superstep engine bound must
+        // fail loudly instead of silently skipping levels.
+        let g = synthetic::torus_grid(8, 8);
+        let _ = builder_for(&g, 4)
+            .backend(BspBackend::with_engine(
+                euler_bsp::BspConfig::one_worker_per_partition().with_max_supersteps(1),
+            ))
+            .build()
+            .unwrap()
+            .run();
+    }
+
+    #[test]
+    fn pipeline_reuses_a_backend_across_runs() {
+        // Two consecutive runs of the same pipeline object must reset the
+        // backend via the level-0 seed and produce identical results.
+        let g = synthetic::torus_grid(6, 6);
+        let pipeline = builder_for(&g, 2).build().unwrap();
+        let first = pipeline.run().unwrap();
+        let second = pipeline.run().unwrap();
+        assert_eq!(first.circuit.result.total_edges(), second.circuit.result.total_edges());
+        assert_eq!(first.merge.total_transfer_longs, second.merge.total_transfer_longs);
+        assert_eq!(first.merge.supersteps, second.merge.supersteps);
+    }
+
+    #[test]
+    fn file_source_feeds_the_pipeline() {
+        let g = synthetic::torus_grid(6, 6);
+        let dir = std::env::temp_dir().join("euler_pipeline_source_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torus.el");
+        euler_graph::io::write_edge_list_file(&g, &path).unwrap();
+        let run = EulerPipeline::builder()
+            .source(euler_graph::EdgeListFileSource::new(&path))
+            .partitioner(HashPartitioner::new(3))
+            .verify(true)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(run.partition.num_edges, g.num_edges());
+        assert_eq!(run.circuit.result.total_edges(), g.num_edges());
+        assert!(run.partition.source.contains("torus.el"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_eulerian_input_rejected_through_the_pipeline() {
+        let g = euler_graph::builder::graph_from_edges(&[(0, 1), (1, 2)]);
+        let err = builder_for(&g, 2).build().unwrap().run().unwrap_err();
+        assert!(matches!(err, EulerError::Graph(euler_graph::GraphError::NotEulerian { .. })));
+    }
+}

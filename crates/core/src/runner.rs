@@ -1,391 +1,50 @@
-//! Drivers that execute the full three-phase algorithm.
+//! Deprecated pre-pipeline entry points.
 //!
-//! Two runners share the same Phase-1/2/3 implementations:
-//!
-//! * [`find_euler_circuit`] / [`run_partitioned`] — the in-process runner.
-//!   Partitions of a level run concurrently on rayon threads; it produces a
-//!   detailed [`RunReport`] with the per-level, per-partition quantities the
-//!   paper's Figs. 6–9 are built from.
-//! * [`DistributedRunner`] — executes the same algorithm on the `euler-bsp`
-//!   engine: one engine partition per graph partition, one superstep per merge
-//!   level, children shipping their serialised state to their parent after
-//!   each level. It reports the engine's superstep statistics (shuffle bytes,
-//!   per-partition time splits, modelled platform overhead), which is what the
-//!   Fig.-5/6 harnesses consume.
+//! The two drivers that used to live here — the in-process
+//! [`find_euler_circuit`]/[`run_partitioned`] runner and the BSP-engine
+//! [`DistributedRunner`] — are now thin wrappers over the unified
+//! [`crate::pipeline`]: both delegate to the same merge-tree walk
+//! ([`crate::pipeline::run_with_backend`]) on [`InProcessBackend`] and
+//! [`BspBackend`] respectively. They are kept so existing callers (and this
+//! module's test suite) prove the pipeline behaves identically; new code
+//! should use [`EulerPipeline`](crate::pipeline::EulerPipeline) or
+//! [`crate::pipeline::run_with_backend`].
 
 use crate::config::EulerConfig;
 use crate::error::EulerError;
-use crate::fragment::FragmentStore;
-use crate::memory_model::{LevelTrace, PartitionLevelState};
-use crate::merge_strategy::MergeStrategy;
 use crate::merge_tree::MergeTree;
-use crate::phase1::{run_phase1, Phase1Output};
-use crate::phase2::{apply_remote_edge_dedup, merge_partitions, remote_edge_needed_level};
-use crate::phase3::{unroll, CircuitResult};
-use crate::state::{VertexTypeCounts, WorkingPartition};
-use crate::verify::verify_result;
-use euler_graph::{properties, Graph, MetaGraph, PartitionAssignment, PartitionId, PartitionedGraph};
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use std::time::{Duration, Instant};
-
-/// Per-partition, per-level record of one Phase-1 execution.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct LevelPartitionReport {
-    /// Merge level (0 = leaf partitions).
-    pub level: u32,
-    /// Partition (current merged id).
-    pub partition: PartitionId,
-    /// Vertex/edge composition at the start of the level (Fig. 9).
-    pub counts: VertexTypeCounts,
-    /// The `|B|+|I|+|L|` complexity measure (Fig. 7 x-axis).
-    pub complexity: u64,
-    /// Measured Phase-1 time (Fig. 7 y-axis).
-    pub phase1_time: Duration,
-    /// Time spent merging child partitions into this one before Phase 1
-    /// (zero at level 0).
-    pub merge_time: Duration,
-    /// Active in-memory state in Longs at the start of the level, under the
-    /// configured merge strategy (Fig. 8).
-    pub memory_longs: u64,
-    /// Remote edges that become local at this level's merge (input to the
-    /// deferred-transfer model).
-    pub remote_needed_now: u64,
-    /// Longs received from merged children at the start of this level.
-    pub transfer_in_longs: u64,
-    /// Paths (OB-pairs) found by Phase 1.
-    pub paths_found: u64,
-    /// Standalone cycles found by Phase 1.
-    pub cycles_found: u64,
-    /// Internal cycles spliced into earlier fragments.
-    pub internal_cycles_merged: u64,
-}
-
-/// Full report of one in-process run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
-pub struct RunReport {
-    /// Number of leaf partitions.
-    pub num_partitions: u32,
-    /// Number of Phase-1 rounds executed (the coordination cost, §3.5).
-    pub supersteps: u32,
-    /// Merge strategy used.
-    pub strategy: MergeStrategy,
-    /// Per-partition, per-level records.
-    pub per_partition: Vec<LevelPartitionReport>,
-    /// Total wall time of phases 1–2.
-    pub phase12_time: Duration,
-    /// Wall time of Phase 3.
-    pub phase3_time: Duration,
-    /// Total Longs shipped between partitions across all merges.
-    pub total_transfer_longs: u64,
-    /// Longs written to the fragment store ("disk").
-    pub fragment_disk_longs: u64,
-    /// The merge tree used.
-    pub merge_tree: MergeTree,
-}
-
-impl RunReport {
-    /// Records for one level.
-    pub fn level(&self, level: u32) -> Vec<&LevelPartitionReport> {
-        self.per_partition.iter().filter(|r| r.level == level).collect()
-    }
-
-    /// Cumulative active memory (Longs) per level — the solid lines of Fig. 8.
-    pub fn cumulative_memory_by_level(&self) -> Vec<u64> {
-        (0..self.supersteps)
-            .map(|l| self.level(l).iter().map(|r| r.memory_longs).sum())
-            .collect()
-    }
-
-    /// Average active memory per partition per level — the dashed lines of Fig. 8.
-    pub fn average_memory_by_level(&self) -> Vec<f64> {
-        (0..self.supersteps)
-            .map(|l| {
-                let rs = self.level(l);
-                if rs.is_empty() {
-                    0.0
-                } else {
-                    rs.iter().map(|r| r.memory_longs).sum::<u64>() as f64 / rs.len() as f64
-                }
-            })
-            .collect()
-    }
-
-    /// Converts the report into the per-level trace consumed by the
-    /// analytical memory model (Fig. 8 current/ideal/proposed).
-    pub fn level_trace(&self) -> Vec<LevelTrace> {
-        (0..self.supersteps)
-            .map(|l| LevelTrace {
-                level: l,
-                partitions: self
-                    .level(l)
-                    .iter()
-                    .map(|r| PartitionLevelState {
-                        vertices: r.counts.total_vertices(),
-                        local_edges: r.counts.local_edges,
-                        remote_edges: r.counts.remote_edges,
-                        remote_needed_now: r.remote_needed_now,
-                    })
-                    .collect(),
-            })
-            .collect()
-    }
-
-    /// Total user compute time (Phase 1 + merging) across all partitions.
-    pub fn total_compute_time(&self) -> Duration {
-        self.per_partition.iter().map(|r| r.phase1_time + r.merge_time).sum()
-    }
-}
-
-/// Accounts the active in-memory Longs of a partition under a merge strategy.
-fn active_memory_longs(wp: &WorkingPartition, tree: &MergeTree, level: u32, strategy: MergeStrategy) -> u64 {
-    let counts = wp.vertex_type_counts();
-    let base = counts.total_vertices() + 3 * counts.local_edges;
-    let remote = match strategy {
-        MergeStrategy::Duplicated | MergeStrategy::Deduplicated => counts.remote_edges,
-        MergeStrategy::Deferred => wp
-            .remote_edges
-            .iter()
-            .filter(|r| remote_edge_needed_level(tree, r) <= level)
-            .count() as u64,
-    };
-    base + 4 * remote
-}
-
-/// Longs shipped when this partition's state is sent to its merge parent.
-fn transfer_longs(wp: &WorkingPartition, tree: &MergeTree, level: u32, strategy: MergeStrategy) -> u64 {
-    let remote = match strategy {
-        MergeStrategy::Duplicated | MergeStrategy::Deduplicated => wp.remote_edges.len() as u64,
-        MergeStrategy::Deferred => wp
-            .remote_edges
-            .iter()
-            .filter(|r| remote_edge_needed_level(tree, r) <= level)
-            .count() as u64,
-    };
-    3 * wp.local_edges.len() as u64 + 4 * remote + 4
-}
+use crate::phase3::CircuitResult;
+use crate::pipeline::{run_with_backend, BspBackend, InProcessBackend};
+pub use crate::pipeline::{LevelPartitionReport, RunReport};
+use euler_graph::{Graph, PartitionAssignment};
 
 /// Runs the full pipeline and returns just the circuit result.
 ///
 /// See [`run_partitioned`] for the variant that also returns the detailed
 /// [`RunReport`].
+#[deprecated(note = "use EulerPipeline::builder() or pipeline::run_with_backend with InProcessBackend")]
 pub fn find_euler_circuit(
     g: &Graph,
     assignment: &PartitionAssignment,
     config: &EulerConfig,
 ) -> Result<CircuitResult, EulerError> {
+    #[allow(deprecated)]
     run_partitioned(g, assignment, config).map(|(result, _)| result)
 }
 
 /// Runs the full pipeline (Phases 1–3) in-process and returns the circuit
 /// together with the per-level report used by the experiment harnesses.
+#[deprecated(note = "use EulerPipeline::builder() or pipeline::run_with_backend with InProcessBackend")]
 pub fn run_partitioned(
     g: &Graph,
     assignment: &PartitionAssignment,
     config: &EulerConfig,
 ) -> Result<(CircuitResult, RunReport), EulerError> {
-    if config.require_eulerian {
-        if let Some(v) = properties::odd_vertices(g).first() {
-            return Err(EulerError::Graph(euler_graph::GraphError::NotEulerian {
-                vertex: *v,
-                degree: g.degree(*v),
-            }));
-        }
-    }
-    let pg = PartitionedGraph::from_assignment(g, assignment)?;
-    let meta = MetaGraph::from_partitioned(&pg);
-    let tree = MergeTree::build(&meta);
-    let store = FragmentStore::new();
-
-    let mut states: Vec<WorkingPartition> =
-        pg.partitions().iter().map(WorkingPartition::from_partition).collect();
-    if config.merge_strategy.deduplicates() {
-        apply_remote_edge_dedup(&mut states);
-    }
-
-    let mut report = RunReport {
-        num_partitions: pg.num_partitions(),
-        supersteps: tree.num_supersteps(),
-        strategy: config.merge_strategy,
-        merge_tree: tree.clone(),
-        ..Default::default()
-    };
-
-    let t_run = Instant::now();
-    let mut pending_merge_time: HashMap<PartitionId, (Duration, u64)> = HashMap::new();
-
-    for level in 0..tree.num_supersteps() {
-        // --- Phase 1 on all active partitions of this level. ---------------
-        let strategy = config.merge_strategy;
-        let tree_ref = &tree;
-        let store_ref = &store;
-        let run_one = |wp: &mut WorkingPartition| -> (PartitionId, u64, u64, Phase1Output, Duration) {
-            let memory = active_memory_longs(wp, tree_ref, level, strategy);
-            let needed_now: u64 = wp
-                .remote_edges
-                .iter()
-                .filter(|r| remote_edge_needed_level(tree_ref, r) == level)
-                .count() as u64;
-            let t0 = Instant::now();
-            let out = run_phase1(wp, store_ref);
-            (wp.id, memory, needed_now, out, t0.elapsed())
-        };
-        let outputs: Vec<(PartitionId, u64, u64, Phase1Output, Duration)> = if config.parallel_within_level {
-            states.par_iter_mut().map(run_one).collect()
-        } else {
-            states.iter_mut().map(run_one).collect()
-        };
-        for (pid, memory, needed_now, out, elapsed) in outputs {
-            let (merge_time, transfer_in) = pending_merge_time.remove(&pid).unwrap_or_default();
-            report.per_partition.push(LevelPartitionReport {
-                level,
-                partition: pid,
-                counts: out.counts_before,
-                complexity: out.complexity,
-                phase1_time: elapsed,
-                merge_time,
-                memory_longs: memory,
-                remote_needed_now: needed_now,
-                transfer_in_longs: transfer_in,
-                paths_found: out.path_map.num_paths() as u64,
-                cycles_found: out.path_map.num_cycles() as u64,
-                internal_cycles_merged: out.path_map.internal_cycles_merged,
-            });
-        }
-
-        if level + 1 >= tree.num_supersteps() {
-            break;
-        }
-
-        // --- Phase 2: merge the pairs planned for this level. ---------------
-        for pair in tree.pairs_at(level) {
-            let child_idx = states.iter().position(|s| s.id == pair.child);
-            let has_parent = states.iter().any(|s| s.id == pair.parent);
-            let Some(child_idx) = child_idx.filter(|_| has_parent) else {
-                continue;
-            };
-            let child = states.swap_remove(child_idx);
-            // Locate the parent after the swap_remove above.
-            let parent_idx = states.iter().position(|s| s.id == pair.parent).expect("parent present");
-            let parent = states.swap_remove(parent_idx);
-            let shipped = transfer_longs(&child, &tree, level, config.merge_strategy);
-            report.total_transfer_longs += shipped;
-            let t0 = Instant::now();
-            let (merged, _stats) = merge_partitions(parent, child, &tree, level);
-            let merge_elapsed = t0.elapsed();
-            let entry = pending_merge_time.entry(merged.id).or_default();
-            entry.0 += merge_elapsed;
-            entry.1 += shipped;
-            states.push(merged);
-        }
-        // Unmerged partitions are carried to the next level unchanged.
-        for s in &mut states {
-            if s.level == level {
-                s.level = level + 1;
-            }
-        }
-    }
-    report.phase12_time = t_run.elapsed();
-
-    // --- Phase 3: unroll the fragments into the circuit. --------------------
-    let t3 = Instant::now();
-    let result = unroll(&store);
-    report.phase3_time = t3.elapsed();
-    report.fragment_disk_longs = store.disk_longs();
-
-    if config.verify {
-        verify_result(g, &result)?;
-    }
-    Ok((result, report))
-}
-
-// ---------------------------------------------------------------------------
-// Distributed runner on the euler-bsp engine.
-// ---------------------------------------------------------------------------
-
-/// Wire encoding of a [`WorkingPartition`] as a flat u64 sequence, used for
-/// the byte-accounted transfers of the distributed runner.
-mod wire {
-    use super::*;
-    use crate::state::{EdgeRef, LocalEdge, RemoteRef};
-    use euler_graph::{EdgeId, VertexId};
-
-    pub fn encode(wp: &WorkingPartition) -> Vec<u64> {
-        let mut out = Vec::with_capacity(4 + 4 * wp.local_edges.len() + 5 * wp.remote_edges.len());
-        out.push(wp.id.0 as u64);
-        out.push(wp.level as u64);
-        out.push(wp.local_edges.len() as u64);
-        out.push(wp.remote_edges.len() as u64);
-        out.push(wp.leaves.len() as u64);
-        for l in &wp.leaves {
-            out.push(l.0 as u64);
-        }
-        for e in &wp.local_edges {
-            match e.edge {
-                EdgeRef::Real(id) => {
-                    out.push(0);
-                    out.push(id.0);
-                }
-                EdgeRef::Virtual(id) => {
-                    out.push(1);
-                    out.push(id.0);
-                }
-            }
-            out.push(e.u.0);
-            out.push(e.v.0);
-        }
-        for r in &wp.remote_edges {
-            out.push(r.edge.0);
-            out.push(r.local.0);
-            out.push(r.remote.0);
-            out.push(r.local_leaf.0 as u64);
-            out.push(r.remote_leaf.0 as u64);
-        }
-        out
-    }
-
-    pub fn decode(data: &[u64]) -> WorkingPartition {
-        let mut i = 0usize;
-        let mut next = || {
-            let v = data[i];
-            i += 1;
-            v
-        };
-        let id = PartitionId(next() as u32);
-        let level = next() as u32;
-        let n_local = next() as usize;
-        let n_remote = next() as usize;
-        let n_leaves = next() as usize;
-        let leaves = (0..n_leaves).map(|_| PartitionId(next() as u32)).collect();
-        let mut local_edges = Vec::with_capacity(n_local);
-        for _ in 0..n_local {
-            let tag = next();
-            let idv = next();
-            let u = VertexId(next());
-            let v = VertexId(next());
-            let edge = if tag == 0 {
-                EdgeRef::Real(EdgeId(idv))
-            } else {
-                EdgeRef::Virtual(crate::fragment::FragmentId(idv))
-            };
-            local_edges.push(LocalEdge { edge, u, v });
-        }
-        let mut remote_edges = Vec::with_capacity(n_remote);
-        for _ in 0..n_remote {
-            remote_edges.push(RemoteRef {
-                edge: EdgeId(next()),
-                local: VertexId(next()),
-                remote: VertexId(next()),
-                local_leaf: PartitionId(next() as u32),
-                remote_leaf: PartitionId(next() as u32),
-            });
-        }
-        WorkingPartition { id, leaves, level, local_edges, remote_edges, isolated_vertices: 0 }
-    }
+    run_with_backend(g, assignment, config, &InProcessBackend::new())
 }
 
 /// Outcome of a distributed run.
+#[deprecated(note = "use EulerPipeline with BspBackend; RunReport::engine carries the engine stats")]
 pub struct DistributedOutcome {
     /// The reconstructed circuit(s).
     pub result: CircuitResult,
@@ -396,75 +55,10 @@ pub struct DistributedOutcome {
     pub merge_tree: MergeTree,
 }
 
-/// Per-engine-partition state of the distributed program.
-enum DistState {
-    Active(Box<WorkingPartition>),
-    Retired,
-}
-
-struct DistProgram {
-    tree: MergeTree,
-    store: FragmentStore,
-    height: u32,
-}
-
-impl euler_bsp::PartitionProgram for DistProgram {
-    type State = DistState;
-
-    fn superstep(
-        &self,
-        ctx: &mut euler_bsp::PartitionContext,
-        state: &mut DistState,
-        messages: Vec<euler_bsp::Envelope>,
-    ) -> Vec<euler_bsp::Envelope> {
-        let level = ctx.superstep;
-        let DistState::Active(wp) = state else {
-            ctx.vote_to_halt();
-            return vec![];
-        };
-
-        // Merge any child states received at the end of the previous level.
-        for m in &messages {
-            let decoded = ctx.time("create_partition_object", || {
-                wire::decode(&euler_bsp::message::codec::decode_u64s(&m.payload))
-            });
-            let current = std::mem::take(wp.as_mut());
-            let merged = ctx.time("copy_sink_partition", || {
-                merge_partitions(current, decoded, &self.tree, level.saturating_sub(1)).0
-            });
-            **wp = merged;
-        }
-
-        // Phase 1 for this level.
-        ctx.time("phase1_tour", || {
-            run_phase1(wp, &self.store);
-        });
-        ctx.report_memory_longs(wp.memory_longs());
-
-        // Am I a child at this level? Then ship my state to the parent.
-        if level < self.height {
-            if let Some(pair) = self.tree.pairs_at(level).iter().find(|p| p.child == wp.id) {
-                let parent = pair.parent;
-                let payload = ctx.time("copy_source_partition", || {
-                    euler_bsp::message::codec::encode_u64s(&wire::encode(wp))
-                });
-                let from = ctx.partition;
-                *state = DistState::Retired;
-                ctx.vote_to_halt();
-                return vec![euler_bsp::Envelope::new(from, parent.0, 0, payload)];
-            }
-            // Parent or carried-over partition: stay active for the next level.
-            return vec![];
-        }
-        // Root level reached: done.
-        ctx.vote_to_halt();
-        vec![]
-    }
-}
-
 /// Executes the algorithm on the `euler-bsp` engine, one worker per
 /// partition (the paper's one-executor-per-partition deployment) unless the
 /// engine config says otherwise.
+#[deprecated(note = "use EulerPipeline::builder().backend(BspBackend::with_engine(..))")]
 pub struct DistributedRunner {
     /// Engine configuration (worker count, cost model).
     pub engine: euler_bsp::BspConfig,
@@ -472,6 +66,7 @@ pub struct DistributedRunner {
     pub config: EulerConfig,
 }
 
+#[allow(deprecated)]
 impl DistributedRunner {
     /// Creates a runner with one worker per partition and the given algorithm
     /// configuration.
@@ -491,45 +86,26 @@ impl DistributedRunner {
         g: &Graph,
         assignment: &PartitionAssignment,
     ) -> Result<DistributedOutcome, EulerError> {
-        if self.config.require_eulerian {
-            if let Some(v) = properties::odd_vertices(g).first() {
-                return Err(EulerError::Graph(euler_graph::GraphError::NotEulerian {
-                    vertex: *v,
-                    degree: g.degree(*v),
-                }));
-            }
-        }
-        let pg = PartitionedGraph::from_assignment(g, assignment)?;
-        let meta = MetaGraph::from_partitioned(&pg);
-        let tree = MergeTree::build(&meta);
-        let store = FragmentStore::new();
-
-        let mut states: Vec<WorkingPartition> =
-            pg.partitions().iter().map(WorkingPartition::from_partition).collect();
-        if self.config.merge_strategy.deduplicates() {
-            apply_remote_edge_dedup(&mut states);
-        }
-        // Engine partition index i hosts graph partition i.
-        states.sort_by_key(|s| s.id);
-        let initial: Vec<DistState> = states.into_iter().map(|s| DistState::Active(Box::new(s))).collect();
-
-        let program = DistProgram { tree: tree.clone(), store: store.clone(), height: tree.height() };
-        let engine = euler_bsp::BspEngine::new(self.engine);
-        let outcome = engine.run(&program, initial);
-
-        let result = unroll(&store);
-        if self.config.verify {
-            verify_result(g, &result)?;
-        }
-        Ok(DistributedOutcome { result, engine_stats: outcome.stats, merge_tree: tree })
+        let backend = BspBackend::with_engine(self.engine);
+        let (result, report) = run_with_backend(g, assignment, &self.config, &backend)?;
+        Ok(DistributedOutcome {
+            result,
+            engine_stats: report.engine.expect("BspBackend always reports engine stats"),
+            merge_tree: report.merge_tree,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
+    use crate::merge_strategy::MergeStrategy;
+    use crate::verify::verify_result;
     use euler_gen::synthetic;
     use euler_partition::{HashPartitioner, LdgPartitioner, Partitioner};
+    use std::time::Duration;
 
     fn verify_ok(g: &Graph, assignment: &PartitionAssignment, config: &EulerConfig) {
         let (result, report) = run_partitioned(g, assignment, config).unwrap();
@@ -610,6 +186,9 @@ mod tests {
         // Fig. 9: the root level holds no remote edges.
         let root = report.level(3)[0];
         assert_eq!(root.counts.remote_edges, 0);
+        // The shim records which backend ran the walk.
+        assert_eq!(report.backend, "in-process");
+        assert!(report.engine.is_none());
     }
 
     #[test]

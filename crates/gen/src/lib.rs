@@ -4,7 +4,7 @@
 //!
 //! * [`rmat`] — a parallel R-MAT power-law graph generator (the paper's input
 //!   graphs are produced by an RMAT tool with average undirected degree 5).
-//! * [`eulerize`] — the paper's custom "Eulerizer": adds edges between
+//! * [`eulerize`](mod@eulerize) — the paper's custom "Eulerizer": adds edges between
 //!   odd-degree vertices so every vertex has even degree, while keeping the
 //!   degree distribution close to the original (≈5 % extra edges in practice).
 //! * [`degree`] — degree-distribution histograms (Fig. 4).

@@ -129,7 +129,7 @@ pub fn octahedron() -> Graph {
 /// The icosahedron wireframe: 12 vertices, 30 edges, 5-regular. Its skeleton
 /// is *not* Eulerian (odd degree); callers typically pass it through the
 /// Eulerizer, which is exactly the DNA-rendering workflow of the paper's
-/// reference [7].
+/// reference \[7\].
 pub fn icosahedron() -> Graph {
     // Standard icosahedron adjacency (vertex ids 0..11).
     let edges: [(u64, u64); 30] = [

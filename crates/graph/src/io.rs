@@ -29,46 +29,113 @@ pub fn write_edge_list_file<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), Gr
     write_edge_list(g, f)
 }
 
-/// Reads a plain-text edge list from `reader`.
+/// Incremental line-at-a-time parser for the plain-text edge-list format.
 ///
-/// Lines starting with `#` or `%` are ignored. The vertex count is the largest
-/// id seen plus one (or the count declared in a `# vertices N edges M` header
-/// if larger).
-pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphError> {
-    let r = BufReader::new(reader);
-    let mut builder = GraphBuilder::new();
-    let mut declared_vertices: u64 = 0;
-    for (lineno, line) in r.lines().enumerate() {
-        let line = line?;
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix('#') {
-            // Optional header: "# vertices N edges M"
-            let toks: Vec<&str> = rest.split_whitespace().collect();
-            if toks.len() >= 2 && toks[0] == "vertices" {
-                if let Ok(n) = toks[1].parse::<u64>() {
-                    declared_vertices = declared_vertices.max(n);
-                }
-            }
-            continue;
-        }
-        if line.starts_with('%') {
-            continue;
-        }
-        let mut it = line.split_whitespace();
-        let u = parse_field(it.next(), lineno + 1)?;
-        let v = parse_field(it.next(), lineno + 1)?;
-        builder.add_edge(u, v);
-    }
-    builder.ensure_vertices(declared_vertices);
-    builder.build()
+/// This is the single parser behind both [`read_edge_list`] (whole-reader)
+/// and [`crate::source::EdgeListFileSource`] (chunked streaming reads): feed
+/// it one line at a time in file order and call
+/// [`finish`](EdgeListParser::finish) at the end. The parser tracks the
+/// 1-based line number itself, so every [`GraphError::Parse`] it raises —
+/// missing field, malformed vertex id, malformed `# vertices N` header —
+/// carries the exact offending position regardless of how the caller buffers
+/// the input.
+#[derive(Debug, Default)]
+pub struct EdgeListParser {
+    builder: GraphBuilder,
+    declared_vertices: u64,
+    line: usize,
 }
 
-fn parse_field(tok: Option<&str>, line: usize) -> Result<u64, GraphError> {
-    let tok = tok.ok_or(GraphError::Parse { line, message: "expected two vertex ids".into() })?;
-    tok.parse::<u64>().map_err(|e| GraphError::Parse { line, message: format!("bad vertex id {tok:?}: {e}") })
+impl EdgeListParser {
+    /// Creates a parser with an empty graph under construction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of lines fed so far.
+    pub fn lines_fed(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based number of the line a [`feed_line`](Self::feed_line) call is
+    /// about to consume — the position callers should attribute their own
+    /// errors (e.g. invalid UTF-8 in a byte chunk) to.
+    pub fn next_line(&self) -> usize {
+        self.line + 1
+    }
+
+    /// Consumes one line (without its terminator).
+    ///
+    /// Blank lines and `%` comments are ignored; `#` comments are ignored
+    /// except for the optional `# vertices N edges M` header, whose vertex
+    /// count must parse. Any other line must hold two vertex ids.
+    pub fn feed_line(&mut self, line: &str) -> Result<(), GraphError> {
+        self.line += 1;
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(());
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            // Optional header: "# vertices N edges M". A free-form comment
+            // that merely starts with the word "vertices" stays a comment;
+            // only the structured header shape (third token "edges") demands
+            // a parseable count.
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            if toks.len() >= 2 && toks[0] == "vertices" {
+                match toks[1].parse::<u64>() {
+                    Ok(n) => self.declared_vertices = self.declared_vertices.max(n),
+                    Err(e) if toks.get(2) == Some(&"edges") => {
+                        return Err(GraphError::Parse {
+                            line: self.line,
+                            message: format!("bad vertex count {:?} in header: {e}", toks[1]),
+                        });
+                    }
+                    Err(_) => {}
+                }
+            }
+            return Ok(());
+        }
+        if line.starts_with('%') {
+            return Ok(());
+        }
+        let mut it = line.split_whitespace();
+        let u = self.parse_field(it.next())?;
+        let v = self.parse_field(it.next())?;
+        self.builder.add_edge(u, v);
+        Ok(())
+    }
+
+    /// Builds the parsed graph. The vertex count is the largest id seen plus
+    /// one, or the declared header count if larger.
+    pub fn finish(mut self) -> Result<Graph, GraphError> {
+        self.builder.ensure_vertices(self.declared_vertices);
+        self.builder.build()
+    }
+
+    fn parse_field(&self, tok: Option<&str>) -> Result<u64, GraphError> {
+        let line = self.line;
+        let tok =
+            tok.ok_or(GraphError::Parse { line, message: "expected two vertex ids".into() })?;
+        tok.parse::<u64>().map_err(|e| GraphError::Parse {
+            line,
+            message: format!("bad vertex id {tok:?}: {e}"),
+        })
+    }
+}
+
+/// Reads a plain-text edge list from `reader`.
+///
+/// Lines starting with `#` or `%` are ignored (except the optional
+/// `# vertices N edges M` header). The vertex count is the largest id seen
+/// plus one (or the count declared in the header if larger). Parse errors
+/// report the 1-based offending line via [`GraphError::Parse`].
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    let r = BufReader::new(reader);
+    let mut parser = EdgeListParser::new();
+    for line in r.lines() {
+        parser.feed_line(&line?)?;
+    }
+    parser.finish()
 }
 
 /// Reads an edge list from the file at `path`.
@@ -156,6 +223,60 @@ mod tests {
     fn missing_second_vertex_is_a_parse_error() {
         let text = "0\n";
         assert!(matches!(read_edge_list(text.as_bytes()), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn missing_second_vertex_reports_its_line_number() {
+        // Blank and comment lines before the bad one still count toward the
+        // reported position.
+        let text = "# header comment\n\n0 1\n1 2\n7\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 5);
+                assert!(message.contains("two vertex ids"), "unexpected message {message}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn malformed_header_vertex_count_reports_line_number() {
+        let text = "0 1\n# vertices not_a_number edges 3\n1 0\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("vertex count"), "unexpected message {message}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn free_form_comment_starting_with_vertices_is_not_a_header() {
+        // Only the structured "# vertices N edges M" shape must parse; a
+        // descriptive comment stays a comment.
+        let text = "# vertices are 0-indexed\n0 1\n1 0\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_vertices(), 2);
+    }
+
+    #[test]
+    fn incremental_parser_matches_whole_reader_parse() {
+        let text = "# vertices 6 edges 3\n0 1\n% ignored\n1 2\n2 0\n";
+        let mut parser = EdgeListParser::new();
+        for line in text.lines() {
+            parser.feed_line(line).unwrap();
+        }
+        assert_eq!(parser.lines_fed(), 5);
+        assert_eq!(parser.next_line(), 6);
+        let g1 = parser.finish().unwrap();
+        let g2 = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g1.num_vertices(), g2.num_vertices());
+        assert_eq!(g1.num_vertices(), 6);
+        assert_eq!(g1.num_edges(), g2.num_edges());
     }
 
     #[test]

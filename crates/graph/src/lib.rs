@@ -15,7 +15,9 @@
 //!   merge tree is computed.
 //! * Graph property queries (degrees, Eulerian-ness, connectivity) in
 //!   [`properties`].
-//! * Plain-text edge-list I/O in [`io`].
+//! * Plain-text edge-list I/O in [`io`], and the pipeline's pluggable input
+//!   seam in [`source`] ([`GraphSource`]: in-memory graphs, chunked edge-list
+//!   files, future mmap/CSR loaders).
 //!
 //! The vertex and edge identifier types are 64-bit, matching the paper's
 //! memory accounting in numbers of Java `Long`s.
@@ -32,6 +34,7 @@ pub mod local_index;
 pub mod metagraph;
 pub mod partitioned;
 pub mod properties;
+pub mod source;
 
 pub use builder::GraphBuilder;
 pub use csr::Csr;
@@ -42,3 +45,4 @@ pub use local_index::{bucket_by_slot, LocalIndex};
 pub use metagraph::{MetaEdge, MetaGraph};
 pub use partitioned::{Partition, PartitionAssignment, PartitionedGraph, RemoteEdge};
 pub use properties::{connected_components, is_connected_on_edges, is_eulerian, odd_vertices};
+pub use source::{EdgeListFileSource, GraphSource, InMemorySource};

@@ -1,0 +1,253 @@
+//! Graph input sources — the load seam of the Euler pipeline.
+//!
+//! The W-streaming line of Euler-tour work (Glazik et al.; Kliemann et al.)
+//! observes that the algorithm consumes edges, not a resident graph: what
+//! matters is the order edges are fed in, not how they are stored. The
+//! [`GraphSource`] trait captures that seam. Today's implementations load a
+//! full [`Graph`] ([`InMemorySource`] hands over a graph that already lives
+//! in memory, [`EdgeListFileSource`] streams a plain-text edge list from disk
+//! in bounded-size chunks); a future mmap/CSR on-disk loader plugs into the
+//! same trait without the pipeline changing.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::io::EdgeListParser;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+/// A provider of input graphs for the Euler pipeline.
+///
+/// A source is asked for the graph once per pipeline run via
+/// [`load`](GraphSource::load). Sources whose graph already resides in memory
+/// can additionally expose it through [`resident`](GraphSource::resident), so
+/// the pipeline borrows it instead of copying.
+pub trait GraphSource {
+    /// Human-readable description of the source, used in stage reports.
+    fn name(&self) -> String;
+
+    /// Produces the graph. Called once per pipeline run.
+    fn load(&self) -> Result<Graph, GraphError>;
+
+    /// The graph, if it is already resident in memory — the zero-copy fast
+    /// path. Sources that materialise their graph on demand return `None`
+    /// (the default) and are asked to [`load`](GraphSource::load) instead.
+    fn resident(&self) -> Option<&Graph> {
+        None
+    }
+}
+
+/// A source wrapping a graph that is already in memory.
+#[derive(Clone, Debug)]
+pub struct InMemorySource {
+    graph: Graph,
+}
+
+impl InMemorySource {
+    /// Wraps `graph`.
+    pub fn new(graph: Graph) -> Self {
+        InMemorySource { graph }
+    }
+
+    /// The wrapped graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+impl From<Graph> for InMemorySource {
+    fn from(graph: Graph) -> Self {
+        InMemorySource::new(graph)
+    }
+}
+
+impl GraphSource for InMemorySource {
+    fn name(&self) -> String {
+        format!(
+            "in-memory ({} vertices, {} edges)",
+            self.graph.num_vertices(),
+            self.graph.num_edges()
+        )
+    }
+
+    fn load(&self) -> Result<Graph, GraphError> {
+        Ok(self.graph.clone())
+    }
+
+    fn resident(&self) -> Option<&Graph> {
+        Some(&self.graph)
+    }
+}
+
+/// A source reading a plain-text edge list (the [`crate::io`] format) from a
+/// file in bounded-size chunks.
+///
+/// Unlike [`crate::io::read_edge_list_file`], which goes through a
+/// line-oriented `BufRead`, this source reads the file `chunk_bytes` at a
+/// time and carries partial trailing lines across chunk boundaries, so the
+/// read path holds at most one chunk plus one line in flight — the shape the
+/// ROADMAP's future mmap/CSR loader needs. Parse errors report the exact
+/// 1-based line number even when the offending line spans two chunks.
+#[derive(Clone, Debug)]
+pub struct EdgeListFileSource {
+    path: PathBuf,
+    chunk_bytes: usize,
+}
+
+impl EdgeListFileSource {
+    /// Default read-chunk size (1 MiB).
+    pub const DEFAULT_CHUNK_BYTES: usize = 1 << 20;
+
+    /// A source for the edge-list file at `path`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        EdgeListFileSource { path: path.into(), chunk_bytes: Self::DEFAULT_CHUNK_BYTES }
+    }
+
+    /// Sets the read-chunk size in bytes (minimum 1; mainly useful for tests
+    /// that force lines to span chunk boundaries).
+    pub fn with_chunk_bytes(mut self, chunk_bytes: usize) -> Self {
+        self.chunk_bytes = chunk_bytes.max(1);
+        self
+    }
+
+    /// The file path this source reads.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Streams `reader` through the shared [`EdgeListParser`] in
+    /// `chunk_bytes`-sized reads.
+    fn parse_chunked<R: Read>(&self, mut reader: R) -> Result<Graph, GraphError> {
+        let mut parser = EdgeListParser::new();
+        let mut buf = vec![0u8; self.chunk_bytes];
+        // Bytes of a line whose terminator has not been seen yet.
+        let mut carry: Vec<u8> = Vec::new();
+        loop {
+            let n = reader.read(&mut buf)?;
+            if n == 0 {
+                break;
+            }
+            let mut rest = &buf[..n];
+            while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+                if carry.is_empty() {
+                    parser.feed_line(bytes_as_line(&rest[..pos], parser.next_line())?)?;
+                } else {
+                    carry.extend_from_slice(&rest[..pos]);
+                    parser.feed_line(bytes_as_line(&carry, parser.next_line())?)?;
+                    carry.clear();
+                }
+                rest = &rest[pos + 1..];
+            }
+            carry.extend_from_slice(rest);
+        }
+        if !carry.is_empty() {
+            // Final line without a terminating newline.
+            parser.feed_line(bytes_as_line(&carry, parser.next_line())?)?;
+        }
+        parser.finish()
+    }
+}
+
+/// Decodes one line's bytes as UTF-8, attributing failures to `line`.
+fn bytes_as_line(bytes: &[u8], line: usize) -> Result<&str, GraphError> {
+    std::str::from_utf8(bytes)
+        .map_err(|e| GraphError::Parse { line, message: format!("invalid UTF-8: {e}") })
+}
+
+impl GraphSource for EdgeListFileSource {
+    fn name(&self) -> String {
+        format!("edge-list file {}", self.path.display())
+    }
+
+    fn load(&self) -> Result<Graph, GraphError> {
+        let file = std::fs::File::open(&self.path)?;
+        self.parse_chunked(file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::io::{read_edge_list, write_edge_list_file};
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("euler_graph_source_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn in_memory_source_is_resident_and_loads_a_copy() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0)]);
+        let src = InMemorySource::new(g.clone());
+        assert!(src.name().contains("in-memory"));
+        assert_eq!(src.resident().unwrap().num_edges(), 3);
+        let loaded = src.load().unwrap();
+        assert_eq!(loaded.num_edges(), g.num_edges());
+        assert_eq!(loaded.num_vertices(), g.num_vertices());
+    }
+
+    #[test]
+    fn file_source_matches_reader_parse_for_every_tiny_chunk_size() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let path = temp_path("chunked.el");
+        write_edge_list_file(&g, &path).unwrap();
+        let expected = read_edge_list(std::fs::read(&path).unwrap().as_slice()).unwrap();
+        // Chunk sizes from 1 byte upward force every possible line split.
+        for chunk in [1usize, 2, 3, 5, 7, 16, 4096] {
+            let src = EdgeListFileSource::new(&path).with_chunk_bytes(chunk);
+            let loaded = src.load().unwrap();
+            assert_eq!(loaded.num_vertices(), expected.num_vertices(), "chunk {chunk}");
+            assert_eq!(loaded.num_edges(), expected.num_edges(), "chunk {chunk}");
+            for v in expected.vertices() {
+                assert_eq!(loaded.degree(v), expected.degree(v), "chunk {chunk}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_source_reports_line_numbers_across_chunk_boundaries() {
+        let path = temp_path("malformed.el");
+        std::fs::write(&path, "# header\n0 1\n1 2\nbad_vertex 3\n").unwrap();
+        // 3-byte chunks split "bad_vertex 3" across many reads.
+        let src = EdgeListFileSource::new(&path).with_chunk_bytes(3);
+        let err = src.load().unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 4);
+                assert!(message.contains("bad_vertex"), "unexpected message {message}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_source_handles_missing_trailing_newline() {
+        let path = temp_path("no_trailing_newline.el");
+        std::fs::write(&path, "0 1\n1 0").unwrap();
+        let g = EdgeListFileSource::new(&path).with_chunk_bytes(4).load().unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_vertices(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let src = EdgeListFileSource::new("/nonexistent/euler/source.el");
+        assert!(matches!(src.load(), Err(GraphError::Io(_))));
+    }
+
+    #[test]
+    fn sources_are_usable_as_trait_objects() {
+        let g = graph_from_edges(&[(0, 1), (1, 0)]);
+        let sources: Vec<Box<dyn GraphSource>> = vec![
+            Box::new(InMemorySource::from(g)),
+            Box::new(EdgeListFileSource::new("unused.el")),
+        ];
+        assert!(sources[0].resident().is_some());
+        assert!(sources[1].resident().is_none());
+        assert!(sources[1].name().contains("unused.el"));
+    }
+}

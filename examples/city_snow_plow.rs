@@ -3,13 +3,13 @@
 //!
 //! A regular street grid (modelled as a torus so every intersection has four
 //! streets and the network is Eulerian) is split into districts, one per
-//! depot, with the BFS region-growing partitioner. The distributed algorithm
-//! computes a single closed route that covers every street exactly once; the
-//! example then reports per-district statistics and the plough's route length.
+//! depot, with the BFS region-growing partitioner — plugged straight into the
+//! `EulerPipeline` builder. The pipeline computes a single closed route that
+//! covers every street exactly once; the example then reports per-district
+//! statistics and the plough's route length.
 //!
 //! Run with: `cargo run --release --example city_snow_plow`
 
-use euler_circuit::algo;
 use euler_circuit::prelude::*;
 
 fn main() {
@@ -25,26 +25,34 @@ fn main() {
     );
     is_eulerian(&city).expect("a 4-regular street grid is Eulerian");
 
-    // District the city: BFS region growing gives compact, connected districts.
-    let partitioner = BfsPartitioner::new(districts);
-    let assignment = partitioner.partition(&city);
-    let quality = PartitionQuality::evaluate(&city, &assignment);
+    // Plan the plough route: BFS region growing gives compact, connected
+    // districts; the §5 deferred strategy keeps depot memory low.
+    let run = EulerPipeline::builder()
+        .graph(&city)
+        .partitioner(BfsPartitioner::new(districts))
+        .config(EulerConfig::improved())
+        .verify(true)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+
+    let assignment = &run.partition.assignment;
+    let quality = PartitionQuality::evaluate(&city, assignment);
     println!(
-        "Districts: {} | streets crossing district borders: {} ({:.1}% of all) | imbalance {:.1}%",
+        "Districts: {} ({} partitioner) | streets crossing district borders: {} ({:.1}% of all) | imbalance {:.1}%",
         districts,
+        run.partition.partitioner,
         quality.cut_edges,
         quality.cut_fraction * 100.0,
         quality.imbalance * 100.0
     );
 
-    // Plan the plough route with the partition-centric algorithm.
-    let config = EulerConfig::improved().with_verify(true);
-    let (result, report) = algo::run_partitioned(&city, &assignment, &config).unwrap();
-    let route = result.circuit().expect("connected street network");
+    let route = run.circuit.result.circuit().expect("connected street network");
     println!(
         "Computed a closed route covering all {} segments in {} BSP supersteps",
         route.len(),
-        report.supersteps
+        run.merge.supersteps
     );
 
     // Distance: every street segment is one block; the route length equals the

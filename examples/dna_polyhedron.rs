@@ -6,11 +6,11 @@
 //! The octahedron is already Eulerian (4-regular); the icosahedron is
 //! 5-regular, so — exactly like the paper's input pipeline — it is first
 //! Eulerized by pairing odd-degree vertices with extra helper edges, and the
-//! scaffold route is then computed with the distributed algorithm.
+//! scaffold route is then computed with one reusable `EulerPipeline` setup
+//! per mesh.
 //!
 //! Run with: `cargo run --example dna_polyhedron`
 
-use euler_circuit::algo;
 use euler_circuit::prelude::*;
 
 fn route_scaffold(name: &str, mesh: &Graph, parts: u32) {
@@ -28,17 +28,22 @@ fn route_scaffold(name: &str, mesh: &Graph, parts: u32) {
         println!("  mesh is already Eulerian");
     }
 
-    let assignment = LdgPartitioner::new(parts).partition(&eulerian);
-    let config = EulerConfig::default().with_verify(true);
-    let (result, report) = algo::run_partitioned(&eulerian, &assignment, &config).unwrap();
-    let route = result.circuit().expect("polyhedron skeletons are connected");
+    let run = EulerPipeline::builder()
+        .graph(&eulerian)
+        .partitioner(LdgPartitioner::new(parts))
+        .verify(true)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let route = run.circuit.result.circuit().expect("polyhedron skeletons are connected");
     println!(
         "  scaffold route: {} edges in one closed strand, computed in {} supersteps over {} partitions",
         route.len(),
-        report.supersteps,
-        parts
+        run.merge.supersteps,
+        run.partition.num_partitions
     );
-    let vertices = result.vertex_sequence().unwrap();
+    let vertices = run.circuit.result.vertex_sequence().unwrap();
     let preview: Vec<String> = vertices.iter().take(10).map(|v| v.to_string()).collect();
     println!("  strand starts: {} ...", preview.join(" -> "));
     verify_circuit(&eulerian, route).unwrap();

@@ -2,6 +2,10 @@
 //! worked example and print every intermediate artefact — the partitions, the
 //! meta-graph, the merge tree (Fig. 2), and the final Euler circuit.
 //!
+//! The run goes through the `EulerPipeline` builder: a graph source, a
+//! partition assignment, a backend — then staged outputs
+//! (partition → merge → circuit), each carrying its slice of the report.
+//!
 //! Run with: `cargo run --example quickstart`
 
 use euler_circuit::algo;
@@ -38,13 +42,23 @@ fn main() {
     let tree = algo::MergeTree::build(&meta);
     println!("\nMerge tree (Fig. 2):\n{}", tree.render());
 
-    // Run the full pipeline and print the circuit.
-    let config = EulerConfig::default().with_verify(true);
-    let (result, report) = algo::run_partitioned(&g, &assignment, &config).unwrap();
-    let circuit = result.circuit().expect("connected Eulerian graph yields one circuit");
-    println!("Supersteps (Phase-1 rounds): {}", report.supersteps);
+    // Build and run the full pipeline, then print the circuit.
+    let run = EulerPipeline::builder()
+        .graph(&g)
+        .assignment(assignment)
+        .backend(InProcessBackend::new())
+        .verify(true)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let circuit = run.circuit.result.circuit().expect("connected Eulerian graph yields one circuit");
+    println!("Backend: {} | source: {}", run.merge.backend, run.partition.source);
+    println!("Supersteps (Phase-1 rounds): {}", run.merge.supersteps);
     println!("Circuit ({} edges):", circuit.len());
-    let vertices: Vec<String> = result
+    let vertices: Vec<String> = run
+        .circuit
+        .result
         .vertex_sequence()
         .unwrap()
         .iter()
@@ -54,7 +68,7 @@ fn main() {
 
     // Cross-check against the sequential Hierholzer oracle.
     let oracle = hierholzer_circuit(&g).unwrap();
-    assert_eq!(oracle.total_edges(), result.total_edges());
+    assert_eq!(oracle.total_edges(), run.circuit.result.total_edges());
     verify_circuit(&g, circuit).unwrap();
     println!("\nVerified: every edge traversed exactly once, walk closed. ✓");
 }

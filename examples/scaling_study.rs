@@ -1,13 +1,15 @@
 //! A miniature version of the paper's evaluation (§4): generate the scaled
-//! G-family, run the full pipeline on the distributed BSP engine with the
+//! G-family, run the full pipeline on the distributed BSP backend with the
 //! Spark-like cost model, and print the weak/strong-scaling picture of
 //! Fig. 5 together with the per-level memory behaviour of Fig. 8.
+//!
+//! Both tables come out of the same `EulerPipeline` — only the backend
+//! differs (BSP for the scaling table, in-process for the memory trace).
 //!
 //! Run with: `cargo run --release --example scaling_study [scale_shift]`
 //! (scale_shift defaults to -5; 0 reproduces the default single-host sizes).
 
 use euler_circuit::algo::memory_model::{ideal_series, model_series};
-use euler_circuit::algo::{self, DistributedRunner};
 use euler_circuit::bsp::{BspConfig, PlatformCostModel};
 use euler_circuit::prelude::*;
 
@@ -21,12 +23,17 @@ fn main() {
     );
     for config in euler_circuit::gen::configs::PAPER_CONFIGS {
         let (g, _) = config.generate(scale_shift);
-        let assignment = LdgPartitioner::new(config.partitions).partition(&g);
-        let runner = DistributedRunner::new(EulerConfig::default()).with_engine(
-            BspConfig::one_worker_per_partition().with_cost_model(PlatformCostModel::spark_like()),
-        );
-        let outcome = runner.run(&g, &assignment).unwrap();
-        let stats = &outcome.engine_stats;
+        let run = EulerPipeline::builder()
+            .graph(&g)
+            .partitioner(LdgPartitioner::new(config.partitions))
+            .backend(BspBackend::with_engine(
+                BspConfig::one_worker_per_partition().with_cost_model(PlatformCostModel::spark_like()),
+            ))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let stats = run.merge.engine.as_ref().expect("BSP backend reports engine stats");
         println!(
             "{:<8} {:>9} {:>10} {:>6} {:>11} {:>12.3} {:>13.3} {:>14}",
             config.name,
@@ -40,12 +47,19 @@ fn main() {
         );
     }
 
-    // Memory behaviour across merge levels for the largest configuration.
+    // Memory behaviour across merge levels for the largest configuration,
+    // this time on the in-process backend — same pipeline, same report shape.
     let config = euler_circuit::gen::configs::GraphConfig::by_name("G50/P8").unwrap();
     let (g, _) = config.generate(scale_shift);
-    let assignment = LdgPartitioner::new(8).partition(&g);
-    let (_, report) = algo::run_partitioned(&g, &assignment, &EulerConfig::default()).unwrap();
-    let trace = report.level_trace();
+    let run = EulerPipeline::builder()
+        .graph(&g)
+        .partitioner(LdgPartitioner::new(8))
+        .backend(InProcessBackend::new())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let trace = run.report().level_trace();
     let current = model_series(&trace, MergeStrategy::Duplicated);
     let proposed = model_series(&trace, MergeStrategy::Deferred);
     let ideal = ideal_series(&trace);

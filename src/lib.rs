@@ -10,19 +10,27 @@
 //! single crate:
 //!
 //! * [`graph`] — graph substrate (undirected multigraphs, CSR, partitioned
-//!   graphs, meta-graphs).
+//!   graphs, meta-graphs) and the [`GraphSource`](graph::GraphSource) input
+//!   seam (in-memory graphs, chunked edge-list files).
 //! * [`gen`] — workload generators (R-MAT, Eulerizer, synthetic Eulerian
 //!   families, paper graph configs).
 //! * [`partition`] — graph partitioners and partition-quality statistics.
 //! * [`bsp`] — the Bulk Synchronous Parallel execution engine used as the
 //!   distributed substrate (Apache Spark substitute).
-//! * [`algo`] — the partition-centric Euler circuit algorithm itself
-//!   (Phases 1–3, merge strategies, memory model, verification).
+//! * [`algo`] — the partition-centric Euler circuit algorithm itself:
+//!   the [`EulerPipeline`](algo::EulerPipeline) builder, the pluggable
+//!   [`ExecutionBackend`](algo::ExecutionBackend)s, Phases 1–3, merge
+//!   strategies, memory model, verification.
 //! * [`baseline`] — sequential and vertex-centric baselines (Hierholzer,
 //!   Fleury, Makki).
 //! * [`metrics`] — instrumentation and experiment reporting.
 //!
 //! ## Quickstart
+//!
+//! Everything goes through one builder: pick a graph source, a partitioner,
+//! a merge strategy and an execution backend, then [`run`](algo::EulerPipeline::run)
+//! the pipeline. The result is staged — partition → merge → circuit — with
+//! each stage carrying its slice of the run report.
 //!
 //! ```
 //! use euler_circuit::prelude::*;
@@ -31,16 +39,69 @@
 //! let graph = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]);
 //! assert!(is_eulerian(&graph).is_ok());
 //!
-//! // Partition it into 2 parts and run the full partition-centric pipeline.
-//! let assignment = LdgPartitioner::new(2).partition(&graph);
-//! let config = EulerConfig::default();
-//! let result = find_euler_circuit(&graph, &assignment, &config).unwrap();
+//! // Build and run the full partition-centric pipeline on 2 partitions.
+//! let run = EulerPipeline::builder()
+//!     .graph(&graph)                       // or .source(EdgeListFileSource::new("g.el"))
+//!     .partitioner(LdgPartitioner::new(2)) // or .assignment(precomputed)
+//!     .strategy(MergeStrategy::Deferred)   // §5 memory heuristic
+//!     .backend(InProcessBackend::new())    // or BspBackend::new() for the BSP engine
+//!     .verify(true)
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
 //!
 //! // The circuit uses every edge exactly once and returns to its start.
-//! let circuit = result.circuit().expect("graph is Eulerian and connected");
+//! let circuit = run.circuit.result.circuit().expect("graph is Eulerian and connected");
 //! assert_eq!(circuit.len(), graph.num_edges() as usize);
 //! verify_circuit(&graph, circuit).unwrap();
+//!
+//! // Staged outputs: supersteps, transfers, per-level records.
+//! assert_eq!(run.partition.num_partitions, 2);
+//! assert_eq!(run.merge.supersteps, 2);
+//! let report = run.report(); // the unified RunReport, same for every backend
+//! assert_eq!(report.level(0).len(), 2);
 //! ```
+//!
+//! To execute on the BSP engine (serialised transfers, shuffle accounting,
+//! modelled Spark-like overhead) swap the backend — nothing else changes:
+//!
+//! ```
+//! use euler_circuit::prelude::*;
+//! use euler_circuit::bsp::{BspConfig, PlatformCostModel};
+//!
+//! let graph = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]);
+//! let run = EulerPipeline::builder()
+//!     .graph(&graph)
+//!     .partitioner(LdgPartitioner::new(2))
+//!     .backend(BspBackend::with_engine(
+//!         BspConfig::one_worker_per_partition().with_cost_model(PlatformCostModel::spark_like()),
+//!     ))
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
+//! let engine = run.merge.engine.as_ref().expect("BSP runs carry engine stats");
+//! assert_eq!(engine.num_supersteps(), run.merge.supersteps);
+//! ```
+//!
+//! ## Migrating from `find_euler_circuit` / `DistributedRunner`
+//!
+//! The pre-0.2 entry points survive as deprecated wrappers that delegate to
+//! the pipeline, so old code keeps working (and keeps proving behavioural
+//! equivalence), but new code should migrate:
+//!
+//! | before | after |
+//! |---|---|
+//! | `find_euler_circuit(&g, &a, &cfg)?` | `EulerPipeline::builder().graph(&g).assignment(a).config(cfg).build()?.run()?.into_result()` |
+//! | `run_partitioned(&g, &a, &cfg)?` → `(result, report)` | `let run = …run()?;` then `run.circuit.result` / `run.report()` |
+//! | `DistributedRunner::new(cfg).with_engine(e).run(&g, &a)?` | `…builder()….backend(BspBackend::with_engine(e))….run()?`; engine stats in `run.merge.engine` |
+//! | mid-level, no builder | `algo::pipeline::run_with_backend(&g, &a, &cfg, &backend)` → `(result, RunReport)` |
+//!
+//! The reports also unified: the BSP path now fills the same per-level
+//! [`RunReport`](algo::RunReport) the in-process path always produced, with
+//! the engine's superstep statistics attached as
+//! [`RunReport::engine`](algo::RunReport::engine).
 
 pub use euler_baseline as baseline;
 pub use euler_bsp as bsp;
@@ -54,14 +115,18 @@ pub use euler_partition as partition;
 pub mod prelude {
     pub use euler_baseline::{fleury::fleury_circuit, hierholzer::hierholzer_circuit, makki::MakkiRunner};
     pub use euler_core::{
-        find_euler_circuit, verify::verify_circuit, CircuitResult, EulerConfig, MergeStrategy,
+        run_with_backend, verify::verify_circuit, BspBackend, CircuitResult, EulerConfig,
+        EulerPipeline, ExecutionBackend, InProcessBackend, MergeStrategy, PipelineRun, RunReport,
     };
+    #[allow(deprecated)]
+    pub use euler_core::find_euler_circuit;
     pub use euler_gen::{
         configs::GraphConfig, eulerize::eulerize, rmat::RmatGenerator, synthetic,
     };
     pub use euler_graph::{
-        builder::graph_from_edges, is_eulerian, Csr, EdgeId, Graph, GraphBuilder, MetaGraph,
-        Partition, PartitionAssignment, PartitionId, PartitionedGraph, VertexId,
+        builder::graph_from_edges, is_eulerian, Csr, EdgeId, EdgeListFileSource, Graph,
+        GraphBuilder, GraphSource, InMemorySource, MetaGraph, Partition, PartitionAssignment,
+        PartitionId, PartitionedGraph, VertexId,
     };
     pub use euler_partition::{
         BfsPartitioner, HashPartitioner, LdgPartitioner, PartitionQuality, Partitioner,

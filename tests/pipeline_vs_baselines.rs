@@ -1,23 +1,27 @@
 //! Cross-crate integration tests: the distributed partition-centric pipeline
 //! against the sequential baselines, over every generator family and
-//! partitioner in the workspace.
+//! partitioner in the workspace — all through the `EulerPipeline` builder.
 
-use euler_circuit::algo::{self, verify::verify_result};
+use euler_circuit::algo::verify::verify_result;
 use euler_circuit::prelude::*;
 
 /// Runs the partition-centric pipeline and checks it covers exactly the same
 /// edge set as the Hierholzer oracle, with valid closed circuits.
 fn check_against_oracle(g: &Graph, parts: u32) {
-    let assignment = LdgPartitioner::new(parts).partition(g);
-    let config = EulerConfig::default();
-    let (result, report) = algo::run_partitioned(g, &assignment, &config).unwrap();
-    verify_result(g, &result).unwrap();
+    let run = EulerPipeline::builder()
+        .graph(g)
+        .partitioner(LdgPartitioner::new(parts))
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    verify_result(g, &run.circuit.result).unwrap();
 
     let oracle = hierholzer_circuit(g).unwrap();
-    assert_eq!(result.total_edges(), oracle.total_edges());
-    assert_eq!(result.num_circuits(), oracle.num_circuits());
-    assert_eq!(result.total_edges(), g.num_edges());
-    assert!(report.supersteps >= 1);
+    assert_eq!(run.circuit.result.total_edges(), oracle.total_edges());
+    assert_eq!(run.circuit.result.num_circuits(), oracle.num_circuits());
+    assert_eq!(run.circuit.result.total_edges(), g.num_edges());
+    assert!(run.merge.supersteps >= 1);
 }
 
 #[test]
@@ -65,8 +69,14 @@ fn polyhedra_after_eulerization() {
 #[test]
 fn fleury_and_makki_agree_with_partition_centric() {
     let g = synthetic::random_eulerian_connected(40, 6, 5, 3);
-    let assignment = HashPartitioner::new(3).partition(&g);
-    let (pc, _) = algo::run_partitioned(&g, &assignment, &EulerConfig::default()).unwrap();
+    let run = EulerPipeline::builder()
+        .graph(&g)
+        .partitioner(HashPartitioner::new(3))
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let pc = &run.circuit.result;
     let fleury = fleury_circuit(&g).unwrap();
     let makki = MakkiRunner::new().run(&g).unwrap();
     assert_eq!(pc.total_edges(), fleury.total_edges());
@@ -84,10 +94,17 @@ fn all_partitioners_produce_valid_inputs_for_the_pipeline() {
         Box::new(BfsPartitioner::new(4)),
     ];
     for p in partitioners {
+        let name = p.name();
         let assignment = p.partition(&g);
-        let (result, _) = algo::run_partitioned(&g, &assignment, &EulerConfig::default()).unwrap();
-        verify_result(&g, &result).unwrap();
-        assert_eq!(result.total_edges(), g.num_edges(), "partitioner {}", p.name());
+        let run = EulerPipeline::builder()
+            .graph(&g)
+            .assignment(assignment)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        verify_result(&g, &run.circuit.result).unwrap();
+        assert_eq!(run.circuit.result.total_edges(), g.num_edges(), "partitioner {name}");
     }
 }
 
@@ -99,17 +116,67 @@ fn refined_partition_reduces_cut_and_still_works() {
     let before = PartitionQuality::evaluate(&g, &rough);
     let after = PartitionQuality::evaluate(&g, &refined);
     assert!(after.cut_edges <= before.cut_edges);
-    let (result, _) = algo::run_partitioned(&g, &refined, &EulerConfig::default()).unwrap();
-    verify_result(&g, &result).unwrap();
+    let run = EulerPipeline::builder().graph(&g).assignment(refined).build().unwrap().run().unwrap();
+    verify_result(&g, &run.circuit.result).unwrap();
 }
 
 #[test]
-fn distributed_runner_agrees_with_in_process_runner() {
+fn bsp_backend_agrees_with_in_process_backend() {
     let g = synthetic::random_eulerian_connected(100, 12, 5, 7);
     let assignment = LdgPartitioner::new(4).partition(&g);
-    let (in_process, report) = algo::run_partitioned(&g, &assignment, &EulerConfig::default()).unwrap();
-    let outcome = algo::DistributedRunner::new(EulerConfig::default()).run(&g, &assignment).unwrap();
+    let in_process = EulerPipeline::builder()
+        .graph(&g)
+        .assignment(assignment.clone())
+        .backend(InProcessBackend::new())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let bsp = EulerPipeline::builder()
+        .graph(&g)
+        .assignment(assignment)
+        .backend(BspBackend::new())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    verify_result(&g, &bsp.circuit.result).unwrap();
+    assert_eq!(in_process.circuit.result.total_edges(), bsp.circuit.result.total_edges());
+    // The unified report has the same shape on both backends; the BSP engine
+    // executed exactly one superstep per merge level.
+    assert_eq!(in_process.merge.supersteps, bsp.merge.supersteps);
+    let engine = bsp.merge.engine.as_ref().expect("engine stats present");
+    assert_eq!(engine.num_supersteps(), bsp.merge.supersteps);
+}
+
+/// The deprecated pre-pipeline entry points still work and agree with the
+/// builder API — they are thin wrappers over the same merge-tree walk.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_delegate_to_the_pipeline() {
+    use euler_circuit::algo::{run_partitioned, DistributedRunner};
+    let g = synthetic::random_eulerian_connected(90, 10, 5, 13);
+    let assignment = LdgPartitioner::new(4).partition(&g);
+    let config = EulerConfig::default().sequential();
+
+    let run = EulerPipeline::builder()
+        .graph(&g)
+        .assignment(assignment.clone())
+        .config(config)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let (legacy_result, legacy_report) = run_partitioned(&g, &assignment, &config).unwrap();
+    // Sequential runs are fully deterministic: the shim and the builder
+    // produce identical circuits and identical transfer accounting.
+    assert_eq!(legacy_result.circuits, run.circuit.result.circuits);
+    assert_eq!(legacy_report.total_transfer_longs, run.merge.total_transfer_longs);
+    assert_eq!(legacy_report.supersteps, run.merge.supersteps);
+    assert_eq!(legacy_report.backend, "in-process");
+
+    let outcome = DistributedRunner::new(config).run(&g, &assignment).unwrap();
     verify_result(&g, &outcome.result).unwrap();
-    assert_eq!(in_process.total_edges(), outcome.result.total_edges());
-    assert_eq!(report.supersteps, outcome.engine_stats.num_supersteps());
+    assert_eq!(outcome.result.total_edges(), g.num_edges());
+    assert_eq!(outcome.engine_stats.num_supersteps(), legacy_report.supersteps);
 }

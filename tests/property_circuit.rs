@@ -1,8 +1,10 @@
 //! Property-based tests over the end-to-end pipeline: for randomly generated
 //! Eulerian graphs, random partition counts and every merge strategy, the
-//! reconstructed circuit must cover every edge exactly once, chain, and close.
+//! reconstructed circuit must cover every edge exactly once, chain, and
+//! close — and the two execution backends must agree.
 
-use euler_circuit::algo::{run_partitioned, verify::verify_result};
+use euler_circuit::algo::verify::verify_result;
+use euler_circuit::bsp::BspConfig;
 use euler_circuit::prelude::*;
 use proptest::prelude::*;
 
@@ -10,6 +12,15 @@ use proptest::prelude::*;
 /// backbone plus extra random cycles.
 fn graph_from(seed: u64, n: u64, extra: usize) -> Graph {
     synthetic::random_eulerian_connected(n.max(4), extra, 5, seed)
+}
+
+/// Runs the pipeline on the in-process backend, returning circuit + report.
+fn run_pipeline(
+    g: &Graph,
+    assignment: &PartitionAssignment,
+    config: &EulerConfig,
+) -> (CircuitResult, RunReport) {
+    run_with_backend(g, assignment, config, &InProcessBackend::new()).unwrap()
 }
 
 proptest! {
@@ -31,7 +42,7 @@ proptest! {
         } else {
             LdgPartitioner::new(parts).partition(&g)
         };
-        let (result, report) = run_partitioned(&g, &assignment, &EulerConfig::default()).unwrap();
+        let (result, report) = run_pipeline(&g, &assignment, &EulerConfig::default());
         prop_assert!(verify_result(&g, &result).is_ok());
         prop_assert_eq!(result.total_edges(), g.num_edges());
         prop_assert_eq!(result.num_circuits(), 1);
@@ -54,7 +65,7 @@ proptest! {
         let mut baseline_memory = None;
         for strategy in MergeStrategy::all() {
             let config = EulerConfig::default().with_merge_strategy(strategy);
-            let (result, report) = run_partitioned(&g, &assignment, &config).unwrap();
+            let (result, report) = run_pipeline(&g, &assignment, &config);
             prop_assert!(verify_result(&g, &result).is_ok());
             totals.push(result.total_edges());
             let cumulative: u64 = report.cumulative_memory_by_level().iter().sum();
@@ -72,10 +83,83 @@ proptest! {
     fn matches_hierholzer_oracle(seed in 0u64..500, n in 8u64..100, parts in 1u32..6) {
         let g = graph_from(seed, n, 4);
         let assignment = HashPartitioner::new(parts).partition(&g);
-        let (result, _) = run_partitioned(&g, &assignment, &EulerConfig::default()).unwrap();
+        let (result, _) = run_pipeline(&g, &assignment, &EulerConfig::default());
         let oracle = hierholzer_circuit(&g).unwrap();
         prop_assert_eq!(result.total_edges(), oracle.total_edges());
         prop_assert_eq!(result.num_circuits(), oracle.num_circuits());
+    }
+
+    /// Backend equivalence for the API redesign: `EulerPipeline` over
+    /// `InProcessBackend` and over `BspBackend` must produce *identical*
+    /// circuits and identical `total_transfer_longs` on any generated
+    /// Eulerian graph. Sequential in-process execution and a single-worker
+    /// engine pin the partition execution order (ascending id on both), so
+    /// fragment ids — and therefore the unrolled circuits — match exactly;
+    /// the transfer accounting is order-independent and must also match the
+    /// default parallel engine.
+    #[test]
+    fn pipeline_backends_produce_identical_circuits(
+        seed in 0u64..500,
+        n in 8u64..90,
+        extra in 0usize..10,
+        parts in 1u32..7,
+    ) {
+        let g = graph_from(seed, n, extra);
+        let assignment = LdgPartitioner::new(parts).partition(&g);
+        let config = EulerConfig::default().sequential();
+
+        let in_proc = EulerPipeline::builder()
+            .graph(&g)
+            .assignment(assignment.clone())
+            .config(config)
+            .backend(InProcessBackend::new())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let bsp = EulerPipeline::builder()
+            .graph(&g)
+            .assignment(assignment.clone())
+            .config(config)
+            .backend(BspBackend::with_engine(BspConfig::with_workers(1)))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+
+        // Identical circuits, edge for edge.
+        prop_assert_eq!(&in_proc.circuit.result.circuits, &bsp.circuit.result.circuits);
+        prop_assert_eq!(in_proc.merge.total_transfer_longs, bsp.merge.total_transfer_longs);
+        prop_assert_eq!(in_proc.merge.supersteps, bsp.merge.supersteps);
+
+        // The unified per-level records agree on every measurement-free field.
+        prop_assert_eq!(in_proc.merge.per_partition.len(), bsp.merge.per_partition.len());
+        for (a, b) in in_proc.merge.per_partition.iter().zip(&bsp.merge.per_partition) {
+            prop_assert_eq!(a.level, b.level);
+            prop_assert_eq!(a.partition, b.partition);
+            prop_assert_eq!(a.counts, b.counts);
+            prop_assert_eq!(a.complexity, b.complexity);
+            prop_assert_eq!(a.memory_longs, b.memory_longs);
+            prop_assert_eq!(a.remote_needed_now, b.remote_needed_now);
+            prop_assert_eq!(a.transfer_in_longs, b.transfer_in_longs);
+            prop_assert_eq!(a.paths_found, b.paths_found);
+            prop_assert_eq!(a.cycles_found, b.cycles_found);
+            prop_assert_eq!(a.internal_cycles_merged, b.internal_cycles_merged);
+        }
+
+        // Transfer accounting is order-independent: the default engine
+        // (one worker per partition, parallel workers) must ship the same
+        // number of Longs even though fragment ids may differ.
+        let parallel_bsp = EulerPipeline::builder()
+            .graph(&g)
+            .assignment(assignment)
+            .backend(BspBackend::new())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        prop_assert_eq!(parallel_bsp.merge.total_transfer_longs, in_proc.merge.total_transfer_longs);
+        prop_assert!(verify_result(&g, &parallel_bsp.circuit.result).is_ok());
     }
 
     /// Determinism regression for the dense Phase-1 rewrite: on every
@@ -135,7 +219,7 @@ proptest! {
         let (g, _) = eulerize(&raw);
         prop_assert!(is_eulerian(&g).is_ok());
         let assignment = LdgPartitioner::new(parts).partition(&g);
-        let (result, _) = run_partitioned(&g, &assignment, &EulerConfig::default()).unwrap();
+        let (result, _) = run_pipeline(&g, &assignment, &EulerConfig::default());
         prop_assert!(verify_result(&g, &result).is_ok());
         prop_assert_eq!(result.total_edges(), g.num_edges());
     }
