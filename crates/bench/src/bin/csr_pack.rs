@@ -1,0 +1,85 @@
+//! `csr-pack`: convert a plain-text edge list into the binary `.ecsr` CSR
+//! format (spec: `docs/FORMAT.md`), ready for `euler_graph::MmapCsrSource`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p euler-bench --bin csr_pack -- <input.el> <output.ecsr>
+//! cargo run --release -p euler-bench --bin csr_pack -- --selftest
+//! ```
+//!
+//! `--selftest` generates a small Eulerian graph, round-trips it through a
+//! pack + mmap reopen in a temp directory, and fails loudly on any mismatch —
+//! the CI smoke for the whole packing path.
+
+use euler_bench::pack_edge_list;
+use euler_graph::{GraphSource, MmapCsrSource};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: csr_pack <input.el> <output.ecsr> | csr_pack --selftest");
+    ExitCode::from(2)
+}
+
+fn pack(input: &Path, output: &Path) -> bool {
+    match pack_edge_list(input, output) {
+        Ok(stats) => {
+            println!(
+                "packed {} -> {}: {} vertices, {} edges | {} -> {} bytes ({:.2}x) | \
+                 parse {:.3}s, write {:.3}s",
+                input.display(),
+                output.display(),
+                stats.num_vertices,
+                stats.num_edges,
+                stats.input_bytes,
+                stats.output_bytes,
+                stats.output_bytes as f64 / stats.input_bytes.max(1) as f64,
+                stats.parse_time.as_secs_f64(),
+                stats.write_time.as_secs_f64(),
+            );
+            true
+        }
+        Err(e) => {
+            eprintln!("csr_pack: {e}");
+            false
+        }
+    }
+}
+
+fn selftest() -> bool {
+    let dir = std::env::temp_dir().join("euler_csr_pack_selftest");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let el = dir.join("selftest.el");
+    let ecsr = dir.join("selftest.ecsr");
+
+    let g = euler_gen::synthetic::torus_grid(40, 40);
+    euler_graph::io::write_edge_list_file(&g, &el).expect("write edge list");
+    if !pack(&el, &ecsr) {
+        return false;
+    }
+    let reloaded = MmapCsrSource::open(&ecsr).expect("reopen packed file").load().expect("load");
+    assert_eq!(reloaded.num_vertices(), g.num_vertices(), "vertex count changed");
+    assert_eq!(reloaded.num_edges(), g.num_edges(), "edge count changed");
+    for v in g.vertices() {
+        assert_eq!(reloaded.neighbors(v), g.neighbors(v), "adjacency of {v} changed");
+    }
+    println!("selftest ok: pack -> mmap reopen reproduced the graph exactly");
+    std::fs::remove_file(&el).ok();
+    std::fs::remove_file(&ecsr).ok();
+    true
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ok = match args.as_slice() {
+        [flag] if flag == "--selftest" => selftest(),
+        [input, output] => pack(&PathBuf::from(input), &PathBuf::from(output)),
+        _ => return usage(),
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

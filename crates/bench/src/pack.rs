@@ -1,0 +1,79 @@
+//! Shared edge-list → `.ecsr` conversion used by the `csr_pack` CLI and the
+//! `bench_load` harness.
+
+use euler_graph::{write_csr_file, EdgeListFileSource, GraphError, GraphSource};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// What one conversion did, for reporting.
+#[derive(Clone, Copy, Debug)]
+pub struct PackStats {
+    /// Vertices in the converted graph.
+    pub num_vertices: u64,
+    /// Undirected edges in the converted graph.
+    pub num_edges: u64,
+    /// Size of the text input in bytes.
+    pub input_bytes: u64,
+    /// Size of the `.ecsr` output in bytes.
+    pub output_bytes: u64,
+    /// Time spent parsing the text edge list.
+    pub parse_time: Duration,
+    /// Time spent writing the binary file.
+    pub write_time: Duration,
+}
+
+/// Converts the plain-text edge list at `input` into a `.ecsr` file at
+/// `output` (see `docs/FORMAT.md`), returning conversion statistics.
+///
+/// # Errors
+/// Propagates parse errors (with exact line numbers) and I/O failures.
+pub fn pack_edge_list(input: &Path, output: &Path) -> Result<PackStats, GraphError> {
+    let t_parse = Instant::now();
+    let graph = EdgeListFileSource::new(input).load()?;
+    let parse_time = t_parse.elapsed();
+    let t_write = Instant::now();
+    write_csr_file(&graph, output)?;
+    let write_time = t_write.elapsed();
+    Ok(PackStats {
+        num_vertices: graph.num_vertices(),
+        num_edges: graph.num_edges(),
+        input_bytes: std::fs::metadata(input)?.len(),
+        output_bytes: std::fs::metadata(output)?.len(),
+        parse_time,
+        write_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use euler_graph::{CsrFile, MmapCsrSource};
+
+    #[test]
+    fn pack_roundtrips_through_the_mmap_source() {
+        let dir = std::env::temp_dir().join("euler_bench_pack_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let el = dir.join("square.el");
+        let ecsr = dir.join("square.ecsr");
+        std::fs::write(&el, "# vertices 4 edges 4\n0 1\n1 2\n2 3\n3 0\n").unwrap();
+        let stats = pack_edge_list(&el, &ecsr).unwrap();
+        assert_eq!(stats.num_vertices, 4);
+        assert_eq!(stats.num_edges, 4);
+        assert_eq!(stats.output_bytes, CsrFile::open(&ecsr).unwrap().file_bytes());
+        let g = MmapCsrSource::open(&ecsr).unwrap().load().unwrap();
+        assert_eq!(g.num_edges(), 4);
+        std::fs::remove_file(&el).ok();
+        std::fs::remove_file(&ecsr).ok();
+    }
+
+    #[test]
+    fn pack_surfaces_parse_errors_with_line_numbers() {
+        let dir = std::env::temp_dir().join("euler_bench_pack_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let el = dir.join("broken.el");
+        std::fs::write(&el, "0 1\nnot an edge\n").unwrap();
+        let err = pack_edge_list(&el, &dir.join("broken.ecsr")).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+        std::fs::remove_file(&el).ok();
+    }
+}

@@ -35,10 +35,12 @@
 //! partitions of a level) or [`BspBackend`] (the same phases on the
 //! `euler-bsp` engine with per-worker state, serialised transfers and
 //! superstep statistics). Both backends execute through one shared
-//! merge-tree walk ([`pipeline::run_with_backend`]) and produce one unified
+//! merge-tree walk ([`pipeline::run_with_backend`], whose `Graph`-free core
+//! [`pipeline::run_on_partitioned`] also accepts partition views sliced
+//! straight from memory-mapped `.ecsr` files) and produce one unified
 //! [`RunReport`]. The pre-pipeline drivers (`find_euler_circuit`,
-//! `run_partitioned`, `DistributedRunner`) survive in [`runner`] as
-//! deprecated wrappers.
+//! `run_partitioned`, `DistributedRunner`) went through a deprecation
+//! release and are now removed; see the facade crate's migration table.
 
 #![warn(missing_docs)]
 
@@ -53,7 +55,6 @@ pub mod phase1;
 pub mod phase2;
 pub mod phase3;
 pub mod pipeline;
-pub mod runner;
 pub mod state;
 pub mod verify;
 
@@ -65,10 +66,8 @@ pub use merge_tree::{MergePair, MergeTree, MergeTreeNode};
 pub use pathmap::PathMap;
 pub use phase3::{CircuitResult, CircuitStep};
 pub use pipeline::{
-    run_with_backend, BspBackend, CircuitStage, EulerPipeline, EulerPipelineBuilder,
-    ExecutionBackend, InProcessBackend, LevelOutcome, LevelPartitionReport, LevelWork, MergeStage,
-    PartitionStage, PipelineRun, RunReport,
+    run_on_partitioned, run_with_backend, BspBackend, CircuitStage, EulerPipeline,
+    EulerPipelineBuilder, ExecutionBackend, InProcessBackend, LevelOutcome, LevelPartitionReport,
+    LevelWork, MergeStage, PartitionStage, PipelineRun, RunReport,
 };
-#[allow(deprecated)]
-pub use runner::{find_euler_circuit, run_partitioned, DistributedOutcome, DistributedRunner};
 pub use state::{VertexTypeCounts, WorkingPartition};

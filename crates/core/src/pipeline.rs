@@ -20,13 +20,18 @@
 //!   [`euler_bsp::StepRun`].
 //! * [`euler_graph::GraphSource`] is the input seam (see
 //!   [`EulerPipelineBuilder::source`]): in-memory graphs, chunked edge-list
-//!   files, and — per the W-streaming Euler-tour line of work — whatever
-//!   edge-streaming loader comes next, without either backend changing.
+//!   files, and memory-mapped binary CSR files
+//!   ([`euler_graph::MmapCsrSource`]). A CSR-backed source combined with a
+//!   precomputed assignment takes the *direct slicing path*: the
+//!   partition-centric view is cut straight from the mapped sections
+//!   ([`euler_graph::CsrFile::partitioned`]) and handed to
+//!   [`run_on_partitioned`], so no full [`Graph`] is ever materialised —
+//!   the multi-GB loading mode the paper's scale targets require.
 //!
 //! The pre-redesign entry points (`find_euler_circuit`, `run_partitioned`,
-//! `DistributedRunner`) survive in [`crate::runner`] as deprecated wrappers
-//! over this module, so their test suites prove the pipeline behaves
-//! identically.
+//! `DistributedRunner`) were deprecated wrappers over this module for one
+//! release and are now removed; their test suites live on in this module's
+//! tests. See the facade crate's migration table.
 
 use crate::config::EulerConfig;
 use crate::error::EulerError;
@@ -40,7 +45,8 @@ use crate::phase3::{unroll, CircuitResult};
 use crate::state::{VertexTypeCounts, WorkingPartition};
 use crate::verify::verify_result;
 use euler_graph::{
-    properties, Graph, GraphSource, MetaGraph, PartitionAssignment, PartitionId, PartitionedGraph,
+    properties, CsrFile, Graph, GraphSource, MetaGraph, PartitionAssignment, PartitionId,
+    PartitionedGraph,
 };
 use euler_partition::Partitioner;
 use parking_lot::Mutex;
@@ -709,7 +715,30 @@ pub fn run_with_backend(
         }
     }
     let pg = PartitionedGraph::from_assignment(g, assignment)?;
-    let meta = MetaGraph::from_partitioned(&pg);
+    let (result, report) = run_on_partitioned(&pg, config, backend)?;
+    if config.verify {
+        verify_result(g, &result)?;
+    }
+    Ok((result, report))
+}
+
+/// Runs the Phase-1/2 merge-tree walk and the Phase-3 unroll over an
+/// already-built partition-centric view — the `Graph`-free core of
+/// [`run_with_backend`].
+///
+/// This is the entry point for inputs that never materialise a [`Graph`]:
+/// [`euler_graph::CsrFile::partitioned`] slices a [`PartitionedGraph`]
+/// straight from a memory-mapped `.ecsr` file and hands it here. Because no
+/// graph is available, [`EulerConfig::require_eulerian`] and
+/// [`EulerConfig::verify`] are **not** applied at this level — callers with
+/// graph access use [`run_with_backend`], and the CSR fast path runs its
+/// degree pre-check off the mapped offsets section instead.
+pub fn run_on_partitioned(
+    pg: &PartitionedGraph,
+    config: &EulerConfig,
+    backend: &dyn ExecutionBackend,
+) -> Result<(CircuitResult, RunReport), EulerError> {
+    let meta = MetaGraph::from_partitioned(pg);
     let tree = MergeTree::build(&meta);
     let store = FragmentStore::new();
 
@@ -754,9 +783,6 @@ pub fn run_with_backend(
     report.phase3_time = t3.elapsed();
     report.fragment_disk_longs = store.disk_longs();
 
-    if config.verify {
-        verify_result(g, &result)?;
-    }
     Ok((result, report))
 }
 
@@ -928,7 +954,20 @@ impl EulerPipeline {
     }
 
     /// Runs the full pipeline, producing the staged outputs.
+    ///
+    /// A source that exposes a mapped CSR view ([`GraphSource::csr`],
+    /// e.g. [`euler_graph::MmapCsrSource`]) combined with a precomputed
+    /// [`assignment`](EulerPipelineBuilder::assignment) takes the direct
+    /// slicing path: partitions are cut straight from the mapped sections
+    /// and no [`Graph`] is materialised. Configuring a partitioner or
+    /// [`verify`](EulerPipelineBuilder::verify) needs the whole graph, so
+    /// either falls back to the load path.
     pub fn run(&self) -> Result<PipelineRun, EulerError> {
+        if let (Some(csr), PartitionSpec::Assignment(a)) = (self.source.csr(), &self.partition) {
+            if !self.config.verify {
+                return self.run_from_csr(csr, a);
+            }
+        }
         let t_load = Instant::now();
         let loaded;
         let graph: &Graph = match self.source.resident() {
@@ -948,42 +987,103 @@ impl EulerPipeline {
         let partition_time = t_part.elapsed();
 
         let (result, report) = run_with_backend(graph, &assignment, &self.config, self.backend.as_ref())?;
-        let RunReport {
+        let provenance = Provenance {
+            source: self.source.name(),
+            load_time,
+            partitioner,
+            partition_time,
+            num_vertices: graph.num_vertices(),
+            num_edges: graph.num_edges(),
+            assignment,
+        };
+        Ok(assemble_run(provenance, result, report))
+    }
+
+    /// The direct CSR slicing path: degree pre-check off the mapped offsets
+    /// section, partitions cut from the mapped arrays, no [`Graph`] ever
+    /// materialised.
+    fn run_from_csr(
+        &self,
+        csr: &CsrFile,
+        assignment: &PartitionAssignment,
+    ) -> Result<PipelineRun, EulerError> {
+        if self.config.require_eulerian {
+            if let Some((vertex, degree)) = csr.first_odd_vertex() {
+                return Err(EulerError::Graph(euler_graph::GraphError::NotEulerian {
+                    vertex,
+                    degree,
+                }));
+            }
+        }
+        let t_part = Instant::now();
+        let pg = csr.partitioned(assignment)?;
+        let partition_time = t_part.elapsed();
+        let (result, report) = run_on_partitioned(&pg, &self.config, self.backend.as_ref())?;
+        let provenance = Provenance {
+            source: self.source.name(),
+            // Nothing is loaded up front; pages fault in as partitions are
+            // sliced, which the partition stage times.
+            load_time: Duration::ZERO,
+            partitioner: "pre-assigned (direct csr slice)".to_string(),
+            partition_time,
+            num_vertices: csr.num_vertices(),
+            num_edges: csr.num_edges(),
+            assignment: assignment.clone(),
+        };
+        Ok(assemble_run(provenance, result, report))
+    }
+}
+
+/// Input-side provenance of a run — the [`PartitionStage`] fields that differ
+/// between the load path and the CSR direct slicing path.
+struct Provenance {
+    source: String,
+    load_time: Duration,
+    partitioner: String,
+    partition_time: Duration,
+    num_vertices: u64,
+    num_edges: u64,
+    assignment: PartitionAssignment,
+}
+
+/// Splits one unified [`RunReport`] across the staged outputs — the single
+/// place a run is assembled, whichever input path produced it.
+fn assemble_run(provenance: Provenance, result: CircuitResult, report: RunReport) -> PipelineRun {
+    let RunReport {
+        num_partitions,
+        supersteps,
+        strategy,
+        per_partition,
+        phase12_time,
+        phase3_time,
+        total_transfer_longs,
+        fragment_disk_longs,
+        merge_tree,
+        backend,
+        engine,
+    } = report;
+    PipelineRun {
+        partition: PartitionStage {
+            source: provenance.source,
+            load_time: provenance.load_time,
+            partitioner: provenance.partitioner,
+            partition_time: provenance.partition_time,
+            num_vertices: provenance.num_vertices,
+            num_edges: provenance.num_edges,
             num_partitions,
+            assignment: provenance.assignment,
+        },
+        merge: MergeStage {
             supersteps,
             strategy,
+            backend,
             per_partition,
             phase12_time,
-            phase3_time,
             total_transfer_longs,
-            fragment_disk_longs,
             merge_tree,
-            backend,
             engine,
-        } = report;
-        Ok(PipelineRun {
-            partition: PartitionStage {
-                source: self.source.name(),
-                load_time,
-                partitioner,
-                partition_time,
-                num_vertices: graph.num_vertices(),
-                num_edges: graph.num_edges(),
-                num_partitions,
-                assignment,
-            },
-            merge: MergeStage {
-                supersteps,
-                strategy,
-                backend,
-                per_partition,
-                phase12_time,
-                total_transfer_longs,
-                merge_tree,
-                engine,
-            },
-            circuit: CircuitStage { result, phase3_time, fragment_disk_longs },
-        })
+        },
+        circuit: CircuitStage { result, phase3_time, fragment_disk_longs },
     }
 }
 
@@ -1224,5 +1324,287 @@ mod tests {
         let g = euler_graph::builder::graph_from_edges(&[(0, 1), (1, 2)]);
         let err = builder_for(&g, 2).build().unwrap().run().unwrap_err();
         assert!(matches!(err, EulerError::Graph(euler_graph::GraphError::NotEulerian { .. })));
+    }
+
+    // --- The CSR direct slicing path. --------------------------------------
+
+    fn csr_temp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("euler_pipeline_csr_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn csr_source_with_assignment_takes_the_direct_slicing_path() {
+        let g = synthetic::random_eulerian_connected(120, 14, 6, 21);
+        let a = LdgPartitioner::new(4).partition(&g);
+        let config = EulerConfig::default().sequential();
+        let path = csr_temp("direct.ecsr");
+        euler_graph::write_csr_file(&g, &path).unwrap();
+
+        let from_csr = EulerPipeline::builder()
+            .source(euler_graph::MmapCsrSource::open(&path).unwrap())
+            .assignment(a.clone())
+            .config(config)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let from_mem = EulerPipeline::builder()
+            .graph(&g)
+            .assignment(a)
+            .config(config)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+
+        // The fast path is observable in the stage report, skips any load...
+        assert_eq!(from_csr.partition.partitioner, "pre-assigned (direct csr slice)");
+        assert_eq!(from_csr.partition.load_time, Duration::ZERO);
+        assert_eq!(from_csr.partition.num_vertices, g.num_vertices());
+        assert_eq!(from_csr.partition.num_edges, g.num_edges());
+        // ...and produces the identical deterministic run.
+        assert_eq!(from_csr.circuit.result.circuits, from_mem.circuit.result.circuits);
+        assert_eq!(from_csr.merge.total_transfer_longs, from_mem.merge.total_transfer_longs);
+        assert_eq!(from_csr.merge.supersteps, from_mem.merge.supersteps);
+        verify_result(&g, &from_csr.circuit.result).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csr_source_with_a_partitioner_falls_back_to_loading() {
+        let g = synthetic::torus_grid(8, 8);
+        let path = csr_temp("partitioner_fallback.ecsr");
+        euler_graph::write_csr_file(&g, &path).unwrap();
+        let run = EulerPipeline::builder()
+            .source(euler_graph::MmapCsrSource::open(&path).unwrap())
+            .partitioner(LdgPartitioner::new(4))
+            .verify(true)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(run.partition.partitioner, "ldg");
+        assert_eq!(run.circuit.result.total_edges(), g.num_edges());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csr_source_with_verify_falls_back_to_loading() {
+        let g = synthetic::torus_grid(6, 6);
+        let a = HashPartitioner::new(2).partition(&g);
+        let path = csr_temp("verify_fallback.ecsr");
+        euler_graph::write_csr_file(&g, &path).unwrap();
+        let run = EulerPipeline::builder()
+            .source(euler_graph::MmapCsrSource::open(&path).unwrap())
+            .assignment(a)
+            .verify(true)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        // Verification needs the graph, so the plain pre-assigned path ran.
+        assert_eq!(run.partition.partitioner, "pre-assigned");
+        assert_eq!(run.circuit.result.total_edges(), g.num_edges());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csr_fast_path_runs_the_degree_precheck_off_the_offsets() {
+        let g = euler_graph::builder::graph_from_edges(&[(0, 1), (1, 2)]);
+        let a = HashPartitioner::new(2).partition(&g);
+        let path = csr_temp("odd.ecsr");
+        euler_graph::write_csr_file(&g, &path).unwrap();
+        let err = EulerPipeline::builder()
+            .source(euler_graph::MmapCsrSource::open(&path).unwrap())
+            .assignment(a)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, EulerError::Graph(euler_graph::GraphError::NotEulerian { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_on_partitioned_is_the_core_of_run_with_backend() {
+        let g = synthetic::random_eulerian_connected(80, 10, 5, 17);
+        let a = LdgPartitioner::new(4).partition(&g);
+        let config = EulerConfig::default().sequential();
+        let pg = PartitionedGraph::from_assignment(&g, &a).unwrap();
+        let (direct, direct_report) =
+            run_on_partitioned(&pg, &config, &InProcessBackend::new()).unwrap();
+        let (wrapped, wrapped_report) =
+            run_with_backend(&g, &a, &config, &InProcessBackend::new()).unwrap();
+        assert_eq!(direct.circuits, wrapped.circuits);
+        assert_eq!(direct_report.total_transfer_longs, wrapped_report.total_transfer_longs);
+        assert_eq!(direct_report.supersteps, wrapped_report.supersteps);
+        verify_result(&g, &direct).unwrap();
+    }
+
+    // --- Folded from the removed `runner` module's suite: the same
+    // behavioural guarantees, stated against the pipeline API. -------------
+
+    fn verify_ok(g: &Graph, assignment: &PartitionAssignment, config: &EulerConfig) {
+        let (result, report) =
+            run_with_backend(g, assignment, config, &InProcessBackend::new()).unwrap();
+        verify_result(g, &result).unwrap();
+        assert_eq!(result.total_edges(), g.num_edges());
+        assert_eq!(report.num_partitions, assignment.num_partitions());
+    }
+
+    #[test]
+    fn fig1_graph_end_to_end() {
+        let (g, a) = synthetic::paper_fig1();
+        let config = EulerConfig::default().with_verify(true);
+        let (result, report) =
+            run_with_backend(&g, &a, &config, &InProcessBackend::new()).unwrap();
+        assert_eq!(result.num_circuits(), 1);
+        assert_eq!(result.total_edges(), 16);
+        // 4 partitions -> 3 supersteps (Fig. 2).
+        assert_eq!(report.supersteps, 3);
+        let seq = result.vertex_sequence().unwrap();
+        assert_eq!(seq.first(), seq.last());
+    }
+
+    #[test]
+    fn torus_grid_all_partitioners() {
+        let g = synthetic::torus_grid(8, 10);
+        for k in [1u32, 2, 3, 4] {
+            let a = LdgPartitioner::new(k).partition(&g);
+            verify_ok(&g, &a, &EulerConfig::default());
+            let a = HashPartitioner::new(k).partition(&g);
+            verify_ok(&g, &a, &EulerConfig::default());
+        }
+    }
+
+    #[test]
+    fn all_merge_strategies_yield_valid_circuits() {
+        let g = synthetic::random_eulerian_connected(120, 15, 6, 9);
+        let a = LdgPartitioner::new(4).partition(&g);
+        for strategy in MergeStrategy::all() {
+            let run = EulerPipeline::builder()
+                .graph(&g)
+                .assignment(a.clone())
+                .strategy(strategy)
+                .verify(true)
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_eq!(run.circuit.result.num_circuits(), 1, "strategy {strategy}");
+            assert_eq!(run.circuit.result.total_edges(), g.num_edges());
+        }
+    }
+
+    #[test]
+    fn disconnected_eulerian_graph_yields_one_circuit_per_component() {
+        let g = euler_graph::builder::graph_from_edges(&[
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (5, 6),
+            (6, 7),
+            (7, 5),
+        ]);
+        let a = HashPartitioner::new(2).partition(&g);
+        let (result, _) =
+            run_with_backend(&g, &a, &EulerConfig::default(), &InProcessBackend::new()).unwrap();
+        assert_eq!(result.num_circuits(), 2);
+        assert_eq!(result.total_edges(), 6);
+        verify_result(&g, &result).unwrap();
+    }
+
+    #[test]
+    fn report_has_one_record_per_partition_per_level() {
+        let g = synthetic::torus_grid(10, 10);
+        let a = LdgPartitioner::new(8).partition(&g);
+        let (_, report) =
+            run_with_backend(&g, &a, &EulerConfig::default(), &InProcessBackend::new()).unwrap();
+        assert_eq!(report.supersteps, 4); // 8 partitions -> 4 Phase-1 rounds
+        assert_eq!(report.level(0).len(), 8);
+        assert_eq!(report.level(1).len(), 4);
+        assert_eq!(report.level(2).len(), 2);
+        assert_eq!(report.level(3).len(), 1);
+        let cumulative = report.cumulative_memory_by_level();
+        assert_eq!(cumulative.len(), 4);
+        assert!(cumulative[0] > 0);
+        // Fig. 9: the root level holds no remote edges.
+        let root = report.level(3)[0];
+        assert_eq!(root.counts.remote_edges, 0);
+        assert_eq!(report.backend, "in-process");
+        assert!(report.engine.is_none());
+    }
+
+    #[test]
+    fn memory_accounting_deferred_never_exceeds_dedup() {
+        let g = synthetic::random_eulerian_connected(200, 30, 6, 3);
+        let a = LdgPartitioner::new(8).partition(&g);
+        let config = EulerConfig::default().with_merge_strategy(MergeStrategy::Deduplicated);
+        let (_, dedup) = run_with_backend(&g, &a, &config, &InProcessBackend::new()).unwrap();
+        let config = EulerConfig::default().with_merge_strategy(MergeStrategy::Deferred);
+        let (_, deferred) = run_with_backend(&g, &a, &config, &InProcessBackend::new()).unwrap();
+        let c_dedup = dedup.cumulative_memory_by_level();
+        let c_def = deferred.cumulative_memory_by_level();
+        for (d, f) in c_dedup.iter().zip(c_def.iter()) {
+            assert!(f <= d, "deferred {f} > dedup {d}");
+        }
+        // Transfers also shrink.
+        assert!(deferred.total_transfer_longs <= dedup.total_transfer_longs);
+    }
+
+    #[test]
+    fn sequential_and_parallel_levels_agree() {
+        let g = synthetic::random_eulerian_connected(80, 10, 5, 11);
+        let a = LdgPartitioner::new(4).partition(&g);
+        let config = EulerConfig::default().sequential();
+        let (r1, _) = run_with_backend(&g, &a, &config, &InProcessBackend::new()).unwrap();
+        let (r2, _) =
+            run_with_backend(&g, &a, &EulerConfig::default(), &InProcessBackend::new()).unwrap();
+        verify_result(&g, &r1).unwrap();
+        verify_result(&g, &r2).unwrap();
+        assert_eq!(r1.total_edges(), r2.total_edges());
+    }
+
+    #[test]
+    fn single_partition_degenerates_to_sequential() {
+        let g = synthetic::circulant(50, &[1, 2]);
+        let a = HashPartitioner::new(1).partition(&g);
+        let config = EulerConfig::default().with_verify(true);
+        let (result, report) =
+            run_with_backend(&g, &a, &config, &InProcessBackend::new()).unwrap();
+        assert_eq!(report.supersteps, 1);
+        assert_eq!(result.num_circuits(), 1);
+    }
+
+    #[test]
+    fn bsp_cost_model_reports_platform_overhead() {
+        let g = synthetic::torus_grid(6, 6);
+        let a = HashPartitioner::new(4).partition(&g);
+        let run = EulerPipeline::builder()
+            .graph(&g)
+            .assignment(a)
+            .backend(BspBackend::with_engine(
+                euler_bsp::BspConfig::one_worker_per_partition()
+                    .with_cost_model(euler_bsp::PlatformCostModel::spark_like()),
+            ))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let engine = run.merge.engine.as_ref().expect("bsp runs report engine stats");
+        assert!(engine.modelled_platform_overhead > Duration::ZERO);
+        verify_result(&g, &run.circuit.result).unwrap();
+    }
+
+    #[test]
+    fn larger_rmat_eulerized_graph_end_to_end() {
+        let (g, _) = euler_gen::configs::GraphConfig::by_name("G20/P2").unwrap().generate(-7);
+        let a = LdgPartitioner::new(2).partition(&g);
+        let (result, _) =
+            run_with_backend(&g, &a, &EulerConfig::default(), &InProcessBackend::new()).unwrap();
+        verify_result(&g, &result).unwrap();
+        assert_eq!(result.total_edges(), g.num_edges());
     }
 }

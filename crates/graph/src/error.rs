@@ -42,6 +42,9 @@ pub enum GraphError {
     },
     /// An I/O error when reading or writing a graph file.
     Io(std::io::Error),
+    /// A malformed or corrupt binary `.ecsr` CSR file
+    /// (see [`crate::csr_file`]).
+    CsrFormat(crate::csr_file::CsrFileError),
     /// A parse error in an edge-list file.
     Parse {
         /// 1-based line number.
@@ -70,6 +73,7 @@ impl fmt::Display for GraphError {
                 write!(f, "graph edges span {components} connected components; a single Euler circuit requires one")
             }
             GraphError::Io(e) => write!(f, "I/O error: {e}"),
+            GraphError::CsrFormat(e) => write!(f, "{e}"),
             GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
         }
     }
@@ -87,6 +91,12 @@ impl std::error::Error for GraphError {
 impl From<std::io::Error> for GraphError {
     fn from(e: std::io::Error) -> Self {
         GraphError::Io(e)
+    }
+}
+
+impl From<crate::csr_file::CsrFileError> for GraphError {
+    fn from(e: crate::csr_file::CsrFileError) -> Self {
+        GraphError::CsrFormat(e)
     }
 }
 

@@ -15,9 +15,11 @@
 //!   merge tree is computed.
 //! * Graph property queries (degrees, Eulerian-ness, connectivity) in
 //!   [`properties`].
-//! * Plain-text edge-list I/O in [`io`], and the pipeline's pluggable input
-//!   seam in [`source`] ([`GraphSource`]: in-memory graphs, chunked edge-list
-//!   files, future mmap/CSR loaders).
+//! * Plain-text edge-list I/O in [`io`], the binary `.ecsr` CSR on-disk
+//!   format in [`csr_file`] (see [`format_spec`] for the normative byte
+//!   layout), and the pipeline's pluggable input seam in [`source`]
+//!   ([`GraphSource`]: in-memory graphs, chunked edge-list files, and the
+//!   zero-copy [`MmapCsrSource`] over memory-mapped `.ecsr` files).
 //!
 //! The vertex and edge identifier types are 64-bit, matching the paper's
 //! memory accounting in numbers of Java `Long`s.
@@ -26,6 +28,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod csr_file;
 pub mod error;
 pub mod graph;
 pub mod ids;
@@ -36,8 +39,15 @@ pub mod partitioned;
 pub mod properties;
 pub mod source;
 
+/// The normative `.ecsr` file-format specification (`docs/FORMAT.md`),
+/// rendered here so it versions and link-checks with the code. The reference
+/// implementation is [`csr_file`].
+#[doc = include_str!("../../../docs/FORMAT.md")]
+pub mod format_spec {}
+
 pub use builder::GraphBuilder;
 pub use csr::Csr;
+pub use csr_file::{write_csr_file, CsrFile, CsrFileError};
 pub use error::GraphError;
 pub use graph::Graph;
 pub use ids::{EdgeId, PartitionId, VertexId};
@@ -45,4 +55,4 @@ pub use local_index::{bucket_by_slot, LocalIndex};
 pub use metagraph::{MetaEdge, MetaGraph};
 pub use partitioned::{Partition, PartitionAssignment, PartitionedGraph, RemoteEdge};
 pub use properties::{connected_components, is_connected_on_edges, is_eulerian, odd_vertices};
-pub use source::{EdgeListFileSource, GraphSource, InMemorySource};
+pub use source::{EdgeListFileSource, GraphSource, InMemorySource, MmapCsrSource};

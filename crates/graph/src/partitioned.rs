@@ -209,54 +209,7 @@ impl PartitionedGraph {
     /// Returns [`GraphError::IncompleteAssignment`] if the assignment does not
     /// cover every vertex of `g`.
     pub fn from_assignment(g: &Graph, assignment: &PartitionAssignment) -> Result<Self, GraphError> {
-        if assignment.num_vertices() != g.num_vertices() {
-            return Err(GraphError::IncompleteAssignment {
-                expected: g.num_vertices(),
-                actual: assignment.num_vertices(),
-            });
-        }
-        let n = assignment.num_partitions() as usize;
-        let mut partitions: Vec<Partition> = (0..n).map(|i| Partition::new(PartitionId(i as u32))).collect();
-        let mut is_boundary = vec![false; g.num_vertices() as usize];
-        let mut cut_edges = 0u64;
-
-        for (e, u, v) in g.edges() {
-            let pu = assignment.partition_of(u);
-            let pv = assignment.partition_of(v);
-            if pu == pv {
-                partitions[pu.index()].local_edges.push((e, u, v));
-            } else {
-                cut_edges += 1;
-                is_boundary[u.index()] = true;
-                is_boundary[v.index()] = true;
-                partitions[pu.index()].remote_edges.push(RemoteEdge {
-                    edge: e,
-                    local_vertex: u,
-                    remote_vertex: v,
-                    remote_partition: pv,
-                });
-                partitions[pv.index()].remote_edges.push(RemoteEdge {
-                    edge: e,
-                    local_vertex: v,
-                    remote_vertex: u,
-                    remote_partition: pu,
-                });
-            }
-        }
-        for v in g.vertices() {
-            let p = assignment.partition_of(v);
-            if is_boundary[v.index()] {
-                partitions[p.index()].boundary.push(v);
-            } else {
-                partitions[p.index()].internal.push(v);
-            }
-        }
-        Ok(PartitionedGraph {
-            partitions,
-            num_vertices: g.num_vertices(),
-            num_edges: g.num_edges(),
-            cut_edges,
-        })
+        build_partition_view(g.num_vertices(), g.num_edges(), assignment, g.edges())
     }
 
     /// The partitions.
@@ -313,6 +266,69 @@ impl PartitionedGraph {
     pub fn memory_longs(&self) -> u64 {
         self.partitions.iter().map(|p| p.memory_longs()).sum()
     }
+}
+
+/// The one partition-view construction behind both
+/// [`PartitionedGraph::from_assignment`] and the [`crate::csr_file`] direct
+/// slicer: routes each edge as local or remote (remote edges recorded by
+/// both incident partitions, the paper's directed-pair view) and classifies
+/// every vertex as internal or boundary. Taking the edges as an iterator is
+/// what lets the CSR path feed the mapped endpoints section straight in
+/// without materialising a [`Graph`] — both callers must therefore stay on
+/// this helper so their partition views remain bit-identical.
+///
+/// # Errors
+/// [`GraphError::IncompleteAssignment`] when the assignment does not cover
+/// `num_vertices`.
+pub(crate) fn build_partition_view(
+    num_vertices: u64,
+    num_edges: u64,
+    assignment: &PartitionAssignment,
+    edges: impl Iterator<Item = (EdgeId, VertexId, VertexId)>,
+) -> Result<PartitionedGraph, GraphError> {
+    if assignment.num_vertices() != num_vertices {
+        return Err(GraphError::IncompleteAssignment {
+            expected: num_vertices,
+            actual: assignment.num_vertices(),
+        });
+    }
+    let n = assignment.num_partitions() as usize;
+    let mut partitions: Vec<Partition> = (0..n).map(|i| Partition::new(PartitionId(i as u32))).collect();
+    let mut is_boundary = vec![false; num_vertices as usize];
+    let mut cut_edges = 0u64;
+
+    for (e, u, v) in edges {
+        let pu = assignment.partition_of(u);
+        let pv = assignment.partition_of(v);
+        if pu == pv {
+            partitions[pu.index()].local_edges.push((e, u, v));
+        } else {
+            cut_edges += 1;
+            is_boundary[u.index()] = true;
+            is_boundary[v.index()] = true;
+            partitions[pu.index()].remote_edges.push(RemoteEdge {
+                edge: e,
+                local_vertex: u,
+                remote_vertex: v,
+                remote_partition: pv,
+            });
+            partitions[pv.index()].remote_edges.push(RemoteEdge {
+                edge: e,
+                local_vertex: v,
+                remote_vertex: u,
+                remote_partition: pu,
+            });
+        }
+    }
+    for v in (0..num_vertices).map(VertexId) {
+        let p = assignment.partition_of(v);
+        if is_boundary[v.index()] {
+            partitions[p.index()].boundary.push(v);
+        } else {
+            partitions[p.index()].internal.push(v);
+        }
+    }
+    Ok(PartitionedGraph { partitions, num_vertices, num_edges, cut_edges })
 }
 
 #[cfg(test)]

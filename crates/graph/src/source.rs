@@ -3,12 +3,15 @@
 //! The W-streaming line of Euler-tour work (Glazik et al.; Kliemann et al.)
 //! observes that the algorithm consumes edges, not a resident graph: what
 //! matters is the order edges are fed in, not how they are stored. The
-//! [`GraphSource`] trait captures that seam. Today's implementations load a
-//! full [`Graph`] ([`InMemorySource`] hands over a graph that already lives
-//! in memory, [`EdgeListFileSource`] streams a plain-text edge list from disk
-//! in bounded-size chunks); a future mmap/CSR on-disk loader plugs into the
-//! same trait without the pipeline changing.
+//! [`GraphSource`] trait captures that seam. Three implementations ship:
+//! [`InMemorySource`] hands over a graph that already lives in memory,
+//! [`EdgeListFileSource`] streams a plain-text edge list from disk in
+//! bounded-size chunks, and [`MmapCsrSource`] memory-maps a binary `.ecsr`
+//! CSR file ([`crate::csr_file`], spec in [`crate::format_spec`]) whose
+//! sections the pipeline can slice into partitions without ever
+//! materialising a [`Graph`].
 
+use crate::csr_file::CsrFile;
 use crate::error::GraphError;
 use crate::graph::Graph;
 use crate::io::EdgeListParser;
@@ -20,7 +23,19 @@ use std::path::{Path, PathBuf};
 /// A source is asked for the graph once per pipeline run via
 /// [`load`](GraphSource::load). Sources whose graph already resides in memory
 /// can additionally expose it through [`resident`](GraphSource::resident), so
-/// the pipeline borrows it instead of copying.
+/// the pipeline borrows it instead of copying; sources backed by a mapped
+/// CSR file expose the raw arrays through [`csr`](GraphSource::csr), so the
+/// pipeline partitions straight off the file.
+///
+/// ```
+/// use euler_graph::{builder::graph_from_edges, GraphSource, InMemorySource};
+///
+/// let source = InMemorySource::new(graph_from_edges(&[(0, 1), (1, 0)]));
+/// // `load` always works; `resident` is the no-copy fast path.
+/// assert_eq!(source.load().unwrap().num_edges(), 2);
+/// assert_eq!(source.resident().unwrap().num_edges(), 2);
+/// assert!(source.csr().is_none()); // not file-backed
+/// ```
 pub trait GraphSource {
     /// Human-readable description of the source, used in stage reports.
     fn name(&self) -> String;
@@ -32,6 +47,14 @@ pub trait GraphSource {
     /// path. Sources that materialise their graph on demand return `None`
     /// (the default) and are asked to [`load`](GraphSource::load) instead.
     fn resident(&self) -> Option<&Graph> {
+        None
+    }
+
+    /// The source's memory-mapped CSR view, if it has one. The pipeline uses
+    /// it to run degree checks and slice the partition-centric view directly
+    /// from the mapped sections ([`CsrFile::partitioned`]) instead of loading
+    /// a [`Graph`] first. Default: `None`.
+    fn csr(&self) -> Option<&CsrFile> {
         None
     }
 }
@@ -84,9 +107,21 @@ impl GraphSource for InMemorySource {
 /// Unlike [`crate::io::read_edge_list_file`], which goes through a
 /// line-oriented `BufRead`, this source reads the file `chunk_bytes` at a
 /// time and carries partial trailing lines across chunk boundaries, so the
-/// read path holds at most one chunk plus one line in flight — the shape the
-/// ROADMAP's future mmap/CSR loader needs. Parse errors report the exact
-/// 1-based line number even when the offending line spans two chunks.
+/// read path holds at most one chunk plus one line in flight. Parse errors
+/// report the exact 1-based line number even when the offending line spans
+/// two chunks.
+///
+/// ```
+/// use euler_graph::{EdgeListFileSource, GraphSource};
+///
+/// let path = std::env::temp_dir().join("doctest_source.el");
+/// std::fs::write(&path, "# a square\n0 1\n1 2\n2 3\n3 0\n").unwrap();
+/// let source = EdgeListFileSource::new(&path).with_chunk_bytes(4);
+/// let graph = source.load().unwrap();
+/// assert_eq!(graph.num_vertices(), 4);
+/// assert_eq!(graph.num_edges(), 4);
+/// std::fs::remove_file(&path).ok();
+/// ```
 #[derive(Clone, Debug)]
 pub struct EdgeListFileSource {
     path: PathBuf,
@@ -161,6 +196,94 @@ impl GraphSource for EdgeListFileSource {
     fn load(&self) -> Result<Graph, GraphError> {
         let file = std::fs::File::open(&self.path)?;
         self.parse_chunked(file)
+    }
+}
+
+/// A source over a memory-mapped binary `.ecsr` CSR file — the zero-copy
+/// load path for graphs that do not fit a text-parse-and-build pass.
+///
+/// Opening the source maps and validates the file once (magic, version,
+/// endianness, checksum, structural invariants — see [`crate::format_spec`]);
+/// corrupt files fail *here*, with a typed [`GraphError::CsrFormat`], not
+/// mid-pipeline. [`load`](GraphSource::load) reconstructs the exact original
+/// [`Graph`] from the mapped arrays, and [`csr`](GraphSource::csr) hands the
+/// pipeline the raw sections so it can slice partitions without any `Graph`
+/// at all.
+///
+/// ```
+/// use euler_graph::{builder::graph_from_edges, write_csr_file};
+/// use euler_graph::{GraphSource, MmapCsrSource};
+///
+/// let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0)]);
+/// let path = std::env::temp_dir().join("doctest_source.ecsr");
+/// write_csr_file(&g, &path).unwrap();
+///
+/// let source = MmapCsrSource::open(&path).unwrap();
+/// assert_eq!(source.csr().unwrap().num_edges(), 3);
+/// let reloaded = source.load().unwrap();       // bit-identical reconstruction
+/// assert_eq!(reloaded.num_vertices(), g.num_vertices());
+/// assert_eq!(reloaded.neighbors(euler_graph::VertexId(0)),
+///            g.neighbors(euler_graph::VertexId(0)));
+/// std::fs::remove_file(&path).ok();
+/// ```
+#[derive(Debug)]
+pub struct MmapCsrSource {
+    path: PathBuf,
+    csr: CsrFile,
+}
+
+impl MmapCsrSource {
+    /// Opens and fully validates the `.ecsr` file at `path`
+    /// (via [`CsrFile::open`]).
+    ///
+    /// # Errors
+    /// [`GraphError::Io`] on filesystem failures, [`GraphError::CsrFormat`]
+    /// on malformed files.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, GraphError> {
+        let path = path.into();
+        let csr = CsrFile::open(&path)?;
+        Ok(MmapCsrSource { path, csr })
+    }
+
+    /// Opens the file with framing checks only — no checksum pass, nothing
+    /// beyond the header paged in (via [`CsrFile::open_trusted`]). For large
+    /// files from a trusted local producer.
+    ///
+    /// # Errors
+    /// Same as [`open`](Self::open) minus the checksum/structure cases.
+    pub fn open_trusted(path: impl Into<PathBuf>) -> Result<Self, GraphError> {
+        let path = path.into();
+        let csr = CsrFile::open_trusted(&path)?;
+        Ok(MmapCsrSource { path, csr })
+    }
+
+    /// The file path this source maps.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The mapped CSR view.
+    pub fn csr_file(&self) -> &CsrFile {
+        &self.csr
+    }
+}
+
+impl GraphSource for MmapCsrSource {
+    fn name(&self) -> String {
+        format!(
+            "mmap csr file {} ({} vertices, {} edges)",
+            self.path.display(),
+            self.csr.num_vertices(),
+            self.csr.num_edges()
+        )
+    }
+
+    fn load(&self) -> Result<Graph, GraphError> {
+        Ok(self.csr.to_graph())
+    }
+
+    fn csr(&self) -> Option<&CsrFile> {
+        Some(&self.csr)
     }
 }
 
@@ -247,7 +370,53 @@ mod tests {
             Box::new(EdgeListFileSource::new("unused.el")),
         ];
         assert!(sources[0].resident().is_some());
+        assert!(sources[0].csr().is_none());
         assert!(sources[1].resident().is_none());
         assert!(sources[1].name().contains("unused.el"));
+    }
+
+    #[test]
+    fn mmap_source_loads_the_exact_graph() {
+        let mut b = crate::builder::GraphBuilder::with_vertices(6);
+        b.extend_edges([(0, 1), (1, 0), (4, 2), (2, 2)]);
+        let g = b.build().unwrap();
+        let path = temp_path("mmap_source.ecsr");
+        crate::csr_file::write_csr_file(&g, &path).unwrap();
+        let src = MmapCsrSource::open(&path).unwrap();
+        assert!(src.name().contains("mmap csr"));
+        assert!(src.resident().is_none());
+        assert_eq!(src.csr().unwrap().num_edges(), 4);
+        assert_eq!(src.path(), path.as_path());
+        let loaded = src.load().unwrap();
+        assert_eq!(loaded.num_vertices(), g.num_vertices());
+        for v in g.vertices() {
+            assert_eq!(loaded.neighbors(v), g.neighbors(v));
+        }
+        for (e, u, v) in g.edges() {
+            assert_eq!(loaded.endpoints(e), (u, v));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_source_rejects_corrupt_files_at_open() {
+        let path = temp_path("mmap_source_corrupt.ecsr");
+        std::fs::write(&path, b"not an ecsr file").unwrap();
+        assert!(matches!(
+            MmapCsrSource::open(&path),
+            Err(GraphError::CsrFormat(crate::csr_file::CsrFileError::BadMagic { .. }))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_source_is_a_trait_object_with_a_csr_view() {
+        let g = graph_from_edges(&[(0, 1), (1, 0)]);
+        let path = temp_path("mmap_source_dyn.ecsr");
+        crate::csr_file::write_csr_file(&g, &path).unwrap();
+        let src: Box<dyn GraphSource> = Box::new(MmapCsrSource::open_trusted(&path).unwrap());
+        assert_eq!(src.csr().unwrap().num_vertices(), 2);
+        assert_eq!(src.load().unwrap().num_edges(), 2);
+        std::fs::remove_file(&path).ok();
     }
 }

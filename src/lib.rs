@@ -11,7 +11,9 @@
 //!
 //! * [`graph`] — graph substrate (undirected multigraphs, CSR, partitioned
 //!   graphs, meta-graphs) and the [`GraphSource`](graph::GraphSource) input
-//!   seam (in-memory graphs, chunked edge-list files).
+//!   seam (in-memory graphs, chunked edge-list files, and memory-mapped
+//!   binary `.ecsr` CSR files via [`MmapCsrSource`](graph::MmapCsrSource) —
+//!   byte layout in [`graph::format_spec`]).
 //! * [`gen`] — workload generators (R-MAT, Eulerizer, synthetic Eulerian
 //!   families, paper graph configs).
 //! * [`partition`] — graph partitioners and partition-quality statistics.
@@ -24,6 +26,10 @@
 //! * [`baseline`] — sequential and vertex-centric baselines (Hierholzer,
 //!   Fleury, Makki).
 //! * [`metrics`] — instrumentation and experiment reporting.
+//!
+//! How the crates map onto the paper's phases and figures — including the
+//! dataflow of a pipeline run — is documented in [`architecture`]
+//! (docs/ARCHITECTURE.md).
 //!
 //! ## Quickstart
 //!
@@ -87,21 +93,27 @@
 //!
 //! ## Migrating from `find_euler_circuit` / `DistributedRunner`
 //!
-//! The pre-0.2 entry points survive as deprecated wrappers that delegate to
-//! the pipeline, so old code keeps working (and keeps proving behavioural
-//! equivalence), but new code should migrate:
+//! The pre-0.2 entry points were deprecated wrappers over the pipeline for
+//! one release (their test suites proved behavioural equivalence) and are
+//! now **removed**. Migrate as follows:
 //!
-//! | before | after |
+//! | before (removed) | after |
 //! |---|---|
 //! | `find_euler_circuit(&g, &a, &cfg)?` | `EulerPipeline::builder().graph(&g).assignment(a).config(cfg).build()?.run()?.into_result()` |
 //! | `run_partitioned(&g, &a, &cfg)?` → `(result, report)` | `let run = …run()?;` then `run.circuit.result` / `run.report()` |
 //! | `DistributedRunner::new(cfg).with_engine(e).run(&g, &a)?` | `…builder()….backend(BspBackend::with_engine(e))….run()?`; engine stats in `run.merge.engine` |
 //! | mid-level, no builder | `algo::pipeline::run_with_backend(&g, &a, &cfg, &backend)` → `(result, RunReport)` |
+//! | mid-level, no `Graph` at hand | `algo::pipeline::run_on_partitioned(&pg, &cfg, &backend)` over any [`PartitionedGraph`](graph::PartitionedGraph) (e.g. sliced from a mapped `.ecsr` via [`CsrFile::partitioned`](graph::CsrFile::partitioned)) |
 //!
-//! The reports also unified: the BSP path now fills the same per-level
+//! The reports also unified: the BSP path fills the same per-level
 //! [`RunReport`](algo::RunReport) the in-process path always produced, with
 //! the engine's superstep statistics attached as
 //! [`RunReport::engine`](algo::RunReport::engine).
+
+/// How the crates map onto the paper (docs/ARCHITECTURE.md), rendered here
+/// so it versions and link-checks with the code.
+#[doc = include_str!("../docs/ARCHITECTURE.md")]
+pub mod architecture {}
 
 pub use euler_baseline as baseline;
 pub use euler_bsp as bsp;
@@ -115,18 +127,17 @@ pub use euler_partition as partition;
 pub mod prelude {
     pub use euler_baseline::{fleury::fleury_circuit, hierholzer::hierholzer_circuit, makki::MakkiRunner};
     pub use euler_core::{
-        run_with_backend, verify::verify_circuit, BspBackend, CircuitResult, EulerConfig,
-        EulerPipeline, ExecutionBackend, InProcessBackend, MergeStrategy, PipelineRun, RunReport,
+        run_on_partitioned, run_with_backend, verify::verify_circuit, BspBackend, CircuitResult,
+        EulerConfig, EulerPipeline, ExecutionBackend, InProcessBackend, MergeStrategy,
+        PipelineRun, RunReport,
     };
-    #[allow(deprecated)]
-    pub use euler_core::find_euler_circuit;
     pub use euler_gen::{
         configs::GraphConfig, eulerize::eulerize, rmat::RmatGenerator, synthetic,
     };
     pub use euler_graph::{
-        builder::graph_from_edges, is_eulerian, Csr, EdgeId, EdgeListFileSource, Graph,
-        GraphBuilder, GraphSource, InMemorySource, MetaGraph, Partition, PartitionAssignment,
-        PartitionId, PartitionedGraph, VertexId,
+        builder::graph_from_edges, is_eulerian, write_csr_file, Csr, CsrFile, EdgeId,
+        EdgeListFileSource, Graph, GraphBuilder, GraphSource, InMemorySource, MetaGraph,
+        MmapCsrSource, Partition, PartitionAssignment, PartitionId, PartitionedGraph, VertexId,
     };
     pub use euler_partition::{
         BfsPartitioner, HashPartitioner, LdgPartitioner, PartitionQuality, Partitioner,

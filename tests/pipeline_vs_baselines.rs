@@ -149,12 +149,10 @@ fn bsp_backend_agrees_with_in_process_backend() {
     assert_eq!(engine.num_supersteps(), bsp.merge.supersteps);
 }
 
-/// The deprecated pre-pipeline entry points still work and agree with the
-/// builder API — they are thin wrappers over the same merge-tree walk.
+/// The mid-level entry points agree with the builder API — `run_with_backend`
+/// and its `Graph`-free core `run_on_partitioned` drive the same walk.
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_delegate_to_the_pipeline() {
-    use euler_circuit::algo::{run_partitioned, DistributedRunner};
+fn mid_level_entry_points_match_the_builder() {
     let g = synthetic::random_eulerian_connected(90, 10, 5, 13);
     let assignment = LdgPartitioner::new(4).partition(&g);
     let config = EulerConfig::default().sequential();
@@ -167,16 +165,54 @@ fn deprecated_shims_delegate_to_the_pipeline() {
         .unwrap()
         .run()
         .unwrap();
-    let (legacy_result, legacy_report) = run_partitioned(&g, &assignment, &config).unwrap();
-    // Sequential runs are fully deterministic: the shim and the builder
-    // produce identical circuits and identical transfer accounting.
-    assert_eq!(legacy_result.circuits, run.circuit.result.circuits);
-    assert_eq!(legacy_report.total_transfer_longs, run.merge.total_transfer_longs);
-    assert_eq!(legacy_report.supersteps, run.merge.supersteps);
-    assert_eq!(legacy_report.backend, "in-process");
+    let (mid_result, mid_report) =
+        run_with_backend(&g, &assignment, &config, &InProcessBackend::new()).unwrap();
+    // Sequential runs are fully deterministic: every path produces identical
+    // circuits and identical transfer accounting.
+    assert_eq!(mid_result.circuits, run.circuit.result.circuits);
+    assert_eq!(mid_report.total_transfer_longs, run.merge.total_transfer_longs);
+    assert_eq!(mid_report.supersteps, run.merge.supersteps);
+    assert_eq!(mid_report.backend, "in-process");
 
-    let outcome = DistributedRunner::new(config).run(&g, &assignment).unwrap();
-    verify_result(&g, &outcome.result).unwrap();
-    assert_eq!(outcome.result.total_edges(), g.num_edges());
-    assert_eq!(outcome.engine_stats.num_supersteps(), legacy_report.supersteps);
+    let pg = PartitionedGraph::from_assignment(&g, &assignment).unwrap();
+    let (core_result, core_report) =
+        run_on_partitioned(&pg, &config, &InProcessBackend::new()).unwrap();
+    verify_result(&g, &core_result).unwrap();
+    assert_eq!(core_result.circuits, mid_result.circuits);
+    assert_eq!(core_report.total_transfer_longs, mid_report.total_transfer_longs);
+}
+
+/// The mmap CSR source feeds the whole pipeline: packed from the same graph,
+/// the direct slicing path must reproduce the in-memory run bit for bit.
+#[test]
+fn mmap_csr_source_matches_in_memory_source() {
+    let g = synthetic::random_eulerian_connected(130, 18, 6, 29);
+    let assignment = LdgPartitioner::new(5).partition(&g);
+    let config = EulerConfig::default().sequential();
+    let dir = std::env::temp_dir().join("euler_integration_csr");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.ecsr");
+    write_csr_file(&g, &path).unwrap();
+
+    let from_csr = EulerPipeline::builder()
+        .source(MmapCsrSource::open(&path).unwrap())
+        .assignment(assignment.clone())
+        .config(config)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let from_mem = EulerPipeline::builder()
+        .source(InMemorySource::new(g.clone()))
+        .assignment(assignment)
+        .config(config)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    verify_result(&g, &from_csr.circuit.result).unwrap();
+    assert_eq!(from_csr.circuit.result.circuits, from_mem.circuit.result.circuits);
+    assert_eq!(from_csr.merge.total_transfer_longs, from_mem.merge.total_transfer_longs);
+    assert_eq!(from_csr.partition.partitioner, "pre-assigned (direct csr slice)");
+    std::fs::remove_file(&path).ok();
 }
