@@ -12,7 +12,10 @@
 //! Usage: `cargo run --release -p euler-bench --bin bench_pipeline [reps]`
 //! (default 5 repetitions; the minimum over reps is reported).
 
-use euler_core::{run_on_partitioned, run_with_backend, EulerConfig, EulerPipeline, InProcessBackend};
+use euler_core::{
+    run_on_partitioned, run_with_backend, EulerConfig, EulerPipeline, InProcessBackend,
+    Parallelism,
+};
 use euler_gen::eulerize::eulerize;
 use euler_gen::rmat::RmatGenerator;
 use euler_gen::synthetic;
@@ -58,16 +61,31 @@ fn bench_workload(name: &str, g: &Graph, assignment: &PartitionAssignment, reps:
     let (builder_s, builder_edges) = time_runs(reps, || {
         pipeline.run().unwrap().circuit.result.total_edges()
     });
+    // The deterministic intra-partition walker through the same builder: its
+    // win lives on the narrow top levels (and multi-core hosts); here it is
+    // recorded so regressions in the mode's plumbing overhead show up.
+    let intra_pipeline = EulerPipeline::builder()
+        .graph(g)
+        .assignment(assignment.clone())
+        .config(config)
+        .backend(InProcessBackend::new().with_parallelism(Parallelism::IntraPartition).with_threads(8))
+        .build()
+        .unwrap();
+    let (intra_s, intra_edges) = time_runs(reps, || {
+        intra_pipeline.run().unwrap().circuit.result.total_edges()
+    });
 
     assert_eq!(direct_edges, mid_edges, "paths must cover the same edges");
     assert_eq!(direct_edges, builder_edges, "paths must cover the same edges");
+    assert_eq!(direct_edges, intra_edges, "paths must cover the same edges");
     // The builder and run_with_backend do the same work (Eulerian check +
     // partition-view build + walk); run_on_partitioned is the floor that
     // skips both graph-side steps.
     let overhead = builder_s / mid_s - 1.0;
     println!(
         "{name}: {} edges, {} parts | run_on_partitioned {direct_s:.3}s | \
-         run_with_backend {mid_s:.3}s | builder {builder_s:.3}s | builder overhead {:+.1}%",
+         run_with_backend {mid_s:.3}s | builder {builder_s:.3}s | builder overhead {:+.1}% | \
+         intra-parallel[8t] {intra_s:.3}s",
         g.num_edges(),
         assignment.num_partitions(),
         overhead * 100.0
@@ -80,6 +98,7 @@ fn bench_workload(name: &str, g: &Graph, assignment: &PartitionAssignment, reps:
         ("run_with_backend_seconds", Value::Num(mid_s)),
         ("pipeline_builder_seconds", Value::Num(builder_s)),
         ("builder_overhead_fraction", Value::Num(overhead)),
+        ("intra_parallel_8t_seconds", Value::Num(intra_s)),
     ])
 }
 

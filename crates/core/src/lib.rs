@@ -64,6 +64,7 @@ pub use fragment::{Fragment, FragmentId, FragmentKind, FragmentStore, TourEdge};
 pub use merge_strategy::MergeStrategy;
 pub use merge_tree::{MergePair, MergeTree, MergeTreeNode};
 pub use pathmap::PathMap;
+pub use phase1::{ArenaPool, Parallelism, Phase1Arena, Phase1Executor};
 pub use phase3::{CircuitResult, CircuitStep};
 pub use pipeline::{
     run_on_partitioned, run_with_backend, BspBackend, CircuitStage, EulerPipeline,

@@ -38,7 +38,7 @@ pub struct MergeTreeNode {
 }
 
 /// The merge tree: for every level, which partition pairs merge.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MergeTree {
     /// Pairs merged at each level, level 0 first.
     pub levels: Vec<Vec<MergePair>>,

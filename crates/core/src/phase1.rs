@@ -22,36 +22,58 @@
 //! # Dense traversal state
 //!
 //! Phase 1 touches every local edge exactly once, so its inner loop is the
-//! dominant per-superstep cost. [`run_phase1`] therefore keeps all traversal
-//! state in flat arrays over *interned* vertex slots rather than hash maps
-//! (the layout the W-streaming / StrSort Euler-tour algorithms rely on for
-//! their bounds):
+//! dominant per-superstep cost. The kernel keeps all traversal state in flat
+//! arrays over *interned* vertex slots rather than hash maps (the layout the
+//! W-streaming / StrSort Euler-tour algorithms rely on for their bounds):
 //!
-//! * a [`LocalIndex`] assigns each distinct endpoint a dense `u32` slot in
-//!   ascending `VertexId` order;
+//! * a [`euler_graph::LocalIndex`] assigns each distinct endpoint a dense
+//!   `u32` slot in ascending `VertexId` order;
 //! * adjacency is a CSR pair (`offsets` + `incidence` of edge slots), built
 //!   with two counting passes, preserving edge insertion order per vertex;
-//! * per-vertex cursors and remaining degrees are `Vec<u32>` indexed by slot;
-//! * visited edges are one bit each in a `Vec<u64>` bitset;
+//! * per-vertex cursors and remaining degrees are flat arrays indexed by
+//!   slot; visited edges are one bit each in a bitset;
 //! * step-1/step-3 start vertices come from ascending slot scans (slot order
 //!   *is* ascending vertex order), replacing the reference `BTreeSet`.
 //!
+//! All of this state lives in a reusable [`Phase1Arena`] (see
+//! [`arena`](mod@arena)): [`run_phase1_with_arena`] reloads the buffers in
+//! place, so repeated runs across merge levels stop allocating once the
+//! arena has grown to the working-set size. [`run_phase1`] is the
+//! convenience wrapper over a throwaway arena.
+//!
 //! The inner traversal loop performs no `HashMap`/`BTreeSet` operations at
 //! all. The original hash-map implementation is preserved unchanged in
-//! [`reference`](mod@reference) and the two are proven bit-identical (same fragments, same
-//! `PathMap`, same residual partition state) by the property tests in
-//! `tests/property_circuit.rs`.
+//! [`reference`](mod@reference) and the two are proven bit-identical (same
+//! fragments, same `PathMap`, same residual partition state) by the property
+//! tests in `tests/property_circuit.rs`.
+//!
+//! # Parallel execution
 //!
 //! The function is deterministic: traversal starts are chosen in ascending
-//! vertex order and edges are consumed in insertion order.
+//! vertex order and edges are consumed in insertion order. That determinism
+//! extends to the intra-partition parallel walker in
+//! [`parallel`](mod@parallel) ([`run_phase1_parallel`]): workers *speculate*
+//! maximal walks from upcoming start vertices against the committed state
+//! and the main thread commits them in exact sequential order, so the output
+//! is bit-identical to [`run_phase1`] for every thread count. Both paths run
+//! the same orchestration (`run_phase1_core`); only the source of walks
+//! differs.
 
+pub mod arena;
+pub mod parallel;
 pub mod reference;
 
 use crate::fragment::{Fragment, FragmentId, FragmentKind, FragmentStore, TourEdge};
 use crate::pathmap::{CycleEntry, PathEntry, PathMap};
 use crate::state::{EdgeRef, LocalEdge, VertexTypeCounts, WorkingPartition};
-use euler_graph::{bucket_by_slot, LocalIndex, VertexId};
+use arena::{HostScratch, KernelState};
+use euler_graph::VertexId;
+use parallel::{SpecStart, StartRule, WaveDriver, WaveQueue};
 use std::collections::HashMap;
+use std::sync::atomic::Ordering::Relaxed;
+
+pub use arena::{ArenaCapacities, ArenaPool, Phase1Arena};
+pub use parallel::{run_phase1_parallel, Parallelism, Phase1Executor};
 
 /// Output of one Phase-1 run on one partition.
 #[derive(Clone, Debug)]
@@ -98,117 +120,77 @@ fn register_visible_ref(
 /// Sentinel slot value: "not visible in any pending fragment".
 const NOT_VISIBLE: u32 = u32::MAX;
 
-/// Flat-array traversal state over interned vertex slots.
-///
-/// All per-vertex state is indexed by [`LocalIndex`] slot; all per-edge state
-/// by edge slot (position in the partition's `local_edges`). The walk loop
-/// below touches only these arrays.
-struct DenseTraverser<'a> {
-    edges: &'a [LocalEdge],
-    /// Interning table; slot order is ascending global vertex order.
-    index: LocalIndex,
-    /// Interned endpoints `[u, v]` of each edge slot.
-    ends: Vec<[u32; 2]>,
-    /// CSR offsets into `incidence`: vertex slot `s` owns
-    /// `incidence[offsets[s] .. offsets[s + 1]]`.
-    offsets: Vec<u32>,
-    /// Incident edge slots, grouped by vertex, in edge insertion order
-    /// (a self-loop appears twice under its vertex, as in the reference).
-    incidence: Vec<u32>,
-    /// Per-vertex absolute cursor into `incidence` (consumed prefix).
-    cursor: Vec<u32>,
-    /// Remaining (unvisited) local degree per vertex slot.
-    remaining: Vec<u32>,
-    /// One bit per edge slot.
-    visited: Vec<u64>,
-    /// Monotone scan cursor for "first unvisited edge" (step 3); visited
-    /// bits are never cleared, so this never moves backwards.
-    unvisited_scan: usize,
+/// Read-only view over the committed dense traversal state of a loaded
+/// [`KernelState`]. All mutation goes through relaxed atomics, so the view
+/// is `Copy + Sync`: the sequential kernel and the committing thread of the
+/// parallel walker use the same methods, and speculation workers may read
+/// the committed snapshot concurrently (waves are barrier-separated, which
+/// orders the writes).
+#[derive(Clone, Copy)]
+pub(crate) struct Traversal<'a> {
+    /// The partition's local edges; edge slot `e` is `edges[e]`.
+    pub edges: &'a [LocalEdge],
+    /// The loaded kernel arrays.
+    pub k: &'a KernelState,
 }
 
-impl<'a> DenseTraverser<'a> {
-    fn new(edges: &'a [LocalEdge]) -> Self {
-        let index = LocalIndex::from_vertices(edges.iter().flat_map(|e| [e.u, e.v]));
-        let n = index.len();
-        let ends: Vec<[u32; 2]> = edges
-            .iter()
-            .map(|e| {
-                [
-                    index.slot(e.u).expect("endpoint interned"),
-                    index.slot(e.v).expect("endpoint interned"),
-                ]
-            })
-            .collect();
-
-        // Counting-sort CSR build; filling in edge order means each vertex
-        // sees its incident edges in insertion order, and a self-loop
-        // contributes two entries under its vertex (as in the reference).
-        let (offsets, incidence) = bucket_by_slot(n, || {
-            ends.iter()
-                .enumerate()
-                .flat_map(|(i, &[u, v])| [(u, i as u32), (v, i as u32)])
-        });
-        // The unvisited degree starts as the full CSR row width.
-        let remaining: Vec<u32> = offsets.windows(2).map(|w| w[1] - w[0]).collect();
-        let cursor = offsets[..n].to_vec();
-        DenseTraverser {
-            edges,
-            index,
-            ends,
-            offsets,
-            incidence,
-            cursor,
-            remaining,
-            visited: vec![0u64; edges.len().div_ceil(64)],
-            unvisited_scan: 0,
-        }
+impl<'a> Traversal<'a> {
+    /// Remaining (unvisited) local degree of vertex slot `s`.
+    #[inline]
+    pub fn remaining(&self, s: u32) -> u32 {
+        self.k.remaining[s as usize].load(Relaxed)
     }
 
     #[inline]
-    fn is_visited(&self, e: u32) -> bool {
-        self.visited[(e >> 6) as usize] & (1u64 << (e & 63)) != 0
+    pub fn is_visited(&self, e: u32) -> bool {
+        self.k.visited[(e >> 6) as usize].load(Relaxed) & (1u64 << (e & 63)) != 0
     }
 
+    /// Sets an edge's visited bit. Single-writer: only the walking /
+    /// committing thread calls this.
     #[inline]
-    fn mark_visited(&mut self, e: u32) {
-        self.visited[(e >> 6) as usize] |= 1u64 << (e & 63);
+    pub fn mark_visited(&self, e: u32) {
+        let w = &self.k.visited[(e >> 6) as usize];
+        w.store(w.load(Relaxed) | 1u64 << (e & 63), Relaxed);
     }
 
     /// Next unvisited incident edge slot of vertex slot `s`, if any. The
     /// cursor parks on the returned edge (it is consumed by the caller) and
     /// never re-scans the consumed prefix.
     #[inline]
-    fn next_edge(&mut self, s: u32) -> Option<u32> {
-        let end = self.offsets[s as usize + 1];
-        let mut cur = self.cursor[s as usize];
+    fn next_edge(&self, s: u32) -> Option<u32> {
+        let end = self.k.offsets[s as usize + 1];
+        let mut cur = self.k.cursor[s as usize].load(Relaxed);
         while cur < end {
-            let e = self.incidence[cur as usize];
+            let e = self.k.incidence[cur as usize];
             if !self.is_visited(e) {
-                self.cursor[s as usize] = cur;
+                self.k.cursor[s as usize].store(cur, Relaxed);
                 return Some(e);
             }
             cur += 1;
         }
-        self.cursor[s as usize] = cur;
+        self.k.cursor[s as usize].store(cur, Relaxed);
         None
     }
 
     /// Maximal traversal from vertex slot `start`, consuming unvisited local
     /// edges. Appends tour edges to `tour` and the visited vertex-slot
     /// sequence (`tour.len() + 1` entries) to `vslots`.
-    fn walk(&mut self, start: u32, tour: &mut Vec<TourEdge>, vslots: &mut Vec<u32>) {
+    pub fn walk(&self, start: u32, tour: &mut Vec<TourEdge>, vslots: &mut Vec<u32>) {
         tour.clear();
         vslots.clear();
         vslots.push(start);
         let mut current = start;
-        let mut current_v = self.index.vertex(current);
+        let mut current_v = self.k.index.vertex(current);
         while let Some(e) = self.next_edge(current) {
             self.mark_visited(e);
-            let [su, sv] = self.ends[e as usize];
+            let [su, sv] = self.k.ends[e as usize];
             let next = if su == current { sv } else { su };
-            self.remaining[su as usize] -= 1;
-            self.remaining[sv as usize] -= 1;
-            let next_v = self.index.vertex(next);
+            let r = &self.k.remaining[su as usize];
+            r.store(r.load(Relaxed) - 1, Relaxed);
+            let r = &self.k.remaining[sv as usize];
+            r.store(r.load(Relaxed) - 1, Relaxed);
+            let next_v = self.k.index.vertex(next);
             tour.push(match self.edges[e as usize].edge {
                 EdgeRef::Real(edge) => TourEdge::Real { edge, from: current_v, to: next_v },
                 EdgeRef::Virtual(fragment) => {
@@ -222,15 +204,17 @@ impl<'a> DenseTraverser<'a> {
     }
 
     /// First unvisited edge slot, if any (monotone linear scan overall).
-    fn any_unvisited(&mut self) -> Option<u32> {
+    fn any_unvisited(&self) -> Option<u32> {
         let m = self.edges.len();
-        while self.unvisited_scan < m {
-            let e = self.unvisited_scan as u32;
-            if !self.is_visited(e) {
-                return Some(e);
+        let mut i = self.k.unvisited_scan.load(Relaxed);
+        while i < m {
+            if !self.is_visited(i as u32) {
+                self.k.unvisited_scan.store(i, Relaxed);
+                return Some(i as u32);
             }
-            self.unvisited_scan += 1;
+            i += 1;
         }
+        self.k.unvisited_scan.store(i, Relaxed);
         None
     }
 }
@@ -250,7 +234,7 @@ fn register_visible(visible: &mut [u32], fragment: u32, vslots: &[u32]) {
 /// and boundary vertices) — equal to `WorkingPartition::vertex_type_counts`
 /// without building a second index.
 fn counts_from_traverser(
-    tr: &DenseTraverser,
+    tr: &Traversal<'_>,
     boundary: &[VertexId],
     remote_edges: u64,
     isolated: u64,
@@ -262,7 +246,7 @@ fn counts_from_traverser(
         ..Default::default()
     };
     let mut bi = 0;
-    for (s, &v) in tr.index.vertices().iter().enumerate() {
+    for (s, &v) in tr.k.index.vertices().iter().enumerate() {
         // Boundary vertices below `v` touch no local edge: even (degree 0).
         while bi < boundary.len() && boundary[bi] < v {
             counts.even_boundary += 1;
@@ -272,7 +256,7 @@ fn counts_from_traverser(
         if is_boundary {
             bi += 1;
         }
-        match (is_boundary, tr.remaining[s] % 2 == 1) {
+        match (is_boundary, tr.remaining(s as u32) % 2 == 1) {
             (true, true) => counts.odd_boundary += 1,
             (true, false) => counts.even_boundary += 1,
             (false, _) => counts.even_internal += 1,
@@ -291,34 +275,78 @@ fn counts_from_traverser(
 /// membership in the shrinking odd set (interior visits consume two
 /// incidences, endpoints one), and CSR incidence preserves per-vertex edge
 /// insertion order.
+///
+/// Allocates a throwaway [`Phase1Arena`]; repeated callers should hold an
+/// arena (or an [`ArenaPool`]) and use [`run_phase1_with_arena`] instead.
 pub fn run_phase1(wp: &mut WorkingPartition, store: &FragmentStore) -> Phase1Output {
+    let mut arena = Phase1Arena::new();
+    run_phase1_with_arena(wp, store, &mut arena)
+}
+
+/// [`run_phase1`] over a caller-held [`Phase1Arena`]: every buffer is
+/// reloaded in place, so runs across merge levels reuse the arena's grown
+/// capacity instead of reallocating. Output is identical to [`run_phase1`]
+/// whatever state the arena was left in.
+pub fn run_phase1_with_arena(
+    wp: &mut WorkingPartition,
+    store: &FragmentStore,
+    arena: &mut Phase1Arena,
+) -> Phase1Output {
     let boundary = wp.boundary_vertices_sorted();
     let local_edges = std::mem::take(&mut wp.local_edges);
-    let mut tr = DenseTraverser::new(&local_edges);
-    let counts_before =
-        counts_from_traverser(&tr, &boundary, wp.remote_edges.len() as u64, wp.isolated_vertices);
-    let complexity = counts_before.phase1_complexity();
-    let n = tr.index.len();
+    let Phase1Arena { kernel, host, .. } = arena;
+    kernel.load(&local_edges);
+    let tr = Traversal { edges: &local_edges, k: kernel };
+    run_phase1_core(wp, store, &local_edges, &boundary, &tr, host, None)
+}
 
+/// The shared Phase-1 orchestration: steps 1–3, `mergeInto` splicing, and
+/// fragment persistence. The sequential path (`walks: None`) executes every
+/// maximal traversal inline; the parallel path hands a [`WaveDriver`] that
+/// produces the *same* walks, in the same order, from speculating workers.
+fn run_phase1_core(
+    wp: &mut WorkingPartition,
+    store: &FragmentStore,
+    local_edges: &[LocalEdge],
+    boundary: &[VertexId],
+    tr: &Traversal<'_>,
+    host: &mut HostScratch,
+    mut walks: Option<&mut WaveDriver<'_, '_>>,
+) -> Phase1Output {
+    let counts_before =
+        counts_from_traverser(tr, boundary, wp.remote_edges.len() as u64, wp.isolated_vertices);
+    let complexity = counts_before.phase1_complexity();
+    let n = tr.k.index.len();
+
+    let HostScratch { visible, tour, vslots, odd_slots, boundary_slots } = host;
     let mut pending: Vec<PendingFragment> = Vec::new();
     // First pending fragment each vertex slot is visible in (mergeInto pivot
     // lookup), NOT_VISIBLE when none.
-    let mut visible = vec![NOT_VISIBLE; n];
-    let mut tour: Vec<TourEdge> = Vec::new();
-    let mut vslots: Vec<u32> = Vec::new();
+    visible.clear();
+    visible.resize(n, NOT_VISIBLE);
 
     // --- Step 1: OB paths. -------------------------------------------------
     // The odd set is fixed at the start of the step: every walk turns exactly
     // its two endpoints even and leaves all other parities unchanged, so
     // "still has odd remaining degree" is equivalent to membership in the
     // reference implementation's shrinking BTreeSet.
-    let odd_slots: Vec<u32> =
-        (0..n as u32).filter(|&s| tr.remaining[s as usize] % 2 == 1).collect();
-    for s in odd_slots {
-        if tr.remaining[s as usize].is_multiple_of(2) {
+    odd_slots.clear();
+    odd_slots.extend((0..n as u32).filter(|&s| tr.remaining(s) % 2 == 1));
+    for i in 0..odd_slots.len() {
+        let s = odd_slots[i];
+        if tr.remaining(s).is_multiple_of(2) {
             continue; // consumed as the far endpoint of an earlier walk
         }
-        tr.walk(s, &mut tour, &mut vslots);
+        match walks.as_deref_mut() {
+            Some(w) => w.walk(
+                SpecStart::Slot(s),
+                WaveQueue::Slots { rest: &odd_slots[i..], rule: StartRule::OddParity },
+                tr,
+                tour,
+                vslots,
+            ),
+            None => tr.walk(s, tour, vslots),
+        }
         debug_assert!(!tour.is_empty(), "odd-degree vertex must have an unvisited edge");
         debug_assert_ne!(
             vslots.first(),
@@ -326,37 +354,43 @@ pub fn run_phase1(wp: &mut WorkingPartition, store: &FragmentStore) -> Phase1Out
             "a maximal walk from an odd vertex ends elsewhere (Lemma 1)"
         );
         let idx = pending.len() as u32;
-        register_visible(&mut visible, idx, &vslots);
+        register_visible(visible, idx, vslots);
         pending.push(PendingFragment { kind: FragmentKind::Path, edges: tour.clone() });
     }
 
     // --- Step 2: cycles at boundary vertices. -------------------------------
-    for b in boundary {
-        let Some(s) = tr.index.slot(b) else { continue }; // no local edges at all
-        if tr.remaining[s as usize] == 0 {
+    boundary_slots.clear();
+    boundary_slots.extend(boundary.iter().filter_map(|&b| tr.k.index.slot(b)));
+    for i in 0..boundary_slots.len() {
+        let s = boundary_slots[i];
+        if tr.remaining(s) == 0 {
             continue; // trivial singleton: nothing to record
         }
-        tr.walk(s, &mut tour, &mut vslots);
-        debug_assert_eq!(
-            vslots.last(),
-            Some(&s),
-            "even-degree traversal closes (Lemma 2)"
-        );
+        match walks.as_deref_mut() {
+            Some(w) => w.walk(
+                SpecStart::Slot(s),
+                WaveQueue::Slots { rest: &boundary_slots[i..], rule: StartRule::Positive },
+                tr,
+                tour,
+                vslots,
+            ),
+            None => tr.walk(s, tour, vslots),
+        }
+        debug_assert_eq!(vslots.last(), Some(&s), "even-degree traversal closes (Lemma 2)");
         let idx = pending.len() as u32;
-        register_visible(&mut visible, idx, &vslots);
+        register_visible(visible, idx, vslots);
         pending.push(PendingFragment { kind: FragmentKind::Cycle, edges: tour.clone() });
     }
 
     // --- Step 3: cycles at internal vertices, spliced at pivots. ------------
     let mut internal_cycles_merged = 0u64;
     while let Some(e) = tr.any_unvisited() {
-        let start = tr.ends[e as usize][0];
-        tr.walk(start, &mut tour, &mut vslots);
-        debug_assert_eq!(
-            vslots.last(),
-            Some(&start),
-            "internal traversal closes (Lemma 2)"
-        );
+        let start = tr.k.ends[e as usize][0];
+        match walks.as_deref_mut() {
+            Some(w) => w.walk(SpecStart::Edge(e), WaveQueue::Edges, tr, tour, vslots),
+            None => tr.walk(start, tour, vslots),
+        }
+        debug_assert_eq!(vslots.last(), Some(&start), "internal traversal closes (Lemma 2)");
         // mergeInto: find a pivot vertex shared with an existing fragment.
         // Only the `tour.len()` from-slots are candidates (the final slot
         // closes the cycle and duplicates the first), as in the reference.
@@ -369,7 +403,7 @@ pub fn run_phase1(wp: &mut WorkingPartition, store: &FragmentStore) -> Phase1Out
             Some((rot, pivot_slot, at)) => {
                 // Rotate the cycle to start at the pivot, then splice it into
                 // the containing fragment at the pivot's current position.
-                let pivot_vertex = tr.index.vertex(pivot_slot);
+                let pivot_vertex = tr.k.index.vertex(pivot_slot);
                 let mut rotated = Vec::with_capacity(tour.len());
                 rotated.extend_from_slice(&tour[rot..]);
                 rotated.extend_from_slice(&tour[..rot]);
@@ -378,14 +412,14 @@ pub fn run_phase1(wp: &mut WorkingPartition, store: &FragmentStore) -> Phase1Out
                     .iter()
                     .position(|e| e.from() == pivot_vertex)
                     .unwrap_or(target.len());
-                register_visible(&mut visible, at, &vslots);
+                register_visible(visible, at, vslots);
                 target.splice(insert_at..insert_at, rotated);
                 internal_cycles_merged += 1;
             }
             None => {
                 // Disconnected local subgraph: keep as a standalone cycle.
                 let idx = pending.len() as u32;
-                register_visible(&mut visible, idx, &vslots);
+                register_visible(visible, idx, vslots);
                 pending.push(PendingFragment { kind: FragmentKind::Cycle, edges: tour.clone() });
             }
         }
@@ -708,5 +742,33 @@ mod tests {
             isolated_vertices: 0,
         };
         assert_equivalent(&wp);
+    }
+
+    #[test]
+    fn one_arena_serves_many_runs_bit_identically() {
+        // The same arena drives every partition of every level-0 state in
+        // sequence; outputs must match fresh-arena runs exactly.
+        let mut arena = Phase1Arena::new();
+        for seed in 0..4 {
+            let g = synthetic::random_eulerian_connected(50, 6, 5, seed);
+            let labels: Vec<u32> = (0..50).map(|i| (i % 3) as u32).collect();
+            let a = euler_graph::PartitionAssignment::from_labels(labels, 3).unwrap();
+            let pg = PartitionedGraph::from_assignment(&g, &a).unwrap();
+            for p in pg.partitions() {
+                let mut wp_arena = WorkingPartition::from_partition(p);
+                let mut wp_fresh = wp_arena.clone();
+                let store_arena = FragmentStore::new();
+                let store_fresh = FragmentStore::new();
+                let out_arena = run_phase1_with_arena(&mut wp_arena, &store_arena, &mut arena);
+                let out_fresh = run_phase1(&mut wp_fresh, &store_fresh);
+                assert_eq!(out_arena.path_map, out_fresh.path_map);
+                assert_eq!(out_arena.counts_before, out_fresh.counts_before);
+                assert_eq!(wp_arena.local_edges, wp_fresh.local_edges);
+                assert_eq!(store_arena.snapshot().len(), store_fresh.snapshot().len());
+                for (a, b) in store_arena.snapshot().iter().zip(&store_fresh.snapshot()) {
+                    assert_eq!(a.edges, b.edges);
+                }
+            }
+        }
     }
 }

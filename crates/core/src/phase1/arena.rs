@@ -1,0 +1,381 @@
+//! Reusable Phase-1 scratch: the [`Phase1Arena`] and its checkout pool.
+//!
+//! Phase 1 runs once per partition per merge level; allocating its dense
+//! traversal state (interning table, CSR incidence arena, cursors, bitset,
+//! walk buffers) from scratch every time dominates the cost of small levels
+//! and fragments the heap on large ones. A [`Phase1Arena`] owns every buffer
+//! one Phase-1 execution needs — kernel state, host-side walk scratch, and
+//! the wave-speculation scratch of the parallel walker — and is reloaded in
+//! place for each run: lengths are rewritten, capacities only ever grow.
+//!
+//! Workers check arenas out of an [`ArenaPool`] (one arena per concurrently
+//! executing partition) and return them afterwards, so the same buffers are
+//! reused across merge levels regardless of which thread runs which
+//! partition. [`run_phase1_with_arena`](super::run_phase1_with_arena) fully
+//! re-initialises every array it reads, so a dirty arena can never leak
+//! state between checkouts — `arena::tests` pins that with a deliberately
+//! poisoned arena.
+//!
+//! The committed traversal state (`KernelState`: cursors, remaining
+//! degrees, visited bitset) lives in relaxed atomics. Sequentially that
+//! compiles to the same plain loads and stores as before; in the parallel
+//! walker it lets speculation workers read the committed snapshot while the
+//! committing thread stays the only writer (waves are separated by barriers,
+//! which provide the cross-thread ordering).
+
+use super::parallel::WaveScratch;
+use crate::fragment::TourEdge;
+use crate::state::LocalEdge;
+use euler_graph::{LocalIndex, LocalIndexBufs};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Committed dense traversal state over interned vertex slots — the arrays
+/// behind [`super::Traversal`]. Rebuilt in place by [`KernelState::load`]
+/// for every Phase-1 run; all capacities are retained.
+#[derive(Default)]
+pub(crate) struct KernelState {
+    /// Interning table; slot order is ascending global vertex order.
+    pub index: LocalIndex,
+    /// Recycle bin for the previous index's allocations.
+    index_bufs: LocalIndexBufs,
+    /// Interned endpoints `[u, v]` of each edge slot.
+    pub ends: Vec<[u32; 2]>,
+    /// CSR offsets into `incidence`: vertex slot `s` owns
+    /// `incidence[offsets[s] .. offsets[s + 1]]`.
+    pub offsets: Vec<u32>,
+    /// Incident edge slots, grouped by vertex, in edge insertion order
+    /// (a self-loop appears twice under its vertex, as in the reference).
+    pub incidence: Vec<u32>,
+    /// Per-vertex absolute cursor into `incidence` (consumed prefix).
+    pub cursor: Vec<AtomicU32>,
+    /// Remaining (unvisited) local degree per vertex slot.
+    pub remaining: Vec<AtomicU32>,
+    /// One bit per edge slot.
+    pub visited: Vec<AtomicU64>,
+    /// Monotone scan cursor for "first unvisited edge" (step 3); visited
+    /// bits are never cleared, so this never moves backwards.
+    pub unvisited_scan: AtomicUsize,
+}
+
+impl KernelState {
+    /// Rebuilds every array for `edges`, reusing all existing capacity.
+    pub fn load(&mut self, edges: &[LocalEdge]) {
+        let retired = std::mem::take(&mut self.index);
+        retired.into_bufs(&mut self.index_bufs);
+        self.index = LocalIndex::from_vertices_reusing(
+            edges.iter().flat_map(|e| [e.u, e.v]),
+            &mut self.index_bufs,
+        );
+        let n = self.index.len();
+
+        self.ends.clear();
+        self.ends.extend(edges.iter().map(|e| {
+            [
+                self.index.slot(e.u).expect("endpoint interned"),
+                self.index.slot(e.v).expect("endpoint interned"),
+            ]
+        }));
+
+        // Counting-sort CSR build (the `bucket_by_slot` idiom, inlined so the
+        // offsets/incidence arenas are reused instead of reallocated).
+        // Filling in edge order means each vertex sees its incident edges in
+        // insertion order, and a self-loop contributes two entries.
+        let incidences = edges.len() * 2;
+        assert!(
+            incidences < u32::MAX as usize,
+            "CSR arena overflow: {incidences} incidences do not fit u32 indices"
+        );
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        for &[u, v] in &self.ends {
+            self.offsets[u as usize + 1] += 1;
+            self.offsets[v as usize + 1] += 1;
+        }
+        for s in 0..n {
+            self.offsets[s + 1] += self.offsets[s];
+        }
+        // Fill positions start at the row offsets; after the fill pass the
+        // same values (row starts) seed the cursors.
+        self.cursor.clear();
+        self.cursor.extend(self.offsets[..n].iter().map(|&o| AtomicU32::new(o)));
+        self.incidence.clear();
+        self.incidence.resize(incidences, 0);
+        for (i, &[u, v]) in self.ends.iter().enumerate() {
+            for s in [u, v] {
+                let fill = self.cursor[s as usize].get_mut();
+                self.incidence[*fill as usize] = i as u32;
+                *fill += 1;
+            }
+        }
+        for (s, c) in self.cursor.iter_mut().enumerate() {
+            *c.get_mut() = self.offsets[s];
+        }
+
+        // The unvisited degree starts as the full CSR row width.
+        self.remaining.clear();
+        self.remaining.extend(
+            self.offsets.windows(2).map(|w| AtomicU32::new(w[1] - w[0])),
+        );
+        self.visited.clear();
+        self.visited.resize_with(edges.len().div_ceil(64), AtomicU64::default);
+        self.unvisited_scan.store(0, Relaxed);
+    }
+}
+
+/// Host-side (committing-thread-only) walk scratch.
+#[derive(Default)]
+pub(crate) struct HostScratch {
+    /// First pending fragment each vertex slot is visible in (`mergeInto`
+    /// pivot lookup), [`super::NOT_VISIBLE`] when none.
+    pub visible: Vec<u32>,
+    /// Tour edges of the walk in progress.
+    pub tour: Vec<TourEdge>,
+    /// Visited vertex-slot sequence of the walk in progress.
+    pub vslots: Vec<u32>,
+    /// Step-1 start queue: slots with odd initial remaining degree.
+    pub odd_slots: Vec<u32>,
+    /// Step-2 start queue: boundary vertices' slots, ascending.
+    pub boundary_slots: Vec<u32>,
+}
+
+/// Reusable scratch for one Phase-1 execution: checked out of an
+/// [`ArenaPool`] per worker, reloaded in place per partition, reused across
+/// merge levels. See the [module docs](self) for the reuse contract.
+#[derive(Default)]
+pub struct Phase1Arena {
+    pub(crate) kernel: KernelState,
+    pub(crate) host: HostScratch,
+    pub(crate) wave: WaveScratch,
+}
+
+/// Capacity snapshot of an arena's buffers, for asserting that reuse across
+/// levels never shrinks or reallocates below a previously reached
+/// working-set size.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaCapacities {
+    /// Capacity of the per-vertex arrays (cursor/remaining), in slots.
+    pub vertex_slots: usize,
+    /// Capacity of the per-edge arrays (`ends`), in edge slots.
+    pub edge_slots: usize,
+    /// Capacity of the CSR incidence arena, in entries.
+    pub incidence: usize,
+    /// Capacity of the visited bitset, in 64-bit words.
+    pub visited_words: usize,
+    /// Capacity of the interning table's vertex buffers, in entries.
+    pub index_vertices: usize,
+    /// Capacity of the walk tour buffer, in tour edges.
+    pub tour: usize,
+}
+
+impl ArenaCapacities {
+    /// True when every buffer of `self` is at least as large as `other`'s.
+    pub fn covers(&self, other: &ArenaCapacities) -> bool {
+        self.vertex_slots >= other.vertex_slots
+            && self.edge_slots >= other.edge_slots
+            && self.incidence >= other.incidence
+            && self.visited_words >= other.visited_words
+            && self.index_vertices >= other.index_vertices
+            && self.tour >= other.tour
+    }
+}
+
+impl Phase1Arena {
+    /// Creates an empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current buffer capacities (never shrink across runs).
+    pub fn capacities(&self) -> ArenaCapacities {
+        ArenaCapacities {
+            vertex_slots: self.kernel.cursor.capacity().min(self.kernel.remaining.capacity()),
+            edge_slots: self.kernel.ends.capacity(),
+            incidence: self.kernel.incidence.capacity(),
+            visited_words: self.kernel.visited.capacity(),
+            index_vertices: self
+                .kernel
+                .index
+                .vertex_capacity()
+                // The recycle bin holds the rest of the capacity between runs.
+                .max(self.kernel.index_bufs.vertex_capacity()),
+            tour: self.host.tour.capacity().max(self.wave.max_tour_capacity()),
+        }
+    }
+
+    /// Deliberately corrupts every buffer the next run could read — stale
+    /// visited bits, bogus cursors and degrees, garbage walk buffers — while
+    /// keeping lengths plausible. Test-only: proves a reload fully
+    /// re-initialises the arena and no state leaks between checkouts.
+    #[cfg(test)]
+    pub(crate) fn poison(&mut self) {
+        for w in &mut self.kernel.visited {
+            *w.get_mut() = u64::MAX;
+        }
+        for c in &mut self.kernel.cursor {
+            *c.get_mut() = u32::MAX / 2;
+        }
+        for r in &mut self.kernel.remaining {
+            *r.get_mut() = 7;
+        }
+        self.kernel.unvisited_scan.store(usize::MAX / 2, Relaxed);
+        for x in &mut self.kernel.incidence {
+            *x = u32::MAX / 3;
+        }
+        self.host.visible.fill(3);
+        self.host.vslots.fill(u32::MAX / 5);
+        self.host.odd_slots.fill(1);
+        self.host.boundary_slots.fill(2);
+        self.wave.poison();
+    }
+}
+
+impl std::fmt::Debug for Phase1Arena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Phase1Arena").field("capacities", &self.capacities()).finish()
+    }
+}
+
+/// A shared pool of [`Phase1Arena`]s: workers check one out per Phase-1
+/// execution and return it afterwards, so arena buffers survive across merge
+/// levels however partitions are scheduled onto threads.
+#[derive(Clone, Debug, Default)]
+pub struct ArenaPool {
+    inner: Arc<Mutex<Vec<Phase1Arena>>>,
+}
+
+impl ArenaPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes an arena out of the pool, creating a fresh one when empty.
+    pub fn checkout(&self) -> Phase1Arena {
+        self.inner.lock().pop().unwrap_or_default()
+    }
+
+    /// Returns an arena to the pool for reuse.
+    pub fn restore(&self, arena: Phase1Arena) {
+        self.inner.lock().push(arena);
+    }
+
+    /// Number of idle arenas currently in the pool.
+    pub fn idle(&self) -> usize {
+        self.inner.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::FragmentStore;
+    use crate::phase1::{run_phase1, run_phase1_parallel, run_phase1_with_arena};
+    use crate::state::WorkingPartition;
+    use euler_gen::synthetic;
+    use euler_graph::{PartitionAssignment, PartitionedGraph};
+
+    fn working_partitions(n: u64, extra: usize, seed: u64, parts: u32) -> Vec<WorkingPartition> {
+        let g = synthetic::random_eulerian_connected(n, extra, 5, seed);
+        let labels: Vec<u32> = (0..n).map(|i| (i % parts as u64) as u32).collect();
+        let a = PartitionAssignment::from_labels(labels, parts).unwrap();
+        let pg = PartitionedGraph::from_assignment(&g, &a).unwrap();
+        pg.partitions().iter().map(WorkingPartition::from_partition).collect()
+    }
+
+    /// Output + store snapshot of a fresh-arena sequential run (the oracle).
+    fn oracle(wp: &WorkingPartition) -> (crate::phase1::Phase1Output, Vec<crate::Fragment>) {
+        let mut wp = wp.clone();
+        let store = FragmentStore::new();
+        let out = run_phase1(&mut wp, &store);
+        (out, store.snapshot())
+    }
+
+    fn assert_matches_oracle(wp: &WorkingPartition, arena: &mut Phase1Arena, threads: usize) {
+        let (out_ref, frags_ref) = oracle(wp);
+        let mut wp = wp.clone();
+        let store = FragmentStore::new();
+        let out = if threads > 1 {
+            run_phase1_parallel(&mut wp, &store, arena, threads)
+        } else {
+            run_phase1_with_arena(&mut wp, &store, arena)
+        };
+        assert_eq!(out.path_map, out_ref.path_map);
+        assert_eq!(out.counts_before, out_ref.counts_before);
+        let frags = store.snapshot();
+        assert_eq!(frags.len(), frags_ref.len());
+        for (a, b) in frags.iter().zip(&frags_ref) {
+            assert_eq!(a.edges, b.edges);
+        }
+    }
+
+    #[test]
+    fn buffers_are_reused_and_capacity_never_shrinks() {
+        let mut arena = Phase1Arena::new();
+        // Grow on a large partition, then shrink the workload drastically:
+        // capacities must be monotone while outputs stay oracle-exact.
+        let sizes = [(400u64, 40usize), (30, 2), (120, 10), (8, 0)];
+        let mut caps = arena.capacities();
+        for (i, &(n, extra)) in sizes.iter().enumerate() {
+            for wp in &working_partitions(n, extra, i as u64, 2) {
+                assert_matches_oracle(wp, &mut arena, 1);
+                let grown = arena.capacities();
+                assert!(grown.covers(&caps), "capacity shrank: {grown:?} < {caps:?}");
+                caps = grown;
+            }
+        }
+        // After the 400-vertex partitions, the small reloads must not have
+        // reallocated below that working set.
+        let big = working_partitions(400, 40, 0, 2);
+        let need = big.iter().map(|wp| wp.local_edges.len()).max().unwrap();
+        assert!(caps.edge_slots >= need, "edge arena lost its grown capacity");
+    }
+
+    #[test]
+    fn deliberately_dirty_arena_leaks_no_state() {
+        // A poisoned arena (stale visited bits, bogus cursors/degrees, wave
+        // stamps ahead of the serial, garbage specs) must behave exactly like
+        // a fresh one — sequentially and under the wave walker.
+        for threads in [1usize, 4] {
+            let mut arena = Phase1Arena::new();
+            for wp in &working_partitions(80, 8, 42, 3) {
+                // Dirty the arena with a real run on a different partition
+                // shape first, then poison everything poisonable.
+                for other in &working_partitions(50, 5, 7, 2) {
+                    let store = FragmentStore::new();
+                    let mut other = other.clone();
+                    if threads > 1 {
+                        run_phase1_parallel(&mut other, &store, &mut arena, threads);
+                    } else {
+                        run_phase1_with_arena(&mut other, &store, &mut arena);
+                    }
+                }
+                arena.poison();
+                assert_matches_oracle(wp, &mut arena, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_hands_the_same_arena_back_and_forth() {
+        let pool = ArenaPool::new();
+        assert_eq!(pool.idle(), 0);
+        let mut arena = pool.checkout();
+        for wp in &working_partitions(150, 12, 3, 2) {
+            assert_matches_oracle(wp, &mut arena, 2);
+        }
+        let caps = arena.capacities();
+        pool.restore(arena);
+        assert_eq!(pool.idle(), 1);
+        // The grown arena comes back out; a fresh one is made only when empty.
+        let again = pool.checkout();
+        assert!(again.capacities().covers(&caps));
+        assert_eq!(pool.idle(), 0);
+        let extra = pool.checkout();
+        assert_eq!(extra.capacities(), Phase1Arena::new().capacities());
+        pool.restore(again);
+        pool.restore(extra);
+        assert_eq!(pool.idle(), 2);
+    }
+}

@@ -1,0 +1,922 @@
+//! Deterministic intra-partition parallel Phase 1: wave speculation.
+//!
+//! The paper's Phase 1 is embarrassingly parallel *within* a partition in
+//! the sense that maximal walks are edge-disjoint — but the repo's
+//! determinism contract is stronger than edge-disjointness: Phase-1 output
+//! must be **bit-identical** to the sequential kernel ([`super::run_phase1`])
+//! for every thread count, because walk trajectories depend on per-vertex
+//! cursor state that earlier walks advance. Two walks that share even one
+//! vertex are order-dependent.
+//!
+//! [`run_phase1_parallel`] therefore parallelises by *speculation* rather
+//! than by racing:
+//!
+//! 1. The committing (main) thread predicts the next batch of start vertices
+//!    — a **wave** — from the committed state (the same ascending orders the
+//!    sequential kernel uses).
+//! 2. Workers speculate one maximal walk per start against the immutable
+//!    committed snapshot, recording consumed edges, the visited-vertex set
+//!    and final cursor/remaining values in a private epoch-stamped overlay
+//!    (`WorkerScratch`) — the committed arrays are never written during a
+//!    wave.
+//! 3. The main thread then *commits* speculations strictly in sequential
+//!    start order. A speculation is valid iff no earlier commit of the same
+//!    wave touched any vertex of its trajectory (checked against per-vertex
+//!    wave stamps); trajectories only read state at their own vertices, so
+//!    an untouched trajectory is exactly what the sequential kernel would
+//!    have walked. A conflicting (or over-long) speculation is discarded
+//!    and its walk simply re-executed inline on the committed state.
+//!
+//! Every committed walk therefore equals the sequential walk at the same
+//! position, so circuits, `RunReport` records and transfer accounting are
+//! bit-identical to the sequential path no matter how many threads
+//! speculate — the differential harness in `tests/parallel_equivalence.rs`
+//! pins this across thread counts and backends. Speedup comes from the
+//! speculated walks that do commit: plentiful short walks (boundary-heavy
+//! partitions) parallelise well; a partition whose edges form one giant
+//! walk degrades to the sequential cost plus wave overhead, never to a
+//! different answer.
+
+use super::arena::{ArenaPool, Phase1Arena};
+use super::{run_phase1_core, run_phase1_with_arena, Phase1Output, Traversal};
+use crate::fragment::{FragmentStore, TourEdge};
+use crate::state::{EdgeRef, WorkingPartition};
+use std::cell::UnsafeCell;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
+use std::sync::Barrier;
+
+/// How an execution backend schedules Phase-1 work onto threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Partitions of a merge level fan out across threads; each partition's
+    /// Phase 1 runs sequentially (the historical default). Fastest at wide
+    /// levels, but concurrent partitions interleave their fragment-store
+    /// appends, so circuit composition is not bit-deterministic.
+    #[default]
+    PerPartition,
+    /// Partitions execute one at a time in ascending id order; Phase 1
+    /// *inside* each partition runs on the wave-speculation walker. Output
+    /// is bit-identical to a fully sequential run for every thread count —
+    /// the deterministic way to spend cores on the narrow top levels of the
+    /// merge tree. (On the BSP backend the bit-identical *circuit
+    /// composition* additionally needs a single-worker engine; a
+    /// multi-worker engine executes its workers' partitions concurrently,
+    /// interleaving fragment-store appends as under
+    /// [`PerPartition`](Parallelism::PerPartition).)
+    IntraPartition,
+    /// Per level: [`PerPartition`](Parallelism::PerPartition) while at least
+    /// as many live partitions as threads remain, otherwise
+    /// [`IntraPartition`](Parallelism::IntraPartition).
+    Auto,
+}
+
+/// Tuning knobs of the wave walker (test- and bench-facing; the defaults
+/// are what the executor uses).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct WaveTuning {
+    /// Speculated walks per wave, per thread.
+    pub width_per_thread: usize,
+    /// Lower bound on the per-speculation edge cap (the cap is
+    /// `max(min_edge_cap, edges / wave_width)`; an over-long speculation is
+    /// abandoned and re-walked inline, bounding wave memory).
+    pub min_edge_cap: usize,
+}
+
+impl Default for WaveTuning {
+    fn default() -> Self {
+        WaveTuning { width_per_thread: 8, min_edge_cap: 4096 }
+    }
+}
+
+/// A traversal start, as the sequential kernel names them: a vertex slot for
+/// steps 1–2, the first-unvisited edge for step 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum SpecStart {
+    /// Walk from this vertex slot.
+    Slot(u32),
+    /// Walk from endpoint 0 of this edge slot (step 3's start rule).
+    Edge(u32),
+}
+
+impl Default for SpecStart {
+    fn default() -> Self {
+        SpecStart::Slot(u32::MAX)
+    }
+}
+
+/// Eligibility rule a queued start must still satisfy when its turn comes —
+/// mirrors the sequential kernel's re-checks. Both rules are monotone
+/// (odd degrees only ever turn even, remaining degrees only shrink), so a
+/// start predicted ineligible at wave launch can never become eligible.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum StartRule {
+    /// Step 1: remaining degree is odd.
+    OddParity,
+    /// Step 2: remaining degree is positive.
+    Positive,
+}
+
+impl StartRule {
+    #[inline]
+    fn eligible(self, remaining: u32) -> bool {
+        match self {
+            StartRule::OddParity => remaining % 2 == 1,
+            StartRule::Positive => remaining > 0,
+        }
+    }
+}
+
+/// The upcoming starts a wave can speculate over.
+pub(crate) enum WaveQueue<'q> {
+    /// Steps 1–2: the remainder of a precomputed slot queue (the pulled
+    /// start itself is `rest[0]`).
+    Slots {
+        /// Queue remainder, in sequential order.
+        rest: &'q [u32],
+        /// Eligibility re-check rule.
+        rule: StartRule,
+    },
+    /// Step 3: ascending unvisited-edge scan from the pulled start edge.
+    Edges,
+}
+
+/// One speculated walk: the trajectory plus everything needed to commit it
+/// (consumed edges, touched vertices with their final cursor/remaining).
+#[derive(Debug, Default)]
+pub(crate) struct SpecWalk {
+    /// The start this speculation is for.
+    start: SpecStart,
+    /// True when the walk exceeded the edge cap (or its worker panicked) and
+    /// must be re-walked inline.
+    overflow: bool,
+    /// Tour edges, exactly as [`Traversal::walk`] would produce them.
+    tour: Vec<TourEdge>,
+    /// Visited vertex-slot sequence (`tour.len() + 1` entries).
+    vslots: Vec<u32>,
+    /// Consumed edge slots, in traversal order.
+    edges: Vec<u32>,
+    /// Distinct touched vertex slots with their final `(cursor, remaining)`.
+    touched: Vec<(u32, u32, u32)>,
+}
+
+/// Per-worker private overlay over the committed state: epoch-stamped so a
+/// new speculation starts in O(1) instead of clearing the arrays.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerScratch {
+    epoch: u32,
+    /// Per vertex slot: epoch at which the overlay entries became valid.
+    touched_epoch: Vec<u32>,
+    /// Overlay cursor per vertex slot (valid when `touched_epoch` matches).
+    cursor_val: Vec<u32>,
+    /// Overlay remaining degree per vertex slot.
+    remaining_val: Vec<u32>,
+    /// Per edge slot: epoch at which this walk consumed the edge.
+    visited_epoch: Vec<u32>,
+}
+
+impl WorkerScratch {
+    fn prepare(&mut self, n: usize, m: usize) {
+        if self.touched_epoch.len() < n {
+            self.touched_epoch.resize(n, 0);
+            self.cursor_val.resize(n, 0);
+            self.remaining_val.resize(n, 0);
+        }
+        if self.visited_epoch.len() < m {
+            self.visited_epoch.resize(m, 0);
+        }
+    }
+
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            // Wrapped: stale stamps could collide, so clear them once.
+            self.touched_epoch.fill(0);
+            self.visited_epoch.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+}
+
+/// Arena-resident scratch of the wave walker, reused across runs and merge
+/// levels like every other arena buffer.
+#[derive(Debug, Default)]
+pub(crate) struct WaveScratch {
+    /// Wave serial; strictly increases across waves, runs and levels so
+    /// stale stamps can never collide with the current wave.
+    serial: u32,
+    /// Per vertex slot: serial of the wave whose commits last touched it.
+    stamps: Vec<u32>,
+    /// Speculation slots (one per wave entry).
+    specs: Vec<SpecWalk>,
+    /// Per-worker overlays (index 0 is the committing thread's).
+    workers: Vec<WorkerScratch>,
+}
+
+impl WaveScratch {
+    fn prepare(&mut self, threads: usize, width: usize, n: usize, m: usize) {
+        if self.serial >= u32::MAX - 2 {
+            self.stamps.fill(0);
+            self.serial = 0;
+        }
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+        }
+        while self.specs.len() < width {
+            self.specs.push(SpecWalk::default());
+        }
+        while self.workers.len() < threads {
+            self.workers.push(WorkerScratch::default());
+        }
+        for w in self.workers.iter_mut().take(threads) {
+            w.prepare(n, m);
+        }
+    }
+
+    /// Largest tour-buffer capacity parked in the speculation slots. Walk
+    /// buffers migrate between the host scratch and spec slots via swaps, so
+    /// capacity introspection must look at both.
+    pub(crate) fn max_tour_capacity(&self) -> usize {
+        self.specs.iter().map(|s| s.tour.capacity()).max().unwrap_or(0)
+    }
+
+    /// Test-only: corrupt the wave scratch adversarially — stamps ahead of
+    /// the serial provoke spurious conflicts (which must only cost time,
+    /// never change output), garbage specs must be fully overwritten.
+    #[cfg(test)]
+    pub(crate) fn poison(&mut self) {
+        self.stamps.fill(self.serial.wrapping_add(1));
+        for s in &mut self.specs {
+            s.start = SpecStart::Edge(12345);
+            s.overflow = true;
+            s.vslots.fill(9);
+            s.edges.fill(9);
+        }
+        for w in &mut self.workers {
+            w.touched_epoch.fill(w.epoch);
+            w.visited_epoch.fill(w.epoch);
+            w.cursor_val.fill(u32::MAX / 7);
+            w.remaining_val.fill(u32::MAX / 7);
+        }
+    }
+}
+
+/// A speculation slot on the shared wave board.
+///
+/// Mutable access follows a strict phase protocol, delimited by the board's
+/// barrier: between waves only the committing thread touches slots; during a
+/// wave each slot is claimed by exactly one speculator through the `claim`
+/// counter. The barrier crossings order the accesses.
+struct SpecCell(UnsafeCell<SpecWalk>);
+
+// SAFETY: see the phase protocol above — slots are never accessed from two
+// threads without an intervening barrier, and each claim index is handed out
+// exactly once per wave by `fetch_add`.
+unsafe impl Sync for SpecCell {}
+
+/// The shared wave board: the committed snapshot plus the wave being
+/// speculated.
+struct Board<'a> {
+    tr: Traversal<'a>,
+    specs: Vec<SpecCell>,
+    /// Number of valid entries in `specs` this wave.
+    published: AtomicUsize,
+    /// Next spec index to claim.
+    claim: AtomicUsize,
+    /// Per-speculation edge cap this wave.
+    cap: AtomicUsize,
+    /// Set once: workers exit at the next wave barrier.
+    stop: AtomicBool,
+    /// Wave phase barrier (main + workers).
+    barrier: Barrier,
+}
+
+/// Speculation loop of one worker thread. Returns its scratch for reuse.
+fn worker_loop(board: &Board<'_>, mut ws: WorkerScratch) -> WorkerScratch {
+    loop {
+        board.barrier.wait();
+        if board.stop.load(Relaxed) {
+            return ws;
+        }
+        speculate_claimed(board, &mut ws);
+        board.barrier.wait();
+    }
+}
+
+/// Claims and speculates wave entries until the wave is exhausted.
+fn speculate_claimed(board: &Board<'_>, ws: &mut WorkerScratch) {
+    let count = board.published.load(Relaxed);
+    let cap = board.cap.load(Relaxed);
+    loop {
+        let i = board.claim.fetch_add(1, Relaxed);
+        if i >= count {
+            return;
+        }
+        // SAFETY: `fetch_add` hands index `i` to exactly one speculator, and
+        // the committing thread reads the slot only after the wave barrier.
+        let spec = unsafe { &mut *board.specs[i].0.get() };
+        // A panicking speculation (impossible absent kernel bugs) must not
+        // wedge the barrier protocol: degrade the slot to the inline-walk
+        // fallback, which re-derives everything from committed state.
+        if catch_unwind(AssertUnwindSafe(|| speculate_walk(&board.tr, ws, spec, cap))).is_err() {
+            spec.overflow = true;
+        }
+    }
+}
+
+/// Speculates one maximal walk from `spec.start` against the committed
+/// snapshot, writing the trajectory into `spec`. Mirrors
+/// [`Traversal::walk`] exactly, with cursor/remaining/visited reads going
+/// through the worker's private overlay.
+fn speculate_walk(tr: &Traversal<'_>, ws: &mut WorkerScratch, spec: &mut SpecWalk, cap: usize) {
+    spec.overflow = false;
+    spec.tour.clear();
+    spec.vslots.clear();
+    spec.edges.clear();
+    spec.touched.clear();
+    let epoch = ws.next_epoch();
+
+    /// First-contact overlay initialisation: load the committed cursor and
+    /// remaining degree, and record the vertex as touched.
+    #[inline]
+    fn touch(tr: &Traversal<'_>, ws: &mut WorkerScratch, spec: &mut SpecWalk, epoch: u32, v: u32) {
+        let vi = v as usize;
+        if ws.touched_epoch[vi] != epoch {
+            ws.touched_epoch[vi] = epoch;
+            ws.cursor_val[vi] = tr.k.cursor[vi].load(Relaxed);
+            ws.remaining_val[vi] = tr.k.remaining[vi].load(Relaxed);
+            spec.touched.push((v, 0, 0));
+        }
+    }
+
+    let start = match spec.start {
+        SpecStart::Slot(s) => s,
+        SpecStart::Edge(e) => tr.k.ends[e as usize][0],
+    };
+    let mut current = start;
+    let mut current_v = tr.k.index.vertex(current);
+    spec.vslots.push(start);
+    loop {
+        touch(tr, ws, spec, epoch, current);
+        // The overlay mirror of `Traversal::next_edge`: first incident edge
+        // neither committed-visited nor consumed by this walk; the cursor
+        // parks on it.
+        let end = tr.k.offsets[current as usize + 1];
+        let mut cur = ws.cursor_val[current as usize];
+        let mut found = None;
+        while cur < end {
+            let e = tr.k.incidence[cur as usize];
+            if !tr.is_visited(e) && ws.visited_epoch[e as usize] != epoch {
+                found = Some(e);
+                break;
+            }
+            cur += 1;
+        }
+        ws.cursor_val[current as usize] = cur;
+        let Some(e) = found else { break };
+        if spec.edges.len() >= cap {
+            spec.overflow = true;
+            break;
+        }
+        ws.visited_epoch[e as usize] = epoch;
+        spec.edges.push(e);
+        let [su, sv] = tr.k.ends[e as usize];
+        touch(tr, ws, spec, epoch, su);
+        touch(tr, ws, spec, epoch, sv);
+        ws.remaining_val[su as usize] -= 1;
+        ws.remaining_val[sv as usize] -= 1;
+        let next = if su == current { sv } else { su };
+        let next_v = tr.k.index.vertex(next);
+        spec.tour.push(match tr.edges[e as usize].edge {
+            EdgeRef::Real(edge) => TourEdge::Real { edge, from: current_v, to: next_v },
+            EdgeRef::Virtual(fragment) => {
+                TourEdge::Virtual { fragment, from: current_v, to: next_v }
+            }
+        });
+        spec.vslots.push(next);
+        current = next;
+        current_v = next_v;
+    }
+    for t in &mut spec.touched {
+        t.1 = ws.cursor_val[t.0 as usize];
+        t.2 = ws.remaining_val[t.0 as usize];
+    }
+}
+
+/// The committing side of the wave walker, handed to the shared Phase-1
+/// orchestration as its walk source. Produces walks bit-identical to the
+/// sequential kernel, in the same order.
+pub(crate) struct WaveDriver<'b, 'a> {
+    board: &'b Board<'a>,
+    /// The committing thread's own speculation overlay (it claims wave
+    /// entries like any worker between the barriers).
+    scratch: WorkerScratch,
+    stamps: &'b mut Vec<u32>,
+    serial: u32,
+    wave_pos: usize,
+    wave_len: usize,
+    width: usize,
+    edge_cap: usize,
+}
+
+impl WaveDriver<'_, '_> {
+    /// Produces the committed walk for `start` — the next walk of the
+    /// sequential order, whose eligibility the orchestrator just re-checked
+    /// against committed state. Fills `tour`/`vslots` exactly as
+    /// [`Traversal::walk`] would.
+    pub(crate) fn walk(
+        &mut self,
+        start: SpecStart,
+        queue: WaveQueue<'_>,
+        tr: &Traversal<'_>,
+        tour: &mut Vec<TourEdge>,
+        vslots: &mut Vec<u32>,
+    ) {
+        loop {
+            while self.wave_pos < self.wave_len {
+                let i = self.wave_pos;
+                self.wave_pos += 1;
+                // SAFETY: between waves the committing thread has exclusive
+                // access to the spec slots (see `SpecCell`).
+                let spec = unsafe { &mut *self.board.specs[i].0.get() };
+                if spec.start != start {
+                    // The orchestrator skipped this start (it became
+                    // ineligible, or its step-3 edge was consumed): the
+                    // speculation is simply discarded.
+                    continue;
+                }
+                let valid = !spec.overflow
+                    && spec
+                        .touched
+                        .iter()
+                        .all(|&(v, _, _)| self.stamps[v as usize] != self.serial);
+                if valid {
+                    // Commit: apply final cursor/remaining, stamp the touched
+                    // vertices, set the visited bits, hand the walk out.
+                    for &(v, cur, rem) in &spec.touched {
+                        tr.k.cursor[v as usize].store(cur, Relaxed);
+                        tr.k.remaining[v as usize].store(rem, Relaxed);
+                        self.stamps[v as usize] = self.serial;
+                    }
+                    for &e in &spec.edges {
+                        tr.mark_visited(e);
+                    }
+                    std::mem::swap(tour, &mut spec.tour);
+                    std::mem::swap(vslots, &mut spec.vslots);
+                } else {
+                    // Conflict with an earlier commit of this wave (or an
+                    // over-long speculation): re-walk inline on the committed
+                    // state — by definition the sequential result — and stamp
+                    // its trail so later wave entries validate against it.
+                    let slot = match start {
+                        SpecStart::Slot(s) => s,
+                        SpecStart::Edge(e) => tr.k.ends[e as usize][0],
+                    };
+                    tr.walk(slot, tour, vslots);
+                    for &v in vslots.iter() {
+                        self.stamps[v as usize] = self.serial;
+                    }
+                }
+                return;
+            }
+            self.launch(start, &queue, tr);
+        }
+    }
+
+    /// Launches a new wave: predicts the upcoming starts from the committed
+    /// state (head = `start`, so progress is guaranteed), then runs one
+    /// barrier-delimited speculation phase across all threads.
+    fn launch(&mut self, start: SpecStart, queue: &WaveQueue<'_>, tr: &Traversal<'_>) {
+        self.serial += 1;
+        let mut count = 0usize;
+        // SAFETY (both loops): between waves the committing thread has
+        // exclusive access to the spec slots.
+        match *queue {
+            WaveQueue::Slots { rest, rule } => {
+                for &s in rest {
+                    if count >= self.width {
+                        break;
+                    }
+                    if rule.eligible(tr.remaining(s)) {
+                        unsafe { (*self.board.specs[count].0.get()).start = SpecStart::Slot(s) };
+                        count += 1;
+                    }
+                }
+                debug_assert!(count > 0, "the pulled start itself is eligible");
+            }
+            WaveQueue::Edges => {
+                let first = match start {
+                    SpecStart::Edge(e) => e,
+                    SpecStart::Slot(_) => unreachable!("step 3 pulls edge starts"),
+                };
+                for e in first..tr.edges.len() as u32 {
+                    if count >= self.width {
+                        break;
+                    }
+                    if !tr.is_visited(e) {
+                        unsafe { (*self.board.specs[count].0.get()).start = SpecStart::Edge(e) };
+                        count += 1;
+                    }
+                }
+            }
+        }
+        self.board.claim.store(0, Relaxed);
+        self.board.cap.store(self.edge_cap, Relaxed);
+        self.board.published.store(count, Relaxed);
+        self.board.barrier.wait();
+        speculate_claimed(self.board, &mut self.scratch);
+        self.board.barrier.wait();
+        self.wave_pos = 0;
+        self.wave_len = count;
+    }
+}
+
+/// Releases parked workers on drop — including during an orchestration
+/// unwind, which would otherwise deadlock the barrier protocol (between
+/// waves every worker sits at the top-of-loop barrier).
+struct StopGuard<'b, 'a>(&'b Board<'a>);
+
+impl Drop for StopGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.0.stop.store(true, Relaxed);
+        self.0.barrier.wait();
+    }
+}
+
+/// [`super::run_phase1_with_arena`] with intra-partition parallelism:
+/// `threads` threads cooperate on this partition's walks through wave
+/// speculation. Output — fragments, path map, residual partition state — is
+/// **bit-identical** to the sequential kernel for every `threads` value;
+/// see the [module docs](self) for why.
+pub fn run_phase1_parallel(
+    wp: &mut WorkingPartition,
+    store: &FragmentStore,
+    arena: &mut Phase1Arena,
+    threads: usize,
+) -> Phase1Output {
+    run_phase1_parallel_tuned(wp, store, arena, threads, WaveTuning::default())
+}
+
+/// [`run_phase1_parallel`] with explicit wave tuning (tests force tiny caps
+/// and widths to exercise the overflow and relaunch paths).
+pub(crate) fn run_phase1_parallel_tuned(
+    wp: &mut WorkingPartition,
+    store: &FragmentStore,
+    arena: &mut Phase1Arena,
+    threads: usize,
+    tuning: WaveTuning,
+) -> Phase1Output {
+    let threads = threads.max(1);
+    if threads == 1 || wp.local_edges.is_empty() {
+        // One thread (or nothing to walk): the wave machinery can only add
+        // overhead around the identical sequential result.
+        return run_phase1_with_arena(wp, store, arena);
+    }
+
+    let boundary = wp.boundary_vertices_sorted();
+    let local_edges = std::mem::take(&mut wp.local_edges);
+    let Phase1Arena { kernel, host, wave } = arena;
+    kernel.load(&local_edges);
+    let n = kernel.index.len();
+    let m = local_edges.len();
+    let width = (threads * tuning.width_per_thread).max(1);
+    let edge_cap = (m / width).max(tuning.min_edge_cap);
+    wave.prepare(threads, width, n, m);
+    let WaveScratch { serial, stamps, specs, workers } = wave;
+
+    let board = Board {
+        tr: Traversal { edges: &local_edges, k: kernel },
+        specs: specs.drain(..).map(|s| SpecCell(UnsafeCell::new(s))).collect(),
+        published: AtomicUsize::new(0),
+        claim: AtomicUsize::new(0),
+        cap: AtomicUsize::new(edge_cap),
+        stop: AtomicBool::new(false),
+        barrier: Barrier::new(threads),
+    };
+    let mut idle_workers = std::mem::take(workers);
+
+    let out = std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..threads)
+            .map(|_| {
+                let board = &board;
+                let ws = idle_workers.pop().expect("prepared one scratch per thread");
+                scope.spawn(move || worker_loop(board, ws))
+            })
+            .collect();
+        let out = {
+            let _stop = StopGuard(&board);
+            let mut driver = WaveDriver {
+                board: &board,
+                scratch: idle_workers.pop().expect("prepared one scratch per thread"),
+                stamps,
+                serial: *serial,
+                wave_pos: 0,
+                wave_len: 0,
+                width,
+                edge_cap,
+            };
+            let tr = board.tr;
+            let out =
+                run_phase1_core(wp, store, &local_edges, &boundary, &tr, host, Some(&mut driver));
+            *serial = driver.serial;
+            idle_workers.push(driver.scratch);
+            out
+            // StopGuard drops here: workers released and told to exit.
+        };
+        for h in handles {
+            idle_workers.push(h.join().expect("phase-1 speculation worker panicked"));
+        }
+        out
+    });
+
+    *workers = idle_workers;
+    *specs = board.specs.into_iter().map(|c| c.0.into_inner()).collect();
+    out
+}
+
+/// A Phase-1 execution policy shared by the pipeline backends: a
+/// [`Parallelism`] mode, a thread count, and an [`ArenaPool`] whose arenas
+/// are checked out per execution and reused across merge levels.
+///
+/// Cloning shares the pool, so a backend and its per-level workers draw from
+/// the same set of arenas.
+#[derive(Clone, Debug, Default)]
+pub struct Phase1Executor {
+    mode: Parallelism,
+    threads: Option<NonZeroUsize>,
+    pool: ArenaPool,
+}
+
+impl Phase1Executor {
+    /// Executor with the given scheduling mode and auto-detected threads.
+    pub fn new(mode: Parallelism) -> Self {
+        Phase1Executor { mode, threads: None, pool: ArenaPool::new() }
+    }
+
+    /// Sets the thread budget for intra-partition walks (and the
+    /// [`Parallelism::Auto`] threshold). `0` restores auto-detection
+    /// (`RAYON_NUM_THREADS`, else the host's available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = NonZeroUsize::new(threads);
+        self
+    }
+
+    /// Replaces the scheduling mode, keeping the thread setting and pool.
+    pub fn with_mode(mut self, mode: Parallelism) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The configured scheduling mode.
+    pub fn mode(&self) -> Parallelism {
+        self.mode
+    }
+
+    /// The thread budget: the explicit setting, else rayon's resolved global
+    /// count (`RAYON_NUM_THREADS`, else available parallelism).
+    pub fn resolved_threads(&self) -> usize {
+        self.threads.map(NonZeroUsize::get).unwrap_or_else(rayon::current_num_threads)
+    }
+
+    /// Whether a merge level with `live_partitions` partitions should run
+    /// intra-partition parallel walks under this executor's mode.
+    pub fn intra_at(&self, live_partitions: usize) -> bool {
+        match self.mode {
+            Parallelism::PerPartition => false,
+            Parallelism::IntraPartition => true,
+            Parallelism::Auto => live_partitions < self.resolved_threads(),
+        }
+    }
+
+    /// The arena pool backing this executor.
+    pub fn pool(&self) -> &ArenaPool {
+        &self.pool
+    }
+
+    /// Runs Phase 1 on `wp` with a pool arena: the wave walker over
+    /// [`resolved_threads`](Self::resolved_threads) threads when `intra`,
+    /// the sequential kernel otherwise. Both produce identical output.
+    pub fn run(&self, wp: &mut WorkingPartition, store: &FragmentStore, intra: bool) -> Phase1Output {
+        self.run_with_threads(wp, store, if intra { self.resolved_threads() } else { 1 })
+    }
+
+    /// [`run`](Self::run) with an explicit thread count (the BSP worker loop
+    /// passes its per-worker budget through here).
+    pub fn run_with_threads(
+        &self,
+        wp: &mut WorkingPartition,
+        store: &FragmentStore,
+        threads: usize,
+    ) -> Phase1Output {
+        let mut arena = self.pool.checkout();
+        let out = if threads > 1 {
+            run_phase1_parallel(wp, store, &mut arena, threads)
+        } else {
+            run_phase1_with_arena(wp, store, &mut arena)
+        };
+        self.pool.restore(arena);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run_phase1;
+    use super::*;
+    use crate::state::LocalEdge;
+    use euler_gen::synthetic;
+    use euler_graph::{EdgeId, PartitionId, PartitionedGraph, VertexId};
+
+    fn wp_from_edges(local: &[(u64, u64)], remote_at: &[u64]) -> WorkingPartition {
+        WorkingPartition {
+            id: PartitionId(0),
+            leaves: vec![PartitionId(0)],
+            level: 0,
+            local_edges: local
+                .iter()
+                .enumerate()
+                .map(|(i, &(u, v))| LocalEdge {
+                    edge: EdgeRef::Real(EdgeId(i as u64)),
+                    u: VertexId(u),
+                    v: VertexId(v),
+                })
+                .collect(),
+            remote_edges: remote_at
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| crate::state::RemoteRef {
+                    edge: EdgeId(1000 + i as u64),
+                    local: VertexId(v),
+                    remote: VertexId(9999),
+                    local_leaf: PartitionId(0),
+                    remote_leaf: PartitionId(1),
+                })
+                .collect(),
+            isolated_vertices: 0,
+        }
+    }
+
+    /// Runs the sequential kernel and the wave walker (under `tuning`, for
+    /// each thread count) on clones of `wp` and asserts bit-identical
+    /// everything: output, residual state, and stored fragments.
+    fn assert_parallel_matches_sequential(wp: &WorkingPartition, tuning: WaveTuning) {
+        let mut wp_seq = wp.clone();
+        let store_seq = FragmentStore::new();
+        let out_seq = run_phase1(&mut wp_seq, &store_seq);
+        for threads in [2usize, 3, 8] {
+            let mut wp_par = wp.clone();
+            let store_par = FragmentStore::new();
+            let mut arena = Phase1Arena::new();
+            let out_par =
+                run_phase1_parallel_tuned(&mut wp_par, &store_par, &mut arena, threads, tuning);
+            assert_eq!(out_par.path_map, out_seq.path_map, "{threads} threads");
+            assert_eq!(out_par.counts_before, out_seq.counts_before);
+            assert_eq!(out_par.complexity, out_seq.complexity);
+            assert_eq!(wp_par.local_edges, wp_seq.local_edges);
+            assert_eq!(wp_par.remote_edges, wp_seq.remote_edges);
+            let f_par = store_par.snapshot();
+            let f_seq = store_seq.snapshot();
+            assert_eq!(f_par.len(), f_seq.len());
+            for (p, s) in f_par.iter().zip(&f_seq) {
+                assert_eq!(p.id, s.id);
+                assert_eq!(p.kind, s.kind);
+                assert_eq!(p.edges, s.edges, "fragment {:?} at {threads} threads", p.id);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_partition() {
+        // No local edges at all (remote-only partition).
+        let wp = wp_from_edges(&[], &[0, 0]);
+        assert_parallel_matches_sequential(&wp, WaveTuning::default());
+    }
+
+    #[test]
+    fn single_vertex_self_loop() {
+        let wp = wp_from_edges(&[(0, 0)], &[]);
+        assert_parallel_matches_sequential(&wp, WaveTuning::default());
+    }
+
+    #[test]
+    fn one_giant_cycle_with_no_odd_vertices() {
+        // A whole torus as one partition: step 3 only, and the first walk
+        // consumes every edge — the overflow fallback must engage (cap 8)
+        // without changing the output.
+        let g = synthetic::torus_grid(6, 6);
+        let a = euler_graph::PartitionAssignment::from_labels(vec![0; 36], 1).unwrap();
+        let pg = PartitionedGraph::from_assignment(&g, &a).unwrap();
+        let wp = WorkingPartition::from_partition(&pg.partitions()[0]);
+        assert_parallel_matches_sequential(&wp, WaveTuning::default());
+        assert_parallel_matches_sequential(
+            &wp,
+            WaveTuning { width_per_thread: 2, min_edge_cap: 8 },
+        );
+    }
+
+    #[test]
+    fn more_start_vertices_than_workers() {
+        // 20 odd boundary vertices (each with one local edge to a shared hub
+        // chain) against 2–8 workers: every wave is over-subscribed.
+        let mut local = Vec::new();
+        for i in 0..20u64 {
+            local.push((i, 100 + i)); // odd pendant into distinct interiors
+            local.push((100 + i, 100 + ((i + 1) % 20))); // interior ring
+        }
+        let remote: Vec<u64> = (0..20).collect();
+        let wp = wp_from_edges(&local, &remote);
+        assert_parallel_matches_sequential(&wp, WaveTuning::default());
+        // Tiny waves force repeated relaunches mid-step.
+        assert_parallel_matches_sequential(
+            &wp,
+            WaveTuning { width_per_thread: 1, min_edge_cap: 4 },
+        );
+    }
+
+    #[test]
+    fn random_partitions_match_across_thread_counts_and_tunings() {
+        for seed in 0..6 {
+            let g = synthetic::random_eulerian_connected(70, 9, 5, seed);
+            let labels: Vec<u32> = (0..70).map(|i| (i % 3) as u32).collect();
+            let a = euler_graph::PartitionAssignment::from_labels(labels, 3).unwrap();
+            let pg = PartitionedGraph::from_assignment(&g, &a).unwrap();
+            for p in pg.partitions() {
+                let wp = WorkingPartition::from_partition(p);
+                assert_parallel_matches_sequential(&wp, WaveTuning::default());
+                assert_parallel_matches_sequential(
+                    &wp,
+                    WaveTuning { width_per_thread: 3, min_edge_cap: 5 },
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_loops_and_multi_edges_in_parallel() {
+        let wp = wp_from_edges(&[(0, 0), (0, 1), (1, 2), (2, 0), (0, 1), (1, 0), (2, 2)], &[]);
+        assert_parallel_matches_sequential(&wp, WaveTuning::default());
+        assert_parallel_matches_sequential(
+            &wp,
+            WaveTuning { width_per_thread: 1, min_edge_cap: 2 },
+        );
+    }
+
+    #[test]
+    fn one_arena_drives_many_parallel_runs() {
+        // The same arena (with its wave scratch) serves different partitions
+        // back to back; capacities never shrink and outputs stay identical.
+        let mut arena = Phase1Arena::new();
+        let mut caps = arena.capacities();
+        for seed in [3u64, 1, 4] {
+            let g = synthetic::random_eulerian_connected(60, 7, 5, seed);
+            let labels: Vec<u32> = (0..60).map(|i| (i % 2) as u32).collect();
+            let a = euler_graph::PartitionAssignment::from_labels(labels, 2).unwrap();
+            let pg = PartitionedGraph::from_assignment(&g, &a).unwrap();
+            for p in pg.partitions() {
+                let mut wp_par = WorkingPartition::from_partition(p);
+                let mut wp_seq = wp_par.clone();
+                let store_par = FragmentStore::new();
+                let store_seq = FragmentStore::new();
+                let out_par = run_phase1_parallel(&mut wp_par, &store_par, &mut arena, 4);
+                let out_seq = run_phase1(&mut wp_seq, &store_seq);
+                assert_eq!(out_par.path_map, out_seq.path_map);
+                assert_eq!(store_par.snapshot().len(), store_seq.snapshot().len());
+                let grown = arena.capacities();
+                assert!(grown.covers(&caps), "arena capacity shrank: {grown:?} < {caps:?}");
+                caps = grown;
+            }
+        }
+    }
+
+    #[test]
+    fn executor_modes_pick_intra_levels() {
+        let seq = Phase1Executor::new(Parallelism::PerPartition).with_threads(8);
+        assert!(!seq.intra_at(1));
+        let intra = Phase1Executor::new(Parallelism::IntraPartition).with_threads(8);
+        assert!(intra.intra_at(64));
+        let auto = Phase1Executor::new(Parallelism::Auto).with_threads(8);
+        assert!(!auto.intra_at(8), "wide level: per-partition fan-out");
+        assert!(auto.intra_at(2), "narrow level: intra-partition waves");
+        assert_eq!(auto.resolved_threads(), 8);
+        assert_eq!(auto.mode(), Parallelism::Auto);
+    }
+
+    #[test]
+    fn executor_runs_share_the_arena_pool() {
+        let ex = Phase1Executor::new(Parallelism::IntraPartition).with_threads(2);
+        let g = synthetic::torus_grid(4, 4);
+        let a = euler_graph::PartitionAssignment::from_labels(vec![0; 16], 1).unwrap();
+        let pg = PartitionedGraph::from_assignment(&g, &a).unwrap();
+        let store = FragmentStore::new();
+        let mut wp = WorkingPartition::from_partition(&pg.partitions()[0]);
+        let out = ex.run(&mut wp, &store, true);
+        assert_eq!(out.path_map.local_edges_consumed, g.num_edges());
+        assert_eq!(ex.pool().idle(), 1, "arena returned to the pool");
+        let mut wp2 = WorkingPartition::from_partition(&pg.partitions()[0]);
+        let store2 = FragmentStore::new();
+        ex.run(&mut wp2, &store2, false);
+        assert_eq!(ex.pool().idle(), 1, "same arena reused, not duplicated");
+    }
+}

@@ -39,7 +39,7 @@ use crate::fragment::FragmentStore;
 use crate::memory_model::{LevelTrace, PartitionLevelState};
 use crate::merge_strategy::MergeStrategy;
 use crate::merge_tree::{MergePair, MergeTree};
-use crate::phase1::{run_phase1, Phase1Output};
+use crate::phase1::{Parallelism, Phase1Executor, Phase1Output};
 use crate::phase2::{apply_remote_edge_dedup, merge_partitions, remote_edge_needed_level};
 use crate::phase3::{unroll, CircuitResult};
 use crate::state::{VertexTypeCounts, WorkingPartition};
@@ -54,6 +54,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
@@ -243,8 +244,10 @@ pub struct LevelWork<'a> {
     pub level: u32,
     /// Merges planned for this level (empty at the last level).
     pub pairs: &'a [MergePair],
-    /// The merge tree being walked.
-    pub tree: &'a MergeTree,
+    /// The merge tree being walked, shared behind an [`Arc`] so backends
+    /// that keep it across levels (the BSP program lives on worker threads
+    /// for the whole run) clone a pointer instead of the tree.
+    pub tree: &'a Arc<MergeTree>,
     /// Fragment store Phase 1 persists into.
     pub store: &'a FragmentStore,
     /// Algorithm configuration.
@@ -304,18 +307,36 @@ struct InProcessState {
     pending: HashMap<PartitionId, (Duration, u64)>,
 }
 
-/// Executes levels in this process: Phase 1 of a level's partitions runs
-/// concurrently on rayon threads (unless
-/// [`EulerConfig::parallel_within_level`] is off), merges run sequentially.
+/// Executes levels in this process. How Phase 1 is scheduled onto threads is
+/// the backend's [`Parallelism`] mode ([`with_parallelism`]):
+///
+/// * [`Parallelism::PerPartition`] (default): a level's partitions fan out
+///   on rayon threads (unless [`EulerConfig::parallel_within_level`] is
+///   off), each running the sequential Phase-1 kernel.
+/// * [`Parallelism::IntraPartition`]: partitions run one at a time in
+///   ascending id order, each on the deterministic wave-speculation walker
+///   ([`crate::phase1::run_phase1_parallel`]) over [`with_threads`] threads
+///   — circuits and reports are bit-identical to a fully sequential run for
+///   every thread count.
+/// * [`Parallelism::Auto`]: per level, per-partition fan-out while at least
+///   as many live partitions as threads remain, intra-partition waves on
+///   the narrow top levels.
+///
+/// Phase-1 scratch comes from the executor's arena pool, reused across
+/// merge levels. Merges always run sequentially.
 ///
 /// This backend absorbs the pre-redesign `run_partitioned` driver; it
 /// produces the detailed per-level, per-partition quantities the paper's
 /// Figs. 6–9 are built from. Within a level, partitions execute in ascending
-/// partition-id order (the BSP engine's slot order), so sequential runs of
-/// both backends persist fragments identically.
+/// partition-id order (the BSP engine's slot order), so sequential and
+/// intra-partition runs of both backends persist fragments identically.
+///
+/// [`with_parallelism`]: InProcessBackend::with_parallelism
+/// [`with_threads`]: InProcessBackend::with_threads
 #[derive(Default)]
 pub struct InProcessBackend {
     inner: RefCell<InProcessState>,
+    executor: Phase1Executor,
 }
 
 impl InProcessBackend {
@@ -323,6 +344,25 @@ impl InProcessBackend {
     /// re-seeding (a new run) resets it.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Sets how Phase 1 is scheduled onto threads (see the type docs).
+    pub fn with_parallelism(mut self, mode: Parallelism) -> Self {
+        self.executor = self.executor.with_mode(mode);
+        self
+    }
+
+    /// Sets the thread budget for intra-partition walks and the
+    /// [`Parallelism::Auto`] threshold. `0` restores auto-detection
+    /// (`RAYON_NUM_THREADS`, else the host's available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.executor = self.executor.with_threads(threads);
+        self
+    }
+
+    /// The backend's Phase-1 scheduling mode.
+    pub fn parallelism(&self) -> Parallelism {
+        self.executor.mode()
     }
 }
 
@@ -342,19 +382,24 @@ impl ExecutionBackend for InProcessBackend {
 
         let level = work.level;
         let strategy = work.config.merge_strategy;
-        let tree = work.tree;
+        let tree: &MergeTree = work.tree;
         let store = work.store;
 
         // --- Phase 1 on all active partitions of this level. ---------------
+        // `.sequential()` (parallel_within_level = false) forces the plain
+        // sequential walk everywhere; otherwise the executor's mode decides
+        // between per-partition fan-out and intra-partition waves.
+        let intra = work.config.parallel_within_level && self.executor.intra_at(st.states.len());
+        let executor = &self.executor;
         let run_one = |wp: &mut WorkingPartition| -> (PartitionId, u64, u64, Phase1Output, Duration) {
             let memory = active_memory_longs(wp, tree, level, strategy);
             let needed_now = remote_needed_now(wp, tree, level);
             let t0 = Instant::now();
-            let out = run_phase1(wp, store);
+            let out = executor.run(wp, store, intra);
             (wp.id, memory, needed_now, out, t0.elapsed())
         };
         let outputs: Vec<(PartitionId, u64, u64, Phase1Output, Duration)> =
-            if work.config.parallel_within_level {
+            if work.config.parallel_within_level && !intra {
                 st.states.par_iter_mut().map(run_one).collect()
             } else {
                 st.states.iter_mut().map(run_one).collect()
@@ -514,10 +559,15 @@ struct Ledger {
 /// `L`, and ships this partition's state to its merge parent when the tree
 /// retires it at `L`.
 struct DistProgram {
-    tree: MergeTree,
+    /// Shared with the pipeline walk (and between worker threads): cloning
+    /// the `Arc` replaced the per-run deep clone of the tree.
+    tree: Arc<MergeTree>,
     store: FragmentStore,
     strategy: MergeStrategy,
     height: u32,
+    /// Phase-1 execution policy (mode + thread budget + arena pool shared
+    /// across this run's workers and merge levels).
+    executor: Phase1Executor,
     ledger: Mutex<Ledger>,
 }
 
@@ -554,11 +604,36 @@ impl euler_bsp::PartitionProgram for DistProgram {
             **wp = merged;
         }
 
-        // Phase 1 for this level.
+        // Phase 1 for this level. The engine's per-worker budget
+        // (`BspConfig::with_worker_threads`) is authoritative when set —
+        // `Some(1)` pins explicitly single-core executors; unspecified
+        // falls back to the executor's own thread policy. `Auto` mirrors
+        // the in-process rule: sequential walks while a level still has at
+        // least `budget` live partitions (they run spread across the
+        // engine's concurrent workers), waves on the narrow top levels.
         let memory = active_memory_longs(wp, &self.tree, level, self.strategy);
         let needed_now = remote_needed_now(wp, &self.tree, level);
+        let budget = ctx
+            .worker_threads
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or_else(|| self.executor.resolved_threads());
+        let threads = match self.executor.mode() {
+            Parallelism::PerPartition => 1,
+            Parallelism::IntraPartition => budget,
+            Parallelism::Auto => {
+                let merged_below: usize =
+                    (0..level).map(|l| self.tree.pairs_at(l).len()).sum();
+                let live = self.tree.leaves.len() - merged_below;
+                if live < budget {
+                    budget
+                } else {
+                    1
+                }
+            }
+        };
         let t1 = Instant::now();
-        let out = ctx.time("phase1_tour", || run_phase1(wp, &self.store));
+        let out =
+            ctx.time("phase1_tour", || self.executor.run_with_threads(wp, &self.store, threads));
         let phase1_time = t1.elapsed();
         ctx.report_memory_longs(wp.memory_longs());
         self.ledger.lock().reports.push(LevelPartitionReport {
@@ -611,6 +686,8 @@ impl euler_bsp::PartitionProgram for DistProgram {
 /// one-executor-per-partition deployment.
 pub struct BspBackend {
     engine: euler_bsp::BspConfig,
+    parallelism: Parallelism,
+    phase1_threads: usize,
     run: RefCell<Option<euler_bsp::StepRun<DistProgram>>>,
 }
 
@@ -621,14 +698,50 @@ impl BspBackend {
     }
 
     /// Backend over an explicitly configured engine (worker count, cost
-    /// model, superstep bound).
+    /// model, superstep bound, per-worker compute threads).
     pub fn with_engine(engine: euler_bsp::BspConfig) -> Self {
-        BspBackend { engine, run: RefCell::new(None) }
+        BspBackend {
+            engine,
+            parallelism: Parallelism::PerPartition,
+            phase1_threads: 0,
+            run: RefCell::new(None),
+        }
+    }
+
+    /// Sets how each worker runs Phase 1 — the BSP equivalent of
+    /// [`InProcessBackend::with_parallelism`]. Under
+    /// [`Parallelism::PerPartition`] (default) a worker walks each of its
+    /// partitions sequentially (engine workers are the parallelism, as in
+    /// the paper's deployment); under [`Parallelism::IntraPartition`] /
+    /// [`Parallelism::Auto`] the worker loop hands its compute-thread budget
+    /// ([`euler_bsp::BspConfig::with_worker_threads`], else
+    /// [`with_phase1_threads`](Self::with_phase1_threads)) to the
+    /// deterministic wave walker inside each partition. Bit-identical
+    /// circuit composition across runs additionally needs a single-worker
+    /// engine (multi-worker engines run partitions concurrently and
+    /// interleave fragment-store appends); per-partition walks, transfers
+    /// and report quantities are deterministic regardless.
+    pub fn with_parallelism(mut self, mode: Parallelism) -> Self {
+        self.parallelism = mode;
+        self
+    }
+
+    /// Fallback wave-walker thread budget for workers whose engine config
+    /// does not set [`euler_bsp::BspConfig::worker_threads`]. `0` (default)
+    /// auto-detects (`RAYON_NUM_THREADS`, else available parallelism).
+    pub fn with_phase1_threads(mut self, threads: usize) -> Self {
+        self.phase1_threads = threads;
+        self
     }
 
     /// The engine configuration.
     pub fn engine(&self) -> &euler_bsp::BspConfig {
         &self.engine
+    }
+
+    /// The Phase-1 scheduling mode of the worker loop.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 }
 
@@ -655,10 +768,14 @@ impl ExecutionBackend for BspBackend {
                 initial[slot] = DistState::Active(Box::new(wp));
             }
             let program = DistProgram {
-                tree: work.tree.clone(),
+                // Pointer clones: the tree is shared with the walk, the
+                // store is already `Arc`-backed.
+                tree: Arc::clone(work.tree),
                 store: work.store.clone(),
                 strategy: work.config.merge_strategy,
                 height: work.tree.height(),
+                executor: Phase1Executor::new(self.parallelism)
+                    .with_threads(self.phase1_threads),
                 ledger: Mutex::new(Ledger::default()),
             };
             *slot = Some(euler_bsp::StepRun::new(self.engine, program, initial));
@@ -739,7 +856,7 @@ pub fn run_on_partitioned(
     backend: &dyn ExecutionBackend,
 ) -> Result<(CircuitResult, RunReport), EulerError> {
     let meta = MetaGraph::from_partitioned(pg);
-    let tree = MergeTree::build(&meta);
+    let tree = Arc::new(MergeTree::build(&meta));
     let store = FragmentStore::new();
 
     let mut states: Vec<WorkingPartition> =
@@ -753,7 +870,7 @@ pub fn run_on_partitioned(
         num_partitions: pg.num_partitions(),
         supersteps: tree.num_supersteps(),
         strategy: config.merge_strategy,
-        merge_tree: tree.clone(),
+        merge_tree: tree.as_ref().clone(),
         backend: backend.name().to_string(),
         ..Default::default()
     };
@@ -1268,6 +1385,168 @@ mod tests {
             .unwrap();
         assert_eq!(in_proc.circuit.result.circuits, bsp.circuit.result.circuits);
         assert_eq!(in_proc.merge.total_transfer_longs, bsp.merge.total_transfer_longs);
+    }
+
+    /// The measurement-free projection of a per-level record (timings differ
+    /// run to run; everything else must be bit-stable).
+    fn record_facts(r: &LevelPartitionReport) -> impl PartialEq + std::fmt::Debug {
+        (
+            r.level,
+            r.partition,
+            r.counts,
+            r.complexity,
+            r.memory_longs,
+            r.remote_needed_now,
+            r.transfer_in_longs,
+            (r.paths_found, r.cycles_found, r.internal_cycles_merged),
+        )
+    }
+
+    fn assert_same_run(a: &PipelineRun, b: &PipelineRun) {
+        assert_eq!(a.circuit.result.circuits, b.circuit.result.circuits);
+        assert_eq!(a.merge.total_transfer_longs, b.merge.total_transfer_longs);
+        assert_eq!(a.merge.supersteps, b.merge.supersteps);
+        assert_eq!(a.merge.per_partition.len(), b.merge.per_partition.len());
+        for (x, y) in a.merge.per_partition.iter().zip(&b.merge.per_partition) {
+            assert_eq!(record_facts(x), record_facts(y));
+        }
+    }
+
+    #[test]
+    fn intra_partition_modes_match_the_sequential_run_bit_for_bit() {
+        // The determinism headline: whatever the thread count and backend,
+        // IntraPartition runs equal the fully sequential run — circuits,
+        // per-level records, transfers.
+        let g = synthetic::random_eulerian_connected(140, 18, 6, 77);
+        let a = LdgPartitioner::new(4).partition(&g);
+        let sequential = EulerPipeline::builder()
+            .graph(&g)
+            .assignment(a.clone())
+            .config(EulerConfig::default().sequential())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        for threads in [1usize, 2, 8] {
+            let in_proc = EulerPipeline::builder()
+                .graph(&g)
+                .assignment(a.clone())
+                .backend(
+                    InProcessBackend::new()
+                        .with_parallelism(Parallelism::IntraPartition)
+                        .with_threads(threads),
+                )
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_same_run(&in_proc, &sequential);
+            let bsp = EulerPipeline::builder()
+                .graph(&g)
+                .assignment(a.clone())
+                .backend(
+                    BspBackend::with_engine(
+                        euler_bsp::BspConfig::with_workers(1).with_worker_threads(threads),
+                    )
+                    .with_parallelism(Parallelism::IntraPartition),
+                )
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_same_run(&bsp, &sequential);
+        }
+    }
+
+    #[test]
+    fn auto_mode_is_valid_and_deterministic_on_narrow_levels() {
+        // With one partition every level is narrower than the thread budget,
+        // so Auto takes the intra path throughout and must equal sequential.
+        let g = synthetic::torus_grid(10, 10);
+        let a = HashPartitioner::new(1).partition(&g);
+        let sequential = EulerPipeline::builder()
+            .graph(&g)
+            .assignment(a.clone())
+            .config(EulerConfig::default().sequential())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let auto = EulerPipeline::builder()
+            .graph(&g)
+            .assignment(a)
+            .backend(
+                InProcessBackend::new().with_parallelism(Parallelism::Auto).with_threads(4),
+            )
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_same_run(&auto, &sequential);
+        verify_result(&g, &auto.circuit.result).unwrap();
+        // Same rule through the BSP worker loop: one live partition is
+        // narrower than the explicit 4-thread worker budget, so Auto takes
+        // the wave path there too — still bit-identical to sequential.
+        let bsp_auto = EulerPipeline::builder()
+            .graph(&g)
+            .assignment(HashPartitioner::new(1).partition(&g))
+            .backend(
+                BspBackend::with_engine(
+                    euler_bsp::BspConfig::with_workers(1).with_worker_threads(4),
+                )
+                .with_parallelism(Parallelism::Auto),
+            )
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_same_run(&bsp_auto, &sequential);
+        // Wide multi-partition graphs stay valid under Auto (fan-out levels
+        // interleave fragment ids, so only validity is asserted there).
+        let g = synthetic::random_eulerian_connected(100, 12, 5, 5);
+        let a = LdgPartitioner::new(6).partition(&g);
+        let run = EulerPipeline::builder()
+            .graph(&g)
+            .assignment(a)
+            .backend(InProcessBackend::new().with_parallelism(Parallelism::Auto).with_threads(3))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        verify_result(&g, &run.circuit.result).unwrap();
+        assert_eq!(run.circuit.result.total_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn bsp_tree_sharing_preserves_behaviour() {
+        // The BSP program now shares the merge tree behind an `Arc` instead
+        // of deep-cloning it at seed time; a 1-worker BSP run must remain
+        // observably identical to the sequential in-process run — including
+        // across two runs of the same reused backend object.
+        let g = synthetic::random_eulerian_connected(90, 10, 5, 31);
+        let a = LdgPartitioner::new(4).partition(&g);
+        let config = EulerConfig::default().sequential();
+        let reference = EulerPipeline::builder()
+            .graph(&g)
+            .assignment(a.clone())
+            .config(config)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let bsp_pipeline = EulerPipeline::builder()
+            .graph(&g)
+            .assignment(a)
+            .config(config)
+            .backend(BspBackend::with_engine(euler_bsp::BspConfig::with_workers(1)))
+            .build()
+            .unwrap();
+        for _ in 0..2 {
+            let bsp = bsp_pipeline.run().unwrap();
+            assert_same_run(&bsp, &reference);
+            assert_eq!(bsp.merge.merge_tree, reference.merge.merge_tree);
+            assert!(bsp.merge.engine.is_some());
+        }
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub use csr_file::{write_csr_file, CsrFile, CsrFileError};
 pub use error::GraphError;
 pub use graph::Graph;
 pub use ids::{EdgeId, PartitionId, VertexId};
-pub use local_index::{bucket_by_slot, LocalIndex};
+pub use local_index::{bucket_by_slot, LocalIndex, LocalIndexBufs};
 pub use metagraph::{MetaEdge, MetaGraph};
 pub use partitioned::{Partition, PartitionAssignment, PartitionedGraph, RemoteEdge};
 pub use properties::{connected_components, is_connected_on_edges, is_eulerian, odd_vertices};

@@ -36,6 +36,31 @@ pub struct LocalIndex {
     lookup: Option<(u64, Vec<u32>)>,
 }
 
+/// Recycled allocations of a retired [`LocalIndex`], fed back into
+/// [`LocalIndex::from_vertices_reusing`] so repeated index builds (one per
+/// merge level in the Phase-1 arena) stop allocating once their capacities
+/// have grown to the working-set size.
+#[derive(Debug, Default)]
+pub struct LocalIndexBufs {
+    raw: Vec<VertexId>,
+    verts: Vec<VertexId>,
+    table: Vec<u32>,
+}
+
+impl LocalIndexBufs {
+    /// Capacity (in entries) of the recycled vertex buffers — the larger of
+    /// the collection and slot arrays. Exposed so arena tests can assert
+    /// reuse never shrinks capacity.
+    pub fn vertex_capacity(&self) -> usize {
+        self.raw.capacity().max(self.verts.capacity())
+    }
+
+    /// Capacity (in entries) of the recycled direct-map table.
+    pub fn table_capacity(&self) -> usize {
+        self.table.capacity()
+    }
+}
+
 impl LocalIndex {
     /// Maximum id-span-to-input-size ratio for which the direct-map table is
     /// built (bounds its memory at `4 * SPAN_FACTOR` bytes per input vertex).
@@ -44,13 +69,30 @@ impl LocalIndex {
     /// Builds an index over the distinct vertices of `iter` (duplicates are
     /// fine and collapse to one slot).
     pub fn from_vertices(iter: impl IntoIterator<Item = VertexId>) -> Self {
-        let raw: Vec<VertexId> = iter.into_iter().collect();
+        Self::from_vertices_reusing(iter, &mut LocalIndexBufs::default())
+    }
+
+    /// Like [`from_vertices`](Self::from_vertices), but builds into the
+    /// recycled allocations held by `bufs` (see
+    /// [`into_bufs`](Self::into_bufs)); `bufs` keeps the collection buffer
+    /// for the next build. Capacities only ever grow.
+    pub fn from_vertices_reusing(
+        iter: impl IntoIterator<Item = VertexId>,
+        bufs: &mut LocalIndexBufs,
+    ) -> Self {
+        let raw = &mut bufs.raw;
+        let mut verts = std::mem::take(&mut bufs.verts);
+        let mut table = std::mem::take(&mut bufs.table);
+        raw.clear();
+        verts.clear();
+        raw.extend(iter);
         if raw.is_empty() {
-            return LocalIndex::default();
+            bufs.table = table; // keep the recycled capacity for later builds
+            return LocalIndex { verts, lookup: None };
         }
         let mut min = u64::MAX;
         let mut max = 0u64;
-        for v in &raw {
+        for v in raw.iter() {
             min = min.min(v.0);
             max = max.max(v.0);
         }
@@ -58,11 +100,11 @@ impl LocalIndex {
         if span <= (raw.len() as u64).saturating_mul(Self::SPAN_FACTOR).max(1024) {
             // Compact span: counting build, no sort. The presence table
             // becomes the slot lookup table.
-            let mut table = vec![NO_SLOT; span as usize];
-            for v in &raw {
+            table.clear();
+            table.resize(span as usize, NO_SLOT);
+            for v in raw.iter() {
                 table[(v.0 - min) as usize] = 0; // mark present
             }
-            let mut verts = Vec::new();
             for (off, slot) in table.iter_mut().enumerate() {
                 if *slot != NO_SLOT {
                     *slot = verts.len() as u32;
@@ -71,11 +113,32 @@ impl LocalIndex {
             }
             LocalIndex { verts, lookup: Some((min, table)) }
         } else {
-            let mut verts = raw;
+            bufs.table = table; // sparse build: keep the recycled capacity
+            verts.extend_from_slice(raw);
             verts.sort_unstable();
             verts.dedup();
             LocalIndex { verts, lookup: None }
         }
+    }
+
+    /// Retires the index, storing its allocations in `bufs` for reuse by a
+    /// later [`from_vertices_reusing`](Self::from_vertices_reusing) build.
+    /// Each buffer is kept only when larger than the one already recycled.
+    pub fn into_bufs(self, recycle: &mut LocalIndexBufs) {
+        if self.verts.capacity() > recycle.verts.capacity() {
+            recycle.verts = self.verts;
+        }
+        if let Some((_, table)) = self.lookup {
+            if table.capacity() > recycle.table.capacity() {
+                recycle.table = table;
+            }
+        }
+    }
+
+    /// Capacity (in entries) of the backing vertex array — allocation-reuse
+    /// introspection for arena tests.
+    pub fn vertex_capacity(&self) -> usize {
+        self.verts.capacity()
     }
 
     /// Number of interned vertices.
@@ -224,6 +287,41 @@ mod tests {
         }
         assert_eq!(idx.slot(VertexId(500)), None);
         assert_eq!(idx.slot(VertexId(99_000_001)), None);
+    }
+
+    #[test]
+    fn reused_bufs_build_identical_indexes_and_keep_capacity() {
+        let mut bufs = LocalIndexBufs::default();
+        let big: Vec<VertexId> = (0..2000u64).map(VertexId).collect();
+        let idx = LocalIndex::from_vertices_reusing(big.iter().copied(), &mut bufs);
+        idx.into_bufs(&mut bufs);
+        let vcap = bufs.vertex_capacity();
+        let tcap = bufs.table_capacity();
+        assert!(vcap >= 2000 && tcap >= 2000);
+        // Rebuild a much smaller index into the recycled buffers: identical
+        // to a fresh build, and retiring it again never shrinks capacity.
+        let small = [9u64, 3, 3, 7].map(VertexId);
+        let reused = LocalIndex::from_vertices_reusing(small, &mut bufs);
+        let fresh = LocalIndex::from_vertices(small);
+        assert_eq!(reused.vertices(), fresh.vertices());
+        for v in 0..12u64 {
+            assert_eq!(reused.slot(VertexId(v)), fresh.slot(VertexId(v)), "v{v}");
+        }
+        reused.into_bufs(&mut bufs);
+        assert!(bufs.vertex_capacity() >= vcap);
+        assert!(bufs.table_capacity() >= tcap);
+        // Sparse rebuild through the same recycle path also matches — and
+        // must not discard the recycled table capacity (sparse builds carry
+        // no table of their own, but later compact builds want it back).
+        let sparse: Vec<VertexId> = (0..50u64).map(|i| VertexId(i * 1_000_000)).collect();
+        let reused = LocalIndex::from_vertices_reusing(sparse.iter().copied(), &mut bufs);
+        assert_eq!(reused.len(), 50);
+        assert_eq!(reused.slot(VertexId(49_000_000)), Some(49));
+        assert_eq!(reused.slot(VertexId(1)), None);
+        assert!(bufs.table_capacity() >= tcap, "sparse build dropped the recycled table");
+        let empty = LocalIndex::from_vertices_reusing(std::iter::empty(), &mut bufs);
+        assert!(empty.is_empty());
+        assert!(bufs.table_capacity() >= tcap, "empty build dropped the recycled table");
     }
 
     #[test]

@@ -5,16 +5,37 @@
 //! `map`/`flat_map_iter`) with genuine parallelism over `std::thread::scope`,
 //! one contiguous chunk per available core. Results are collected in input
 //! order, so behaviour is deterministic and identical to sequential code.
+//!
+//! Like real rayon, the thread count honours the `RAYON_NUM_THREADS`
+//! environment variable (read once, at first use) and otherwise falls back
+//! to the host's available parallelism; [`current_num_threads`] exposes the
+//! resolved value.
 
 use std::ops::Range;
+use std::sync::OnceLock;
 
 /// Commonly used traits, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefMutIterator};
 }
 
+/// The resolved global thread count (rayon's `current_num_threads`):
+/// `RAYON_NUM_THREADS` when set to a positive integer, otherwise the host's
+/// available parallelism. Cached after the first call, as in real rayon's
+/// global pool.
+pub fn current_num_threads() -> usize {
+    static RESOLVED: OnceLock<usize> = OnceLock::new();
+    *RESOLVED.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    })
+}
+
 fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    current_num_threads()
 }
 
 /// Runs `f` over each index block `[lo, hi)` of `0..n` on its own thread and
@@ -238,6 +259,12 @@ mod tests {
         }).collect();
         assert_eq!(v, (1..38).collect::<Vec<u64>>());
         assert_eq!(doubled, (1..38u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_resolves_to_a_positive_value() {
+        // Whatever the environment says, the resolved pool size is usable.
+        assert!(crate::current_num_threads() >= 1);
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Differential harness for the parallel Phase-1 walker: on random
+//! Eulerized multigraphs, intra-partition parallel execution — any thread
+//! count, either backend — must be **bit-identical** to the sequential
+//! path: same circuits edge for edge, same per-level `RunReport` records,
+//! same transfer accounting.
+//!
+//! This is the load-bearing invariant of the wave-speculation design (see
+//! `euler_core::phase1::parallel`): parallelism may only change wall-clock,
+//! never output. The sequential oracle is a `.sequential()` in-process run;
+//! the BSP side runs on a single engine worker (the configuration whose
+//! fragment-store append order is pinned, as in the PR-2 backend
+//! equivalence proptest) with the wave walker enabled through the worker
+//! loop's thread budget.
+
+use euler_circuit::algo::verify::verify_result;
+use euler_circuit::bsp::BspConfig;
+use euler_circuit::prelude::*;
+use proptest::prelude::*;
+
+/// Thread counts the differential grid exercises.
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// The measurement-free projection of one per-level record (timings vary
+/// run to run; everything else must be bit-stable).
+#[derive(Debug, PartialEq)]
+struct RecordFacts {
+    level: u32,
+    partition: PartitionId,
+    counts: euler_circuit::algo::VertexTypeCounts,
+    complexity: u64,
+    memory_longs: u64,
+    remote_needed_now: u64,
+    transfer_in_longs: u64,
+    paths: u64,
+    cycles: u64,
+    merged: u64,
+}
+
+fn facts(run: &PipelineRun) -> Vec<RecordFacts> {
+    run.merge
+        .per_partition
+        .iter()
+        .map(|r| RecordFacts {
+            level: r.level,
+            partition: r.partition,
+            counts: r.counts,
+            complexity: r.complexity,
+            memory_longs: r.memory_longs,
+            remote_needed_now: r.remote_needed_now,
+            transfer_in_longs: r.transfer_in_longs,
+            paths: r.paths_found,
+            cycles: r.cycles_found,
+            merged: r.internal_cycles_merged,
+        })
+        .collect()
+}
+
+/// Runs the sequential oracle, then the full (backend × thread-count) grid
+/// of intra-partition parallel runs, asserting each equals the oracle.
+fn assert_grid_matches_sequential(g: &Graph, assignment: &PartitionAssignment) {
+    let sequential = EulerPipeline::builder()
+        .graph(g)
+        .assignment(assignment.clone())
+        .config(EulerConfig::default().sequential())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    verify_result(g, &sequential.circuit.result).unwrap();
+    let oracle_facts = facts(&sequential);
+
+    for threads in THREADS {
+        let in_proc = EulerPipeline::builder()
+            .graph(g)
+            .assignment(assignment.clone())
+            .backend(
+                InProcessBackend::new()
+                    .with_parallelism(Parallelism::IntraPartition)
+                    .with_threads(threads),
+            )
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let bsp = EulerPipeline::builder()
+            .graph(g)
+            .assignment(assignment.clone())
+            .backend(
+                BspBackend::with_engine(BspConfig::with_workers(1).with_worker_threads(threads))
+                    .with_parallelism(Parallelism::IntraPartition),
+            )
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+
+        for (name, run) in [("in-process", &in_proc), ("bsp", &bsp)] {
+            assert_eq!(
+                run.circuit.result.circuits, sequential.circuit.result.circuits,
+                "{name} circuits diverged at {threads} threads"
+            );
+            assert_eq!(
+                run.merge.total_transfer_longs, sequential.merge.total_transfer_longs,
+                "{name} transfer longs diverged at {threads} threads"
+            );
+            assert_eq!(run.merge.supersteps, sequential.merge.supersteps);
+            assert_eq!(
+                facts(run),
+                oracle_facts,
+                "{name} per-level records diverged at {threads} threads"
+            );
+            assert_eq!(
+                run.circuit.fragment_disk_longs, sequential.circuit.fragment_disk_longs,
+                "{name} fragment accounting diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random Eulerized multigraphs (parallel edges and self-loops from the
+    /// eulerizer) through the whole grid.
+    #[test]
+    fn eulerized_multigraphs_are_thread_count_invariant(
+        edges in prop::collection::vec((0u64..36, 0u64..36), 1..140),
+        parts in 1u32..6,
+        use_hash in any::<bool>(),
+    ) {
+        let mut b = GraphBuilder::with_vertices(36);
+        b.extend_edges(edges.iter().copied());
+        let (g, _) = eulerize(&b.build().unwrap());
+        let assignment = if use_hash {
+            HashPartitioner::new(parts).partition(&g)
+        } else {
+            LdgPartitioner::new(parts).partition(&g)
+        };
+        assert_grid_matches_sequential(&g, &assignment);
+    }
+
+    /// Connected random Eulerian graphs — denser walks, more merge levels.
+    #[test]
+    fn connected_eulerian_graphs_are_thread_count_invariant(
+        seed in 0u64..1000,
+        n in 10u64..110,
+        extra in 0usize..12,
+        parts in 1u32..7,
+    ) {
+        let g = synthetic::random_eulerian_connected(n.max(4), extra, 5, seed);
+        let assignment = LdgPartitioner::new(parts).partition(&g);
+        assert_grid_matches_sequential(&g, &assignment);
+    }
+}
