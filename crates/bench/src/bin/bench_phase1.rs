@@ -145,14 +145,21 @@ fn main() {
             for wp in &mut par_wps {
                 run_phase1_parallel(wp, &par_store, &mut par_arena, PARALLEL_THREADS);
             }
-            let seq_frags = seq_store.snapshot();
-            let par_frags = par_store.snapshot();
-            assert_eq!(par_frags.len(), seq_frags.len());
-            for (p, s) in par_frags.iter().zip(&seq_frags) {
-                assert_eq!(p.id, s.id, "{name}: fragment ids diverged");
-                assert_eq!(p.kind, s.kind, "{name}: fragment kinds diverged");
-                assert_eq!(p.edges, s.edges, "{name}: the wave walker must match bit for bit");
-            }
+            // Zero-copy comparison through `with_all` — `snapshot` would
+            // deep-clone both stores just to diff them.
+            seq_store.with_all(|seq_frags| {
+                par_store.with_all(|par_frags| {
+                    assert_eq!(par_frags.len(), seq_frags.len());
+                    for (p, s) in par_frags.iter().zip(seq_frags) {
+                        assert_eq!(p.id, s.id, "{name}: fragment ids diverged");
+                        assert_eq!(p.kind, s.kind, "{name}: fragment kinds diverged");
+                        assert_eq!(
+                            p.edges, s.edges,
+                            "{name}: the wave walker must match bit for bit"
+                        );
+                    }
+                })
+            });
             assert_eq!(
                 seq_wps.iter().map(|w| w.local_edges.clone()).collect::<Vec<_>>(),
                 par_wps.iter().map(|w| w.local_edges.clone()).collect::<Vec<_>>(),

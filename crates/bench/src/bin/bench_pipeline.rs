@@ -9,6 +9,12 @@
 //! `EulerPipeline` builder with its `GraphSource` / staged-output plumbing,
 //! and writes the paired timings to `BENCH_pipeline.json`.
 //!
+//! The `out_of_core` section exercises the zero-`Graph` spine: an mmap'd
+//! `.ecsr` source partitioned by streaming LDG, once unbounded and once
+//! under a fragment `memory_budget` far below the total fragment bytes,
+//! recording the real peak resident fragment Longs and the spill traffic
+//! (and asserting the two runs' circuits are bit-identical).
+//!
 //! Usage: `cargo run --release -p euler-bench --bin bench_pipeline [reps]`
 //! (default 5 repetitions; the minimum over reps is reported).
 
@@ -150,6 +156,83 @@ fn main() {
     ]));
     std::fs::remove_file(&path).ok();
 
+    // --- Out-of-core section: the zero-Graph spine under a fragment budget.
+    // An mmap'd .ecsr source partitioned by *streaming* LDG (no Graph ever
+    // materialised), once with unbounded fragment memory and once with a
+    // budget far below the total fragment bytes — recording the real peak
+    // resident fragment Longs and the spill traffic alongside wall time.
+    // Bit-identity between the two runs is asserted in-bench.
+    let csr_path = dir.join("torus.ecsr");
+    euler_graph::write_csr_file(&torus, &csr_path).expect("write .ecsr");
+    let streamed_pipeline = |budget: Option<u64>| {
+        let mut b = EulerPipeline::builder()
+            .source(euler_graph::MmapCsrSource::open(&csr_path).expect("open .ecsr"))
+            .partitioner(LdgPartitioner::new(4))
+            .config(EulerConfig::default().sequential());
+        if let Some(longs) = budget {
+            b = b.memory_budget(longs);
+        }
+        b.build().unwrap()
+    };
+    let unbounded = streamed_pipeline(None);
+    let mut last_unbounded = None;
+    let (unbounded_s, unbounded_edges) = time_runs(reps, || {
+        let run = unbounded.run().unwrap();
+        let edges = run.circuit.result.total_edges();
+        last_unbounded = Some(run);
+        edges
+    });
+    let reference = last_unbounded.expect("at least one repetition ran");
+    let budget = reference.circuit.fragment_disk_longs / 8;
+    let bounded = streamed_pipeline(Some(budget));
+    let mut last_bounded = None;
+    let (bounded_s, bounded_edges) = time_runs(reps, || {
+        let run = bounded.run().unwrap();
+        let edges = run.circuit.result.total_edges();
+        last_bounded = Some(run);
+        edges
+    });
+    let spilled = last_bounded.expect("at least one repetition ran");
+    assert_eq!(unbounded_edges, bounded_edges);
+    assert_eq!(
+        spilled.circuit.result.circuits, reference.circuit.result.circuits,
+        "spill-backed circuits must be bit-identical"
+    );
+    assert!(
+        reference.partition.partitioner.contains("streamed"),
+        "the bench must exercise the zero-Graph path, got {}",
+        reference.partition.partitioner
+    );
+    let stats = spilled.circuit.fragment_stats;
+    println!(
+        "out_of_core: streamed-ldg mmap run {unbounded_s:.3}s unbounded vs {bounded_s:.3}s \
+         under a {budget}-Long budget | peak resident {} of {} Longs | {} fragments spilled \
+         ({} Longs written, {} reloaded)",
+        stats.peak_resident_longs,
+        spilled.circuit.fragment_disk_longs,
+        stats.spilled_fragments,
+        stats.spill_write_longs,
+        stats.spill_read_longs,
+    );
+    let out_of_core = Value::obj(vec![
+        ("workload", Value::str("torus_354x354_mmap_streamed_ldg_4_parts")),
+        ("edges", Value::Num(torus.num_edges() as f64)),
+        ("memory_budget_longs", Value::Num(budget as f64)),
+        ("unbounded_seconds", Value::Num(unbounded_s)),
+        ("bounded_seconds", Value::Num(bounded_s)),
+        ("fragment_disk_longs", Value::Num(spilled.circuit.fragment_disk_longs as f64)),
+        ("peak_resident_longs", Value::Num(stats.peak_resident_longs as f64)),
+        (
+            "unbounded_peak_resident_longs",
+            Value::Num(reference.circuit.fragment_stats.peak_resident_longs as f64),
+        ),
+        ("spilled_fragments", Value::Num(stats.spilled_fragments as f64)),
+        ("spill_write_longs", Value::Num(stats.spill_write_longs as f64)),
+        ("spill_read_longs", Value::Num(stats.spill_read_longs as f64)),
+        ("spill_errors", Value::Num(stats.spill_errors as f64)),
+    ]);
+    std::fs::remove_file(&csr_path).ok();
+
     let doc = Value::obj(vec![
         ("experiment", Value::str("pipeline_api_overhead")),
         (
@@ -159,11 +242,15 @@ fn main() {
                  run_on_partitioned (over a pre-built partition view), the mid-level \
                  run_with_backend call, and the EulerPipeline builder; minimum over \
                  repetitions. The builder must add no measurable overhead over \
-                 run_with_backend, which does the same graph-side work.",
+                 run_with_backend, which does the same graph-side work. The out_of_core \
+                 section runs the zero-Graph spine (mmap .ecsr + streaming LDG) with and \
+                 without a fragment memory_budget, recording peak resident fragment Longs \
+                 and spill traffic; bit-identity between the two runs is asserted in-bench.",
             ),
         ),
         ("repetitions", Value::Num(reps as f64)),
         ("results", Value::Arr(rows)),
+        ("out_of_core", out_of_core),
     ]);
     std::fs::write("BENCH_pipeline.json", doc.to_pretty() + "\n").expect("write BENCH_pipeline.json");
     println!("wrote BENCH_pipeline.json");

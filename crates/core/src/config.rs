@@ -18,6 +18,13 @@ pub struct EulerConfig {
     /// Reject inputs that are not Eulerian instead of producing per-component
     /// open results. The paper assumes Eulerian inputs; tests exercise both.
     pub require_eulerian: bool,
+    /// Bound on resident fragment memory in Longs. `None` (default) keeps
+    /// every circuit fragment in memory; `Some(budget)` backs the fragment
+    /// store with the out-of-core spill backing
+    /// ([`crate::FragmentStore::spilling`]), which pages the coldest
+    /// fragments to a temp file once the resident set exceeds the budget —
+    /// circuits are bit-identical either way.
+    pub fragment_memory_budget: Option<u64>,
 }
 
 impl Default for EulerConfig {
@@ -27,6 +34,7 @@ impl Default for EulerConfig {
             parallel_within_level: true,
             verify: false,
             require_eulerian: true,
+            fragment_memory_budget: None,
         }
     }
 }
@@ -60,6 +68,13 @@ impl EulerConfig {
         self.parallel_within_level = false;
         self
     }
+
+    /// Bounds resident fragment memory to `longs` (the out-of-core spill
+    /// mode; see [`EulerConfig::fragment_memory_budget`]).
+    pub fn with_fragment_memory_budget(mut self, longs: u64) -> Self {
+        self.fragment_memory_budget = Some(longs);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -82,9 +97,12 @@ mod tests {
         let c = EulerConfig::default()
             .with_verify(true)
             .with_merge_strategy(MergeStrategy::Deduplicated)
-            .sequential();
+            .sequential()
+            .with_fragment_memory_budget(1 << 20);
         assert!(c.verify);
         assert!(!c.parallel_within_level);
         assert_eq!(c.merge_strategy, MergeStrategy::Deduplicated);
+        assert_eq!(c.fragment_memory_budget, Some(1 << 20));
+        assert_eq!(EulerConfig::default().fragment_memory_budget, None);
     }
 }

@@ -9,10 +9,25 @@
 //! plays that role (append-only, shared across partitions/workers, cheap to
 //! write, only read back in Phase 3), with the same effect on the partitions'
 //! *in-memory* Long accounting.
+//!
+//! Where the fragments physically live is a seam (`FragmentBacking`) behind
+//! the store: the default backing keeps every fragment in an in-memory slab;
+//! [`FragmentStore::spilling`] bounds resident fragment memory by a
+//! [`SpillConfig::memory_budget_longs`] and pages the coldest fragments out
+//! to a temp file, reloading them on demand during Phase 3 — the out-of-core
+//! mode for circuits larger than memory. Both backings keep the modelled
+//! [`disk_longs`](FragmentStore::disk_longs) accounting exact and produce
+//! bit-identical circuits; the spill backing additionally reports its real
+//! traffic in [`FragmentStoreStats`].
 
 use euler_graph::{EdgeId, LocalIndex, PartitionId, VertexId};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Identifier of a fragment in the [`FragmentStore`].
@@ -179,45 +194,539 @@ impl Fragment {
     }
 }
 
+/// Live statistics of a fragment store's backing — the real (not modelled)
+/// memory and spill traffic, in the paper's Long units.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FragmentStoreStats {
+    /// Longs of fragment payload currently resident in memory.
+    pub resident_longs: u64,
+    /// High-water mark of `resident_longs` over the store's lifetime.
+    pub peak_resident_longs: u64,
+    /// Fragments whose current version lives in the spill file.
+    pub spilled_fragments: u64,
+    /// Longs written to the spill file (superseded versions included).
+    pub spill_write_longs: u64,
+    /// Longs read back from the spill file (Phase-3 reload traffic).
+    pub spill_read_longs: u64,
+    /// Spill I/O failures absorbed by keeping the fragment resident.
+    pub spill_errors: u64,
+}
+
+/// Configuration of the out-of-core spill backing
+/// ([`FragmentStore::spilling`]).
+#[derive(Clone, Debug)]
+pub struct SpillConfig {
+    /// Resident fragment budget in Longs (a fragment occupies
+    /// [`Fragment::disk_longs`] Longs). When the resident set exceeds the
+    /// budget, the coldest (oldest) fragments are paged out to the spill
+    /// file until it fits again.
+    pub memory_budget_longs: u64,
+    /// Directory the spill file is created in (default:
+    /// [`std::env::temp_dir`]). The file is unlinked immediately after
+    /// creation, so it never outlives the store.
+    pub directory: Option<PathBuf>,
+}
+
+impl SpillConfig {
+    /// A spill configuration with the given resident budget in Longs.
+    pub fn with_budget(memory_budget_longs: u64) -> Self {
+        SpillConfig { memory_budget_longs, directory: None }
+    }
+
+    /// Overrides the spill-file directory (tests use this to provoke and
+    /// observe spill I/O failures).
+    pub fn in_directory(mut self, directory: impl Into<PathBuf>) -> Self {
+        self.directory = Some(directory.into());
+        self
+    }
+}
+
+/// The storage seam behind [`FragmentStore`]: where fragments physically
+/// live. Implementations own the accounting so the store can answer
+/// [`disk_longs`](FragmentStore::disk_longs) /
+/// [`total_real_edges`](FragmentStore::total_real_edges) without touching
+/// the fragments.
+trait FragmentBacking: Send {
+    fn push(&mut self, fragment: Fragment) -> FragmentId;
+    fn get(&mut self, id: FragmentId) -> Fragment;
+    fn replace(&mut self, id: FragmentId, fragment: Fragment);
+    fn len(&self) -> usize;
+    /// The contiguous slab, when the backing has one (memory backing only) —
+    /// what makes [`FragmentStore::with_all`] zero-copy there.
+    fn as_slice(&self) -> Option<&[Fragment]>;
+    /// Visits every fragment in id order. Spilled fragments are decoded into
+    /// a scratch buffer one at a time; nothing is retained.
+    fn for_each(&mut self, f: &mut dyn FnMut(&Fragment));
+    fn cycle_ids(&self) -> Vec<FragmentId>;
+    fn disk_longs(&self) -> u64;
+    fn total_real_edges(&self) -> u64;
+    fn stats(&self) -> FragmentStoreStats;
+}
+
+/// Shared bookkeeping of both backings: the modelled "persisted to disk"
+/// Long count and the real-edge tally, maintained exactly across
+/// `push`/`replace`.
+#[derive(Debug, Default)]
+struct Accounting {
+    disk_longs: u64,
+    real_edges: u64,
+}
+
+impl Accounting {
+    fn add(&mut self, f: &Fragment) {
+        self.disk_longs += f.disk_longs();
+        self.real_edges += f.edges.iter().filter(|e| e.is_real()).count() as u64;
+    }
+
+    fn remove(&mut self, f: &Fragment) {
+        self.disk_longs -= f.disk_longs();
+        self.real_edges -= f.edges.iter().filter(|e| e.is_real()).count() as u64;
+    }
+}
+
+/// The default backing: every fragment lives in one in-memory slab.
+#[derive(Debug, Default)]
+struct MemoryBacking {
+    frags: Vec<Fragment>,
+    accounting: Accounting,
+    peak_longs: u64,
+}
+
+impl FragmentBacking for MemoryBacking {
+    fn push(&mut self, mut fragment: Fragment) -> FragmentId {
+        let id = FragmentId(self.frags.len() as u64);
+        fragment.id = id;
+        self.accounting.add(&fragment);
+        self.peak_longs = self.peak_longs.max(self.accounting.disk_longs);
+        self.frags.push(fragment);
+        id
+    }
+
+    fn get(&mut self, id: FragmentId) -> Fragment {
+        self.frags[id.index()].clone()
+    }
+
+    fn replace(&mut self, id: FragmentId, mut fragment: Fragment) {
+        fragment.id = id;
+        self.accounting.remove(&self.frags[id.index()]);
+        self.accounting.add(&fragment);
+        self.peak_longs = self.peak_longs.max(self.accounting.disk_longs);
+        self.frags[id.index()] = fragment;
+    }
+
+    fn len(&self) -> usize {
+        self.frags.len()
+    }
+
+    fn as_slice(&self) -> Option<&[Fragment]> {
+        Some(&self.frags)
+    }
+
+    fn for_each(&mut self, f: &mut dyn FnMut(&Fragment)) {
+        for frag in &self.frags {
+            f(frag);
+        }
+    }
+
+    fn cycle_ids(&self) -> Vec<FragmentId> {
+        self.frags.iter().filter(|f| f.kind == FragmentKind::Cycle).map(|f| f.id).collect()
+    }
+
+    fn disk_longs(&self) -> u64 {
+        self.accounting.disk_longs
+    }
+
+    fn total_real_edges(&self) -> u64 {
+        self.accounting.real_edges
+    }
+
+    fn stats(&self) -> FragmentStoreStats {
+        FragmentStoreStats {
+            resident_longs: self.accounting.disk_longs,
+            peak_resident_longs: self.peak_longs,
+            ..Default::default()
+        }
+    }
+}
+
+/// Where a spill-backed fragment's current version lives.
+#[derive(Clone, Copy, Debug)]
+enum Loc {
+    Resident,
+    Spilled {
+        offset: u64,
+        words: u64,
+    },
+}
+
+/// Per-fragment index entry of the spill backing: enough to answer kind,
+/// size and accounting queries without touching the payload.
+#[derive(Clone, Copy, Debug)]
+struct SlotMeta {
+    kind: FragmentKind,
+    longs: u64,
+    reals: u64,
+    loc: Loc,
+}
+
+/// Flat `u64` record of one fragment in the spill file:
+/// `[kind, level, partition, n]` then `n` tour edges of
+/// `[tag, id, from, to]` (tag 0 = real, 1 = virtual). The id is not stored —
+/// the index knows it.
+fn encode_fragment(f: &Fragment, out: &mut Vec<u64>) {
+    out.clear();
+    out.reserve(4 + 4 * f.edges.len());
+    out.push(match f.kind {
+        FragmentKind::Path => 0,
+        FragmentKind::Cycle => 1,
+    });
+    out.push(f.level as u64);
+    out.push(f.partition.0 as u64);
+    out.push(f.edges.len() as u64);
+    for e in &f.edges {
+        match *e {
+            TourEdge::Real { edge, from, to } => {
+                out.extend_from_slice(&[0, edge.0, from.0, to.0]);
+            }
+            TourEdge::Virtual { fragment, from, to } => {
+                out.extend_from_slice(&[1, fragment.0, from.0, to.0]);
+            }
+        }
+    }
+}
+
+fn decode_fragment(id: FragmentId, words: &[u64]) -> Fragment {
+    let kind = if words[0] == 0 { FragmentKind::Path } else { FragmentKind::Cycle };
+    let n = words[3] as usize;
+    let mut edges = Vec::with_capacity(n);
+    for rec in words[4..4 + 4 * n].chunks_exact(4) {
+        let (from, to) = (VertexId(rec[2]), VertexId(rec[3]));
+        edges.push(if rec[0] == 0 {
+            TourEdge::Real { edge: EdgeId(rec[1]), from, to }
+        } else {
+            TourEdge::Virtual { fragment: FragmentId(rec[1]), from, to }
+        });
+    }
+    Fragment { id, kind, level: words[1] as u32, partition: PartitionId(words[2] as u32), edges }
+}
+
+/// Distinguishes concurrently-live spill files of one process.
+static SPILL_FILE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The out-of-core backing: a bounded resident set plus a spill file.
+///
+/// Eviction is oldest-first (push order): low-level fragments are the ones
+/// Phase 3 reaches last, so they go cold first. A spill I/O failure is
+/// absorbed, not propagated — the fragment stays resident, the failure is
+/// counted in [`FragmentStoreStats::spill_errors`] and no further spilling
+/// is attempted, so an interrupted spill degrades to the in-memory backing
+/// with identical results.
+struct SpillBacking {
+    budget_longs: u64,
+    directory: PathBuf,
+    index: Vec<SlotMeta>,
+    resident: HashMap<u64, Fragment>,
+    /// Resident ids, oldest first — the eviction order.
+    fifo: VecDeque<u64>,
+    /// Created lazily on first eviction; unlinked right after creation.
+    file: Option<File>,
+    file_end: u64,
+    /// Set after a spill I/O failure: stop spilling, stay resident.
+    broken: bool,
+    accounting: Accounting,
+    stats: FragmentStoreStats,
+    /// Reusable encode/IO scratch.
+    words: Vec<u64>,
+    bytes: Vec<u8>,
+}
+
+impl SpillBacking {
+    fn new(config: SpillConfig) -> Self {
+        SpillBacking {
+            budget_longs: config.memory_budget_longs,
+            directory: config.directory.unwrap_or_else(std::env::temp_dir),
+            index: Vec::new(),
+            resident: HashMap::new(),
+            fifo: VecDeque::new(),
+            file: None,
+            file_end: 0,
+            broken: false,
+            accounting: Accounting::default(),
+            stats: FragmentStoreStats::default(),
+            words: Vec::new(),
+            bytes: Vec::new(),
+        }
+    }
+
+    /// Opens the spill file on first use. The path is unlinked immediately
+    /// (the open handle keeps the data), so nothing leaks past the store.
+    fn file(&mut self) -> std::io::Result<&mut File> {
+        if self.file.is_none() {
+            let path = self.directory.join(format!(
+                "euler-fragments-{}-{}.spill",
+                std::process::id(),
+                SPILL_FILE_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            let file = File::options().read(true).write(true).create_new(true).open(&path)?;
+            std::fs::remove_file(&path)?;
+            self.file = Some(file);
+        }
+        Ok(self.file.as_mut().expect("just created"))
+    }
+
+    /// Writes `fragment`'s record at the end of the spill file, returning its
+    /// location.
+    fn write_record(&mut self, fragment: &Fragment) -> std::io::Result<Loc> {
+        let mut words = std::mem::take(&mut self.words);
+        encode_fragment(fragment, &mut words);
+        let mut bytes = std::mem::take(&mut self.bytes);
+        bytes.clear();
+        bytes.reserve(8 * words.len());
+        for w in &words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let offset = self.file_end;
+        let out = (|| {
+            let file = self.file()?;
+            file.seek(SeekFrom::Start(offset))?;
+            file.write_all(&bytes)?;
+            Ok(Loc::Spilled { offset, words: words.len() as u64 })
+        })();
+        if out.is_ok() {
+            self.file_end += bytes.len() as u64;
+        }
+        self.words = words;
+        self.bytes = bytes;
+        out
+    }
+
+    /// Reads the record at `loc` back into a fragment.
+    fn read_record(&mut self, id: FragmentId, offset: u64, words: u64) -> Fragment {
+        let mut bytes = std::mem::take(&mut self.bytes);
+        bytes.resize(8 * words as usize, 0);
+        {
+            let file = self.file.as_mut().expect("spilled records imply an open file");
+            file.seek(SeekFrom::Start(offset)).expect("spill file seek");
+            file.read_exact(&mut bytes).expect("spill file read");
+        }
+        let mut ws = std::mem::take(&mut self.words);
+        ws.clear();
+        ws.extend(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())));
+        let fragment = decode_fragment(id, &ws);
+        self.words = ws;
+        self.bytes = bytes;
+        fragment
+    }
+
+    /// Makes `fragment` resident (newest) and re-balances under the budget.
+    fn insert_resident(&mut self, fragment: Fragment) {
+        let id = fragment.id.0;
+        let longs = fragment.disk_longs();
+        self.resident.insert(id, fragment);
+        self.fifo.push_back(id);
+        self.stats.resident_longs += longs;
+        self.stats.peak_resident_longs =
+            self.stats.peak_resident_longs.max(self.stats.resident_longs);
+        self.evict();
+    }
+
+    /// Spills oldest-first until the resident set fits the budget.
+    fn evict(&mut self) {
+        while self.stats.resident_longs > self.budget_longs && !self.broken {
+            let Some(id) = self.fifo.pop_front() else { break };
+            let fragment = self.resident.remove(&id).expect("fifo ids are resident");
+            match self.write_record(&fragment) {
+                Ok(loc) => {
+                    let longs = fragment.disk_longs();
+                    self.index[id as usize].loc = loc;
+                    self.stats.resident_longs -= longs;
+                    self.stats.spilled_fragments += 1;
+                    self.stats.spill_write_longs += longs;
+                }
+                Err(_) => {
+                    // Interrupted spill: keep the fragment resident, record
+                    // the failure, and stop trying — results are unaffected.
+                    self.resident.insert(id, fragment);
+                    self.fifo.push_front(id);
+                    self.stats.spill_errors += 1;
+                    self.broken = true;
+                }
+            }
+        }
+    }
+}
+
+impl FragmentBacking for SpillBacking {
+    fn push(&mut self, mut fragment: Fragment) -> FragmentId {
+        let id = FragmentId(self.index.len() as u64);
+        fragment.id = id;
+        self.accounting.add(&fragment);
+        self.index.push(SlotMeta {
+            kind: fragment.kind,
+            longs: fragment.disk_longs(),
+            reals: fragment.edges.iter().filter(|e| e.is_real()).count() as u64,
+            loc: Loc::Resident,
+        });
+        self.insert_resident(fragment);
+        id
+    }
+
+    fn get(&mut self, id: FragmentId) -> Fragment {
+        match self.index[id.index()].loc {
+            Loc::Resident => self.resident[&id.0].clone(),
+            Loc::Spilled { offset, words } => {
+                self.stats.spill_read_longs += self.index[id.index()].longs;
+                self.read_record(id, offset, words)
+            }
+        }
+    }
+
+    fn replace(&mut self, id: FragmentId, mut fragment: Fragment) {
+        fragment.id = id;
+        let meta = self.index[id.index()];
+        self.accounting.disk_longs -= meta.longs;
+        self.accounting.real_edges -= meta.reals;
+        self.accounting.add(&fragment);
+        let slot = &mut self.index[id.index()];
+        slot.kind = fragment.kind;
+        slot.longs = fragment.disk_longs();
+        slot.reals = fragment.edges.iter().filter(|e| e.is_real()).count() as u64;
+        match meta.loc {
+            Loc::Resident => {
+                let old = self.resident.insert(id.0, fragment).expect("resident");
+                self.stats.resident_longs -= old.disk_longs();
+                self.stats.resident_longs += self.index[id.index()].longs;
+                self.stats.peak_resident_longs =
+                    self.stats.peak_resident_longs.max(self.stats.resident_longs);
+                self.evict();
+            }
+            Loc::Spilled { .. } => {
+                // Supersede the spilled record with a fresh one; the old
+                // record becomes dead space in the (temporary) spill file.
+                if !self.broken {
+                    if let Ok(loc) = self.write_record(&fragment) {
+                        self.index[id.index()].loc = loc;
+                        self.stats.spill_write_longs += self.index[id.index()].longs;
+                        return;
+                    }
+                    self.stats.spill_errors += 1;
+                    self.broken = true;
+                }
+                // Spill unavailable: bring the new version back resident.
+                self.stats.spilled_fragments -= 1;
+                self.index[id.index()].loc = Loc::Resident;
+                self.insert_resident(fragment);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn as_slice(&self) -> Option<&[Fragment]> {
+        None
+    }
+
+    fn for_each(&mut self, f: &mut dyn FnMut(&Fragment)) {
+        for i in 0..self.index.len() {
+            let id = FragmentId(i as u64);
+            match self.index[i].loc {
+                Loc::Resident => f(&self.resident[&id.0]),
+                Loc::Spilled { offset, words } => {
+                    self.stats.spill_read_longs += self.index[i].longs;
+                    let fragment = self.read_record(id, offset, words);
+                    f(&fragment);
+                }
+            }
+        }
+    }
+
+    fn cycle_ids(&self) -> Vec<FragmentId> {
+        self.index
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.kind == FragmentKind::Cycle)
+            .map(|(i, _)| FragmentId(i as u64))
+            .collect()
+    }
+
+    fn disk_longs(&self) -> u64 {
+        self.accounting.disk_longs
+    }
+
+    fn total_real_edges(&self) -> u64 {
+        self.accounting.real_edges
+    }
+
+    fn stats(&self) -> FragmentStoreStats {
+        self.stats
+    }
+}
+
 /// Append-only store of fragments, shared across partitions and workers.
 ///
 /// Plays the role of the paper's per-partition disk persistence: writes are
 /// cheap and do not count toward partition memory; Phase 3 reads everything
-/// back once.
-#[derive(Clone, Debug, Default)]
+/// back once. Storage is pluggable behind the store: [`FragmentStore::new`]
+/// keeps every fragment in memory, [`FragmentStore::spilling`] bounds
+/// resident fragment memory and pages cold fragments to a temp file (see
+/// [`SpillConfig`]). Either way the modelled accounting
+/// ([`disk_longs`](Self::disk_longs), [`total_real_edges`](Self::total_real_edges))
+/// is exact and identical.
+#[derive(Clone)]
 pub struct FragmentStore {
-    inner: Arc<Mutex<Vec<Fragment>>>,
+    inner: Arc<Mutex<Box<dyn FragmentBacking>>>,
+}
+
+impl Default for FragmentStore {
+    fn default() -> Self {
+        let backing: Box<dyn FragmentBacking> = Box::<MemoryBacking>::default();
+        FragmentStore { inner: Arc::new(Mutex::new(backing)) }
+    }
+}
+
+impl std::fmt::Debug for FragmentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("FragmentStore")
+            .field("len", &inner.len())
+            .field("stats", &inner.stats())
+            .finish()
+    }
 }
 
 impl FragmentStore {
-    /// Creates an empty store.
+    /// Creates an empty store with the in-memory backing.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Appends a fragment, assigning and returning its id. The `id` field of
-    /// the passed fragment is overwritten.
-    pub fn push(&self, mut fragment: Fragment) -> FragmentId {
-        let mut inner = self.inner.lock();
-        let id = FragmentId(inner.len() as u64);
-        fragment.id = id;
-        inner.push(fragment);
-        id
+    /// Creates an empty store whose resident fragment memory is bounded by
+    /// `config.memory_budget_longs`; overflow pages to a temp file and is
+    /// reloaded on demand (the out-of-core mode).
+    pub fn spilling(config: SpillConfig) -> Self {
+        let backing: Box<dyn FragmentBacking> = Box::new(SpillBacking::new(config));
+        FragmentStore { inner: Arc::new(Mutex::new(backing)) }
     }
 
-    /// Returns a clone of the fragment with the given id.
+    /// Appends a fragment, assigning and returning its id. The `id` field of
+    /// the passed fragment is overwritten.
+    pub fn push(&self, fragment: Fragment) -> FragmentId {
+        self.inner.lock().push(fragment)
+    }
+
+    /// Returns a clone of the fragment with the given id (reloaded from the
+    /// spill file if it was paged out).
     pub fn get(&self, id: FragmentId) -> Fragment {
-        self.inner.lock()[id.index()].clone()
+        self.inner.lock().get(id)
     }
 
     /// Replaces an existing fragment (used by `mergeInto` when an internal
     /// cycle is spliced into a fragment created earlier in the same Phase-1
     /// invocation).
     pub fn replace(&self, id: FragmentId, fragment: Fragment) {
-        let mut inner = self.inner.lock();
-        let mut fragment = fragment;
-        fragment.id = id;
-        inner[id.index()] = fragment;
+        self.inner.lock().replace(id, fragment)
     }
 
     /// Number of fragments stored.
@@ -230,41 +739,58 @@ impl FragmentStore {
         self.len() == 0
     }
 
-    /// Snapshot of every fragment (used by tests and reporting).
+    /// Snapshot of every fragment. **Tests and diagnostics only**: this
+    /// deep-clones the whole store (and reloads everything spilled), so hot
+    /// paths must use [`with_all`](Self::with_all) or
+    /// [`for_each`](Self::for_each) instead.
     pub fn snapshot(&self) -> Vec<Fragment> {
-        self.inner.lock().clone()
+        let mut all = Vec::with_capacity(self.len());
+        self.for_each(|f| all.push(f.clone()));
+        all
     }
 
-    /// Runs `f` over all fragments under the lock, without cloning them —
-    /// the zero-copy read path Phase 3 uses to build its splice index.
+    /// Runs `f` over all fragments under the lock. Zero-copy on the
+    /// in-memory backing; a spill-backed store must materialise the slab
+    /// first, so streaming readers prefer [`for_each`](Self::for_each).
     pub fn with_all<R>(&self, f: impl FnOnce(&[Fragment]) -> R) -> R {
-        f(&self.inner.lock())
+        let mut inner = self.inner.lock();
+        if inner.as_slice().is_some() {
+            return f(inner.as_slice().expect("just checked"));
+        }
+        let mut all = Vec::with_capacity(inner.len());
+        inner.for_each(&mut |frag| all.push(frag.clone()));
+        f(&all)
     }
 
-    /// Ids of all cycle fragments (the ones Phase 3 must splice).
+    /// Visits every fragment in id order under the lock, one at a time —
+    /// the bounded-memory read path (Phase 3 builds its splice index here);
+    /// spilled fragments are decoded into a scratch one by one.
+    pub fn for_each(&self, mut f: impl FnMut(&Fragment)) {
+        self.inner.lock().for_each(&mut f)
+    }
+
+    /// Ids of all cycle fragments (the ones Phase 3 must splice). Answered
+    /// from the index; spilled payloads are not touched.
     pub fn cycle_ids(&self) -> Vec<FragmentId> {
-        self.inner
-            .lock()
-            .iter()
-            .filter(|f| f.kind == FragmentKind::Cycle)
-            .map(|f| f.id)
-            .collect()
+        self.inner.lock().cycle_ids()
     }
 
-    /// Total Longs written to "disk".
+    /// Total Longs written to "disk" — the paper's modelled persistence
+    /// accounting, maintained exactly across `push`/`replace` on every
+    /// backing.
     pub fn disk_longs(&self) -> u64 {
-        self.inner.lock().iter().map(|f| f.disk_longs()).sum()
+        self.inner.lock().disk_longs()
     }
 
     /// Total number of *real* edges recorded across all fragments. When the
     /// run is complete this must equal the number of graph edges.
     pub fn total_real_edges(&self) -> u64 {
-        self.inner
-            .lock()
-            .iter()
-            .flat_map(|f| f.edges.iter())
-            .filter(|e| e.is_real())
-            .count() as u64
+        self.inner.lock().total_real_edges()
+    }
+
+    /// Real memory/spill statistics of the backing.
+    pub fn stats(&self) -> FragmentStoreStats {
+        self.inner.lock().stats()
     }
 }
 
@@ -389,5 +915,174 @@ mod tests {
             edges: vec![real(0, 0, 1), real(1, 1, 2)],
         });
         assert_eq!(store.disk_longs(), 4 + 6);
+    }
+
+    #[test]
+    fn replace_keeps_accounting_exact() {
+        let store = FragmentStore::new();
+        let f = Fragment {
+            id: FragmentId(0),
+            kind: FragmentKind::Cycle,
+            level: 0,
+            partition: PartitionId(0),
+            edges: vec![real(0, 1, 1)],
+        };
+        let id = store.push(f.clone());
+        assert_eq!(store.disk_longs(), 7);
+        assert_eq!(store.total_real_edges(), 1);
+        let longer = Fragment { edges: vec![real(0, 1, 2), real(1, 2, 1)], ..f };
+        store.replace(id, longer);
+        assert_eq!(store.disk_longs(), 10);
+        assert_eq!(store.total_real_edges(), 2);
+    }
+
+    // --- The spill backing. -------------------------------------------------
+
+    /// A mix of paths, cycles and virtual edges large enough to overflow a
+    /// tiny budget many times over.
+    fn workload(n: u64) -> Vec<Fragment> {
+        (0..n)
+            .map(|i| Fragment {
+                id: FragmentId(0),
+                kind: if i % 3 == 0 { FragmentKind::Cycle } else { FragmentKind::Path },
+                level: (i % 4) as u32,
+                partition: PartitionId((i % 5) as u32),
+                edges: (0..=(i % 7))
+                    .map(|j| {
+                        if j % 2 == 0 {
+                            real(10 * i + j, j, j + 1)
+                        } else {
+                            TourEdge::Virtual {
+                                fragment: FragmentId(i),
+                                from: VertexId(j),
+                                to: VertexId(j + 1),
+                            }
+                        }
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Every observable query of the two stores must agree.
+    fn assert_stores_agree(mem: &FragmentStore, spill: &FragmentStore) {
+        assert_eq!(mem.len(), spill.len());
+        assert_eq!(mem.disk_longs(), spill.disk_longs());
+        assert_eq!(mem.total_real_edges(), spill.total_real_edges());
+        assert_eq!(mem.cycle_ids(), spill.cycle_ids());
+        for i in 0..mem.len() {
+            let id = FragmentId(i as u64);
+            let (a, b) = (mem.get(id), spill.get(id));
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.level, b.level);
+            assert_eq!(a.partition, b.partition);
+            assert_eq!(a.edges, b.edges);
+        }
+        let mut mem_all = Vec::new();
+        mem.for_each(|f| mem_all.push(f.clone()));
+        let mut spill_all = Vec::new();
+        spill.for_each(|f| spill_all.push(f.clone()));
+        assert_eq!(mem_all.len(), spill_all.len());
+        for (a, b) in mem_all.iter().zip(&spill_all) {
+            assert_eq!(a.edges, b.edges);
+        }
+        // with_all materialises the same slab either way.
+        let a = mem.with_all(|f| f.len());
+        let b = spill.with_all(|f| f.len());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spill_backing_is_observably_identical_to_memory_under_a_tiny_budget() {
+        let mem = FragmentStore::new();
+        let spill = FragmentStore::spilling(SpillConfig::with_budget(32));
+        for f in workload(40) {
+            let a = mem.push(f.clone());
+            let b = spill.push(f);
+            assert_eq!(a, b, "backings assign the same ids");
+        }
+        assert_stores_agree(&mem, &spill);
+        let stats = spill.stats();
+        assert!(stats.spilled_fragments > 0, "a 32-Long budget must spill: {stats:?}");
+        assert!(stats.spill_write_longs > 0);
+        // Once pushes quiesce, eviction has brought the set under budget.
+        assert!(stats.resident_longs <= 32, "resident {} over budget", stats.resident_longs);
+        assert_eq!(stats.spill_errors, 0);
+        // Peak never exceeds budget + one fragment (evictions run per push).
+        let max_frag = workload(40).iter().map(|f| f.disk_longs()).max().unwrap();
+        assert!(
+            stats.peak_resident_longs <= 32 + max_frag,
+            "peak {} budget 32 max fragment {max_frag}",
+            stats.peak_resident_longs
+        );
+        // In-memory backing reports no spill traffic, full residency.
+        let mem_stats = mem.stats();
+        assert_eq!(mem_stats.spilled_fragments, 0);
+        assert_eq!(mem_stats.resident_longs, mem.disk_longs());
+    }
+
+    #[test]
+    fn zero_budget_spills_everything_and_replace_supersedes_records() {
+        let store = FragmentStore::spilling(SpillConfig::with_budget(0));
+        let fs = workload(12);
+        for f in &fs {
+            store.push(f.clone());
+        }
+        assert_eq!(store.stats().spilled_fragments, 12);
+        assert_eq!(store.stats().resident_longs, 0);
+        // Replace a spilled fragment with a longer version; reads see it.
+        let longer = Fragment { edges: vec![real(7, 3, 4), real(8, 4, 3)], ..fs[5].clone() };
+        store.replace(FragmentId(5), longer.clone());
+        let back = store.get(FragmentId(5));
+        assert_eq!(back.edges, longer.edges);
+        // Accounting followed the replacement exactly.
+        let expected: u64 = fs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| if i == 5 { longer.disk_longs() } else { f.disk_longs() })
+            .sum();
+        assert_eq!(store.disk_longs(), expected);
+    }
+
+    #[test]
+    fn interrupted_spill_recovers_to_resident_results() {
+        // A spill directory that cannot exist: the first eviction fails, the
+        // store records it, stops spilling and keeps everything resident —
+        // with every query still exact.
+        let mem = FragmentStore::new();
+        let broken = FragmentStore::spilling(
+            SpillConfig::with_budget(8).in_directory("/nonexistent/euler/spill/dir"),
+        );
+        for f in workload(20) {
+            mem.push(f.clone());
+            broken.push(f);
+        }
+        let stats = broken.stats();
+        assert_eq!(stats.spill_errors, 1, "first failure disarms spilling: {stats:?}");
+        assert_eq!(stats.spilled_fragments, 0);
+        assert_eq!(stats.resident_longs, broken.disk_longs());
+        assert_stores_agree(&mem, &broken);
+    }
+
+    #[test]
+    fn spilled_store_is_shareable_across_threads() {
+        let store = FragmentStore::spilling(SpillConfig::with_budget(4));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let store = store.clone();
+                s.spawn(move || {
+                    store.push(Fragment {
+                        id: FragmentId(0),
+                        kind: FragmentKind::Path,
+                        level: 0,
+                        partition: PartitionId(t as u32),
+                        edges: vec![real(t, t, t + 1)],
+                    });
+                });
+            }
+        });
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.total_real_edges(), 4);
     }
 }

@@ -60,7 +60,9 @@ pub mod verify;
 
 pub use config::EulerConfig;
 pub use error::EulerError;
-pub use fragment::{Fragment, FragmentId, FragmentKind, FragmentStore, TourEdge};
+pub use fragment::{
+    Fragment, FragmentId, FragmentKind, FragmentStore, FragmentStoreStats, SpillConfig, TourEdge,
+};
 pub use merge_strategy::MergeStrategy;
 pub use merge_tree::{MergePair, MergeTree, MergeTreeNode};
 pub use pathmap::PathMap;

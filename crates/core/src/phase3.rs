@@ -103,19 +103,19 @@ struct PendingCycles {
 
 impl PendingCycles {
     fn new(store: &FragmentStore) -> Self {
-        // One locked pass: per-cycle visible vertices, no fragment clones.
-        let (num_fragments, is_cycle, pairs) = store.with_all(|frags| {
-            let mut is_cycle = vec![false; frags.len()];
-            let mut pairs: Vec<(VertexId, FragmentId)> = Vec::new();
-            for f in frags {
-                if f.kind == FragmentKind::Cycle {
-                    is_cycle[f.id.index()] = true;
-                    for v in f.visible_vertices() {
-                        pairs.push((v, f.id));
-                    }
+        // One locked pass: per-cycle visible vertices, no fragment clones on
+        // the in-memory backing and one decoded fragment at a time on the
+        // spill backing (`for_each` is the bounded-memory read path).
+        let num_fragments = store.len();
+        let mut is_cycle = vec![false; num_fragments];
+        let mut pairs: Vec<(VertexId, FragmentId)> = Vec::new();
+        store.for_each(|f| {
+            if f.kind == FragmentKind::Cycle {
+                is_cycle[f.id.index()] = true;
+                for v in f.visible_vertices() {
+                    pairs.push((v, f.id));
                 }
             }
-            (frags.len(), is_cycle, pairs)
         });
         let index = LocalIndex::from_vertices(pairs.iter().map(|&(v, _)| v));
         let n = index.len();

@@ -35,7 +35,7 @@
 
 use crate::config::EulerConfig;
 use crate::error::EulerError;
-use crate::fragment::FragmentStore;
+use crate::fragment::{FragmentStore, FragmentStoreStats, SpillConfig};
 use crate::memory_model::{LevelTrace, PartitionLevelState};
 use crate::merge_strategy::MergeStrategy;
 use crate::merge_tree::{MergePair, MergeTree};
@@ -46,7 +46,7 @@ use crate::state::{VertexTypeCounts, WorkingPartition};
 use crate::verify::verify_result;
 use euler_graph::{
     properties, CsrFile, Graph, GraphSource, MetaGraph, PartitionAssignment, PartitionId,
-    PartitionedGraph,
+    PartitionedGraph, VertexId,
 };
 use euler_partition::Partitioner;
 use parking_lot::Mutex;
@@ -117,6 +117,10 @@ pub struct RunReport {
     pub total_transfer_longs: u64,
     /// Longs written to the fragment store ("disk").
     pub fragment_disk_longs: u64,
+    /// Real memory/spill statistics of the fragment store (peak resident
+    /// Longs; spill counts when the run executed under a
+    /// [`EulerConfig::fragment_memory_budget`]).
+    pub fragment_stats: FragmentStoreStats,
     /// The merge tree used.
     pub merge_tree: MergeTree,
     /// Name of the execution backend that ran the merge-tree walk.
@@ -807,6 +811,19 @@ impl ExecutionBackend for BspBackend {
 // The shared merge-tree walk.
 // ---------------------------------------------------------------------------
 
+/// The one Eulerian degree pre-check, shared by every input path: the graph
+/// path feeds it [`properties::first_odd_vertex`], the direct CSR path feeds
+/// it [`CsrFile::first_odd_vertex`] (read off the mapped offsets section
+/// alone) — one shape, one error.
+fn require_even_degrees(first_odd: Option<(VertexId, u64)>) -> Result<(), EulerError> {
+    match first_odd {
+        Some((vertex, degree)) => {
+            Err(EulerError::Graph(euler_graph::GraphError::NotEulerian { vertex, degree }))
+        }
+        None => Ok(()),
+    }
+}
+
 /// Runs the full three-phase algorithm over an already-partitioned graph on
 /// the given backend — the single merge-tree walk both backends execute
 /// through.
@@ -824,12 +841,7 @@ pub fn run_with_backend(
     backend: &dyn ExecutionBackend,
 ) -> Result<(CircuitResult, RunReport), EulerError> {
     if config.require_eulerian {
-        if let Some(v) = properties::odd_vertices(g).first() {
-            return Err(EulerError::Graph(euler_graph::GraphError::NotEulerian {
-                vertex: *v,
-                degree: g.degree(*v),
-            }));
-        }
+        require_even_degrees(properties::first_odd_vertex(g))?;
     }
     let pg = PartitionedGraph::from_assignment(g, assignment)?;
     let (result, report) = run_on_partitioned(&pg, config, backend)?;
@@ -857,7 +869,13 @@ pub fn run_on_partitioned(
 ) -> Result<(CircuitResult, RunReport), EulerError> {
     let meta = MetaGraph::from_partitioned(pg);
     let tree = Arc::new(MergeTree::build(&meta));
-    let store = FragmentStore::new();
+    // An explicit budget routes fragments through the out-of-core spill
+    // backing; otherwise they stay in the in-memory slab. Either way the
+    // circuits and the modelled disk accounting are identical.
+    let store = match config.fragment_memory_budget {
+        Some(budget) => FragmentStore::spilling(SpillConfig::with_budget(budget)),
+        None => FragmentStore::new(),
+    };
 
     let mut states: Vec<WorkingPartition> =
         pg.partitions().iter().map(WorkingPartition::from_partition).collect();
@@ -899,6 +917,7 @@ pub fn run_on_partitioned(
     let result = unroll(&store);
     report.phase3_time = t3.elapsed();
     report.fragment_disk_longs = store.disk_longs();
+    report.fragment_stats = store.stats();
 
     Ok((result, report))
 }
@@ -980,6 +999,16 @@ impl EulerPipelineBuilder {
     /// ascending id order) — easier to profile, and deterministic.
     pub fn sequential(mut self) -> Self {
         self.config.parallel_within_level = false;
+        self
+    }
+
+    /// Bounds resident fragment memory to `longs`: circuit fragments beyond
+    /// the budget are paged to a temp file and reloaded on demand during
+    /// Phase 3 (the out-of-core mode for circuits larger than memory;
+    /// bit-identical results, spill traffic reported in
+    /// [`CircuitStage::fragment_stats`]).
+    pub fn memory_budget(mut self, longs: u64) -> Self {
+        self.config.fragment_memory_budget = Some(longs);
         self
     }
 
@@ -1073,16 +1102,46 @@ impl EulerPipeline {
     /// Runs the full pipeline, producing the staged outputs.
     ///
     /// A source that exposes a mapped CSR view ([`GraphSource::csr`],
-    /// e.g. [`euler_graph::MmapCsrSource`]) combined with a precomputed
-    /// [`assignment`](EulerPipelineBuilder::assignment) takes the direct
-    /// slicing path: partitions are cut straight from the mapped sections
-    /// and no [`Graph`] is materialised. Configuring a partitioner or
-    /// [`verify`](EulerPipelineBuilder::verify) needs the whole graph, so
-    /// either falls back to the load path.
+    /// e.g. [`euler_graph::MmapCsrSource`]) combined with either a
+    /// precomputed [`assignment`](EulerPipelineBuilder::assignment) *or* a
+    /// [`partitioner`](EulerPipelineBuilder::partitioner) with a streaming
+    /// view ([`euler_partition::StreamingPartitioner`] — hash and LDG) takes
+    /// the direct slicing path: the assignment is computed from chunked edge
+    /// batches off the mapped sections, partitions are cut straight from
+    /// those sections, and no [`Graph`] is ever materialised. Configuring
+    /// [`verify`](EulerPipelineBuilder::verify), or a partitioner without a
+    /// suitable streaming view (BFS placement, custom whole-graph
+    /// partitioners), needs the whole graph and falls back to the load path.
     pub fn run(&self) -> Result<PipelineRun, EulerError> {
-        if let (Some(csr), PartitionSpec::Assignment(a)) = (self.source.csr(), &self.partition) {
+        if let Some(csr) = self.source.csr() {
             if !self.config.verify {
-                return self.run_from_csr(csr, a);
+                match &self.partition {
+                    PartitionSpec::Assignment(a) => {
+                        let a = a.clone();
+                        return self.run_from_csr(
+                            csr,
+                            a,
+                            "pre-assigned (direct csr slice)".to_string(),
+                            Duration::ZERO,
+                        );
+                    }
+                    PartitionSpec::Partitioner(p) => {
+                        if let (Some(sp), Some(mut stream)) =
+                            (p.as_streaming(), self.source.edge_stream())
+                        {
+                            if sp.supports(stream.order()) {
+                                let t = Instant::now();
+                                let a = sp.partition_stream(stream.as_mut())?;
+                                return self.run_from_csr(
+                                    csr,
+                                    a,
+                                    format!("{} (streamed, direct csr slice)", sp.name()),
+                                    t.elapsed(),
+                                );
+                            }
+                        }
+                    }
+                }
             }
         }
         let t_load = Instant::now();
@@ -1118,34 +1177,34 @@ impl EulerPipeline {
 
     /// The direct CSR slicing path: degree pre-check off the mapped offsets
     /// section, partitions cut from the mapped arrays, no [`Graph`] ever
-    /// materialised.
+    /// materialised. `partitioner` names how the assignment came to be
+    /// (pre-assigned, or a streaming partitioner whose pass took
+    /// `partition_time` so far).
     fn run_from_csr(
         &self,
         csr: &CsrFile,
-        assignment: &PartitionAssignment,
+        assignment: PartitionAssignment,
+        partitioner: String,
+        partition_time: Duration,
     ) -> Result<PipelineRun, EulerError> {
         if self.config.require_eulerian {
-            if let Some((vertex, degree)) = csr.first_odd_vertex() {
-                return Err(EulerError::Graph(euler_graph::GraphError::NotEulerian {
-                    vertex,
-                    degree,
-                }));
-            }
+            require_even_degrees(csr.first_odd_vertex())?;
         }
         let t_part = Instant::now();
-        let pg = csr.partitioned(assignment)?;
-        let partition_time = t_part.elapsed();
+        let pg = csr.partitioned(&assignment)?;
+        let partition_time = partition_time + t_part.elapsed();
         let (result, report) = run_on_partitioned(&pg, &self.config, self.backend.as_ref())?;
         let provenance = Provenance {
             source: self.source.name(),
-            // Nothing is loaded up front; pages fault in as partitions are
-            // sliced, which the partition stage times.
+            // Nothing is loaded up front; pages fault in as the partition
+            // stream and partition slicing touch them, which the partition
+            // stage times.
             load_time: Duration::ZERO,
-            partitioner: "pre-assigned (direct csr slice)".to_string(),
+            partitioner,
             partition_time,
             num_vertices: csr.num_vertices(),
             num_edges: csr.num_edges(),
-            assignment: assignment.clone(),
+            assignment,
         };
         Ok(assemble_run(provenance, result, report))
     }
@@ -1175,6 +1234,7 @@ fn assemble_run(provenance: Provenance, result: CircuitResult, report: RunReport
         phase3_time,
         total_transfer_longs,
         fragment_disk_longs,
+        fragment_stats,
         merge_tree,
         backend,
         engine,
@@ -1200,7 +1260,7 @@ fn assemble_run(provenance: Provenance, result: CircuitResult, report: RunReport
             merge_tree,
             engine,
         },
-        circuit: CircuitStage { result, phase3_time, fragment_disk_longs },
+        circuit: CircuitStage { result, phase3_time, fragment_disk_longs, fragment_stats },
     }
 }
 
@@ -1257,6 +1317,9 @@ pub struct CircuitStage {
     pub phase3_time: Duration,
     /// Longs written to the fragment store ("disk").
     pub fragment_disk_longs: u64,
+    /// Real memory/spill statistics of the fragment store (see
+    /// [`RunReport::fragment_stats`]).
+    pub fragment_stats: FragmentStoreStats,
 }
 
 /// The staged outputs of one pipeline run:
@@ -1294,6 +1357,7 @@ impl PipelineRun {
             phase3_time: self.circuit.phase3_time,
             total_transfer_longs: self.merge.total_transfer_longs,
             fragment_disk_longs: self.circuit.fragment_disk_longs,
+            fragment_stats: self.circuit.fragment_stats,
             merge_tree: self.merge.merge_tree.clone(),
             backend: self.merge.backend.clone(),
             engine: self.merge.engine.clone(),
@@ -1652,7 +1716,9 @@ mod tests {
     }
 
     #[test]
-    fn csr_source_with_a_partitioner_falls_back_to_loading() {
+    fn csr_source_with_a_partitioner_and_verify_falls_back_to_loading() {
+        // `verify` needs the whole graph, so even a streaming-capable
+        // partitioner goes through the load path here.
         let g = synthetic::torus_grid(8, 8);
         let path = csr_temp("partitioner_fallback.ecsr");
         euler_graph::write_csr_file(&g, &path).unwrap();
@@ -1667,6 +1733,137 @@ mod tests {
         assert_eq!(run.partition.partitioner, "ldg");
         assert_eq!(run.circuit.result.total_edges(), g.num_edges());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csr_source_with_a_streaming_partitioner_takes_the_zero_graph_path() {
+        let g = synthetic::random_eulerian_connected(130, 16, 6, 33);
+        let config = EulerConfig::default().sequential();
+        let path = csr_temp("streamed_partitioner.ecsr");
+        euler_graph::write_csr_file(&g, &path).unwrap();
+        for (streamed, in_memory) in [
+            (
+                EulerPipeline::builder()
+                    .source(euler_graph::MmapCsrSource::open(&path).unwrap())
+                    .partitioner(LdgPartitioner::new(4))
+                    .config(config)
+                    .build()
+                    .unwrap()
+                    .run()
+                    .unwrap(),
+                EulerPipeline::builder()
+                    .graph(&g)
+                    .partitioner(LdgPartitioner::new(4))
+                    .config(config)
+                    .build()
+                    .unwrap()
+                    .run()
+                    .unwrap(),
+            ),
+            (
+                EulerPipeline::builder()
+                    .source(euler_graph::MmapCsrSource::open(&path).unwrap())
+                    .partitioner(HashPartitioner::new(3))
+                    .config(config)
+                    .build()
+                    .unwrap()
+                    .run()
+                    .unwrap(),
+                EulerPipeline::builder()
+                    .graph(&g)
+                    .partitioner(HashPartitioner::new(3))
+                    .config(config)
+                    .build()
+                    .unwrap()
+                    .run()
+                    .unwrap(),
+            ),
+        ] {
+            // The zero-Graph path is observable in the stage report...
+            assert!(
+                streamed.partition.partitioner.contains("streamed, direct csr slice"),
+                "unexpected partitioner label {}",
+                streamed.partition.partitioner
+            );
+            assert_eq!(streamed.partition.load_time, Duration::ZERO);
+            // ...computes the identical assignment...
+            for v in g.vertices() {
+                assert_eq!(
+                    streamed.partition.assignment.partition_of(v),
+                    in_memory.partition.assignment.partition_of(v)
+                );
+            }
+            // ...and the identical deterministic run.
+            assert_eq!(streamed.circuit.result.circuits, in_memory.circuit.result.circuits);
+            assert_eq!(
+                streamed.merge.total_transfer_longs,
+                in_memory.merge.total_transfer_longs
+            );
+            verify_result(&g, &streamed.circuit.result).unwrap();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csr_source_with_a_bfs_ldg_partitioner_falls_back_to_loading() {
+        // BFS placement needs random access to the graph — no streaming view.
+        let g = synthetic::torus_grid(6, 6);
+        let path = csr_temp("bfs_fallback.ecsr");
+        euler_graph::write_csr_file(&g, &path).unwrap();
+        let run = EulerPipeline::builder()
+            .source(euler_graph::MmapCsrSource::open(&path).unwrap())
+            .partitioner(LdgPartitioner::new(2).with_bfs_order())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(run.partition.partitioner, "ldg");
+        assert_eq!(run.circuit.result.total_edges(), g.num_edges());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn memory_budget_spills_and_stays_bit_identical() {
+        let g = synthetic::random_eulerian_connected(160, 20, 6, 55);
+        let a = LdgPartitioner::new(4).partition(&g);
+        let config = EulerConfig::default().sequential();
+        let unbounded = EulerPipeline::builder()
+            .graph(&g)
+            .assignment(a.clone())
+            .config(config)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        // A budget far below the total fragment bytes forces heavy paging.
+        let budget = unbounded.circuit.fragment_disk_longs / 10;
+        let bounded = EulerPipeline::builder()
+            .graph(&g)
+            .assignment(a)
+            .config(config)
+            .memory_budget(budget)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(bounded.circuit.result.circuits, unbounded.circuit.result.circuits);
+        assert_eq!(
+            bounded.circuit.fragment_disk_longs,
+            unbounded.circuit.fragment_disk_longs
+        );
+        assert_eq!(bounded.merge.total_transfer_longs, unbounded.merge.total_transfer_longs);
+        let stats = bounded.circuit.fragment_stats;
+        assert!(stats.spilled_fragments > 0, "budget {budget} must spill: {stats:?}");
+        assert!(stats.spill_write_longs > 0);
+        assert!(stats.spill_read_longs > 0, "phase 3 reloads spilled fragments");
+        assert_eq!(stats.spill_errors, 0);
+        assert!(
+            stats.peak_resident_longs < unbounded.circuit.fragment_stats.peak_resident_longs,
+            "bounded peak {} vs unbounded {}",
+            stats.peak_resident_longs,
+            unbounded.circuit.fragment_stats.peak_resident_longs
+        );
+        verify_result(&g, &bounded.circuit.result).unwrap();
     }
 
     #[test]

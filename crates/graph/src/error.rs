@@ -52,6 +52,14 @@ pub enum GraphError {
         /// Description of the problem.
         message: String,
     },
+    /// An edge stream cannot satisfy a consumer's requirement (wrong
+    /// [`crate::StreamOrder`], vertex count not known up front, ...).
+    UnsupportedStream {
+        /// The consumer that rejected the stream.
+        consumer: String,
+        /// What the consumer needed and what the stream offered.
+        message: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -75,6 +83,9 @@ impl fmt::Display for GraphError {
             GraphError::Io(e) => write!(f, "I/O error: {e}"),
             GraphError::CsrFormat(e) => write!(f, "{e}"),
             GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::UnsupportedStream { consumer, message } => {
+                write!(f, "{consumer} cannot consume this edge stream: {message}")
+            }
         }
     }
 }

@@ -29,25 +29,26 @@ pub fn write_edge_list_file<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), Gr
     write_edge_list(g, f)
 }
 
-/// Incremental line-at-a-time parser for the plain-text edge-list format.
+/// Line-level scanner for the plain-text edge-list format: one line in, at
+/// most one edge out.
 ///
-/// This is the single parser behind both [`read_edge_list`] (whole-reader)
-/// and [`crate::source::EdgeListFileSource`] (chunked streaming reads): feed
-/// it one line at a time in file order and call
-/// [`finish`](EdgeListParser::finish) at the end. The parser tracks the
-/// 1-based line number itself, so every [`GraphError::Parse`] it raises —
-/// missing field, malformed vertex id, malformed `# vertices N` header —
-/// carries the exact offending position regardless of how the caller buffers
-/// the input.
+/// This is the piece of the parse that is independent of *what is built from
+/// the edges*: [`EdgeListParser`] feeds the emitted edges into a
+/// [`GraphBuilder`], while [`crate::source::EdgeListEdgeStream`] batches
+/// them straight into an edge stream without ever materialising a graph. The
+/// scanner tracks the 1-based line number itself, so every
+/// [`GraphError::Parse`] it raises — missing field, malformed vertex id,
+/// malformed `# vertices N` header — carries the exact offending position
+/// regardless of how the caller buffers the input.
 #[derive(Debug, Default)]
-pub struct EdgeListParser {
-    builder: GraphBuilder,
+pub struct EdgeLineScanner {
     declared_vertices: u64,
+    max_seen: Option<u64>,
     line: usize,
 }
 
-impl EdgeListParser {
-    /// Creates a parser with an empty graph under construction.
+impl EdgeLineScanner {
+    /// Creates a scanner at line 0 with nothing declared.
     pub fn new() -> Self {
         Self::default()
     }
@@ -64,16 +65,25 @@ impl EdgeListParser {
         self.line + 1
     }
 
-    /// Consumes one line (without its terminator).
+    /// The vertex count implied by everything fed so far: largest id seen
+    /// plus one, or the declared `# vertices N` header count if larger —
+    /// exactly the count a [`GraphBuilder`] pass over the same lines
+    /// produces.
+    pub fn num_vertices(&self) -> u64 {
+        self.declared_vertices.max(self.max_seen.map_or(0, |m| m + 1))
+    }
+
+    /// Consumes one line (without its terminator), returning the edge it
+    /// holds, if any.
     ///
-    /// Blank lines and `%` comments are ignored; `#` comments are ignored
+    /// Blank lines and `%` comments yield `None`; `#` comments yield `None`
     /// except for the optional `# vertices N edges M` header, whose vertex
     /// count must parse. Any other line must hold two vertex ids.
-    pub fn feed_line(&mut self, line: &str) -> Result<(), GraphError> {
+    pub fn feed_line(&mut self, line: &str) -> Result<Option<(u64, u64)>, GraphError> {
         self.line += 1;
         let line = line.trim();
         if line.is_empty() {
-            return Ok(());
+            return Ok(None);
         }
         if let Some(rest) = line.strip_prefix('#') {
             // Optional header: "# vertices N edges M". A free-form comment
@@ -93,23 +103,16 @@ impl EdgeListParser {
                     Err(_) => {}
                 }
             }
-            return Ok(());
+            return Ok(None);
         }
         if line.starts_with('%') {
-            return Ok(());
+            return Ok(None);
         }
         let mut it = line.split_whitespace();
         let u = self.parse_field(it.next())?;
         let v = self.parse_field(it.next())?;
-        self.builder.add_edge(u, v);
-        Ok(())
-    }
-
-    /// Builds the parsed graph. The vertex count is the largest id seen plus
-    /// one, or the declared header count if larger.
-    pub fn finish(mut self) -> Result<Graph, GraphError> {
-        self.builder.ensure_vertices(self.declared_vertices);
-        self.builder.build()
+        self.max_seen = Some(self.max_seen.map_or(u.max(v), |m| m.max(u).max(v)));
+        Ok(Some((u, v)))
     }
 
     fn parse_field(&self, tok: Option<&str>) -> Result<u64, GraphError> {
@@ -120,6 +123,53 @@ impl EdgeListParser {
             line,
             message: format!("bad vertex id {tok:?}: {e}"),
         })
+    }
+}
+
+/// Incremental line-at-a-time parser for the plain-text edge-list format.
+///
+/// This is the single graph-building parser behind both [`read_edge_list`]
+/// (whole-reader) and [`crate::source::EdgeListFileSource`] (chunked
+/// streaming reads): feed it one line at a time in file order and call
+/// [`finish`](EdgeListParser::finish) at the end. Line recognition and error
+/// attribution live in the shared [`EdgeLineScanner`].
+#[derive(Debug, Default)]
+pub struct EdgeListParser {
+    builder: GraphBuilder,
+    scanner: EdgeLineScanner,
+}
+
+impl EdgeListParser {
+    /// Creates a parser with an empty graph under construction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of lines fed so far.
+    pub fn lines_fed(&self) -> usize {
+        self.scanner.lines_fed()
+    }
+
+    /// 1-based number of the line the next [`feed_line`](Self::feed_line)
+    /// call will consume (see [`EdgeLineScanner::next_line`]).
+    pub fn next_line(&self) -> usize {
+        self.scanner.next_line()
+    }
+
+    /// Consumes one line (without its terminator); see
+    /// [`EdgeLineScanner::feed_line`] for the recognised shapes.
+    pub fn feed_line(&mut self, line: &str) -> Result<(), GraphError> {
+        if let Some((u, v)) = self.scanner.feed_line(line)? {
+            self.builder.add_edge(u, v);
+        }
+        Ok(())
+    }
+
+    /// Builds the parsed graph. The vertex count is the largest id seen plus
+    /// one, or the declared header count if larger.
+    pub fn finish(mut self) -> Result<Graph, GraphError> {
+        self.builder.ensure_vertices(self.scanner.num_vertices());
+        self.builder.build()
     }
 }
 

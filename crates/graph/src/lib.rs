@@ -20,6 +20,9 @@
 //!   layout), and the pipeline's pluggable input seam in [`source`]
 //!   ([`GraphSource`]: in-memory graphs, chunked edge-list files, and the
 //!   zero-copy [`MmapCsrSource`] over memory-mapped `.ecsr` files).
+//! * Chunked edge streams in [`stream`] ([`EdgeStream`]): every source can
+//!   push its edges through a sink in bounded batches, which is how
+//!   streaming partitioners run without a resident [`Graph`].
 //!
 //! The vertex and edge identifier types are 64-bit, matching the paper's
 //! memory accounting in numbers of Java `Long`s.
@@ -38,6 +41,7 @@ pub mod metagraph;
 pub mod partitioned;
 pub mod properties;
 pub mod source;
+pub mod stream;
 
 /// The normative `.ecsr` file-format specification (`docs/FORMAT.md`),
 /// rendered here so it versions and link-checks with the code. The reference
@@ -54,5 +58,12 @@ pub use ids::{EdgeId, PartitionId, VertexId};
 pub use local_index::{bucket_by_slot, LocalIndex, LocalIndexBufs};
 pub use metagraph::{MetaEdge, MetaGraph};
 pub use partitioned::{Partition, PartitionAssignment, PartitionedGraph, RemoteEdge};
-pub use properties::{connected_components, is_connected_on_edges, is_eulerian, odd_vertices};
-pub use source::{EdgeListFileSource, GraphSource, InMemorySource, MmapCsrSource};
+pub use properties::{
+    connected_components, first_odd_vertex, is_connected_on_edges, is_eulerian, odd_vertices,
+};
+pub use source::{
+    EdgeListEdgeStream, EdgeListFileSource, GraphSource, InMemorySource, MmapCsrSource,
+};
+pub use stream::{
+    CsrFileEdgeStream, EdgeStream, GraphEdgeStream, StreamOrder, StreamSummary,
+};

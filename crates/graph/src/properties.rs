@@ -11,6 +11,13 @@ pub fn odd_vertices(g: &Graph) -> Vec<VertexId> {
     g.vertices().filter(|&v| g.degree(v) % 2 == 1).collect()
 }
 
+/// First vertex with odd degree, with its degree, if any — the Eulerian
+/// degree pre-check in the shape [`crate::CsrFile::first_odd_vertex`] also
+/// produces, so both input paths share one check.
+pub fn first_odd_vertex(g: &Graph) -> Option<(VertexId, u64)> {
+    g.vertices().map(|v| (v, g.degree(v))).find(|&(_, d)| d % 2 == 1)
+}
+
 /// Checks whether every vertex of the graph has even degree.
 ///
 /// This is the degree half of Euler's theorem; combined with

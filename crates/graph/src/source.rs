@@ -14,7 +14,11 @@
 use crate::csr_file::CsrFile;
 use crate::error::GraphError;
 use crate::graph::Graph;
-use crate::io::EdgeListParser;
+use crate::io::{EdgeLineScanner, EdgeListParser};
+use crate::stream::{
+    CsrFileEdgeStream, EdgeBatchSink, EdgeStream, GraphEdgeStream, StreamOrder, StreamSummary,
+    DEFAULT_BATCH_ENTRIES,
+};
 use std::io::Read;
 use std::path::{Path, PathBuf};
 
@@ -55,6 +59,15 @@ pub trait GraphSource {
     /// from the mapped sections ([`CsrFile::partitioned`]) instead of loading
     /// a [`Graph`] first. Default: `None`.
     fn csr(&self) -> Option<&CsrFile> {
+        None
+    }
+
+    /// A chunked [`EdgeStream`] over this source's edges, if it can produce
+    /// one — the feed for streaming partitioners, which consume edge batches
+    /// in bounded memory instead of a resident [`Graph`]. Every shipped
+    /// source streams; custom sources default to `None` (the pipeline then
+    /// falls back to [`load`](GraphSource::load)).
+    fn edge_stream(&self) -> Option<Box<dyn EdgeStream + '_>> {
         None
     }
 }
@@ -98,6 +111,10 @@ impl GraphSource for InMemorySource {
 
     fn resident(&self) -> Option<&Graph> {
         Some(&self.graph)
+    }
+
+    fn edge_stream(&self) -> Option<Box<dyn EdgeStream + '_>> {
+        Some(Box::new(GraphEdgeStream::new(&self.graph)))
     }
 }
 
@@ -151,41 +168,123 @@ impl EdgeListFileSource {
 
     /// Streams `reader` through the shared [`EdgeListParser`] in
     /// `chunk_bytes`-sized reads.
-    fn parse_chunked<R: Read>(&self, mut reader: R) -> Result<Graph, GraphError> {
+    fn parse_chunked<R: Read>(&self, reader: R) -> Result<Graph, GraphError> {
         let mut parser = EdgeListParser::new();
-        let mut buf = vec![0u8; self.chunk_bytes];
-        // Bytes of a line whose terminator has not been seen yet.
-        let mut carry: Vec<u8> = Vec::new();
-        loop {
-            let n = reader.read(&mut buf)?;
-            if n == 0 {
-                break;
-            }
-            let mut rest = &buf[..n];
-            while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
-                if carry.is_empty() {
-                    parser.feed_line(bytes_as_line(&rest[..pos], parser.next_line())?)?;
-                } else {
-                    carry.extend_from_slice(&rest[..pos]);
-                    parser.feed_line(bytes_as_line(&carry, parser.next_line())?)?;
-                    carry.clear();
-                }
-                rest = &rest[pos + 1..];
-            }
-            carry.extend_from_slice(rest);
-        }
-        if !carry.is_empty() {
-            // Final line without a terminating newline.
-            parser.feed_line(bytes_as_line(&carry, parser.next_line())?)?;
-        }
+        for_each_chunked_line(reader, self.chunk_bytes, &mut |bytes| {
+            parser.feed_line(bytes_as_line(bytes, parser.next_line())?)
+        })?;
         parser.finish()
     }
+
+    /// A chunked [`EdgeStream`] over this file, in file (edge-id) order.
+    pub fn stream(&self) -> EdgeListEdgeStream {
+        EdgeListEdgeStream {
+            path: self.path.clone(),
+            chunk_bytes: self.chunk_bytes,
+            batch_entries: DEFAULT_BATCH_ENTRIES,
+        }
+    }
+}
+
+/// Feeds `reader` to `f` one line at a time (without terminators), reading
+/// `chunk_bytes` at a time and carrying partial trailing lines across chunk
+/// boundaries — the shared read loop of the graph-building and edge-stream
+/// paths over edge-list files.
+fn for_each_chunked_line<R: Read>(
+    mut reader: R,
+    chunk_bytes: usize,
+    f: &mut dyn FnMut(&[u8]) -> Result<(), GraphError>,
+) -> Result<(), GraphError> {
+    let mut buf = vec![0u8; chunk_bytes];
+    // Bytes of a line whose terminator has not been seen yet.
+    let mut carry: Vec<u8> = Vec::new();
+    loop {
+        let n = reader.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        let mut rest = &buf[..n];
+        while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+            if carry.is_empty() {
+                f(&rest[..pos])?;
+            } else {
+                carry.extend_from_slice(&rest[..pos]);
+                f(&carry)?;
+                carry.clear();
+            }
+            rest = &rest[pos + 1..];
+        }
+        carry.extend_from_slice(rest);
+    }
+    if !carry.is_empty() {
+        // Final line without a terminating newline.
+        f(&carry)?;
+    }
+    Ok(())
 }
 
 /// Decodes one line's bytes as UTF-8, attributing failures to `line`.
 fn bytes_as_line(bytes: &[u8], line: usize) -> Result<&str, GraphError> {
     std::str::from_utf8(bytes)
         .map_err(|e| GraphError::Parse { line, message: format!("invalid UTF-8: {e}") })
+}
+
+/// Chunked [`EdgeStream`] over a plain-text edge-list file, in file (edge-id)
+/// order — no [`Graph`], no [`crate::GraphBuilder`], just parsed `(u, v)`
+/// batches with the same exact-line-number error attribution as the load
+/// path.
+///
+/// The vertex count is discovered by the pass (largest id seen plus one, or
+/// the declared `# vertices N edges M` header if larger), so
+/// [`num_vertices`](EdgeStream::num_vertices) is `None` up front; consumers
+/// that need the count before placing vertices (vertex-grouped streaming
+/// partitioners) use the CSR stream instead.
+#[derive(Clone, Debug)]
+pub struct EdgeListEdgeStream {
+    path: PathBuf,
+    chunk_bytes: usize,
+    batch_entries: usize,
+}
+
+impl EdgeListEdgeStream {
+    /// Sets the batch size in entries (minimum 1).
+    pub fn with_batch_entries(mut self, entries: usize) -> Self {
+        self.batch_entries = entries.max(1);
+        self
+    }
+}
+
+impl EdgeStream for EdgeListEdgeStream {
+    fn order(&self) -> StreamOrder {
+        StreamOrder::EdgeIdOrder
+    }
+
+    fn num_vertices(&self) -> Option<u64> {
+        None
+    }
+
+    fn stream(&mut self, sink: &mut EdgeBatchSink<'_>) -> Result<StreamSummary, GraphError> {
+        let file = std::fs::File::open(&self.path)?;
+        let mut scanner = EdgeLineScanner::new();
+        let mut batch = Vec::with_capacity(self.batch_entries);
+        let mut entries = 0u64;
+        for_each_chunked_line(file, self.chunk_bytes, &mut |bytes| {
+            let line = bytes_as_line(bytes, scanner.next_line())?;
+            if let Some(edge) = scanner.feed_line(line)? {
+                batch.push(edge);
+                entries += 1;
+                if batch.len() == self.batch_entries {
+                    sink(&batch);
+                    batch.clear();
+                }
+            }
+            Ok(())
+        })?;
+        if !batch.is_empty() {
+            sink(&batch);
+        }
+        Ok(StreamSummary { num_vertices: scanner.num_vertices(), entries })
+    }
 }
 
 impl GraphSource for EdgeListFileSource {
@@ -196,6 +295,10 @@ impl GraphSource for EdgeListFileSource {
     fn load(&self) -> Result<Graph, GraphError> {
         let file = std::fs::File::open(&self.path)?;
         self.parse_chunked(file)
+    }
+
+    fn edge_stream(&self) -> Option<Box<dyn EdgeStream + '_>> {
+        Some(Box::new(self.stream()))
     }
 }
 
@@ -285,6 +388,10 @@ impl GraphSource for MmapCsrSource {
     fn csr(&self) -> Option<&CsrFile> {
         Some(&self.csr)
     }
+
+    fn edge_stream(&self) -> Option<Box<dyn EdgeStream + '_>> {
+        Some(Box::new(CsrFileEdgeStream::new(&self.csr)))
+    }
 }
 
 #[cfg(test)]
@@ -353,6 +460,45 @@ mod tests {
         let g = EdgeListFileSource::new(&path).with_chunk_bytes(4).load().unwrap();
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.num_vertices(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn edge_list_stream_yields_file_order_edges_and_discovers_the_count() {
+        let path = temp_path("streamed.el");
+        std::fs::write(&path, "# vertices 9 edges 3\n0 1\n% noise\n1 2\n2 0\n").unwrap();
+        let src = EdgeListFileSource::new(&path).with_chunk_bytes(3);
+        let mut stream = src.edge_stream().expect("file sources stream");
+        assert_eq!(stream.order(), crate::stream::StreamOrder::EdgeIdOrder);
+        assert_eq!(stream.num_vertices(), None, "text parses discover the count");
+        let mut edges = Vec::new();
+        let summary = stream.stream(&mut |b| edges.extend_from_slice(b)).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+        // Header count wins over max id + 1; the load path agrees.
+        assert_eq!(summary.num_vertices, 9);
+        assert_eq!(summary.entries, 3);
+        assert_eq!(src.load().unwrap().num_vertices(), 9);
+        // Tiny batches only change delivery granularity, not content.
+        let mut rebatched = src.stream().with_batch_entries(1);
+        let mut again = Vec::new();
+        rebatched.stream(&mut |b| again.extend_from_slice(b)).unwrap();
+        assert_eq!(again, edges);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn edge_list_stream_reports_parse_errors_with_line_numbers() {
+        let path = temp_path("streamed_bad.el");
+        std::fs::write(&path, "0 1\n1 2\nbad 3\n").unwrap();
+        let mut stream = EdgeListFileSource::new(&path).with_chunk_bytes(2).stream();
+        let err = stream.stream(&mut |_| {}).unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("bad"), "unexpected message {message}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,7 +1,9 @@
 //! Hash partitioner: perfectly balanced, oblivious to structure.
 
-use crate::traits::Partitioner;
-use euler_graph::{Graph, PartitionAssignment};
+use crate::traits::{Partitioner, StreamingPartitioner};
+use euler_graph::{
+    EdgeStream, Graph, GraphEdgeStream, GraphError, PartitionAssignment, StreamOrder,
+};
 
 /// Assigns vertex `v` to partition `hash(v) % k`.
 ///
@@ -36,6 +38,15 @@ impl HashPartitioner {
         x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         x ^ (x >> 31)
     }
+
+    /// The closed-form assignment: `hash(v) % k` for every vertex. Both the
+    /// whole-graph and streaming paths end here, so they are identical by
+    /// construction.
+    fn assign(&self, num_vertices: u64) -> PartitionAssignment {
+        let labels: Vec<u32> =
+            (0..num_vertices).map(|v| (self.hash(v) % self.k as u64) as u32).collect();
+        PartitionAssignment::from_labels(labels, self.k).expect("labels are always < k")
+    }
 }
 
 impl Partitioner for HashPartitioner {
@@ -44,8 +55,39 @@ impl Partitioner for HashPartitioner {
     }
 
     fn partition(&self, g: &Graph) -> PartitionAssignment {
-        let labels: Vec<u32> = (0..g.num_vertices()).map(|v| (self.hash(v) % self.k as u64) as u32).collect();
-        PartitionAssignment::from_labels(labels, self.k).expect("labels are always < k")
+        self.partition_stream(&mut GraphEdgeStream::new(g))
+            .expect("in-memory streams cannot fail")
+    }
+
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+
+    fn as_streaming(&self) -> Option<&dyn StreamingPartitioner> {
+        Some(self)
+    }
+}
+
+impl StreamingPartitioner for HashPartitioner {
+    fn num_partitions(&self) -> u32 {
+        self.k
+    }
+
+    /// Placement depends on vertex ids alone, so any order works.
+    fn supports(&self, _order: StreamOrder) -> bool {
+        true
+    }
+
+    fn partition_stream(
+        &self,
+        stream: &mut dyn EdgeStream,
+    ) -> Result<PartitionAssignment, GraphError> {
+        // A known count needs no pass at all; text parses discover it.
+        let n = match stream.num_vertices() {
+            Some(n) => n,
+            None => stream.stream(&mut |_| {})?.num_vertices,
+        };
+        Ok(self.assign(n))
     }
 
     fn name(&self) -> &'static str {

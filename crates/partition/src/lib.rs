@@ -14,12 +14,19 @@
 //!   you for free.
 //! * [`LdgPartitioner`] — Linear Deterministic Greedy streaming partitioner
 //!   (Stanton & Kliot): each vertex goes to the partition holding most of its
-//!   already-placed neighbours, weighted by a capacity penalty.
+//!   already-placed neighbours, weighted by a capacity penalty. The core is
+//!   a genuine one-pass stream consumer (bounded state: vertex→partition map
+//!   plus load counters); the whole-graph path is a thin adapter over it.
 //! * [`BfsPartitioner`] — region-growing: grows partitions from seed vertices
 //!   in BFS order, producing connected, low-cut partitions on mesh-like
 //!   graphs.
 //! * [`refine::fm_refine`] — greedy boundary-vertex migration that reduces
 //!   the edge cut while respecting a balance constraint.
+//!
+//! Partitioners whose algorithm can consume chunked edge batches additionally
+//! implement [`StreamingPartitioner`] (hash: any order; LDG: vertex-grouped
+//! streams), which is how the pipeline partitions memory-mapped `.ecsr`
+//! sources without materialising a graph.
 
 #![warn(missing_docs)]
 
@@ -35,4 +42,4 @@ pub use hash::HashPartitioner;
 pub use ldg::LdgPartitioner;
 pub use refine::fm_refine;
 pub use stats::PartitionQuality;
-pub use traits::Partitioner;
+pub use traits::{Partitioner, StreamingPartitioner};

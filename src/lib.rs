@@ -16,7 +16,8 @@
 //!   byte layout in [`graph::format_spec`]).
 //! * [`gen`] — workload generators (R-MAT, Eulerizer, synthetic Eulerian
 //!   families, paper graph configs).
-//! * [`partition`] — graph partitioners and partition-quality statistics.
+//! * [`partition`] — graph partitioners (including one-pass streaming
+//!   hash/LDG over chunked edge batches) and partition-quality statistics.
 //! * [`bsp`] — the Bulk Synchronous Parallel execution engine used as the
 //!   distributed substrate (Apache Spark substitute).
 //! * [`algo`] — the partition-centric Euler circuit algorithm itself:
@@ -90,6 +91,49 @@
 //! let engine = run.merge.engine.as_ref().expect("BSP runs carry engine stats");
 //! assert_eq!(engine.num_supersteps(), run.merge.supersteps);
 //! ```
+//!
+//! ## Out of core: streaming partitioning and bounded fragment memory
+//!
+//! For graphs that should never be materialised, pair a memory-mapped
+//! `.ecsr` source with a *streaming* partitioner and a fragment memory
+//! budget. [`LdgPartitioner`](partition::LdgPartitioner) and
+//! [`HashPartitioner`](partition::HashPartitioner) implement
+//! [`StreamingPartitioner`](partition::StreamingPartitioner): they consume
+//! chunked edge batches straight off the mapped sections (identical
+//! assignments to the whole-graph path, by construction), the partition
+//! view is sliced from the same sections, and `.memory_budget(longs)`
+//! bounds resident circuit-fragment memory by paging cold fragments to a
+//! temp file — reloaded on demand in Phase 3, bit-identical circuits,
+//! spill traffic reported per run.
+//!
+//! ```
+//! use euler_circuit::prelude::*;
+//!
+//! let graph = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]);
+//! let path = std::env::temp_dir().join("facade_quickstart.ecsr");
+//! write_csr_file(&graph, &path).unwrap();
+//!
+//! let run = EulerPipeline::builder()
+//!     .source(MmapCsrSource::open(&path).unwrap()) // zero-copy mmap open
+//!     .partitioner(LdgPartitioner::new(2))         // streamed off the mapped CSR
+//!     .memory_budget(1 << 20)                      // resident fragment Longs
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
+//!
+//! // The zero-Graph path is observable in the stage report.
+//! assert!(run.partition.partitioner.contains("streamed, direct csr slice"));
+//! assert_eq!(run.circuit.result.total_edges(), graph.num_edges());
+//! // Real fragment-memory accounting (peak resident, spill counts).
+//! assert!(run.circuit.fragment_stats.peak_resident_longs > 0);
+//! std::fs::remove_file(&path).ok();
+//! ```
+//!
+//! Custom whole-graph partitioners, BFS-order LDG
+//! ([`LdgPartitioner::with_bfs_order`](partition::LdgPartitioner::with_bfs_order))
+//! and `.verify(true)` need the resident graph and fall back to the load
+//! path automatically.
 //!
 //! ## Parallelism model
 //!
@@ -187,18 +231,20 @@ pub mod prelude {
     pub use euler_baseline::{fleury::fleury_circuit, hierholzer::hierholzer_circuit, makki::MakkiRunner};
     pub use euler_core::{
         run_on_partitioned, run_with_backend, verify::verify_circuit, BspBackend, CircuitResult,
-        EulerConfig, EulerPipeline, ExecutionBackend, InProcessBackend, MergeStrategy,
-        Parallelism, PipelineRun, RunReport,
+        EulerConfig, EulerPipeline, ExecutionBackend, FragmentStoreStats, InProcessBackend,
+        MergeStrategy, Parallelism, PipelineRun, RunReport, SpillConfig,
     };
     pub use euler_gen::{
         configs::GraphConfig, eulerize::eulerize, rmat::RmatGenerator, synthetic,
     };
     pub use euler_graph::{
         builder::graph_from_edges, is_eulerian, write_csr_file, Csr, CsrFile, EdgeId,
-        EdgeListFileSource, Graph, GraphBuilder, GraphSource, InMemorySource, MetaGraph,
-        MmapCsrSource, Partition, PartitionAssignment, PartitionId, PartitionedGraph, VertexId,
+        EdgeListFileSource, EdgeStream, Graph, GraphBuilder, GraphSource, InMemorySource,
+        MetaGraph, MmapCsrSource, Partition, PartitionAssignment, PartitionId, PartitionedGraph,
+        StreamOrder, VertexId,
     };
     pub use euler_partition::{
         BfsPartitioner, HashPartitioner, LdgPartitioner, PartitionQuality, Partitioner,
+        StreamingPartitioner,
     };
 }

@@ -195,14 +195,17 @@ proptest! {
             prop_assert_eq!(out_dense.complexity, out_ref.complexity);
             prop_assert_eq!(wp_dense.local_edges, wp_ref.local_edges);
             prop_assert_eq!(wp_dense.remote_edges, wp_ref.remote_edges);
-            let frags_dense = store_dense.snapshot();
-            let frags_ref = store_ref.snapshot();
-            prop_assert_eq!(frags_dense.len(), frags_ref.len());
-            for (d, r) in frags_dense.iter().zip(&frags_ref) {
-                prop_assert_eq!(d.id, r.id);
-                prop_assert_eq!(d.kind, r.kind);
-                prop_assert_eq!(&d.edges, &r.edges);
-            }
+            // Zero-copy diff through `with_all` (snapshot would clone both).
+            store_dense.with_all(|frags_dense| {
+                store_ref.with_all(|frags_ref| {
+                    assert_eq!(frags_dense.len(), frags_ref.len());
+                    for (d, r) in frags_dense.iter().zip(frags_ref) {
+                        assert_eq!(d.id, r.id);
+                        assert_eq!(d.kind, r.kind);
+                        assert_eq!(&d.edges, &r.edges);
+                    }
+                })
+            });
         }
     }
 
