@@ -15,6 +15,11 @@
 //! recording the real peak resident fragment Longs and the spill traffic
 //! (and asserting the two runs' circuits are bit-identical).
 //!
+//! The `fault_tolerance` section times the distributed wire-transport path
+//! on the R-MAT workload three ways — checkpointing off, checkpointing on,
+//! and a kill-and-resume recovery — asserting all three stay bit-identical
+//! to the in-process run.
+//!
 //! Usage: `cargo run --release -p euler-bench --bin bench_pipeline [reps]`
 //! (default 5 repetitions; the minimum over reps is reported).
 
@@ -61,7 +66,7 @@ fn bench_workload(name: &str, g: &Graph, assignment: &PartitionAssignment, reps:
     let pipeline = EulerPipeline::builder()
         .graph(g)
         .assignment(assignment.clone())
-        .config(config)
+        .config(config.clone())
         .build()
         .unwrap();
     let (builder_s, builder_edges) = time_runs(reps, || {
@@ -73,7 +78,7 @@ fn bench_workload(name: &str, g: &Graph, assignment: &PartitionAssignment, reps:
     let intra_pipeline = EulerPipeline::builder()
         .graph(g)
         .assignment(assignment.clone())
-        .config(config)
+        .config(config.clone())
         .backend(InProcessBackend::new().with_parallelism(Parallelism::IntraPartition).with_threads(8))
         .build()
         .unwrap();
@@ -233,6 +238,87 @@ fn main() {
     ]);
     std::fs::remove_file(&csr_path).ok();
 
+    // --- Fault-tolerance section: the distributed (wire-transport) path on
+    // the standard R-MAT input. Three configurations of the same run —
+    // checkpointing off, checkpointing on, and a kill-and-resume where a
+    // worker dies at superstep 1 and the fleet rolls back — timed against
+    // each other, with bit-identity to the in-process run asserted in-bench.
+    let rmat_assignment = LdgPartitioner::new(8).partition(&rmat);
+    let in_proc_reference = EulerPipeline::builder()
+        .graph(&rmat)
+        .assignment(rmat_assignment.clone())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let ckpt_dir = dir.join("ft-ckpts");
+    let distributed = |checkpoint: bool, plan: Option<euler_bsp::FaultPlan>| {
+        let mut backend = euler_core::BspBackend::with_engine(euler_bsp::BspConfig::with_workers(2))
+            .with_transport(std::sync::Arc::new(euler_bsp::MemTransport));
+        if checkpoint {
+            backend = backend.checkpoint_dir(&ckpt_dir);
+        }
+        if let Some(plan) = plan {
+            backend = backend.with_fault_plan(plan);
+        }
+        EulerPipeline::builder()
+            .graph(&rmat)
+            .assignment(rmat_assignment.clone())
+            .backend(backend)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap()
+    };
+    let mut ft_runs = Vec::new();
+    let mut ft_row = vec![
+        ("workload", Value::str("rmat16_eulerized_8_parts_2_workers_mem_transport")),
+        ("edges", Value::Num(rmat.num_edges() as f64)),
+    ];
+    for (label, checkpoint, plan) in [
+        ("checkpoint_off", false, None),
+        ("checkpoint_on", true, None),
+        ("kill_and_resume", true, Some(euler_bsp::FaultPlan::kill_at(1, 1))),
+    ] {
+        let mut last = None;
+        let (secs, _) = time_runs(reps, || {
+            let run = distributed(checkpoint, plan);
+            let edges = run.circuit.result.total_edges();
+            last = Some(run);
+            edges
+        });
+        let run = last.expect("at least one repetition ran");
+        assert_eq!(
+            run.circuit.result.circuits, in_proc_reference.circuit.result.circuits,
+            "distributed `{label}` run must be bit-identical to the in-process run"
+        );
+        assert_eq!(run.merge.total_transfer_longs, in_proc_reference.merge.total_transfer_longs);
+        let recovery = run.merge.engine.as_ref().expect("engine stats").recovery;
+        if plan.is_some() {
+            assert!(recovery.restarts >= 1, "the injected kill was never observed");
+        }
+        println!(
+            "fault_tolerance/{label}: {secs:.3}s | restarts {} | checkpoint Longs written {} \
+             restored {}",
+            recovery.restarts, recovery.checkpoint_longs_written, recovery.checkpoint_longs_restored
+        );
+        ft_row.push(match label {
+            "checkpoint_off" => ("checkpoint_off_seconds", Value::Num(secs)),
+            "checkpoint_on" => ("checkpoint_on_seconds", Value::Num(secs)),
+            _ => ("kill_and_resume_seconds", Value::Num(secs)),
+        });
+        ft_runs.push((label, recovery));
+    }
+    let (_, ckpt_recovery) = ft_runs[1];
+    let (_, kill_recovery) = ft_runs[2];
+    ft_row.push(("checkpoint_longs_written", Value::Num(ckpt_recovery.checkpoint_longs_written as f64)));
+    ft_row.push(("kill_restarts", Value::Num(kill_recovery.restarts as f64)));
+    ft_row.push((
+        "kill_checkpoint_longs_restored",
+        Value::Num(kill_recovery.checkpoint_longs_restored as f64),
+    ));
+    let fault_tolerance = Value::obj(ft_row);
+
     let doc = Value::obj(vec![
         ("experiment", Value::str("pipeline_api_overhead")),
         (
@@ -245,12 +331,16 @@ fn main() {
                  run_with_backend, which does the same graph-side work. The out_of_core \
                  section runs the zero-Graph spine (mmap .ecsr + streaming LDG) with and \
                  without a fragment memory_budget, recording peak resident fragment Longs \
-                 and spill traffic; bit-identity between the two runs is asserted in-bench.",
+                 and spill traffic; bit-identity between the two runs is asserted in-bench. \
+                 The fault_tolerance section times the distributed wire-transport path with \
+                 checkpointing off, on, and through a kill-and-resume recovery, asserting \
+                 bit-identity to the in-process run in all three.",
             ),
         ),
         ("repetitions", Value::Num(reps as f64)),
         ("results", Value::Arr(rows)),
         ("out_of_core", out_of_core),
+        ("fault_tolerance", fault_tolerance),
     ]);
     std::fs::write("BENCH_pipeline.json", doc.to_pretty() + "\n").expect("write BENCH_pipeline.json");
     println!("wrote BENCH_pipeline.json");

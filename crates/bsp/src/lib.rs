@@ -31,21 +31,30 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod cost_model;
 pub mod engine;
+pub mod fault;
 pub mod memory;
 pub mod message;
 pub mod program;
 pub mod stats;
 pub mod superstep;
+pub mod transport;
 pub mod vertex;
 pub mod worker;
 
+pub use checkpoint::{checkpoint_file, read_checkpoint, write_checkpoint, CheckpointError};
 pub use cost_model::PlatformCostModel;
 pub use engine::{BspConfig, BspEngine, RunOutcome, StepRun, WorkerCount};
+pub use fault::{FaultPlan, FaultPolicy, KillMode, RecoveryStats};
 pub use memory::{MemoryTimeline, MemoryTracker};
 pub use message::{Envelope, WorkerId};
 pub use program::{PartitionContext, PartitionProgram, VertexContext, VertexProgram};
 pub use stats::{EngineStats, SuperstepStats};
+pub use transport::{
+    connect_endpoint, connect_with_retry, FrameError, MemTransport, TcpTransport, Transport,
+    UnixTransport,
+};
 pub use vertex::{run_vertex_program, VertexEngineConfig, VertexEngineStats};
 pub use worker::PartitionPlacement;

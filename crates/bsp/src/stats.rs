@@ -5,6 +5,7 @@
 //! moved between workers per superstep, superstep (coordination) counts, and
 //! per-partition memory state in Longs (Fig. 8/9).
 
+use crate::fault::RecoveryStats;
 use euler_metrics::{MemoryState, TimeBreakdown};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -63,6 +64,10 @@ pub struct EngineStats {
     /// Modelled platform overhead added by the cost model (scheduling,
     /// serialisation, shuffle, barriers). Kept separate from measured time.
     pub modelled_platform_overhead: Duration,
+    /// Fault-tolerance counters (worker restarts, heartbeat misses,
+    /// checkpoint traffic). All zero for in-process engine runs; populated
+    /// by the distributed coordinator.
+    pub recovery: RecoveryStats,
 }
 
 impl EngineStats {

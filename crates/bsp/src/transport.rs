@@ -1,0 +1,850 @@
+//! The wire-transport seam: framed, checksummed connections between the
+//! coordinator and its workers.
+//!
+//! The engine's original deployment simulates every worker inside one
+//! process; this module is what makes "distributed" real. A [`Transport`]
+//! hands out [`Listener`]s and [`Connection`]s over one of three substrates:
+//!
+//! * [`MemTransport`] — the in-memory channel path (worker threads in this
+//!   process, frames over `std::sync::mpsc`).
+//! * [`TcpTransport`] — loopback TCP sockets (`std::net` only, per the
+//!   offline-shim constraint), the path worker *processes* connect over.
+//! * [`UnixTransport`] — Unix-domain sockets in a private temp directory.
+//!
+//! Every frame on a socket transport is length-prefixed and checksummed:
+//!
+//! ```text
+//! magic   u32  0x45_55_4C_52 ("EULR")
+//! version u16  FRAME_VERSION
+//! kind    u16  message discriminant (opaque to this layer)
+//! len     u32  payload bytes (<= MAX_FRAME_BYTES)
+//! check   u64  FNV-1a over kind, len and payload
+//! payload [u8; len]
+//! ```
+//!
+//! Decoding garbage yields a typed [`FrameError`] — bad magic, foreign
+//! version, truncated header/payload, oversized length (rejected **before**
+//! any allocation), checksum mismatch — never a panic and never an
+//! over-allocation. The in-memory transport carries the same frames through
+//! the same codec, so both impls share one hardening test surface.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Frame magic: `"EULR"` as a big-endian u32.
+pub const FRAME_MAGIC: u32 = 0x4555_4C52;
+/// Current frame-format version.
+pub const FRAME_VERSION: u16 = 1;
+/// Upper bound on a frame payload. A length field above this is rejected as
+/// [`FrameError::LengthOverflow`] before any buffer is allocated.
+pub const MAX_FRAME_BYTES: u32 = 1 << 30;
+/// Size of the fixed frame header in bytes.
+pub const FRAME_HEADER_BYTES: usize = 20;
+
+/// Typed decode/transport errors. Garbage input maps to one of these —
+/// never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The stream does not start with [`FRAME_MAGIC`].
+    BadMagic {
+        /// The four bytes found instead.
+        found: u32,
+    },
+    /// The frame was written by an incompatible format version.
+    UnsupportedVersion {
+        /// The version tag found.
+        found: u16,
+    },
+    /// The stream ended inside a frame header or payload.
+    Truncated {
+        /// Bytes expected to complete the frame.
+        expected: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The length field exceeds [`MAX_FRAME_BYTES`]; rejected before
+    /// allocating.
+    LengthOverflow {
+        /// The declared payload length.
+        declared: u64,
+    },
+    /// The payload checksum does not match the header.
+    ChecksumMismatch,
+    /// The peer closed the connection at a frame boundary.
+    Closed,
+    /// No frame arrived within the requested timeout.
+    Timeout,
+    /// An underlying I/O error (message kept, `std::io::Error` is not
+    /// comparable).
+    Io(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic { found } => write!(f, "bad frame magic {found:#010x}"),
+            FrameError::UnsupportedVersion { found } => {
+                write!(f, "unsupported frame version {found}")
+            }
+            FrameError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {got}")
+            }
+            FrameError::LengthOverflow { declared } => {
+                write!(f, "frame length {declared} exceeds cap {MAX_FRAME_BYTES}")
+            }
+            FrameError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Timeout => write!(f, "timed out waiting for a frame"),
+            FrameError::Io(e) => write!(f, "transport i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e.to_string())
+    }
+}
+
+/// FNV-1a over a byte slice — the frame payload checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_with(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// FNV-1a continued from a prior digest, for chaining over several slices.
+fn fnv1a_with(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The frame checksum: FNV-1a chained over the kind, the declared length and
+/// the payload, so a flipped bit anywhere past the version field is caught
+/// (a corrupted `kind` would otherwise decode fine and misroute the frame).
+fn frame_checksum(kind: u16, len: u32, payload: &[u8]) -> u64 {
+    let mut h = fnv1a_with(0xcbf2_9ce4_8422_2325, &kind.to_le_bytes());
+    h = fnv1a_with(h, &len.to_le_bytes());
+    fnv1a_with(h, payload)
+}
+
+/// Encodes one frame (header + payload) into a byte vector.
+pub fn encode_frame(kind: u16, payload: &[u8]) -> Result<Vec<u8>, FrameError> {
+    if payload.len() as u64 > MAX_FRAME_BYTES as u64 {
+        return Err(FrameError::LengthOverflow { declared: payload.len() as u64 });
+    }
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.extend_from_slice(&FRAME_VERSION.to_le_bytes());
+    out.extend_from_slice(&kind.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame_checksum(kind, payload.len() as u32, payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Decodes one frame from the front of `bytes`, returning
+/// `(kind, payload, consumed)`.
+pub fn decode_frame(bytes: &[u8]) -> Result<(u16, Vec<u8>, usize), FrameError> {
+    if bytes.len() < FRAME_HEADER_BYTES {
+        return Err(FrameError::Truncated { expected: FRAME_HEADER_BYTES, got: bytes.len() });
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("sized"));
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic { found: magic });
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("sized"));
+    if version != FRAME_VERSION {
+        return Err(FrameError::UnsupportedVersion { found: version });
+    }
+    let kind = u16::from_le_bytes(bytes[6..8].try_into().expect("sized"));
+    let len = u32::from_le_bytes(bytes[8..12].try_into().expect("sized"));
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::LengthOverflow { declared: len as u64 });
+    }
+    let check = u64::from_le_bytes(bytes[12..20].try_into().expect("sized"));
+    let total = FRAME_HEADER_BYTES + len as usize;
+    if bytes.len() < total {
+        return Err(FrameError::Truncated { expected: total, got: bytes.len() });
+    }
+    let payload = bytes[FRAME_HEADER_BYTES..total].to_vec();
+    if frame_checksum(kind, len, &payload) != check {
+        return Err(FrameError::ChecksumMismatch);
+    }
+    Ok((kind, payload, total))
+}
+
+/// Reads one frame from a blocking stream. Returns [`FrameError::Closed`]
+/// when the peer hangs up exactly at a frame boundary, `Truncated` when it
+/// hangs up mid-frame, and `Timeout` when the stream's read timeout fires.
+fn read_frame_stream(r: &mut impl Read) -> Result<(u16, Vec<u8>), FrameError> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    read_exact_or(r, &mut header, true)?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("sized"));
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic { found: magic });
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().expect("sized"));
+    if version != FRAME_VERSION {
+        return Err(FrameError::UnsupportedVersion { found: version });
+    }
+    let kind = u16::from_le_bytes(header[6..8].try_into().expect("sized"));
+    let len = u32::from_le_bytes(header[8..12].try_into().expect("sized"));
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::LengthOverflow { declared: len as u64 });
+    }
+    let check = u64::from_le_bytes(header[12..20].try_into().expect("sized"));
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or(r, &mut payload, false)?;
+    if frame_checksum(kind, len, &payload) != check {
+        return Err(FrameError::ChecksumMismatch);
+    }
+    Ok((kind, payload))
+}
+
+/// `read_exact` with typed errors: EOF at offset 0 of the header is a clean
+/// close; EOF anywhere else is a truncation; `WouldBlock`/`TimedOut` is a
+/// timeout.
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], eof_is_close: bool) -> Result<(), FrameError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if eof_is_close && filled == 0 {
+                    Err(FrameError::Closed)
+                } else {
+                    Err(FrameError::Truncated { expected: buf.len(), got: filled })
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(FrameError::Timeout);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// A bidirectional framed channel to one peer. `send` and `recv_timeout`
+/// lock independent halves, so a heartbeat thread can transmit while the
+/// main loop blocks on receive.
+pub trait Connection: Send + Sync {
+    /// Sends one frame.
+    fn send(&self, kind: u16, payload: &[u8]) -> Result<(), FrameError>;
+    /// Receives one frame, blocking at most `timeout` (`None` blocks
+    /// indefinitely). A quiet timeout returns [`FrameError::Timeout`].
+    fn recv_timeout(&self, timeout: Option<Duration>) -> Result<(u16, Vec<u8>), FrameError>;
+}
+
+/// Accepts inbound worker connections on an endpoint.
+pub trait Listener: Send {
+    /// The endpoint string workers pass to [`Transport::connect`]
+    /// (e.g. `tcp:127.0.0.1:41234`, `unix:/tmp/…/w.sock`, `mem:3`).
+    fn endpoint(&self) -> String;
+    /// Accepts one connection, waiting at most `timeout`.
+    fn accept(&self, timeout: Duration) -> Result<Box<dyn Connection>, FrameError>;
+}
+
+/// A connection factory: one of the three substrates above.
+pub trait Transport: Send + Sync {
+    /// Substrate name (`"mem"`, `"tcp"`, `"unix"`), for reports.
+    fn name(&self) -> &'static str;
+    /// Opens a listener on a fresh endpoint.
+    fn listen(&self) -> Result<Box<dyn Listener>, FrameError>;
+    /// Connects to a listener's endpoint.
+    fn connect(&self, endpoint: &str) -> Result<Box<dyn Connection>, FrameError>;
+    /// Whether endpoints are reachable from *other processes* (sockets yes,
+    /// in-memory channels no).
+    fn supports_processes(&self) -> bool {
+        false
+    }
+}
+
+/// Connects with bounded retry and linear backoff — worker processes race
+/// the coordinator's `accept`, and the first attempts may land early.
+pub fn connect_with_retry(
+    transport: &dyn Transport,
+    endpoint: &str,
+    attempts: u32,
+    backoff: Duration,
+) -> Result<Box<dyn Connection>, FrameError> {
+    let mut last = FrameError::Io("no connect attempts were made".into());
+    for attempt in 0..attempts.max(1) {
+        match transport.connect(endpoint) {
+            Ok(c) => return Ok(c),
+            Err(e) => last = e,
+        }
+        std::thread::sleep(backoff * (attempt + 1));
+    }
+    Err(last)
+}
+
+/// Connects to an endpoint by scheme (`tcp:`/`unix:`/`mem:`) — what the
+/// `euler-worker` binary uses, since it only receives the endpoint string.
+pub fn connect_endpoint(
+    endpoint: &str,
+    attempts: u32,
+    backoff: Duration,
+) -> Result<Box<dyn Connection>, FrameError> {
+    let transport: Box<dyn Transport> = if endpoint.starts_with("tcp:") {
+        Box::new(TcpTransport)
+    } else if endpoint.starts_with("unix:") {
+        Box::new(UnixTransport::new())
+    } else if endpoint.starts_with("mem:") {
+        Box::new(MemTransport)
+    } else {
+        return Err(FrameError::Io(format!("unknown endpoint scheme: {endpoint}")));
+    };
+    connect_with_retry(transport.as_ref(), endpoint, attempts, backoff)
+}
+
+// ---------------------------------------------------------------------------
+// In-memory transport.
+// ---------------------------------------------------------------------------
+
+/// One direction of an in-memory connection: frames as encoded byte vectors
+/// (the same codec as the socket paths, so corruption tests cover both).
+type MemFrame = Vec<u8>;
+/// A connect request: the dialing side's two channel halves.
+type MemDial = (mpsc::Sender<MemFrame>, mpsc::Receiver<MemFrame>);
+
+struct MemRegistry {
+    /// endpoint token → queue of connect requests.
+    pending: Mutex<HashMap<u64, mpsc::Sender<MemDial>>>,
+    next_token: AtomicU64,
+}
+
+fn mem_registry() -> &'static MemRegistry {
+    static REG: OnceLock<MemRegistry> = OnceLock::new();
+    REG.get_or_init(|| MemRegistry {
+        pending: Mutex::new(HashMap::new()),
+        next_token: AtomicU64::new(1),
+    })
+}
+
+/// The in-memory channel transport: worker threads in this process,
+/// `mpsc` queues underneath, frames through the same codec as the sockets.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemTransport;
+
+struct MemListener {
+    token: u64,
+    accept_rx: Mutex<mpsc::Receiver<MemDial>>,
+}
+
+impl Drop for MemListener {
+    fn drop(&mut self) {
+        mem_registry().pending.lock().expect("registry lock").remove(&self.token);
+    }
+}
+
+struct MemConnection {
+    tx: Mutex<Option<mpsc::Sender<MemFrame>>>,
+    rx: Mutex<mpsc::Receiver<MemFrame>>,
+}
+
+impl Connection for MemConnection {
+    fn send(&self, kind: u16, payload: &[u8]) -> Result<(), FrameError> {
+        let frame = encode_frame(kind, payload)?;
+        let guard = self.tx.lock().expect("send half lock");
+        match guard.as_ref() {
+            Some(tx) => tx.send(frame).map_err(|_| FrameError::Closed),
+            None => Err(FrameError::Closed),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Option<Duration>) -> Result<(u16, Vec<u8>), FrameError> {
+        let rx = self.rx.lock().expect("recv half lock");
+        let frame = match timeout {
+            None => rx.recv().map_err(|_| FrameError::Closed)?,
+            Some(t) => rx.recv_timeout(t).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => FrameError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => FrameError::Closed,
+            })?,
+        };
+        let (kind, payload, _) = decode_frame(&frame)?;
+        Ok((kind, payload))
+    }
+}
+
+impl Listener for MemListener {
+    fn endpoint(&self) -> String {
+        format!("mem:{}", self.token)
+    }
+
+    fn accept(&self, timeout: Duration) -> Result<Box<dyn Connection>, FrameError> {
+        let rx = self.accept_rx.lock().expect("accept lock");
+        let (peer_tx, my_rx) = rx.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => FrameError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => FrameError::Closed,
+        })?;
+        Ok(Box::new(MemConnection { tx: Mutex::new(Some(peer_tx)), rx: Mutex::new(my_rx) }))
+    }
+}
+
+impl Transport for MemTransport {
+    fn name(&self) -> &'static str {
+        "mem"
+    }
+
+    fn listen(&self) -> Result<Box<dyn Listener>, FrameError> {
+        let reg = mem_registry();
+        let token = reg.next_token.fetch_add(1, Ordering::Relaxed);
+        let (accept_tx, accept_rx) = mpsc::channel();
+        reg.pending.lock().expect("registry lock").insert(token, accept_tx);
+        Ok(Box::new(MemListener { token, accept_rx: Mutex::new(accept_rx) }))
+    }
+
+    fn connect(&self, endpoint: &str) -> Result<Box<dyn Connection>, FrameError> {
+        let token: u64 = endpoint
+            .strip_prefix("mem:")
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| FrameError::Io(format!("bad mem endpoint: {endpoint}")))?;
+        let accept_tx = {
+            let reg = mem_registry().pending.lock().expect("registry lock");
+            reg.get(&token).cloned().ok_or(FrameError::Closed)?
+        };
+        // Two directed queues; the listener side gets (its tx = our rx's tx).
+        let (to_listener_tx, to_listener_rx) = mpsc::channel();
+        let (to_dialer_tx, to_dialer_rx) = mpsc::channel();
+        accept_tx.send((to_dialer_tx, to_listener_rx)).map_err(|_| FrameError::Closed)?;
+        Ok(Box::new(MemConnection {
+            tx: Mutex::new(Some(to_listener_tx)),
+            rx: Mutex::new(to_dialer_rx),
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Socket transports (TCP loopback + Unix domain).
+// ---------------------------------------------------------------------------
+
+/// A connection over any paired `Read`/`Write` stream halves with a
+/// settable read timeout.
+struct StreamConnection<R: Read + Send, W: Write + Send> {
+    reader: Mutex<R>,
+    writer: Mutex<W>,
+    set_timeout: Box<dyn Fn(Option<Duration>) -> std::io::Result<()> + Send + Sync>,
+}
+
+impl<R: Read + Send, W: Write + Send> Connection for StreamConnection<R, W> {
+    fn send(&self, kind: u16, payload: &[u8]) -> Result<(), FrameError> {
+        let frame = encode_frame(kind, payload)?;
+        let mut w = self.writer.lock().expect("writer lock");
+        w.write_all(&frame)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    fn recv_timeout(&self, timeout: Option<Duration>) -> Result<(u16, Vec<u8>), FrameError> {
+        let mut r = self.reader.lock().expect("reader lock");
+        (self.set_timeout)(timeout)?;
+        read_frame_stream(&mut *r)
+    }
+}
+
+fn tcp_connection(stream: TcpStream) -> Result<Box<dyn Connection>, FrameError> {
+    stream.set_nodelay(true).ok();
+    let reader = stream.try_clone()?;
+    let timeout_handle = stream.try_clone()?;
+    Ok(Box::new(StreamConnection {
+        reader: Mutex::new(reader),
+        writer: Mutex::new(stream),
+        set_timeout: Box::new(move |t| timeout_handle.set_read_timeout(t)),
+    }))
+}
+
+/// Loopback TCP transport (`127.0.0.1`, ephemeral ports).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TcpTransport;
+
+struct TcpListenerWrap {
+    listener: TcpListener,
+}
+
+impl Listener for TcpListenerWrap {
+    fn endpoint(&self) -> String {
+        match self.listener.local_addr() {
+            Ok(a) => format!("tcp:{a}"),
+            Err(_) => "tcp:?".to_string(),
+        }
+    }
+
+    fn accept(&self, timeout: Duration) -> Result<Box<dyn Connection>, FrameError> {
+        // `std::net` has no accept timeout; poll in non-blocking mode.
+        self.listener.set_nonblocking(true)?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.listener.set_nonblocking(false)?;
+                    stream.set_nonblocking(false)?;
+                    return tcp_connection(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        self.listener.set_nonblocking(false)?;
+                        return Err(FrameError::Timeout);
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    self.listener.set_nonblocking(false)?;
+                    return Err(e.into());
+                }
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn listen(&self) -> Result<Box<dyn Listener>, FrameError> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        Ok(Box::new(TcpListenerWrap { listener }))
+    }
+
+    fn connect(&self, endpoint: &str) -> Result<Box<dyn Connection>, FrameError> {
+        let addr = endpoint
+            .strip_prefix("tcp:")
+            .ok_or_else(|| FrameError::Io(format!("bad tcp endpoint: {endpoint}")))?;
+        let stream = TcpStream::connect(addr)?;
+        tcp_connection(stream)
+    }
+
+    fn supports_processes(&self) -> bool {
+        true
+    }
+}
+
+/// Unix-domain-socket transport; socket files live in a fresh private temp
+/// directory, removed when the listener drops.
+#[derive(Clone, Debug, Default)]
+pub struct UnixTransport;
+
+impl UnixTransport {
+    /// Creates the transport (no state; sockets are per-listener).
+    pub fn new() -> Self {
+        UnixTransport
+    }
+}
+
+struct UnixListenerWrap {
+    listener: UnixListener,
+    dir: std::path::PathBuf,
+    path: std::path::PathBuf,
+}
+
+impl Drop for UnixListenerWrap {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.path).ok();
+        std::fs::remove_dir(&self.dir).ok();
+    }
+}
+
+fn unix_connection(stream: UnixStream) -> Result<Box<dyn Connection>, FrameError> {
+    let reader = stream.try_clone()?;
+    let timeout_handle = stream.try_clone()?;
+    Ok(Box::new(StreamConnection {
+        reader: Mutex::new(reader),
+        writer: Mutex::new(stream),
+        set_timeout: Box::new(move |t| timeout_handle.set_read_timeout(t)),
+    }))
+}
+
+impl Listener for UnixListenerWrap {
+    fn endpoint(&self) -> String {
+        format!("unix:{}", self.path.display())
+    }
+
+    fn accept(&self, timeout: Duration) -> Result<Box<dyn Connection>, FrameError> {
+        self.listener.set_nonblocking(true)?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.listener.set_nonblocking(false)?;
+                    stream.set_nonblocking(false)?;
+                    return unix_connection(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        self.listener.set_nonblocking(false)?;
+                        return Err(FrameError::Timeout);
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    self.listener.set_nonblocking(false)?;
+                    return Err(e.into());
+                }
+            }
+        }
+    }
+}
+
+static UNIX_SOCK_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl Transport for UnixTransport {
+    fn name(&self) -> &'static str {
+        "unix"
+    }
+
+    fn listen(&self) -> Result<Box<dyn Listener>, FrameError> {
+        let dir = std::env::temp_dir().join(format!(
+            "euler-uds-{}-{}",
+            std::process::id(),
+            UNIX_SOCK_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("coordinator.sock");
+        let listener = UnixListener::bind(&path)?;
+        Ok(Box::new(UnixListenerWrap { listener, dir, path }))
+    }
+
+    fn connect(&self, endpoint: &str) -> Result<Box<dyn Connection>, FrameError> {
+        let path = endpoint
+            .strip_prefix("unix:")
+            .ok_or_else(|| FrameError::Io(format!("bad unix endpoint: {endpoint}")))?;
+        let stream = UnixStream::connect(path)?;
+        unix_connection(stream)
+    }
+
+    fn supports_processes(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let payload = b"hello frames".to_vec();
+        let frame = encode_frame(7, &payload).unwrap();
+        let (kind, got, consumed) = decode_frame(&frame).unwrap();
+        assert_eq!(kind, 7);
+        assert_eq!(got, payload);
+        assert_eq!(consumed, frame.len());
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let frame = encode_frame(0, &[]).unwrap();
+        let (kind, got, consumed) = decode_frame(&frame).unwrap();
+        assert_eq!((kind, got.len(), consumed), (0, 0, FRAME_HEADER_BYTES));
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut frame = encode_frame(1, b"x").unwrap();
+        frame[0] ^= 0xFF;
+        assert!(matches!(decode_frame(&frame), Err(FrameError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn foreign_version_is_typed() {
+        let mut frame = encode_frame(1, b"x").unwrap();
+        frame[4] = 0xEE;
+        frame[5] = 0xEE;
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(FrameError::UnsupportedVersion { found: 0xEEEE })
+        ));
+    }
+
+    #[test]
+    fn truncated_header_and_payload_are_typed() {
+        let frame = encode_frame(1, b"abcdef").unwrap();
+        assert!(matches!(decode_frame(&frame[..10]), Err(FrameError::Truncated { .. })));
+        assert!(matches!(
+            decode_frame(&frame[..frame.len() - 2]),
+            Err(FrameError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut frame = encode_frame(1, b"x").unwrap();
+        // Forge a ludicrous length; decode must refuse without trying to
+        // allocate or read that much.
+        frame[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(FrameError::LengthOverflow { declared }) if declared == u32::MAX as u64
+        ));
+        assert!(matches!(
+            encode_frame(1, &vec![0u8; MAX_FRAME_BYTES as usize + 1]),
+            Err(FrameError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_bit_is_checksum_mismatch() {
+        let mut frame = encode_frame(1, b"payload bytes").unwrap();
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        assert_eq!(decode_frame(&frame), Err(FrameError::ChecksumMismatch));
+    }
+
+    fn exercise_transport(t: &dyn Transport) {
+        let listener = t.listen().unwrap();
+        let endpoint = listener.endpoint();
+        let t2 = endpoint.clone();
+        let dialer = std::thread::spawn(move || {
+            let conn = connect_endpoint(&t2, 10, Duration::from_millis(5)).unwrap();
+            conn.send(3, b"ping").unwrap();
+            let (kind, payload) = conn.recv_timeout(Some(Duration::from_secs(5))).unwrap();
+            assert_eq!((kind, payload.as_slice()), (4, b"pong".as_slice()));
+        });
+        let conn = listener.accept(Duration::from_secs(5)).unwrap();
+        let (kind, payload) = conn.recv_timeout(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!((kind, payload.as_slice()), (3, b"ping".as_slice()));
+        conn.send(4, b"pong").unwrap();
+        dialer.join().unwrap();
+    }
+
+    #[test]
+    fn mem_transport_ping_pong() {
+        exercise_transport(&MemTransport);
+    }
+
+    #[test]
+    fn tcp_transport_ping_pong() {
+        exercise_transport(&TcpTransport);
+    }
+
+    #[test]
+    fn unix_transport_ping_pong() {
+        exercise_transport(&UnixTransport::new());
+    }
+
+    #[test]
+    fn recv_timeout_fires() {
+        let listener = TcpTransport.listen().unwrap();
+        let endpoint = listener.endpoint();
+        let _dialer = TcpTransport.connect(&endpoint).unwrap();
+        let conn = listener.accept(Duration::from_secs(5)).unwrap();
+        let t0 = Instant::now();
+        assert_eq!(
+            conn.recv_timeout(Some(Duration::from_millis(30))).unwrap_err(),
+            FrameError::Timeout
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn closed_peer_is_typed() {
+        let listener = TcpTransport.listen().unwrap();
+        let endpoint = listener.endpoint();
+        let dialer = TcpTransport.connect(&endpoint).unwrap();
+        let conn = listener.accept(Duration::from_secs(5)).unwrap();
+        drop(dialer);
+        assert_eq!(
+            conn.recv_timeout(Some(Duration::from_secs(1))).unwrap_err(),
+            FrameError::Closed
+        );
+    }
+
+    #[test]
+    fn garbage_stream_never_panics() {
+        // A peer that writes raw garbage (not frames) must produce a typed
+        // error on the reading side.
+        let listener = TcpTransport.listen().unwrap();
+        let endpoint = listener.endpoint().strip_prefix("tcp:").unwrap().to_string();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(endpoint).unwrap();
+            s.write_all(b"this is definitely not a frame header at all....").unwrap();
+        });
+        let conn = listener.accept(Duration::from_secs(5)).unwrap();
+        let err = conn.recv_timeout(Some(Duration::from_secs(5))).unwrap_err();
+        assert!(
+            matches!(err, FrameError::BadMagic { .. } | FrameError::Truncated { .. }),
+            "unexpected error: {err:?}"
+        );
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn connect_with_retry_eventually_fails_typed() {
+        match connect_endpoint("tcp:127.0.0.1:1", 2, Duration::from_millis(1)) {
+            Err(FrameError::Io(_)) => {}
+            Err(e) => panic!("expected Io error, got {e:?}"),
+            Ok(_) => panic!("connect to a closed port unexpectedly succeeded"),
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Any (kind, payload) round-trips through the frame codec.
+            #[test]
+            fn random_frames_roundtrip(
+                kind in 0u16..u16::MAX,
+                payload in prop::collection::vec(0u64..256u64, 0..512),
+            ) {
+                let payload: Vec<u8> = payload.iter().map(|&b| b as u8).collect();
+                let frame = encode_frame(kind, &payload).unwrap();
+                let (k, p, consumed) = decode_frame(&frame).unwrap();
+                prop_assert_eq!(k, kind);
+                prop_assert_eq!(p, payload);
+                prop_assert_eq!(consumed, frame.len());
+            }
+
+            /// Flipping any byte of an encoded frame yields a typed error —
+            /// never a panic and never a silently different frame. (The
+            /// checksum covers kind, length and payload; magic and version
+            /// have their own typed rejections.)
+            #[test]
+            fn any_single_byte_corruption_is_detected(
+                kind in 0u16..u16::MAX,
+                payload in prop::collection::vec(0u64..256, 0..256),
+                pos_seed in 0u64..10_000,
+                flip in 1u64..256,
+            ) {
+                let payload: Vec<u8> = payload.iter().map(|&b| b as u8).collect();
+                let mut frame = encode_frame(kind, &payload).unwrap();
+                let pos = (pos_seed as usize) % frame.len();
+                frame[pos] ^= flip as u8;
+                prop_assert!(decode_frame(&frame).is_err(), "corruption at byte {} went undetected", pos);
+            }
+
+            /// Any prefix truncation of a valid frame is a typed error.
+            #[test]
+            fn any_truncation_is_detected(
+                kind in 0u16..u16::MAX,
+                payload in prop::collection::vec(0u64..256, 1..256),
+                cut_seed in 0u64..10_000,
+            ) {
+                let payload: Vec<u8> = payload.iter().map(|&b| b as u8).collect();
+                let frame = encode_frame(kind, &payload).unwrap();
+                let cut = (cut_seed as usize) % frame.len();
+                prop_assert!(matches!(decode_frame(&frame[..cut]), Err(FrameError::Truncated { .. })));
+            }
+        }
+    }
+}

@@ -4,7 +4,7 @@ use crate::merge_strategy::MergeStrategy;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the partition-centric Euler circuit algorithm.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
 pub struct EulerConfig {
     /// Strategy for handling remote edges across merge levels (§5).
     pub merge_strategy: MergeStrategy,
@@ -25,6 +25,12 @@ pub struct EulerConfig {
     /// fragments to a temp file once the resident set exceeds the budget —
     /// circuits are bit-identical either way.
     pub fragment_memory_budget: Option<u64>,
+    /// Directory the fragment spill file is created in when a
+    /// [`fragment_memory_budget`](Self::fragment_memory_budget) is set.
+    /// `None` (default) uses [`std::env::temp_dir`]. A broken directory does
+    /// not fail the run — spilling falls back to resident fragments and the
+    /// degradation surfaces in `RunReport::warnings`.
+    pub fragment_spill_directory: Option<std::path::PathBuf>,
 }
 
 impl Default for EulerConfig {
@@ -35,6 +41,7 @@ impl Default for EulerConfig {
             verify: false,
             require_eulerian: true,
             fragment_memory_budget: None,
+            fragment_spill_directory: None,
         }
     }
 }
@@ -73,6 +80,13 @@ impl EulerConfig {
     /// mode; see [`EulerConfig::fragment_memory_budget`]).
     pub fn with_fragment_memory_budget(mut self, longs: u64) -> Self {
         self.fragment_memory_budget = Some(longs);
+        self
+    }
+
+    /// Overrides the spill-file directory used under a fragment memory
+    /// budget (see [`EulerConfig::fragment_spill_directory`]).
+    pub fn with_fragment_spill_directory(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.fragment_spill_directory = Some(dir.into());
         self
     }
 }

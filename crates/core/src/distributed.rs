@@ -1,0 +1,1737 @@
+//! Process-per-worker distributed execution of the merge-tree walk, with
+//! superstep checkpointing and kill-and-resume recovery.
+//!
+//! The BSP engine in `euler_bsp` simulates workers as threads of one
+//! process; this module makes "distributed" real and survivable. A
+//! **coordinator** (driven by [`crate::pipeline::BspBackend`] once a
+//! transport is configured) owns the merge-tree walk; **workers** — OS
+//! threads over the in-memory transport, or genuine OS *processes* spawned
+//! via `std::process::Command` running the `euler-worker` binary over a
+//! TCP/Unix socket transport — hold the partition states and execute
+//! Phase 1/2, exchanging typed messages through the framed, checksummed
+//! codec of [`euler_bsp::transport`].
+//!
+//! ## Protocol
+//!
+//! ```text
+//! worker                         coordinator
+//!   | -- Hello{worker} ------------> |      (handshake, after connect)
+//!   | <-- Init{tree,seeds,plan} ---- |
+//!   | -- Ready{ckpt0 longs} -------> |
+//!   |                                |      per merge level L:
+//!   | <-- Start{L, child states} --- |
+//!   |  …compute, heartbeats…         |
+//!   | -- Done{L, reports, ships,     |
+//!   |         fragments, ckpt} ----> |      (barrier when all arrive)
+//!   |                                |
+//!   | <-- Restore{L} --------------- |      (after a detected death)
+//!   | -- RestoreAck / Failed ------> |
+//!   | <-- Shutdown ----------------- |
+//!   | -- Bye ----------------------> |
+//! ```
+//!
+//! ## Determinism & recovery invariant
+//!
+//! Fragments found by a worker carry **provisional ids** — bit 63 set, then
+//! `(superstep, slot, sequence)` — so their identity is independent of
+//! worker count, scheduling, and recovery history. At the last level the
+//! coordinator sorts all shipped fragments by provisional id (which equals
+//! the sequential in-process push order), densely renumbers them, and
+//! replays them into the pipeline's fragment store: a distributed run's
+//! circuit is bit-identical to the sequential in-process run, killed or
+//! not.
+//!
+//! After each superstep a worker persists its partition states (the wire
+//! codec) and that superstep's fragments (the spill record codec) to a
+//! versioned checkpoint file: `ckpt-w{W}-s{K}` holds the state *entering*
+//! superstep `K`. When the coordinator detects a death during superstep
+//! `s` it rolls every survivor back to checkpoint `s`, respawns the dead
+//! worker, restores it from the same checkpoint, re-delivers the superstep
+//! `s` inputs it retained, and resumes. Without usable checkpoints it
+//! falls back to a full deterministic replay from the level-0 seed.
+
+use crate::error::EulerError;
+use crate::fragment::{decode_fragment, encode_fragment, Fragment, FragmentId, FragmentStore};
+use crate::merge_strategy::MergeStrategy;
+use crate::merge_tree::{MergePair, MergeTree};
+use crate::phase1::{Parallelism, Phase1Executor};
+use crate::phase2::merge_partitions;
+use crate::pipeline::{
+    active_memory_longs, remote_needed_now, transfer_longs, wire, LevelOutcome,
+    LevelPartitionReport,
+};
+use crate::state::{EdgeRef, WorkingPartition};
+use euler_bsp::checkpoint::{
+    checkpoint_file, read_checkpoint, write_checkpoint, CheckpointError,
+};
+use euler_bsp::fault::{FaultPlan, FaultPolicy, KillMode, RecoveryStats};
+use euler_bsp::transport::{connect_endpoint, Connection, FrameError, Listener, Transport};
+use euler_bsp::{EngineStats, SuperstepStats};
+use euler_graph::PartitionId;
+use euler_metrics::TimeBreakdown;
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Provisional fragment identity.
+// ---------------------------------------------------------------------------
+
+/// Bit 63 marks a provisional (distributed) fragment id.
+const PROV_BIT: u64 = 1 << 63;
+const PROV_SS_SHIFT: u32 = 47; // 16 bits of superstep
+const PROV_SLOT_SHIFT: u32 = 27; // 20 bits of slot (partition id)
+const PROV_SEQ_MASK: u64 = (1 << PROV_SLOT_SHIFT) - 1; // 27 bits of sequence
+
+/// Provisional id of the `seq`-th fragment pushed by `slot` at `superstep`.
+/// Numeric order over provisional ids equals `(superstep, slot, seq)`
+/// lexicographic order — the sequential in-process push order.
+fn prov_id(superstep: u32, slot: u32, seq: u64) -> u64 {
+    debug_assert!(superstep < 1 << 16 && slot < 1 << 20 && seq <= PROV_SEQ_MASK);
+    PROV_BIT | ((superstep as u64) << PROV_SS_SHIFT) | ((slot as u64) << PROV_SLOT_SHIFT) | seq
+}
+
+/// Remaps a scratch-store id (dense, bit 63 clear) to its provisional id;
+/// ids that are already provisional (earlier supersteps) pass through.
+fn remap(id: FragmentId, superstep: u32, slot: u32) -> FragmentId {
+    if id.0 & PROV_BIT != 0 {
+        id
+    } else {
+        FragmentId(prov_id(superstep, slot, id.0))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Word-level protocol codec.
+// ---------------------------------------------------------------------------
+
+mod kind {
+    pub const HELLO: u16 = 1;
+    pub const INIT: u16 = 2;
+    pub const READY: u16 = 3;
+    pub const START: u16 = 4;
+    pub const DONE: u16 = 5;
+    pub const HEARTBEAT: u16 = 6;
+    pub const RESTORE: u16 = 7;
+    pub const RESTORE_ACK: u16 = 8;
+    pub const RESTORE_FAILED: u16 = 9;
+    pub const SHUTDOWN: u16 = 10;
+    pub const BYE: u16 = 11;
+}
+
+fn words_to_bytes(words: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 * words.len());
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+fn bytes_to_words(bytes: &[u8]) -> Result<Vec<u64>, String> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(format!("payload length {} is not word-aligned", bytes.len()));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("sized")))
+        .collect())
+}
+
+/// Bounded sequential reader over a word payload with typed failures —
+/// malformed protocol payloads surface as errors, never as panics.
+struct Cursor<'a> {
+    words: &'a [u64],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(words: &'a [u64]) -> Self {
+        Cursor { words, at: 0 }
+    }
+
+    fn u(&mut self) -> Result<u64, String> {
+        let v = self
+            .words
+            .get(self.at)
+            .copied()
+            .ok_or_else(|| format!("protocol payload truncated at word {}", self.at))?;
+        self.at += 1;
+        Ok(v)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u64], String> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.words.len())
+            .ok_or_else(|| format!("protocol payload truncated: need {n} words at {}", self.at))?;
+        let s = &self.words[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    /// Clamps a wire-declared element count to what the remaining payload
+    /// could possibly hold, so `Vec::with_capacity` on garbage input cannot
+    /// over-allocate or overflow — decoding then fails with a typed
+    /// truncation error instead.
+    fn cap(&self, n: usize) -> usize {
+        n.min(self.words.len().saturating_sub(self.at))
+    }
+}
+
+fn push_str(out: &mut Vec<u64>, s: &str) {
+    let bytes = s.as_bytes();
+    out.push(bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        out.push(u64::from_le_bytes(w));
+    }
+}
+
+fn read_str(c: &mut Cursor<'_>) -> Result<String, String> {
+    let n = c.u()? as usize;
+    let words = c.take(n.div_ceil(8))?;
+    let mut bytes = Vec::with_capacity(n);
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    bytes.truncate(n);
+    String::from_utf8(bytes).map_err(|e| format!("bad utf8 in protocol string: {e}"))
+}
+
+fn encode_tree(out: &mut Vec<u64>, tree: &MergeTree) {
+    out.push(tree.levels.len() as u64);
+    for level in &tree.levels {
+        out.push(level.len() as u64);
+        for p in level {
+            out.extend_from_slice(&[p.parent.0 as u64, p.child.0 as u64, p.weight]);
+        }
+    }
+    out.push(tree.root.0 as u64);
+    out.push(tree.leaves.len() as u64);
+    for l in &tree.leaves {
+        out.push(l.0 as u64);
+    }
+}
+
+fn decode_tree(c: &mut Cursor<'_>) -> Result<MergeTree, String> {
+    let n_levels = c.u()? as usize;
+    let mut levels = Vec::with_capacity(c.cap(n_levels));
+    for _ in 0..n_levels {
+        let n_pairs = c.u()? as usize;
+        let mut pairs = Vec::with_capacity(c.cap(n_pairs));
+        for _ in 0..n_pairs {
+            let w = c.take(3)?;
+            pairs.push(MergePair {
+                parent: PartitionId(w[0] as u32),
+                child: PartitionId(w[1] as u32),
+                weight: w[2],
+            });
+        }
+        levels.push(pairs);
+    }
+    let root = PartitionId(c.u()? as u32);
+    let n_leaves = c.u()? as usize;
+    let leaves = c.take(n_leaves)?.iter().map(|&l| PartitionId(l as u32)).collect();
+    Ok(MergeTree { levels, root, leaves })
+}
+
+/// Everything a worker needs to run, carried by the Init message.
+struct InitMsg {
+    worker_id: u32,
+    num_workers: u32,
+    strategy: MergeStrategy,
+    par_mode: Parallelism,
+    phase1_threads: usize,
+    worker_threads: usize, // 0 = unset
+    heartbeat_interval: Duration,
+    kill: Option<(u32, u32)>,
+    kill_mode: KillMode,
+    checkpoint_dir: Option<PathBuf>,
+    tree: MergeTree,
+    /// Wire-encoded level-0 states of the slots this worker owns.
+    seeds: Vec<Vec<u64>>,
+}
+
+fn encode_init(m: &InitMsg) -> Vec<u64> {
+    let mut out = vec![m.worker_id as u64, m.num_workers as u64];
+    out.push(match m.strategy {
+        MergeStrategy::Duplicated => 0,
+        MergeStrategy::Deduplicated => 1,
+        MergeStrategy::Deferred => 2,
+    });
+    out.push(match m.par_mode {
+        Parallelism::PerPartition => 0,
+        Parallelism::IntraPartition => 1,
+        Parallelism::Auto => 2,
+    });
+    out.push(m.phase1_threads as u64);
+    out.push(m.worker_threads as u64);
+    out.push(m.heartbeat_interval.as_nanos() as u64);
+    match m.kill {
+        Some((w, s)) => out.extend_from_slice(&[1, w as u64, s as u64]),
+        None => out.extend_from_slice(&[0, 0, 0]),
+    }
+    out.push(match m.kill_mode {
+        KillMode::Exit => 0,
+        KillMode::Stall => 1,
+    });
+    match &m.checkpoint_dir {
+        Some(d) => {
+            out.push(1);
+            push_str(&mut out, &d.to_string_lossy());
+        }
+        None => out.push(0),
+    }
+    encode_tree(&mut out, &m.tree);
+    out.push(m.seeds.len() as u64);
+    for s in &m.seeds {
+        out.push(s.len() as u64);
+        out.extend_from_slice(s);
+    }
+    out
+}
+
+fn decode_init(words: &[u64]) -> Result<InitMsg, String> {
+    let mut c = Cursor::new(words);
+    let worker_id = c.u()? as u32;
+    let num_workers = c.u()? as u32;
+    let strategy = match c.u()? {
+        0 => MergeStrategy::Duplicated,
+        1 => MergeStrategy::Deduplicated,
+        2 => MergeStrategy::Deferred,
+        t => return Err(format!("unknown merge strategy tag {t}")),
+    };
+    let par_mode = match c.u()? {
+        0 => Parallelism::PerPartition,
+        1 => Parallelism::IntraPartition,
+        2 => Parallelism::Auto,
+        t => return Err(format!("unknown parallelism tag {t}")),
+    };
+    let phase1_threads = c.u()? as usize;
+    let worker_threads = c.u()? as usize;
+    let heartbeat_interval = Duration::from_nanos(c.u()?);
+    let kill_flag = c.u()?;
+    let kill_w = c.u()? as u32;
+    let kill_s = c.u()? as u32;
+    let kill = (kill_flag != 0).then_some((kill_w, kill_s));
+    let kill_mode = if c.u()? == 0 { KillMode::Exit } else { KillMode::Stall };
+    let checkpoint_dir =
+        if c.u()? != 0 { Some(PathBuf::from(read_str(&mut c)?)) } else { None };
+    let tree = decode_tree(&mut c)?;
+    let n_seeds = c.u()? as usize;
+    let mut seeds = Vec::with_capacity(c.cap(n_seeds));
+    for _ in 0..n_seeds {
+        let len = c.u()? as usize;
+        seeds.push(c.take(len)?.to_vec());
+    }
+    Ok(InitMsg {
+        worker_id,
+        num_workers,
+        strategy,
+        par_mode,
+        phase1_threads,
+        worker_threads,
+        heartbeat_interval,
+        kill,
+        kill_mode,
+        checkpoint_dir,
+        tree,
+        seeds,
+    })
+}
+
+fn encode_start(superstep: u32, msgs: &[Vec<u64>]) -> Vec<u64> {
+    let mut out = vec![superstep as u64, msgs.len() as u64];
+    for m in msgs {
+        out.push(m.len() as u64);
+        out.extend_from_slice(m);
+    }
+    out
+}
+
+fn decode_start(words: &[u64]) -> Result<(u32, Vec<Vec<u64>>), String> {
+    let mut c = Cursor::new(words);
+    let superstep = c.u()? as u32;
+    let n = c.u()? as usize;
+    let mut msgs = Vec::with_capacity(c.cap(n));
+    for _ in 0..n {
+        let len = c.u()? as usize;
+        msgs.push(c.take(len)?.to_vec());
+    }
+    Ok((superstep, msgs))
+}
+
+/// One worker's answer to a Start — its slice of the level outcome plus
+/// everything the coordinator must retain (shipped states, fragments,
+/// checkpoint accounting).
+#[derive(Default)]
+struct DoneMsg {
+    superstep: u32,
+    reports: Vec<LevelPartitionReport>,
+    /// Post-Phase-1 `memory_longs` per report partition, for engine stats.
+    post_memory: Vec<u64>,
+    /// `(destination partition, wire-encoded state)` ships.
+    outgoing: Vec<(u32, Vec<u64>)>,
+    /// `(provisional id, spill-codec record)` fragments found this level.
+    fragments: Vec<(u64, Vec<u64>)>,
+    transfer_longs: u64,
+    checkpoint_longs: u64,
+}
+
+fn encode_done(m: &DoneMsg) -> Vec<u64> {
+    let mut out = vec![m.superstep as u64, m.reports.len() as u64];
+    for (r, post) in m.reports.iter().zip(&m.post_memory) {
+        out.extend_from_slice(&[
+            r.partition.0 as u64,
+            r.counts.even_internal,
+            r.counts.even_boundary,
+            r.counts.odd_boundary,
+            r.counts.remote_edges,
+            r.counts.local_edges,
+            r.complexity,
+            r.phase1_time.as_nanos() as u64,
+            r.merge_time.as_nanos() as u64,
+            r.memory_longs,
+            r.remote_needed_now,
+            r.transfer_in_longs,
+            r.paths_found,
+            r.cycles_found,
+            r.internal_cycles_merged,
+            *post,
+        ]);
+    }
+    out.push(m.outgoing.len() as u64);
+    for (to, words) in &m.outgoing {
+        out.push(*to as u64);
+        out.push(words.len() as u64);
+        out.extend_from_slice(words);
+    }
+    out.push(m.fragments.len() as u64);
+    for (id, words) in &m.fragments {
+        out.push(*id);
+        out.push(words.len() as u64);
+        out.extend_from_slice(words);
+    }
+    out.push(m.transfer_longs);
+    out.push(m.checkpoint_longs);
+    out
+}
+
+fn decode_done(words: &[u64]) -> Result<DoneMsg, String> {
+    let mut c = Cursor::new(words);
+    let superstep = c.u()? as u32;
+    let n_reports = c.u()? as usize;
+    let mut reports = Vec::with_capacity(c.cap(n_reports));
+    let mut post_memory = Vec::with_capacity(c.cap(n_reports));
+    for _ in 0..n_reports {
+        let w = c.take(16)?;
+        reports.push(LevelPartitionReport {
+            level: superstep,
+            partition: PartitionId(w[0] as u32),
+            counts: crate::state::VertexTypeCounts {
+                even_internal: w[1],
+                even_boundary: w[2],
+                odd_boundary: w[3],
+                remote_edges: w[4],
+                local_edges: w[5],
+            },
+            complexity: w[6],
+            phase1_time: Duration::from_nanos(w[7]),
+            merge_time: Duration::from_nanos(w[8]),
+            memory_longs: w[9],
+            remote_needed_now: w[10],
+            transfer_in_longs: w[11],
+            paths_found: w[12],
+            cycles_found: w[13],
+            internal_cycles_merged: w[14],
+        });
+        post_memory.push(w[15]);
+    }
+    let n_out = c.u()? as usize;
+    let mut outgoing = Vec::with_capacity(c.cap(n_out));
+    for _ in 0..n_out {
+        let to = c.u()? as u32;
+        let len = c.u()? as usize;
+        outgoing.push((to, c.take(len)?.to_vec()));
+    }
+    let n_frags = c.u()? as usize;
+    let mut fragments = Vec::with_capacity(c.cap(n_frags));
+    for _ in 0..n_frags {
+        let id = c.u()?;
+        let len = c.u()? as usize;
+        fragments.push((id, c.take(len)?.to_vec()));
+    }
+    let transfer_longs = c.u()?;
+    let checkpoint_longs = c.u()?;
+    Ok(DoneMsg {
+        superstep,
+        reports,
+        post_memory,
+        outgoing,
+        fragments,
+        transfer_longs,
+        checkpoint_longs,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Worker side.
+// ---------------------------------------------------------------------------
+
+/// A worker's reason for refusing a Restore.
+#[derive(Debug)]
+struct RestoreRefusal {
+    /// True when a checkpoint file was present but detected as unusable and
+    /// ignored (vs simply missing / checkpointing disabled).
+    ignored: bool,
+}
+
+/// The worker's live state between supersteps.
+struct WorkerState {
+    init: InitMsg,
+    tree: Arc<MergeTree>,
+    /// Active partition states, keyed by slot (= partition id).
+    slots: BTreeMap<u32, WorkingPartition>,
+    executor: Phase1Executor,
+    kill_consumed: bool,
+}
+
+impl WorkerState {
+    fn build(init: InitMsg) -> Result<Self, String> {
+        let mut slots = BTreeMap::new();
+        for words in &init.seeds {
+            let wp = wire::decode(words);
+            slots.insert(wp.id.0, wp);
+        }
+        let executor =
+            Phase1Executor::new(init.par_mode).with_threads(init.phase1_threads);
+        let tree = Arc::new(init.tree.clone());
+        Ok(WorkerState { init, tree, slots, executor, kill_consumed: false })
+    }
+
+    /// Serialises the state entering `superstep` (plus the fragments found
+    /// at `superstep - 1`) into checkpoint payload words.
+    fn checkpoint_words(&self, fragments: &[(u64, Vec<u64>)]) -> Vec<u64> {
+        let mut out = vec![self.slots.len() as u64];
+        for wp in self.slots.values() {
+            let words = wire::encode(wp);
+            out.push(words.len() as u64);
+            out.extend_from_slice(&words);
+        }
+        out.push(fragments.len() as u64);
+        for (id, words) in fragments {
+            out.push(*id);
+            out.push(words.len() as u64);
+            out.extend_from_slice(words);
+        }
+        out
+    }
+
+    /// Writes the checkpoint entering `superstep`. Returns Longs written
+    /// (0 when checkpointing is off).
+    fn write_ckpt(&self, superstep: u32, fragments: &[(u64, Vec<u64>)]) -> u64 {
+        let Some(dir) = &self.init.checkpoint_dir else { return 0 };
+        let path = checkpoint_file(dir, self.init.worker_id, superstep);
+        write_checkpoint(&path, &self.checkpoint_words(fragments)).unwrap_or_default()
+    }
+
+    /// Restores the state entering `superstep` from this worker's
+    /// checkpoint. A refusal says whether a file was present but unusable
+    /// (torn write, foreign version, bad checksum) — i.e. *ignored* — as
+    /// opposed to simply absent.
+    fn restore(&mut self, superstep: u32) -> Result<u64, RestoreRefusal> {
+        let Some(dir) = &self.init.checkpoint_dir else {
+            return Err(RestoreRefusal { ignored: false });
+        };
+        let path = checkpoint_file(dir, self.init.worker_id, superstep);
+        let words = match read_checkpoint(&path) {
+            Ok(w) => w,
+            Err(CheckpointError::Missing) => {
+                return Err(RestoreRefusal { ignored: false })
+            }
+            Err(_) => return Err(RestoreRefusal { ignored: true }),
+        };
+        let decode = |words: &[u64]| -> Result<BTreeMap<u32, WorkingPartition>, String> {
+            let mut c = Cursor::new(words);
+            let n_slots = c.u()? as usize;
+            let mut slots = BTreeMap::new();
+            for _ in 0..n_slots {
+                let len = c.u()? as usize;
+                let wp = wire::decode(c.take(len)?);
+                slots.insert(wp.id.0, wp);
+            }
+            // Validate (and drop) the fragment section: the coordinator
+            // already holds every fragment committed at a barrier.
+            let n_frags = c.u()? as usize;
+            for _ in 0..n_frags {
+                let id = c.u()?;
+                let len = c.u()? as usize;
+                let _ = decode_fragment(FragmentId(id), c.take(len)?);
+            }
+            Ok(slots)
+        };
+        match decode(&words) {
+            Ok(slots) => {
+                self.slots = slots;
+                Ok(words.len() as u64)
+            }
+            Err(_) => Err(RestoreRefusal { ignored: true }),
+        }
+    }
+
+    /// Runs one superstep: merge inbound child states, Phase 1 per owned
+    /// slot (ascending), ship retiring states, checkpoint.
+    fn superstep(&mut self, superstep: u32, inbox: Vec<Vec<u64>>) -> DoneMsg {
+        let level = superstep;
+        let tree = &self.tree;
+        let strategy = self.init.strategy;
+        let height = tree.height();
+
+        // Decode inbound child states and order them exactly as the
+        // in-process backend merges: by position in the previous level's
+        // pair list.
+        let prev_pairs: &[MergePair] =
+            if level > 0 { tree.pairs_at(level - 1) } else { &[] };
+        let mut inbound: Vec<WorkingPartition> =
+            inbox.iter().map(|w| wire::decode(w)).collect();
+        inbound.sort_by_key(|child| {
+            prev_pairs.iter().position(|p| p.child == child.id).unwrap_or(usize::MAX)
+        });
+
+        let mut done = DoneMsg { superstep, ..Default::default() };
+        let mut new_fragments: Vec<(u64, Vec<u64>)> = Vec::new();
+        let slot_ids: Vec<u32> = self.slots.keys().copied().collect();
+        for slot in slot_ids {
+            let mut wp = self.slots.remove(&slot).expect("slot present");
+            // --- Phase 2: merge child states addressed to this slot. -----
+            let mut merge_time = Duration::ZERO;
+            let mut transfer_in = 0u64;
+            for child in inbound.iter().filter(|c| {
+                prev_pairs.iter().any(|p| p.child == c.id && p.parent.0 == slot)
+            }) {
+                transfer_in +=
+                    transfer_longs(child, tree, level.saturating_sub(1), strategy);
+                let t0 = Instant::now();
+                let (merged, _stats) =
+                    merge_partitions(wp, child.clone(), tree, level.saturating_sub(1));
+                merge_time += t0.elapsed();
+                wp = merged;
+            }
+
+            // --- Phase 1 on a fresh scratch store. -----------------------
+            let memory = active_memory_longs(&wp, tree, level, strategy);
+            let needed_now = remote_needed_now(&wp, tree, level);
+            let budget = if self.init.worker_threads > 0 {
+                self.init.worker_threads
+            } else {
+                self.executor.resolved_threads()
+            };
+            let threads = match self.executor.mode() {
+                Parallelism::PerPartition => 1,
+                Parallelism::IntraPartition => budget,
+                Parallelism::Auto => {
+                    let merged_below: usize =
+                        (0..level).map(|l| tree.pairs_at(l).len()).sum();
+                    let live = tree.leaves.len() - merged_below;
+                    if live < budget {
+                        budget
+                    } else {
+                        1
+                    }
+                }
+            };
+            let scratch = FragmentStore::new();
+            let t1 = Instant::now();
+            let out = self.executor.run_with_threads(&mut wp, &scratch, threads);
+            let phase1_time = t1.elapsed();
+
+            // --- Remap scratch ids to provisional ids. -------------------
+            // New fragments were pushed with dense scratch ids 0..n; give
+            // them their (superstep, slot, seq) identity, and rewrite every
+            // reference to them (their own edges splice in same-batch ids,
+            // the partition's residual virtual edges point at them too).
+            let mut rec = Vec::new();
+            scratch.with_all(|frags| {
+                for f in frags {
+                    let mut f = f.clone();
+                    f.id = remap(f.id, level, slot);
+                    for e in &mut f.edges {
+                        if let crate::fragment::TourEdge::Virtual { fragment, .. } = e {
+                            *fragment = remap(*fragment, level, slot);
+                        }
+                    }
+                    encode_fragment(&f, &mut rec);
+                    new_fragments.push((f.id.0, rec.clone()));
+                }
+            });
+            for e in &mut wp.local_edges {
+                if let EdgeRef::Virtual(id) = &mut e.edge {
+                    *id = remap(*id, level, slot);
+                }
+            }
+
+            let post_memory = wp.memory_longs();
+            done.reports.push(LevelPartitionReport {
+                level,
+                partition: wp.id,
+                counts: out.counts_before,
+                complexity: out.complexity,
+                phase1_time,
+                merge_time,
+                memory_longs: memory,
+                remote_needed_now: needed_now,
+                transfer_in_longs: transfer_in,
+                paths_found: out.path_map.num_paths() as u64,
+                cycles_found: out.path_map.num_cycles() as u64,
+                internal_cycles_merged: out.path_map.internal_cycles_merged,
+            });
+            done.post_memory.push(post_memory);
+
+            // --- Ship to the merge parent if this slot retires here. -----
+            let retires = if level < height {
+                tree.pairs_at(level).iter().find(|p| p.child.0 == slot).map(|p| p.parent.0)
+            } else {
+                None
+            };
+            if let Some(parent) = retires {
+                done.transfer_longs += transfer_longs(&wp, tree, level, strategy);
+                done.outgoing.push((parent, wire::encode(&wp)));
+                // Retired: the slot does not come back.
+            } else {
+                self.slots.insert(slot, wp);
+            }
+        }
+
+        done.checkpoint_longs = self.write_ckpt(superstep + 1, &new_fragments);
+        done.fragments = new_fragments;
+        done
+    }
+}
+
+/// Runs the worker protocol loop over an established connection. Returns
+/// when told to shut down, or exits early on an injected kill / protocol
+/// failure (the coordinator sees the connection drop and recovers).
+pub(crate) fn run_worker(conn: Arc<dyn Connection>, worker_id: u32) -> Result<(), String> {
+    conn.send(kind::HELLO, &words_to_bytes(&[worker_id as u64]))
+        .map_err(|e| format!("hello failed: {e}"))?;
+
+    let mut state: Option<WorkerState> = None;
+    // Heartbeats flow only while a superstep is being computed; an idle
+    // worker is silent, so a worker that never received its Start (dropped
+    // frame) is indistinguishable from a dead one — by design, the
+    // coordinator's timeout recovers both the same way.
+    let busy = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut heartbeat: Option<std::thread::JoinHandle<()>> = None;
+
+    let result = loop {
+        let (k, payload) = match conn.recv_timeout(None) {
+            Ok(f) => f,
+            Err(FrameError::Closed) => break Ok(()),
+            Err(e) => break Err(format!("worker recv failed: {e}")),
+        };
+        let words = bytes_to_words(&payload)?;
+        match k {
+            kind::INIT => {
+                let init = decode_init(&words)?;
+                if heartbeat.is_none() {
+                    let interval = init.heartbeat_interval;
+                    let conn2 = Arc::clone(&conn);
+                    let busy2 = Arc::clone(&busy);
+                    let stop2 = Arc::clone(&stop);
+                    heartbeat = Some(std::thread::spawn(move || loop {
+                        std::thread::sleep(interval);
+                        if stop2.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        if busy2.load(Ordering::Relaxed)
+                            && conn2.send(kind::HEARTBEAT, &[]).is_err()
+                        {
+                            return;
+                        }
+                    }));
+                }
+                let st = WorkerState::build(init)?;
+                let ckpt0 = st.write_ckpt(0, &[]);
+                state = Some(st);
+                conn.send(kind::READY, &words_to_bytes(&[ckpt0]))
+                    .map_err(|e| format!("ready failed: {e}"))?;
+            }
+            kind::START => {
+                let st = state.as_mut().ok_or("Start before Init")?;
+                let (superstep, inbox) = decode_start(&words)?;
+                busy.store(true, Ordering::Relaxed);
+                if let Some((kw, ks)) = st.init.kill {
+                    if kw == st.init.worker_id && ks == superstep && !st.kill_consumed {
+                        st.kill_consumed = true;
+                        match st.init.kill_mode {
+                            // Thread workers can't be SIGKILLed individually:
+                            // dying is dropping the connection mid-superstep.
+                            KillMode::Exit => break Ok(()),
+                            // Process workers stall so the coordinator's
+                            // SIGKILL lands mid-superstep, before any Done.
+                            KillMode::Stall => {
+                                std::thread::sleep(Duration::from_millis(600))
+                            }
+                        }
+                    }
+                }
+                let done = st.superstep(superstep, inbox);
+                let send = conn.send(kind::DONE, &words_to_bytes(&encode_done(&done)));
+                busy.store(false, Ordering::Relaxed);
+                send.map_err(|e| format!("done failed: {e}"))?;
+            }
+            kind::RESTORE => {
+                let st = state.as_mut().ok_or("Restore before Init")?;
+                let mut c = Cursor::new(&words);
+                let superstep = c.u()? as u32;
+                match st.restore(superstep) {
+                    Ok(longs) => conn
+                        .send(
+                            kind::RESTORE_ACK,
+                            &words_to_bytes(&[superstep as u64, longs]),
+                        )
+                        .map_err(|e| format!("restore ack failed: {e}"))?,
+                    Err(refusal) => {
+                        conn.send(
+                            kind::RESTORE_FAILED,
+                            &words_to_bytes(&[
+                                superstep as u64,
+                                u64::from(refusal.ignored),
+                            ]),
+                        )
+                        .map_err(|e| format!("restore nack failed: {e}"))?;
+                    }
+                }
+            }
+            kind::SHUTDOWN => {
+                conn.send(kind::BYE, &[]).ok();
+                break Ok(());
+            }
+            other => break Err(format!("unexpected frame kind {other} at worker")),
+        }
+    };
+    stop.store(true, Ordering::Relaxed);
+    if let Some(h) = heartbeat {
+        h.join().ok();
+    }
+    result
+}
+
+/// Entry point of the `euler-worker` binary: connect to the coordinator
+/// `endpoint` (scheme-prefixed: `tcp:…`, `unix:…`) and serve as worker
+/// `worker_id` until shut down.
+pub fn worker_main(endpoint: &str, worker_id: u32) -> Result<(), String> {
+    let conn = connect_endpoint(endpoint, 50, Duration::from_millis(10))
+        .map_err(|e| format!("worker {worker_id} could not connect to {endpoint}: {e}"))?;
+    run_worker(Arc::from(conn), worker_id)
+}
+
+/// Resolves the worker binary to spawn for process workers:
+/// `$EULER_WORKER_BIN` if set, else an `euler-worker` next to (or one
+/// directory above) the current executable — which covers both installed
+/// layouts and cargo's `target/debug/deps/` test binaries.
+pub fn default_worker_bin() -> Option<PathBuf> {
+    if let Ok(p) = std::env::var("EULER_WORKER_BIN") {
+        return Some(PathBuf::from(p));
+    }
+    let exe = std::env::current_exe().ok()?;
+    let dir = exe.parent()?;
+    [dir.join("euler-worker"), dir.parent()?.join("euler-worker")]
+        .into_iter()
+        .find(|cand| cand.is_file())
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator side.
+// ---------------------------------------------------------------------------
+
+/// How the coordinator brings workers into existence.
+#[derive(Clone, Debug)]
+pub(crate) enum WorkerSpawn {
+    /// Worker threads in this process (any transport).
+    Threads,
+    /// Worker *processes* running the given binary (socket transports only).
+    Processes { worker_bin: PathBuf },
+}
+
+/// Static configuration of a distributed run.
+pub(crate) struct DistConfig {
+    pub transport: Arc<dyn Transport>,
+    pub spawn: WorkerSpawn,
+    pub num_workers: usize,
+    pub checkpoint_dir: Option<PathBuf>,
+    pub policy: FaultPolicy,
+    pub plan: FaultPlan,
+    pub par_mode: Parallelism,
+    pub phase1_threads: usize,
+    pub worker_threads: usize,
+}
+
+enum Event {
+    Frame { worker: u32, epoch: u64, kind: u16, payload: Vec<u8> },
+    Dead { worker: u32, epoch: u64 },
+}
+
+struct WorkerHandle {
+    conn: Arc<dyn Connection>,
+    child: Option<std::process::Child>,
+    epoch: u64,
+    restarts: u32,
+    last_heard: Instant,
+    stop_rx: Arc<AtomicBool>,
+    recv_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The coordinator of one distributed run: spawns workers, drives one
+/// barrier per merge level, detects deaths, and recovers.
+pub(crate) struct DistRun {
+    cfg: DistConfig,
+    tree: Arc<MergeTree>,
+    strategy: MergeStrategy,
+    /// Wire-encoded level-0 seeds per worker, retained for re-Init.
+    seeds_by_worker: Vec<Vec<Vec<u64>>>,
+    listener: Box<dyn Listener>,
+    workers: Vec<WorkerHandle>,
+    events_tx: mpsc::Sender<Event>,
+    events_rx: mpsc::Receiver<Event>,
+    /// Current superstep's Start payloads per worker, retained until the
+    /// barrier commits so they can be re-delivered after a rollback.
+    inbox: Vec<Vec<Vec<u64>>>,
+    /// Fragments committed per superstep (barrier-complete only).
+    committed_frags: BTreeMap<u32, Vec<(u64, Vec<u64>)>>,
+    /// Dones collected by the in-flight barrier (filled by `wait_barrier`,
+    /// consumed by `run_superstep`).
+    pending_dones: Vec<(u32, DoneMsg)>,
+    superstep_stats: Vec<SuperstepStats>,
+    recovery: RecoveryStats,
+    warnings: Vec<String>,
+    kill_consumed: bool,
+    start_seq: u64,
+    t_start: Instant,
+    total_wall: Duration,
+    finished: bool,
+}
+
+impl DistRun {
+    /// Spawns and initialises the worker fleet over the level-0 seed.
+    pub fn new(
+        cfg: DistConfig,
+        tree: Arc<MergeTree>,
+        strategy: MergeStrategy,
+        seed: &[WorkingPartition],
+    ) -> Result<Self, EulerError> {
+        let t_start = Instant::now();
+        let num_workers = cfg.num_workers;
+        let mut seeds_by_worker: Vec<Vec<Vec<u64>>> = vec![Vec::new(); num_workers];
+        for wp in seed {
+            seeds_by_worker[owner(wp.id.0, num_workers)].push(wire::encode(wp));
+        }
+        let listener = cfg
+            .transport
+            .listen()
+            .map_err(|e| EulerError::Distributed(format!("listen failed: {e}")))?;
+        let (events_tx, events_rx) = mpsc::channel();
+        let mut run = DistRun {
+            tree,
+            strategy,
+            seeds_by_worker,
+            listener,
+            workers: Vec::new(),
+            events_tx,
+            events_rx,
+            inbox: vec![Vec::new(); num_workers],
+            committed_frags: BTreeMap::new(),
+            pending_dones: Vec::new(),
+            superstep_stats: Vec::new(),
+            recovery: RecoveryStats::default(),
+            warnings: Vec::new(),
+            kill_consumed: false,
+            start_seq: 0,
+            t_start,
+            total_wall: Duration::ZERO,
+            finished: false,
+            cfg,
+        };
+        for w in 0..num_workers as u32 {
+            run.spawn_worker(w)?;
+            run.init_worker(w)?;
+            run.start_receiver(w);
+        }
+        Ok(run)
+    }
+
+    /// Runs one merge level to completion (recovering as needed) and
+    /// returns its outcome.
+    pub fn step(&mut self, level: u32) -> Result<LevelOutcome, EulerError> {
+        self.run_superstep(level, true)
+            .map(|o| o.expect("recorded superstep returns an outcome"))
+    }
+
+    /// Moves every committed fragment into `store` in deterministic order:
+    /// sorted by provisional id (= the sequential push order), densely
+    /// renumbered, every virtual reference rewritten.
+    pub fn flush_fragments(&mut self, store: &FragmentStore) -> Result<(), EulerError> {
+        let mut all: Vec<(u64, Vec<u64>)> =
+            std::mem::take(&mut self.committed_frags).into_values().flatten().collect();
+        all.sort_by_key(|(id, _)| *id);
+        let dense: HashMap<u64, u64> =
+            all.iter().enumerate().map(|(i, (id, _))| (*id, i as u64)).collect();
+        for (i, (id, words)) in all.iter().enumerate() {
+            let mut f: Fragment = decode_fragment(FragmentId(i as u64), words);
+            for e in &mut f.edges {
+                if let crate::fragment::TourEdge::Virtual { fragment, .. } = e {
+                    *fragment = FragmentId(*dense.get(&fragment.0).ok_or_else(|| {
+                        EulerError::Distributed(format!(
+                            "fragment {id:#x} references unknown fragment {:#x}",
+                            fragment.0
+                        ))
+                    })?);
+                }
+            }
+            let assigned = store.push(f);
+            debug_assert_eq!(assigned.0, i as u64);
+        }
+        Ok(())
+    }
+
+    /// Shuts the fleet down (Shutdown/Bye), reaps workers, removes the
+    /// checkpoint directory of a cleanly completed run.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        for h in &self.workers {
+            h.conn.send(kind::SHUTDOWN, &[]).ok();
+        }
+        // Best-effort Bye drain so sockets flush before teardown.
+        let deadline = Instant::now() + Duration::from_millis(500);
+        let mut byes = 0;
+        while byes < self.workers.len() && Instant::now() < deadline {
+            match self.events_rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(Event::Frame { kind: kind::BYE, .. }) => byes += 1,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        for h in &mut self.workers {
+            h.stop_rx.store(true, Ordering::Relaxed);
+            if let Some(mut child) = h.child.take() {
+                child.kill().ok();
+                child.wait().ok();
+            }
+            if let Some(recv) = h.recv_handle.take() {
+                recv.join().ok();
+            }
+        }
+        if let Some(dir) = &self.cfg.checkpoint_dir {
+            std::fs::remove_dir_all(dir).ok();
+        }
+        self.total_wall = self.t_start.elapsed();
+    }
+
+    /// Engine-statistics view of the run so far.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            supersteps: self.superstep_stats.clone(),
+            num_workers: self.cfg.num_workers,
+            total_wall_time: if self.finished { self.total_wall } else { self.t_start.elapsed() },
+            modelled_platform_overhead: Duration::ZERO,
+            recovery: self.recovery,
+        }
+    }
+
+    /// Human-readable recovery notes for `RunReport::warnings`.
+    pub fn warnings(&self) -> Vec<String> {
+        self.warnings.clone()
+    }
+
+    // -- internals ----------------------------------------------------------
+
+    fn spawn_worker(&mut self, w: u32) -> Result<(), EulerError> {
+        let endpoint = self.listener.endpoint();
+        let child = match &self.cfg.spawn {
+            WorkerSpawn::Threads => {
+                let attempts = self.cfg.policy.connect_attempts;
+                let backoff = self.cfg.policy.connect_backoff;
+                let transport = Arc::clone(&self.cfg.transport);
+                std::thread::spawn(move || {
+                    let conn = match euler_bsp::transport::connect_with_retry(
+                        transport.as_ref(),
+                        &endpoint,
+                        attempts,
+                        backoff,
+                    ) {
+                        Ok(c) => c,
+                        Err(_) => return,
+                    };
+                    // A worker death (injected or real) is just this thread
+                    // returning; the coordinator recovers from the dropped
+                    // connection, so the error itself needs no channel.
+                    run_worker(Arc::from(conn), w).ok();
+                });
+                None
+            }
+            WorkerSpawn::Processes { worker_bin } => Some(
+                std::process::Command::new(worker_bin)
+                    .arg("--endpoint")
+                    .arg(&endpoint)
+                    .arg("--worker-id")
+                    .arg(w.to_string())
+                    .stdout(std::process::Stdio::null())
+                    .spawn()
+                    .map_err(|e| {
+                        EulerError::Distributed(format!(
+                            "spawning worker process {} failed: {e}",
+                            worker_bin.display()
+                        ))
+                    })?,
+            ),
+        };
+        // Accept until the expected worker's Hello arrives (spawn order and
+        // connect order may differ when several workers start at once).
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let conn: Arc<dyn Connection> = loop {
+            if Instant::now() > deadline {
+                return Err(EulerError::Distributed(format!(
+                    "worker {w} never connected"
+                )));
+            }
+            let conn = self
+                .listener
+                .accept(Duration::from_secs(30))
+                .map_err(|e| EulerError::Distributed(format!("accept failed: {e}")))?;
+            let (k, payload) = conn
+                .recv_timeout(Some(Duration::from_secs(10)))
+                .map_err(|e| EulerError::Distributed(format!("handshake failed: {e}")))?;
+            let words = bytes_to_words(&payload).map_err(EulerError::Distributed)?;
+            if k == kind::HELLO && words.first() == Some(&(w as u64)) {
+                break Arc::from(conn);
+            }
+            // A Hello from some other (late, stale) worker: drop it; its
+            // connection closing sends it back through spawn recovery.
+        };
+        let handle = WorkerHandle {
+            conn,
+            child,
+            epoch: 0,
+            restarts: 0,
+            last_heard: Instant::now(),
+            stop_rx: Arc::new(AtomicBool::new(false)),
+            recv_handle: None,
+        };
+        if let Some(existing) = self.workers.get_mut(w as usize) {
+            let old = std::mem::replace(existing, handle);
+            existing.epoch = old.epoch + 1;
+            existing.restarts = old.restarts;
+            // Old receiver thread and connection wind down via stop flag.
+        } else {
+            debug_assert_eq!(self.workers.len(), w as usize);
+            self.workers.push(handle);
+        }
+        Ok(())
+    }
+
+    /// Sends Init (with this worker's retained seeds) and waits for Ready.
+    /// The injected kill plan is delivered only while unconsumed.
+    fn init_worker(&mut self, w: u32) -> Result<(), EulerError> {
+        let kill = self.cfg.plan.kill.filter(|_| !self.kill_consumed);
+        let init = InitMsg {
+            worker_id: w,
+            num_workers: self.cfg.num_workers as u32,
+            strategy: self.strategy,
+            par_mode: self.cfg.par_mode,
+            phase1_threads: self.cfg.phase1_threads,
+            worker_threads: self.cfg.worker_threads,
+            heartbeat_interval: self.cfg.policy.heartbeat_interval,
+            kill,
+            kill_mode: match self.cfg.spawn {
+                WorkerSpawn::Threads => KillMode::Exit,
+                WorkerSpawn::Processes { .. } => KillMode::Stall,
+            },
+            checkpoint_dir: self.cfg.checkpoint_dir.clone(),
+            tree: self.tree.as_ref().clone(),
+            seeds: self.seeds_by_worker[w as usize].clone(),
+        };
+        let conn = Arc::clone(&self.workers[w as usize].conn);
+        conn.send(kind::INIT, &words_to_bytes(&encode_init(&init)))
+            .map_err(|e| EulerError::Distributed(format!("init of worker {w} failed: {e}")))?;
+        let (k, payload) = conn
+            .recv_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| EulerError::Distributed(format!("worker {w} not ready: {e}")))?;
+        if k != kind::READY {
+            return Err(EulerError::Distributed(format!(
+                "worker {w} answered Init with frame kind {k}"
+            )));
+        }
+        let words = bytes_to_words(&payload).map_err(EulerError::Distributed)?;
+        let ckpt0 = words.first().copied().unwrap_or(0);
+        if ckpt0 > 0 {
+            self.recovery.checkpoints_written += 1;
+            self.recovery.checkpoint_longs_written += ckpt0;
+        }
+        Ok(())
+    }
+
+    fn start_receiver(&mut self, w: u32) {
+        let h = &self.workers[w as usize];
+        let conn = Arc::clone(&h.conn);
+        let stop = Arc::clone(&h.stop_rx);
+        let epoch = h.epoch;
+        let tx = self.events_tx.clone();
+        let handle = std::thread::spawn(move || loop {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            match conn.recv_timeout(Some(Duration::from_millis(100))) {
+                Ok((kind, payload)) => {
+                    if tx.send(Event::Frame { worker: w, epoch, kind, payload }).is_err() {
+                        return;
+                    }
+                }
+                Err(FrameError::Timeout) => continue,
+                Err(_) => {
+                    tx.send(Event::Dead { worker: w, epoch }).ok();
+                    return;
+                }
+            }
+        });
+        self.workers[w as usize].recv_handle = Some(handle);
+    }
+
+    /// Coordinator→worker send with bounded retry, plus the scripted
+    /// drop/delay injection (counted over Start frames).
+    fn send_start(&mut self, w: u32, payload: &[u8]) -> Result<(), FrameError> {
+        let seq = self.start_seq;
+        self.start_seq += 1;
+        if self.cfg.plan.drop_nth_send == Some(seq) {
+            return Ok(()); // injected loss: pretend it went out
+        }
+        if let Some((n, d)) = self.cfg.plan.delay_nth_send {
+            if n == seq {
+                std::thread::sleep(d);
+            }
+        }
+        let conn = Arc::clone(&self.workers[w as usize].conn);
+        let mut last = FrameError::Closed;
+        for attempt in 0..=self.cfg.policy.send_retries {
+            match conn.send(kind::START, payload) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    last = e;
+                    if attempt < self.cfg.policy.send_retries {
+                        self.recovery.send_retries += 1;
+                        std::thread::sleep(Duration::from_millis(5 << attempt));
+                    }
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// Drives superstep `level` to a committed barrier. `record` is false
+    /// during full-restart replay (the walk already consumed those levels).
+    fn run_superstep(
+        &mut self,
+        level: u32,
+        record: bool,
+    ) -> Result<Option<LevelOutcome>, EulerError> {
+        loop {
+            let t_level = Instant::now();
+            let mut deaths: Vec<u32> = Vec::new();
+            for w in 0..self.cfg.num_workers as u32 {
+                let payload = words_to_bytes(&encode_start(level, &self.inbox[w as usize]));
+                self.workers[w as usize].last_heard = Instant::now();
+                if self.send_start(w, &payload).is_err() {
+                    deaths.push(w);
+                }
+            }
+            // Injected SIGKILL for process workers: the target stalls at
+            // this superstep; kill it for real, mid-superstep.
+            if let (Some((kw, ks)), WorkerSpawn::Processes { .. }, false) =
+                (self.cfg.plan.kill, &self.cfg.spawn, self.kill_consumed)
+            {
+                if ks == level {
+                    std::thread::sleep(Duration::from_millis(150));
+                    if let Some(child) = &mut self.workers[kw as usize].child {
+                        child.kill().ok();
+                    }
+                }
+            }
+            if deaths.is_empty() {
+                deaths = self.wait_barrier(level)?.err().unwrap_or_default();
+                if deaths.is_empty() {
+                    // Barrier complete: re-collect the Done set (stored by
+                    // wait_barrier) and commit.
+                    let dones = std::mem::take(&mut self.pending_dones);
+                    return Ok(self.commit(level, dones, record, t_level.elapsed()));
+                }
+            }
+            self.recover(level, &deaths)?;
+        }
+    }
+
+    /// Waits until every worker answered Done for `level` or died.
+    /// `Ok(Ok(()))` leaves the Done set in `pending_dones`; `Ok(Err(dead))`
+    /// lists the deceased.
+    fn wait_barrier(&mut self, level: u32) -> Result<Result<(), Vec<u32>>, EulerError> {
+        let mut pending: Vec<bool> = vec![true; self.cfg.num_workers];
+        let mut deaths: Vec<u32> = Vec::new();
+        self.pending_dones.clear();
+        while pending.iter().any(|&p| p) {
+            match self.events_rx.recv_timeout(Duration::from_millis(25)) {
+                Ok(Event::Frame { worker, epoch, kind: k, payload }) => {
+                    if self.workers[worker as usize].epoch != epoch {
+                        continue; // stale connection
+                    }
+                    self.workers[worker as usize].last_heard = Instant::now();
+                    match k {
+                        kind::DONE => {
+                            let words =
+                                bytes_to_words(&payload).map_err(EulerError::Distributed)?;
+                            let done = decode_done(&words).map_err(EulerError::Distributed)?;
+                            if done.superstep == level && pending[worker as usize] {
+                                pending[worker as usize] = false;
+                                self.pending_dones.push((worker, done));
+                            }
+                        }
+                        kind::HEARTBEAT | kind::BYE | kind::RESTORE_ACK
+                        | kind::RESTORE_FAILED | kind::READY => {}
+                        other => {
+                            return Err(EulerError::Distributed(format!(
+                                "unexpected frame kind {other} from worker {worker}"
+                            )))
+                        }
+                    }
+                }
+                Ok(Event::Dead { worker, epoch }) => {
+                    if self.workers[worker as usize].epoch == epoch
+                        && pending[worker as usize]
+                    {
+                        pending[worker as usize] = false;
+                        deaths.push(worker);
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(EulerError::Distributed(
+                        "coordinator event channel closed".into(),
+                    ))
+                }
+            }
+            // Heartbeat deadline sweep over still-pending workers.
+            let timeout = self.cfg.policy.heartbeat_timeout;
+            for (w, still_pending) in pending.iter_mut().enumerate() {
+                if *still_pending && self.workers[w].last_heard.elapsed() > timeout {
+                    *still_pending = false;
+                    deaths.push(w as u32);
+                    self.recovery.heartbeat_misses += 1;
+                    self.warnings.push(format!(
+                        "worker {w} missed heartbeats for {timeout:?} at superstep {level}; declared dead"
+                    ));
+                    // Tear the connection down so a stuck-but-alive worker
+                    // (or its receiver thread) cannot haunt the new epoch.
+                    self.workers[w].stop_rx.store(true, Ordering::Relaxed);
+                    if let Some(child) = &mut self.workers[w].child {
+                        child.kill().ok();
+                    }
+                }
+            }
+        }
+        Ok(if deaths.is_empty() { Ok(()) } else { Err(deaths) })
+    }
+
+    /// Commits a completed barrier: routes shipped states into the next
+    /// superstep's inboxes, stores fragments, accounts stats, and (when
+    /// `record`) assembles the level outcome.
+    fn commit(
+        &mut self,
+        level: u32,
+        mut dones: Vec<(u32, DoneMsg)>,
+        record: bool,
+        wall: Duration,
+    ) -> Option<LevelOutcome> {
+        dones.sort_by_key(|(w, _)| *w);
+        let mut stats = SuperstepStats::new(level);
+        stats.wall_time = wall;
+        let mut next_inbox: Vec<Vec<Vec<u64>>> = vec![Vec::new(); self.cfg.num_workers];
+        let mut frags: Vec<(u64, Vec<u64>)> = Vec::new();
+        let mut outcome = LevelOutcome::default();
+        for (w, done) in &mut dones {
+            for (to, words) in std::mem::take(&mut done.outgoing) {
+                let dst = owner(to, self.cfg.num_workers);
+                let bytes = 8 * words.len() as u64;
+                if dst == *w as usize {
+                    stats.local_messages += 1;
+                    stats.local_bytes += bytes;
+                } else {
+                    stats.remote_messages += 1;
+                    stats.remote_bytes += bytes;
+                }
+                next_inbox[dst].push(words);
+            }
+            frags.append(&mut done.fragments);
+            if done.checkpoint_longs > 0 {
+                self.recovery.checkpoints_written += 1;
+                self.recovery.checkpoint_longs_written += done.checkpoint_longs;
+            }
+            for (r, post) in done.reports.iter().zip(&done.post_memory) {
+                stats.compute_time += r.phase1_time + r.merge_time;
+                let mut bd = TimeBreakdown::new();
+                bd.add("phase1_tour", r.phase1_time);
+                bd.add("create_partition_object", r.merge_time);
+                stats.per_partition_compute.push((r.partition.0, bd));
+                stats.memory.record(format!("P{}", r.partition.0), *post);
+            }
+            outcome.transfer_longs += done.transfer_longs;
+            outcome.reports.append(&mut done.reports);
+        }
+        outcome.reports.sort_by_key(|r| r.partition);
+        stats.active_partitions = outcome.reports.len();
+        stats.per_partition_compute.sort_by_key(|(p, _)| *p);
+        self.committed_frags.insert(level, frags);
+        self.inbox = next_inbox;
+        if record {
+            self.superstep_stats.push(stats);
+            Some(outcome)
+        } else {
+            None
+        }
+    }
+
+    /// Recovers from worker deaths detected during `level`: rollback +
+    /// respawn + restore when checkpoints exist, full deterministic replay
+    /// otherwise.
+    fn recover(&mut self, level: u32, deaths: &[u32]) -> Result<(), EulerError> {
+        for &w in deaths {
+            let h = &mut self.workers[w as usize];
+            h.restarts += 1;
+            if h.restarts > self.cfg.policy.max_worker_restarts {
+                return Err(EulerError::Distributed(format!(
+                    "worker {w} exceeded the restart budget ({}) at superstep {level}",
+                    self.cfg.policy.max_worker_restarts
+                )));
+            }
+            h.stop_rx.store(true, Ordering::Relaxed);
+            if let Some(mut child) = h.child.take() {
+                child.kill().ok();
+                child.wait().ok();
+            }
+            self.recovery.restarts += 1;
+        }
+        if self.cfg.plan.kill.is_some_and(|(_, ks)| ks == level) {
+            self.kill_consumed = true;
+        }
+        if self.cfg.checkpoint_dir.is_some() {
+            self.warnings.push(format!(
+                "worker(s) {deaths:?} died at superstep {level}; rolling back to checkpoint {level} and respawning"
+            ));
+            if self.try_rollback_restore(level, deaths)? {
+                return Ok(());
+            }
+            self.warnings
+                .push(format!("checkpoint restore for superstep {level} failed; replaying the run from the seed"));
+        } else {
+            self.warnings.push(format!(
+                "worker(s) {deaths:?} died at superstep {level} with checkpointing disabled; replaying the run from the seed"
+            ));
+        }
+        self.full_restart(level, deaths)
+    }
+
+    /// Rollback path: survivors reload checkpoint `level`, the dead are
+    /// respawned and restored from the same checkpoint. Returns false if
+    /// any restore was refused (missing/torn/foreign checkpoint).
+    fn try_rollback_restore(
+        &mut self,
+        level: u32,
+        deaths: &[u32],
+    ) -> Result<bool, EulerError> {
+        let mut ok = true;
+        // Survivors first: they are idle after the broken barrier.
+        for w in 0..self.cfg.num_workers as u32 {
+            if deaths.contains(&w) {
+                continue;
+            }
+            let conn = Arc::clone(&self.workers[w as usize].conn);
+            if conn.send(kind::RESTORE, &words_to_bytes(&[level as u64])).is_err() {
+                ok = false;
+                continue;
+            }
+            ok &= self.await_restore_ack(w, level)?;
+        }
+        for &w in deaths {
+            self.spawn_worker(w)?;
+            self.init_worker(w)?;
+            let conn = Arc::clone(&self.workers[w as usize].conn);
+            if conn.send(kind::RESTORE, &words_to_bytes(&[level as u64])).is_err() {
+                ok = false;
+            } else {
+                ok &= self.await_restore_ack_direct(w, level)?;
+            }
+            self.start_receiver(w);
+        }
+        Ok(ok)
+    }
+
+    /// Restore acknowledgement for a worker whose receiver thread is live
+    /// (survivors): consumed through the event channel.
+    fn await_restore_ack(&mut self, w: u32, level: u32) -> Result<bool, EulerError> {
+        let deadline = Instant::now() + self.cfg.policy.heartbeat_timeout;
+        while Instant::now() < deadline {
+            match self.events_rx.recv_timeout(Duration::from_millis(25)) {
+                Ok(Event::Frame { worker, epoch, kind: k, payload })
+                    if worker == w && self.workers[w as usize].epoch == epoch =>
+                {
+                    match k {
+                        kind::RESTORE_ACK => {
+                            let words =
+                                bytes_to_words(&payload).map_err(EulerError::Distributed)?;
+                            if words.first() == Some(&(level as u64)) {
+                                self.recovery.checkpoint_longs_restored +=
+                                    words.get(1).copied().unwrap_or(0);
+                                return Ok(true);
+                            }
+                        }
+                        kind::RESTORE_FAILED => {
+                            let words =
+                                bytes_to_words(&payload).map_err(EulerError::Distributed)?;
+                            self.recovery.checkpoints_ignored +=
+                                words.get(1).copied().unwrap_or(0);
+                            return Ok(false);
+                        }
+                        _ => {} // stale Done/heartbeat from the broken barrier
+                    }
+                }
+                Ok(Event::Dead { worker, epoch })
+                    if worker == w && self.workers[w as usize].epoch == epoch =>
+                {
+                    return Ok(false)
+                }
+                Ok(_) => {}
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(EulerError::Distributed(
+                        "coordinator event channel closed".into(),
+                    ))
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Restore acknowledgement read directly off a fresh connection (the
+    /// respawned worker's receiver thread starts only afterwards).
+    fn await_restore_ack_direct(&mut self, w: u32, level: u32) -> Result<bool, EulerError> {
+        let conn = Arc::clone(&self.workers[w as usize].conn);
+        match conn.recv_timeout(Some(self.cfg.policy.heartbeat_timeout)) {
+            Ok((kind::RESTORE_ACK, payload)) => {
+                let words = bytes_to_words(&payload).map_err(EulerError::Distributed)?;
+                if words.first() == Some(&(level as u64)) {
+                    self.recovery.checkpoint_longs_restored +=
+                        words.get(1).copied().unwrap_or(0);
+                    return Ok(true);
+                }
+                Ok(false)
+            }
+            Ok((kind::RESTORE_FAILED, payload)) => {
+                let words = bytes_to_words(&payload).map_err(EulerError::Distributed)?;
+                self.recovery.checkpoints_ignored += words.get(1).copied().unwrap_or(0);
+                Ok(false)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Full-restart path: the dead are respawned fresh, survivors are
+    /// re-initialised in place, and supersteps `0..level` replay
+    /// deterministically with their outcomes suppressed (the walk already
+    /// consumed them).
+    fn full_restart(&mut self, level: u32, deaths: &[u32]) -> Result<(), EulerError> {
+        self.recovery.full_restarts += 1;
+        for &w in deaths {
+            self.spawn_worker(w)?;
+            self.init_worker(w)?;
+            self.start_receiver(w);
+        }
+        for w in 0..self.cfg.num_workers as u32 {
+            if deaths.contains(&w) {
+                continue;
+            }
+            // Restart the receiver under a new epoch so frames of the
+            // abandoned barrier cannot leak into the replay. The old
+            // receiver is *joined* (it exits within one poll interval)
+            // before re-Init, so it cannot steal the Ready frame off the
+            // still-shared connection.
+            let h = &mut self.workers[w as usize];
+            h.stop_rx.store(true, Ordering::Relaxed);
+            if let Some(recv) = h.recv_handle.take() {
+                recv.join().ok();
+            }
+            h.epoch += 1;
+            h.stop_rx = Arc::new(AtomicBool::new(false));
+            self.init_worker(w)?;
+            self.start_receiver(w);
+        }
+        self.inbox = vec![Vec::new(); self.cfg.num_workers];
+        for ss in 0..level {
+            self.run_superstep(ss, false)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for DistRun {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Owner worker of a partition slot: round-robin by partition id.
+fn owner(slot: u32, num_workers: usize) -> usize {
+    (slot as usize) % num_workers.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tiny_tree() -> MergeTree {
+        MergeTree {
+            levels: vec![vec![MergePair {
+                parent: PartitionId(0),
+                child: PartitionId(1),
+                weight: 3,
+            }]],
+            root: PartitionId(0),
+            leaves: vec![PartitionId(0), PartitionId(1)],
+        }
+    }
+
+    fn test_init(dir: Option<PathBuf>) -> InitMsg {
+        InitMsg {
+            worker_id: 0,
+            num_workers: 1,
+            strategy: MergeStrategy::Deferred,
+            par_mode: Parallelism::PerPartition,
+            phase1_threads: 1,
+            worker_threads: 0,
+            heartbeat_interval: Duration::from_millis(50),
+            kill: None,
+            kill_mode: KillMode::Exit,
+            checkpoint_dir: dir,
+            tree: tiny_tree(),
+            seeds: Vec::new(),
+        }
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("euler-dist-hygiene-{}-{}", tag, std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn init_message_roundtrips() {
+        let dir = Some(PathBuf::from("/tmp/ckpts"));
+        let mut m = test_init(dir.clone());
+        m.kill = Some((3, 2));
+        m.seeds = vec![vec![1, 2, 3], vec![], vec![u64::MAX]];
+        let got = decode_init(&encode_init(&m)).unwrap();
+        assert_eq!(got.worker_id, m.worker_id);
+        assert_eq!(got.kill, m.kill);
+        assert_eq!(got.checkpoint_dir, dir);
+        assert_eq!(got.seeds, m.seeds);
+        assert_eq!(got.tree.leaves, m.tree.leaves);
+        assert_eq!(got.tree.levels, m.tree.levels);
+    }
+
+    #[test]
+    fn missing_checkpoint_refusal_is_not_ignored() {
+        // Checkpointing disabled → refusal without "ignored" (nothing was
+        // found and discarded); same for an enabled dir with no file yet.
+        let mut s = WorkerState::build(test_init(None)).unwrap();
+        assert!(!s.restore(0).unwrap_err().ignored);
+        let dir = scratch("missing");
+        let mut s = WorkerState::build(test_init(Some(dir.clone()))).unwrap();
+        assert!(!s.restore(0).unwrap_err().ignored);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn torn_checkpoint_is_detected_and_ignored_at_restore() {
+        let dir = scratch("torn");
+        let mut s = WorkerState::build(test_init(Some(dir.clone()))).unwrap();
+        assert!(s.write_ckpt(0, &[]) > 0);
+        assert!(s.restore(0).is_ok(), "pristine checkpoint must restore");
+        // Tear the file mid-payload, as a crash during a (non-atomic) write
+        // or a truncated copy would.
+        let path = checkpoint_file(&dir, 0, 0);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(s.restore(0).unwrap_err().ignored);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn foreign_version_checkpoint_is_detected_and_ignored_at_restore() {
+        let dir = scratch("version");
+        let mut s = WorkerState::build(test_init(Some(dir.clone()))).unwrap();
+        assert!(s.write_ckpt(1, &[]) > 0);
+        // Word 1 of the container is the format version; stamp a future one.
+        let path = checkpoint_file(&dir, 0, 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(s.restore(1).unwrap_err().ignored);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn corrupted_checkpoint_payload_is_detected_and_ignored_at_restore() {
+        let dir = scratch("corrupt");
+        let mut s = WorkerState::build(test_init(Some(dir.clone()))).unwrap();
+        assert!(s.write_ckpt(2, &[]) > 0);
+        let path = checkpoint_file(&dir, 0, 2);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(s.restore(2).unwrap_err().ignored);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Start messages round-trip for any superstep and payload set.
+        #[test]
+        fn start_message_roundtrips(
+            superstep in 0u64..1000,
+            msgs in prop::collection::vec(prop::collection::vec(0u64..1_000_000, 0..12), 0..6),
+        ) {
+            let words = encode_start(superstep as u32, &msgs);
+            let (ss, got) = decode_start(&words).unwrap();
+            prop_assert_eq!(ss, superstep as u32);
+            prop_assert_eq!(got, msgs);
+        }
+
+        /// Decoding random garbage words returns a typed error or a
+        /// harmless value — never a panic, never an unbounded allocation.
+        #[test]
+        fn protocol_decoders_never_panic_on_garbage(
+            words in prop::collection::vec(0u64..u64::MAX, 0..40),
+        ) {
+            let _ = decode_init(&words);
+            let _ = decode_start(&words);
+            let _ = decode_done(&words);
+        }
+    }
+}

@@ -43,6 +43,9 @@ pub enum EulerError {
     },
     /// The configuration is invalid (e.g. zero partitions).
     InvalidConfig(String),
+    /// A distributed run failed unrecoverably (transport failure, restart
+    /// budget exhausted, protocol violation).
+    Distributed(String),
 }
 
 impl fmt::Display for EulerError {
@@ -62,6 +65,7 @@ impl fmt::Display for EulerError {
                 write!(f, "graph edges are disconnected; produced {count} separate circuits")
             }
             EulerError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            EulerError::Distributed(msg) => write!(f, "distributed run failed: {msg}"),
         }
     }
 }

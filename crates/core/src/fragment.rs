@@ -372,8 +372,9 @@ struct SlotMeta {
 /// Flat `u64` record of one fragment in the spill file:
 /// `[kind, level, partition, n]` then `n` tour edges of
 /// `[tag, id, from, to]` (tag 0 = real, 1 = virtual). The id is not stored —
-/// the index knows it.
-fn encode_fragment(f: &Fragment, out: &mut Vec<u64>) {
+/// the index knows it. The distributed worker reuses this record as its
+/// checkpoint/shipping format for fragments, hence the crate visibility.
+pub(crate) fn encode_fragment(f: &Fragment, out: &mut Vec<u64>) {
     out.clear();
     out.reserve(4 + 4 * f.edges.len());
     out.push(match f.kind {
@@ -395,7 +396,7 @@ fn encode_fragment(f: &Fragment, out: &mut Vec<u64>) {
     }
 }
 
-fn decode_fragment(id: FragmentId, words: &[u64]) -> Fragment {
+pub(crate) fn decode_fragment(id: FragmentId, words: &[u64]) -> Fragment {
     let kind = if words[0] == 0 { FragmentKind::Path } else { FragmentKind::Cycle };
     let n = words[3] as usize;
     let mut edges = Vec::with_capacity(n);

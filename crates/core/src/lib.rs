@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod distributed;
 pub mod error;
 pub mod fragment;
 pub mod memory_model;
@@ -59,6 +60,7 @@ pub mod state;
 pub mod verify;
 
 pub use config::EulerConfig;
+pub use distributed::{default_worker_bin, worker_main};
 pub use error::EulerError;
 pub use fragment::{
     Fragment, FragmentId, FragmentKind, FragmentStore, FragmentStoreStats, SpillConfig, TourEdge,

@@ -129,6 +129,10 @@ pub struct RunReport {
     /// modelled platform overhead) when the run executed on [`BspBackend`];
     /// `None` for in-process runs.
     pub engine: Option<euler_bsp::EngineStats>,
+    /// Non-fatal degradations the run absorbed: spill I/O failures that fell
+    /// back to resident fragments, worker deaths that were recovered by
+    /// checkpoint rollback or deterministic replay. Empty for a clean run.
+    pub warnings: Vec<String>,
 }
 
 impl RunReport {
@@ -288,13 +292,25 @@ pub trait ExecutionBackend {
 
     /// Executes one level: Phase 1 on every live partition, then the level's
     /// merges, keeping the resulting states for the next call.
-    fn run_level(&self, work: LevelWork<'_>) -> LevelOutcome;
+    ///
+    /// # Errors
+    /// [`EulerError::Distributed`] when a distributed backend loses workers
+    /// beyond its recovery budget or the transport fails unrecoverably.
+    /// In-process execution is infallible.
+    fn run_level(&self, work: LevelWork<'_>) -> Result<LevelOutcome, EulerError>;
 
     /// Engine statistics accumulated over the walk, for backends that run on
     /// an engine that collects them (the BSP backend). Called by the walk
     /// after the last level.
     fn engine_stats(&self) -> Option<euler_bsp::EngineStats> {
         None
+    }
+
+    /// Non-fatal degradations the backend absorbed during the walk (worker
+    /// deaths recovered by rollback or replay). Collected into
+    /// [`RunReport::warnings`] after the last level.
+    fn warnings(&self) -> Vec<String> {
+        Vec::new()
     }
 }
 
@@ -375,7 +391,7 @@ impl ExecutionBackend for InProcessBackend {
         "in-process"
     }
 
-    fn run_level(&self, work: LevelWork<'_>) -> LevelOutcome {
+    fn run_level(&self, work: LevelWork<'_>) -> Result<LevelOutcome, EulerError> {
         let mut inner = self.inner.borrow_mut();
         if let Some(seed) = work.seed {
             *inner = InProcessState { states: seed, pending: HashMap::new() };
@@ -457,7 +473,7 @@ impl ExecutionBackend for InProcessBackend {
             }
         }
 
-        LevelOutcome { reports, transfer_longs: shipped_total }
+        Ok(LevelOutcome { reports, transfer_longs: shipped_total })
     }
 }
 
@@ -466,8 +482,9 @@ impl ExecutionBackend for InProcessBackend {
 // ---------------------------------------------------------------------------
 
 /// Wire encoding of a [`WorkingPartition`] as a flat u64 sequence, used for
-/// the byte-accounted transfers of the BSP backend.
-mod wire {
+/// the byte-accounted transfers of the BSP backend and the distributed
+/// coordinator/worker protocol ([`crate::distributed`]).
+pub(crate) mod wire {
     use super::*;
     use crate::fragment::FragmentId;
     use crate::state::{EdgeRef, LocalEdge, RemoteRef};
@@ -693,6 +710,12 @@ pub struct BspBackend {
     parallelism: Parallelism,
     phase1_threads: usize,
     run: RefCell<Option<euler_bsp::StepRun<DistProgram>>>,
+    transport: Option<Arc<dyn euler_bsp::Transport>>,
+    process_workers: bool,
+    checkpoint_dir: Option<std::path::PathBuf>,
+    fault_policy: euler_bsp::FaultPolicy,
+    fault_plan: euler_bsp::FaultPlan,
+    dist: RefCell<Option<crate::distributed::DistRun>>,
 }
 
 impl BspBackend {
@@ -709,7 +732,62 @@ impl BspBackend {
             parallelism: Parallelism::PerPartition,
             phase1_threads: 0,
             run: RefCell::new(None),
+            transport: None,
+            process_workers: false,
+            checkpoint_dir: None,
+            fault_policy: euler_bsp::FaultPolicy::default(),
+            fault_plan: euler_bsp::FaultPlan::none(),
+            dist: RefCell::new(None),
         }
+    }
+
+    /// Runs the walk on real workers connected over `transport` instead of
+    /// the in-process engine: the backend becomes a *coordinator* that
+    /// spawns one worker per engine slot (threads by default, OS processes
+    /// under [`process_workers`](Self::process_workers)), exchanges
+    /// length-prefixed checksummed frames with them, and recovers from
+    /// worker deaths (see [`checkpoint_dir`](Self::checkpoint_dir) /
+    /// [`fault_policy`](Self::fault_policy)). Circuits, per-level records
+    /// and transfer accounting are bit-identical to the in-process engine.
+    pub fn with_transport(mut self, transport: Arc<dyn euler_bsp::Transport>) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// Spawns workers as OS processes (the `euler-worker` binary, resolved
+    /// via `$EULER_WORKER_BIN` or next to the current executable) instead of
+    /// threads. Requires a socket transport
+    /// ([`euler_bsp::TcpTransport`] / [`euler_bsp::UnixTransport`]).
+    pub fn process_workers(mut self, yes: bool) -> Self {
+        self.process_workers = yes;
+        self
+    }
+
+    /// Persists every worker's partition state to `dir` after each
+    /// superstep, enabling kill-and-resume recovery: a dead worker is
+    /// respawned, everyone rolls back to the last consistent superstep
+    /// checkpoint, and the run resumes — bit-identical to an unkilled run.
+    /// The directory is removed when a run completes cleanly. Without a
+    /// checkpoint directory, recovery falls back to a full deterministic
+    /// replay from the level-0 seed.
+    pub fn checkpoint_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Tunes dead-worker detection and recovery (heartbeat interval and
+    /// timeout, restart budget, connect/send retries).
+    pub fn fault_policy(mut self, policy: euler_bsp::FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
+
+    /// Injects scripted faults (kill worker *k* at superstep *s*, drop or
+    /// delay the *n*-th superstep message) — the test/bench harness for the
+    /// recovery machinery.
+    pub fn with_fault_plan(mut self, plan: euler_bsp::FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
     }
 
     /// Sets how each worker runs Phase 1 — the BSP equivalent of
@@ -760,7 +838,10 @@ impl ExecutionBackend for BspBackend {
         "bsp"
     }
 
-    fn run_level(&self, work: LevelWork<'_>) -> LevelOutcome {
+    fn run_level(&self, work: LevelWork<'_>) -> Result<LevelOutcome, EulerError> {
+        if self.transport.is_some() {
+            return self.run_level_distributed(work);
+        }
         let mut slot = self.run.borrow_mut();
         if let Some(seed) = work.seed {
             // Engine partition index i hosts graph partition i (leaf ids are
@@ -799,11 +880,81 @@ impl ExecutionBackend for BspBackend {
         // Worker threads race on the ledger; restore engine-slot order.
         ledger.reports.sort_by_key(|r| r.partition);
         debug_assert!(ledger.reports.iter().all(|r| r.level == work.level));
-        LevelOutcome { reports: ledger.reports, transfer_longs: ledger.transfer_longs }
+        Ok(LevelOutcome { reports: ledger.reports, transfer_longs: ledger.transfer_longs })
     }
 
     fn engine_stats(&self) -> Option<euler_bsp::EngineStats> {
+        if let Some(dist) = self.dist.borrow().as_ref() {
+            return Some(dist.stats());
+        }
         self.run.borrow().as_ref().map(|r| r.stats())
+    }
+
+    fn warnings(&self) -> Vec<String> {
+        self.dist.borrow().as_ref().map(|d| d.warnings()).unwrap_or_default()
+    }
+}
+
+impl BspBackend {
+    /// The distributed (coordinator) path of [`ExecutionBackend::run_level`]:
+    /// seed → spawn and initialise the worker fleet, per level → one wire
+    /// barrier, last level → flush the committed fragments into the walk's
+    /// store and shut the fleet down.
+    fn run_level_distributed(&self, work: LevelWork<'_>) -> Result<LevelOutcome, EulerError> {
+        let transport = self.transport.as_ref().expect("checked by caller");
+        let mut dist = self.dist.borrow_mut();
+        if let Some(seed) = work.seed {
+            let spawn = if self.process_workers {
+                if !transport.supports_processes() {
+                    return Err(EulerError::InvalidConfig(format!(
+                        "process workers need a socket transport; `{}` is in-process only",
+                        transport.name()
+                    )));
+                }
+                let worker_bin = crate::distributed::default_worker_bin().ok_or_else(|| {
+                    EulerError::InvalidConfig(
+                        "no `euler-worker` binary found (set $EULER_WORKER_BIN or install it \
+                         next to the current executable)"
+                            .into(),
+                    )
+                })?;
+                crate::distributed::WorkerSpawn::Processes { worker_bin }
+            } else {
+                crate::distributed::WorkerSpawn::Threads
+            };
+            let cfg = crate::distributed::DistConfig {
+                transport: Arc::clone(transport),
+                spawn,
+                num_workers: self.engine.resolved_workers(seed.len()),
+                checkpoint_dir: self.checkpoint_dir.clone(),
+                policy: self.fault_policy,
+                plan: self.fault_plan,
+                par_mode: self.parallelism,
+                phase1_threads: self.phase1_threads,
+                worker_threads: self
+                    .engine
+                    .worker_threads
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(0),
+            };
+            *dist = Some(crate::distributed::DistRun::new(
+                cfg,
+                Arc::clone(work.tree),
+                work.config.merge_strategy,
+                &seed,
+            )?);
+        }
+        let run = dist.as_mut().expect("the pipeline seeds the backend at level 0");
+        let outcome = run.step(work.level)?;
+        if work.level + 1 == work.tree.num_supersteps() {
+            // Root level done: materialise the committed fragments into the
+            // walk's store (sorted by provisional id — the sequential push
+            // order) and retire the fleet. The engine-stats snapshot the
+            // walk takes right after sees the finished wall time.
+            run.flush_fragments(work.store)?;
+            run.finish();
+        }
+        Ok(outcome)
     }
 }
 
@@ -873,7 +1024,13 @@ pub fn run_on_partitioned(
     // backing; otherwise they stay in the in-memory slab. Either way the
     // circuits and the modelled disk accounting are identical.
     let store = match config.fragment_memory_budget {
-        Some(budget) => FragmentStore::spilling(SpillConfig::with_budget(budget)),
+        Some(budget) => {
+            let mut spill = SpillConfig::with_budget(budget);
+            if let Some(dir) = &config.fragment_spill_directory {
+                spill = spill.in_directory(dir.clone());
+            }
+            FragmentStore::spilling(spill)
+        }
         None => FragmentStore::new(),
     };
 
@@ -903,7 +1060,7 @@ pub fn run_on_partitioned(
             store: &store,
             config,
             seed: seed.take(),
-        });
+        })?;
         report.per_partition.extend(outcome.reports);
         report.total_transfer_longs += outcome.transfer_longs;
     }
@@ -911,6 +1068,7 @@ pub fn run_on_partitioned(
     // Snapshot engine statistics now, before Phase 3, so the engine's wall
     // time covers only the superstep walk (as the free-running engine's did).
     report.engine = backend.engine_stats();
+    report.warnings = backend.warnings();
 
     // --- Phase 3: unroll the fragments into the circuit. --------------------
     let t3 = Instant::now();
@@ -918,6 +1076,12 @@ pub fn run_on_partitioned(
     report.phase3_time = t3.elapsed();
     report.fragment_disk_longs = store.disk_longs();
     report.fragment_stats = store.stats();
+    if report.fragment_stats.spill_errors > 0 {
+        report.warnings.push(format!(
+            "fragment spill degraded: {} spill I/O failure(s); affected fragments stayed resident",
+            report.fragment_stats.spill_errors
+        ));
+    }
 
     Ok((result, report))
 }
@@ -1238,6 +1402,7 @@ fn assemble_run(provenance: Provenance, result: CircuitResult, report: RunReport
         merge_tree,
         backend,
         engine,
+        warnings,
     } = report;
     PipelineRun {
         partition: PartitionStage {
@@ -1259,6 +1424,7 @@ fn assemble_run(provenance: Provenance, result: CircuitResult, report: RunReport
             total_transfer_longs,
             merge_tree,
             engine,
+            warnings,
         },
         circuit: CircuitStage { result, phase3_time, fragment_disk_longs, fragment_stats },
     }
@@ -1306,6 +1472,9 @@ pub struct MergeStage {
     pub merge_tree: MergeTree,
     /// BSP engine statistics (present for [`BspBackend`] runs).
     pub engine: Option<euler_bsp::EngineStats>,
+    /// Non-fatal degradations absorbed during the walk (see
+    /// [`RunReport::warnings`]).
+    pub warnings: Vec<String>,
 }
 
 /// Output of the Phase-3 unroll stage.
@@ -1361,6 +1530,7 @@ impl PipelineRun {
             merge_tree: self.merge.merge_tree.clone(),
             backend: self.merge.backend.clone(),
             engine: self.merge.engine.clone(),
+            warnings: self.merge.warnings.clone(),
         }
     }
 }
@@ -1432,7 +1602,7 @@ mod tests {
         let in_proc = EulerPipeline::builder()
             .graph(&g)
             .assignment(a.clone())
-            .config(config)
+            .config(config.clone())
             .backend(InProcessBackend::new())
             .build()
             .unwrap()
@@ -1441,7 +1611,7 @@ mod tests {
         let bsp = EulerPipeline::builder()
             .graph(&g)
             .assignment(a)
-            .config(config)
+            .config(config.clone())
             .backend(BspBackend::with_engine(euler_bsp::BspConfig::with_workers(1)))
             .build()
             .unwrap()
@@ -1593,7 +1763,7 @@ mod tests {
         let reference = EulerPipeline::builder()
             .graph(&g)
             .assignment(a.clone())
-            .config(config)
+            .config(config.clone())
             .build()
             .unwrap()
             .run()
@@ -1601,7 +1771,7 @@ mod tests {
         let bsp_pipeline = EulerPipeline::builder()
             .graph(&g)
             .assignment(a)
-            .config(config)
+            .config(config.clone())
             .backend(BspBackend::with_engine(euler_bsp::BspConfig::with_workers(1)))
             .build()
             .unwrap();
@@ -1688,7 +1858,7 @@ mod tests {
         let from_csr = EulerPipeline::builder()
             .source(euler_graph::MmapCsrSource::open(&path).unwrap())
             .assignment(a.clone())
-            .config(config)
+            .config(config.clone())
             .build()
             .unwrap()
             .run()
@@ -1696,7 +1866,7 @@ mod tests {
         let from_mem = EulerPipeline::builder()
             .graph(&g)
             .assignment(a)
-            .config(config)
+            .config(config.clone())
             .build()
             .unwrap()
             .run()
@@ -1746,7 +1916,7 @@ mod tests {
                 EulerPipeline::builder()
                     .source(euler_graph::MmapCsrSource::open(&path).unwrap())
                     .partitioner(LdgPartitioner::new(4))
-                    .config(config)
+                    .config(config.clone())
                     .build()
                     .unwrap()
                     .run()
@@ -1754,7 +1924,7 @@ mod tests {
                 EulerPipeline::builder()
                     .graph(&g)
                     .partitioner(LdgPartitioner::new(4))
-                    .config(config)
+                    .config(config.clone())
                     .build()
                     .unwrap()
                     .run()
@@ -1764,7 +1934,7 @@ mod tests {
                 EulerPipeline::builder()
                     .source(euler_graph::MmapCsrSource::open(&path).unwrap())
                     .partitioner(HashPartitioner::new(3))
-                    .config(config)
+                    .config(config.clone())
                     .build()
                     .unwrap()
                     .run()
@@ -1772,7 +1942,7 @@ mod tests {
                 EulerPipeline::builder()
                     .graph(&g)
                     .partitioner(HashPartitioner::new(3))
-                    .config(config)
+                    .config(config.clone())
                     .build()
                     .unwrap()
                     .run()
@@ -1830,7 +2000,7 @@ mod tests {
         let unbounded = EulerPipeline::builder()
             .graph(&g)
             .assignment(a.clone())
-            .config(config)
+            .config(config.clone())
             .build()
             .unwrap()
             .run()
@@ -1840,7 +2010,7 @@ mod tests {
         let bounded = EulerPipeline::builder()
             .graph(&g)
             .assignment(a)
-            .config(config)
+            .config(config.clone())
             .memory_budget(budget)
             .build()
             .unwrap()

@@ -1,0 +1,105 @@
+//! Process-per-worker BSP over a wire transport, with a SIGKILL mid-run.
+//!
+//! Two runs of the same pipeline on real `euler-worker` OS processes
+//! connected over loopback TCP:
+//!
+//! 1. a clean run — coordinator spawns the workers, drives supersteps over
+//!    length-prefixed checksummed frames, shuts the fleet down;
+//! 2. a sabotaged run — the coordinator SIGKILLs one worker in the middle
+//!    of a superstep; heartbeat/socket monitoring notices, the worker is
+//!    respawned, the fleet rolls back to the superstep checkpoint and the
+//!    run completes anyway.
+//!
+//! The final circuits must be bit-identical. This is the CI smoke for the
+//! distributed path (the `euler-worker` binary must be built first, which
+//! `cargo build` / `cargo test` do as a matter of course).
+//!
+//! Run with: `cargo run --release --example process_workers`
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use euler_circuit::prelude::*;
+
+fn run(g: &Graph, a: &PartitionAssignment, backend: BspBackend) -> PipelineRun {
+    EulerPipeline::builder()
+        .graph(g)
+        .assignment(a.clone())
+        .backend(backend)
+        .build()
+        .expect("pipeline builds")
+        .run()
+        .expect("pipeline runs")
+}
+
+fn main() -> ExitCode {
+    // A mid-sized connected Eulerian graph over 4 partitions, 2 worker
+    // processes (2 partition slots each).
+    let g = synthetic::random_eulerian_connected(400, 40, 6, 2019);
+    let a = LdgPartitioner::new(4).partition(&g);
+    println!(
+        "graph: {} vertices, {} edges, 4 partitions, 2 worker processes over TCP",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    println!("\n=== clean run ===");
+    let clean = run(
+        &g,
+        &a,
+        BspBackend::with_engine(BspConfig::with_workers(2))
+            .with_transport(Arc::new(TcpTransport))
+            .process_workers(true),
+    );
+    let engine = clean.merge.engine.as_ref().expect("BSP runs carry engine stats");
+    for s in &engine.supersteps {
+        println!(
+            "  superstep {}: {} partitions, {} local + {} remote msgs, {} shuffle bytes",
+            s.superstep, s.active_partitions, s.local_messages, s.remote_messages, s.remote_bytes
+        );
+    }
+    println!("  circuit edges: {}", clean.circuit.result.total_edges());
+
+    println!("\n=== SIGKILL worker 1 at superstep 1, checkpointed recovery ===");
+    let ckpt = std::env::temp_dir().join(format!("euler-pw-ckpt-{}", std::process::id()));
+    let killed = run(
+        &g,
+        &a,
+        BspBackend::with_engine(BspConfig::with_workers(2))
+            .with_transport(Arc::new(TcpTransport))
+            .process_workers(true)
+            .checkpoint_dir(&ckpt)
+            .with_fault_plan(FaultPlan::kill_at(1, 1)),
+    );
+    let recovery = killed.merge.engine.as_ref().unwrap().recovery;
+    println!(
+        "  restarts: {}, full restarts: {}, heartbeat misses: {}",
+        recovery.restarts, recovery.full_restarts, recovery.heartbeat_misses
+    );
+    println!(
+        "  checkpoint Longs written: {}, restored: {}",
+        recovery.checkpoint_longs_written, recovery.checkpoint_longs_restored
+    );
+    for w in &killed.merge.warnings {
+        println!("  warning: {w}");
+    }
+
+    // The SIGKILL must have been seen — and absorbed without a trace in
+    // the output.
+    if recovery.restarts == 0 {
+        eprintln!("FAIL: the kill was never observed");
+        return ExitCode::FAILURE;
+    }
+    if clean.circuit.result.circuits != killed.circuit.result.circuits
+        || clean.merge.total_transfer_longs != killed.merge.total_transfer_longs
+    {
+        eprintln!("FAIL: recovered run differs from the clean run");
+        return ExitCode::FAILURE;
+    }
+    if ckpt.exists() {
+        eprintln!("FAIL: checkpoint directory survived a completed run");
+        return ExitCode::FAILURE;
+    }
+    println!("\nrecovered run is bit-identical to the clean run");
+    ExitCode::SUCCESS
+}

@@ -194,6 +194,50 @@
 //! from a per-backend pool, so repeated levels stop allocating once the
 //! buffers reach the working-set size.
 //!
+//! ## Distributed: wire transports, process workers, kill-and-resume
+//!
+//! Give [`BspBackend`](algo::BspBackend) a [`Transport`](bsp::Transport)
+//! and the walk runs as a coordinator/worker protocol over length-prefixed,
+//! checksummed frames — [`MemTransport`](bsp::MemTransport) (in-memory
+//! channels), [`TcpTransport`](bsp::TcpTransport) or
+//! [`UnixTransport`](bsp::UnixTransport) (the socket transports also take
+//! `.process_workers(true)`: one `euler-worker` OS process per worker,
+//! spawned and — after a SIGKILL — respawned by the coordinator). Add
+//! `.checkpoint_dir(..)` and a dead worker rolls the fleet back to the
+//! checkpoint of the failed superstep instead of replaying from the seeds;
+//! either way the final circuit is bit-identical to an unkilled run, for
+//! any worker count. [`FaultPolicy`](bsp::FaultPolicy) tunes heartbeats and
+//! restart budgets; [`FaultPlan`](bsp::FaultPlan) injects faults for tests.
+//!
+//! ```
+//! use euler_circuit::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let graph = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]);
+//! let ckpt = std::env::temp_dir().join("facade_quickstart_ckpt");
+//! let run = EulerPipeline::builder()
+//!     .graph(&graph)
+//!     .partitioner(LdgPartitioner::new(2))
+//!     .backend(
+//!         BspBackend::with_engine(BspConfig::with_workers(2))
+//!             .with_transport(Arc::new(MemTransport)) // wire frames, thread workers
+//!             .checkpoint_dir(&ckpt)                  // superstep rollback on death
+//!             .with_fault_plan(FaultPlan::kill_at(1, 0)), // kill worker 1 at superstep 0
+//!     )
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
+//!
+//! // The worker died, was respawned, restored its checkpoint — and the
+//! // circuit still uses every edge exactly once.
+//! let recovery = run.merge.engine.as_ref().unwrap().recovery;
+//! assert!(recovery.restarts >= 1);
+//! assert!(!run.merge.warnings.is_empty()); // the recovery is reported
+//! verify_circuit(&graph, run.circuit.result.circuit().unwrap()).unwrap();
+//! assert!(!ckpt.exists()); // clean completion removes the checkpoint dir
+//! ```
+//!
 //! ## Migrating from `find_euler_circuit` / `DistributedRunner`
 //!
 //! The pre-0.2 entry points were deprecated wrappers over the pipeline for
@@ -229,10 +273,14 @@ pub use euler_partition as partition;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use euler_baseline::{fleury::fleury_circuit, hierholzer::hierholzer_circuit, makki::MakkiRunner};
+    pub use euler_bsp::{
+        BspConfig, FaultPlan, FaultPolicy, MemTransport, RecoveryStats, TcpTransport, Transport,
+        UnixTransport,
+    };
     pub use euler_core::{
         run_on_partitioned, run_with_backend, verify::verify_circuit, BspBackend, CircuitResult,
         EulerConfig, EulerPipeline, ExecutionBackend, FragmentStoreStats, InProcessBackend,
-        MergeStrategy, Parallelism, PipelineRun, RunReport, SpillConfig,
+        LevelPartitionReport, MergeStrategy, Parallelism, PipelineRun, RunReport, SpillConfig,
     };
     pub use euler_gen::{
         configs::GraphConfig, eulerize::eulerize, rmat::RmatGenerator, synthetic,

@@ -1,0 +1,507 @@
+//! Fault-tolerance integration tests for the distributed (wire-transport)
+//! pipeline path: clean distributed runs must be bit-identical to the
+//! in-process sequential run, and — the headline — killing a worker
+//! mid-superstep must end in automatic respawn, checkpoint restore (or
+//! deterministic replay when checkpointing is off) and a final circuit that
+//! is still bit-identical, with the recovery visible in
+//! [`RunReport::warnings`] and the engine's recovery counters.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use euler_circuit::algo::verify::verify_result;
+use euler_circuit::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a connected Eulerian graph from a seed.
+fn graph_from(seed: u64, n: u64, extra: usize) -> Graph {
+    synthetic::random_eulerian_connected(n.max(4), extra, 5, seed)
+}
+
+/// A fresh scratch directory under the system temp dir (no tempfile crate in
+/// the build environment). Callers clean up on success; stale dirs from
+/// failed runs are keyed by pid so reruns never collide.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "euler-ft-{}-{}-{}",
+        tag,
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The measurement-free projection of a per-level record (timings differ run
+/// to run; everything else must be bit-stable).
+fn record_facts(r: &LevelPartitionReport) -> impl PartialEq + std::fmt::Debug {
+    (
+        r.level,
+        r.partition,
+        r.counts,
+        r.complexity,
+        r.memory_longs,
+        r.remote_needed_now,
+        r.transfer_in_longs,
+        (r.paths_found, r.cycles_found, r.internal_cycles_merged),
+    )
+}
+
+/// Bit-identity across runs: circuits, transfer accounting, fragment
+/// accounting and every per-level record.
+fn assert_same_run(a: &PipelineRun, b: &PipelineRun) {
+    assert_eq!(a.circuit.result.circuits, b.circuit.result.circuits);
+    assert_eq!(a.merge.total_transfer_longs, b.merge.total_transfer_longs);
+    assert_eq!(a.circuit.fragment_disk_longs, b.circuit.fragment_disk_longs);
+    assert_eq!(a.merge.supersteps, b.merge.supersteps);
+    assert_eq!(a.merge.per_partition.len(), b.merge.per_partition.len());
+    for (x, y) in a.merge.per_partition.iter().zip(&b.merge.per_partition) {
+        assert_eq!(record_facts(x), record_facts(y));
+    }
+}
+
+/// The in-process sequential run every distributed run is judged against.
+fn reference_run(g: &Graph, a: &PartitionAssignment, config: &EulerConfig) -> PipelineRun {
+    EulerPipeline::builder()
+        .graph(g)
+        .assignment(a.clone())
+        .config(config.clone())
+        .backend(InProcessBackend::new())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
+}
+
+fn distributed_run(
+    g: &Graph,
+    a: &PartitionAssignment,
+    config: &EulerConfig,
+    backend: BspBackend,
+) -> PipelineRun {
+    EulerPipeline::builder()
+        .graph(g)
+        .assignment(a.clone())
+        .config(config.clone())
+        .backend(backend)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
+}
+
+/// A fault policy with test-friendly timings (the defaults keep a 5 s
+/// heartbeat timeout, far too patient for a test suite).
+fn fast_policy() -> FaultPolicy {
+    FaultPolicy::default()
+        .with_heartbeat_interval(Duration::from_millis(20))
+        .with_heartbeat_timeout(Duration::from_millis(400))
+}
+
+// ---------------------------------------------------------------------------
+// Clean runs: the wire transport changes nothing observable.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mem_transport_thread_workers_match_in_process_run() {
+    let g = graph_from(42, 120, 14);
+    let a = LdgPartitioner::new(4).partition(&g);
+    let config = EulerConfig::default();
+    let reference = reference_run(&g, &a, &config);
+
+    for workers in [1usize, 2, 4] {
+        let run = distributed_run(
+            &g,
+            &a,
+            &config,
+            BspBackend::with_engine(BspConfig::with_workers(workers))
+                .with_transport(Arc::new(MemTransport)),
+        );
+        assert!(verify_result(&g, &run.circuit.result).is_ok());
+        assert_same_run(&reference, &run);
+        assert!(run.merge.warnings.is_empty(), "clean run warned: {:?}", run.merge.warnings);
+        let engine = run.merge.engine.as_ref().unwrap();
+        assert_eq!(engine.num_workers, workers);
+        assert!(!engine.recovery.any_recovery());
+        // No checkpoint dir configured -> nothing written.
+        assert_eq!(engine.recovery.checkpoints_written, 0);
+    }
+}
+
+#[test]
+fn tcp_transport_thread_workers_match_in_process_run() {
+    let g = graph_from(7, 90, 10);
+    let a = HashPartitioner::new(3).partition(&g);
+    let config = EulerConfig::default();
+    let reference = reference_run(&g, &a, &config);
+    let run = distributed_run(
+        &g,
+        &a,
+        &config,
+        BspBackend::with_engine(BspConfig::with_workers(2))
+            .with_transport(Arc::new(TcpTransport)),
+    );
+    assert!(verify_result(&g, &run.circuit.result).is_ok());
+    assert_same_run(&reference, &run);
+}
+
+#[test]
+fn checkpointing_alone_changes_nothing_and_cleans_up_after_itself() {
+    let g = graph_from(11, 100, 12);
+    let a = LdgPartitioner::new(4).partition(&g);
+    let config = EulerConfig::default();
+    let reference = reference_run(&g, &a, &config);
+    let ckpt = scratch_dir("clean-ckpt");
+    let run = distributed_run(
+        &g,
+        &a,
+        &config,
+        BspBackend::with_engine(BspConfig::with_workers(2))
+            .with_transport(Arc::new(MemTransport))
+            .checkpoint_dir(&ckpt),
+    );
+    assert_same_run(&reference, &run);
+    let engine = run.merge.engine.as_ref().unwrap();
+    // Every worker wrote its initial checkpoint plus one per superstep.
+    assert!(engine.recovery.checkpoints_written >= engine.supersteps.len() as u64);
+    assert!(engine.recovery.checkpoint_longs_written > 0);
+    assert_eq!(engine.recovery.checkpoint_longs_restored, 0);
+    // Clean completion removes the checkpoint directory.
+    assert!(!ckpt.exists(), "checkpoint dir survived a clean run");
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-resume: thread workers.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn killed_thread_worker_restores_from_checkpoint_bit_identically() {
+    let g = graph_from(123, 140, 16);
+    let a = LdgPartitioner::new(4).partition(&g);
+    let config = EulerConfig::default();
+    let reference = reference_run(&g, &a, &config);
+    let ckpt = scratch_dir("kill-ckpt");
+    let run = distributed_run(
+        &g,
+        &a,
+        &config,
+        BspBackend::with_engine(BspConfig::with_workers(2))
+            .with_transport(Arc::new(MemTransport))
+            .checkpoint_dir(&ckpt)
+            .fault_policy(fast_policy())
+            .with_fault_plan(FaultPlan::kill_at(1, 1)),
+    );
+    assert!(verify_result(&g, &run.circuit.result).is_ok());
+    assert_same_run(&reference, &run);
+    let engine = run.merge.engine.as_ref().unwrap();
+    assert!(engine.recovery.restarts >= 1, "kill was not observed");
+    assert!(engine.recovery.checkpoint_longs_restored > 0, "recovery did not restore state");
+    assert!(
+        run.merge.warnings.iter().any(|w| w.contains("worker")),
+        "recovery left no warning: {:?}",
+        run.merge.warnings
+    );
+    assert!(!ckpt.exists());
+}
+
+#[test]
+fn killed_thread_worker_without_checkpoints_replays_bit_identically() {
+    // No checkpoint dir: recovery must fall back to a full deterministic
+    // replay from the seed partitions.
+    let g = graph_from(5, 110, 12);
+    let a = LdgPartitioner::new(4).partition(&g);
+    let config = EulerConfig::default();
+    let reference = reference_run(&g, &a, &config);
+    let run = distributed_run(
+        &g,
+        &a,
+        &config,
+        BspBackend::with_engine(BspConfig::with_workers(2))
+            .with_transport(Arc::new(MemTransport))
+            .fault_policy(fast_policy())
+            .with_fault_plan(FaultPlan::kill_at(0, 1)),
+    );
+    assert!(verify_result(&g, &run.circuit.result).is_ok());
+    assert_same_run(&reference, &run);
+    let engine = run.merge.engine.as_ref().unwrap();
+    assert!(engine.recovery.restarts >= 1);
+    assert!(engine.recovery.full_restarts >= 1, "expected a full replay");
+    assert_eq!(engine.recovery.checkpoint_longs_restored, 0);
+}
+
+#[test]
+fn kill_at_superstep_zero_recovers_from_the_initial_checkpoint() {
+    let g = graph_from(99, 80, 8);
+    let a = LdgPartitioner::new(3).partition(&g);
+    let config = EulerConfig::default();
+    let reference = reference_run(&g, &a, &config);
+    let ckpt = scratch_dir("kill-s0");
+    let run = distributed_run(
+        &g,
+        &a,
+        &config,
+        BspBackend::with_engine(BspConfig::with_workers(3))
+            .with_transport(Arc::new(MemTransport))
+            .checkpoint_dir(&ckpt)
+            .fault_policy(fast_policy())
+            .with_fault_plan(FaultPlan::kill_at(2, 0)),
+    );
+    assert_same_run(&reference, &run);
+    assert!(run.merge.engine.as_ref().unwrap().recovery.restarts >= 1);
+    assert!(!ckpt.exists());
+}
+
+// ---------------------------------------------------------------------------
+// Message-level faults: dropped and delayed sends.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dropped_start_message_is_recovered_via_heartbeat_timeout() {
+    let g = graph_from(31, 90, 10);
+    let a = LdgPartitioner::new(4).partition(&g);
+    let config = EulerConfig::default();
+    let reference = reference_run(&g, &a, &config);
+    let ckpt = scratch_dir("drop-send");
+    let run = distributed_run(
+        &g,
+        &a,
+        &config,
+        BspBackend::with_engine(BspConfig::with_workers(2))
+            .with_transport(Arc::new(MemTransport))
+            .checkpoint_dir(&ckpt)
+            .fault_policy(fast_policy())
+            .with_fault_plan(FaultPlan::drop_send(1)),
+    );
+    assert!(verify_result(&g, &run.circuit.result).is_ok());
+    assert_same_run(&reference, &run);
+    let engine = run.merge.engine.as_ref().unwrap();
+    assert!(
+        engine.recovery.heartbeat_misses >= 1 || engine.recovery.restarts >= 1,
+        "dropped send went unnoticed: {:?}",
+        engine.recovery
+    );
+    assert!(!ckpt.exists());
+}
+
+#[test]
+fn delayed_start_message_is_absorbed_without_recovery() {
+    // A delay shorter than the heartbeat timeout must be absorbed silently.
+    let g = graph_from(8, 70, 8);
+    let a = LdgPartitioner::new(3).partition(&g);
+    let config = EulerConfig::default();
+    let reference = reference_run(&g, &a, &config);
+    let run = distributed_run(
+        &g,
+        &a,
+        &config,
+        BspBackend::with_engine(BspConfig::with_workers(2))
+            .with_transport(Arc::new(MemTransport))
+            .fault_policy(fast_policy())
+            .with_fault_plan(FaultPlan::delay_send(1, Duration::from_millis(100))),
+    );
+    assert_same_run(&reference, &run);
+    assert!(!run.merge.engine.as_ref().unwrap().recovery.any_recovery());
+}
+
+// ---------------------------------------------------------------------------
+// Process workers: real processes, real SIGKILL.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn process_workers_over_tcp_match_in_process_run() {
+    let g = graph_from(17, 100, 12);
+    let a = LdgPartitioner::new(4).partition(&g);
+    let config = EulerConfig::default();
+    let reference = reference_run(&g, &a, &config);
+    let run = distributed_run(
+        &g,
+        &a,
+        &config,
+        BspBackend::with_engine(BspConfig::with_workers(2))
+            .with_transport(Arc::new(TcpTransport))
+            .process_workers(true),
+    );
+    assert!(verify_result(&g, &run.circuit.result).is_ok());
+    assert_same_run(&reference, &run);
+}
+
+#[test]
+fn process_workers_over_unix_socket_match_in_process_run() {
+    let g = graph_from(19, 80, 8);
+    let a = HashPartitioner::new(3).partition(&g);
+    let config = EulerConfig::default();
+    let reference = reference_run(&g, &a, &config);
+    let run = distributed_run(
+        &g,
+        &a,
+        &config,
+        BspBackend::with_engine(BspConfig::with_workers(3))
+            .with_transport(Arc::new(UnixTransport::new()))
+            .process_workers(true),
+    );
+    assert!(verify_result(&g, &run.circuit.result).is_ok());
+    assert_same_run(&reference, &run);
+}
+
+#[test]
+fn sigkilled_process_worker_is_respawned_and_restored_bit_identically() {
+    let g = graph_from(55, 120, 14);
+    let a = LdgPartitioner::new(4).partition(&g);
+    let config = EulerConfig::default();
+    let reference = reference_run(&g, &a, &config);
+    let ckpt = scratch_dir("sigkill");
+    let run = distributed_run(
+        &g,
+        &a,
+        &config,
+        BspBackend::with_engine(BspConfig::with_workers(2))
+            .with_transport(Arc::new(TcpTransport))
+            .process_workers(true)
+            .checkpoint_dir(&ckpt)
+            .fault_policy(fast_policy())
+            .with_fault_plan(FaultPlan::kill_at(0, 1)),
+    );
+    assert!(verify_result(&g, &run.circuit.result).is_ok());
+    assert_same_run(&reference, &run);
+    let engine = run.merge.engine.as_ref().unwrap();
+    assert!(engine.recovery.restarts >= 1, "SIGKILL was not observed");
+    assert!(!ckpt.exists());
+}
+
+#[test]
+fn process_workers_on_mem_transport_are_rejected_up_front() {
+    let g = graph_from(3, 40, 4);
+    let a = HashPartitioner::new(2).partition(&g);
+    let err = EulerPipeline::builder()
+        .graph(&g)
+        .assignment(a)
+        .config(EulerConfig::default())
+        .backend(
+            BspBackend::with_engine(BspConfig::with_workers(2))
+                .with_transport(Arc::new(MemTransport))
+                .process_workers(true),
+        )
+        .build()
+        .unwrap()
+        .run()
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("process"), "unexpected error: {msg}");
+}
+
+// ---------------------------------------------------------------------------
+// Spill-degradation warnings surface in the report.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn broken_spill_directory_degrades_to_resident_with_a_warning() {
+    let g = graph_from(21, 100, 12);
+    let a = LdgPartitioner::new(4).partition(&g);
+    // Point the spill directory at a path that cannot be a directory: a
+    // regular file. Spill writes fail, fragments stay resident, the run
+    // still succeeds, and the report says so.
+    let blocker = scratch_dir("spill").join("blocker");
+    std::fs::write(&blocker, b"not a directory").unwrap();
+    let config = EulerConfig::default()
+        .with_fragment_memory_budget(64)
+        .with_fragment_spill_directory(blocker.join("spills"));
+    let run = EulerPipeline::builder()
+        .graph(&g)
+        .assignment(a)
+        .config(config)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(verify_result(&g, &run.circuit.result).is_ok());
+    let report = run.report();
+    assert!(report.fragment_stats.spill_errors > 0, "spill never failed");
+    assert!(
+        report.warnings.iter().any(|w| w.contains("spill")),
+        "no spill warning in {:?}",
+        report.warnings
+    );
+    std::fs::remove_dir_all(blocker.parent().unwrap()).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Property: kill worker k at superstep s, resume, compare bit for bit —
+// through both transports.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn kill_and_resume_is_bit_identical_on_mem_transport(
+        seed in 0u64..400,
+        n in 40u64..110,
+        extra in 0usize..10,
+        parts in 2u32..6,
+        kill_worker in 0u32..2,
+        kill_superstep in 0u32..2,
+        checkpointed in any::<bool>(),
+    ) {
+        let g = graph_from(seed, n, extra);
+        let a = LdgPartitioner::new(parts).partition(&g);
+        let config = EulerConfig::default();
+        let reference = reference_run(&g, &a, &config);
+        // Clamp the kill to a superstep that exists for this tree height.
+        let height = reference.merge.supersteps.saturating_sub(1);
+        let kill_superstep = kill_superstep.min(height);
+        let ckpt = checkpointed.then(|| scratch_dir("prop-mem"));
+        let mut backend = BspBackend::with_engine(BspConfig::with_workers(2))
+            .with_transport(Arc::new(MemTransport))
+            .fault_policy(fast_policy())
+            .with_fault_plan(FaultPlan::kill_at(kill_worker, kill_superstep));
+        if let Some(dir) = &ckpt {
+            backend = backend.checkpoint_dir(dir);
+        }
+        let run = distributed_run(&g, &a, &config, backend);
+        prop_assert!(verify_result(&g, &run.circuit.result).is_ok());
+        assert_same_run(&reference, &run);
+        let engine = run.merge.engine.as_ref().unwrap();
+        prop_assert!(engine.recovery.restarts >= 1);
+        if let Some(dir) = &ckpt {
+            prop_assert!(!dir.exists());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn kill_and_resume_is_bit_identical_on_tcp_transport(
+        seed in 0u64..400,
+        n in 40u64..90,
+        parts in 2u32..5,
+        kill_worker in 0u32..2,
+        kill_superstep in 0u32..2,
+    ) {
+        let g = graph_from(seed, n, 6);
+        let a = LdgPartitioner::new(parts).partition(&g);
+        let config = EulerConfig::default();
+        let reference = reference_run(&g, &a, &config);
+        let height = reference.merge.supersteps.saturating_sub(1);
+        let kill_superstep = kill_superstep.min(height);
+        let ckpt = scratch_dir("prop-tcp");
+        let run = distributed_run(
+            &g,
+            &a,
+            &config,
+            BspBackend::with_engine(BspConfig::with_workers(2))
+                .with_transport(Arc::new(TcpTransport))
+                .checkpoint_dir(&ckpt)
+                .fault_policy(fast_policy())
+                .with_fault_plan(FaultPlan::kill_at(kill_worker, kill_superstep)),
+        );
+        prop_assert!(verify_result(&g, &run.circuit.result).is_ok());
+        assert_same_run(&reference, &run);
+        prop_assert!(run.merge.engine.as_ref().unwrap().recovery.restarts >= 1);
+        prop_assert!(!ckpt.exists());
+    }
+}

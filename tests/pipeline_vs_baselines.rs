@@ -160,7 +160,7 @@ fn mid_level_entry_points_match_the_builder() {
     let run = EulerPipeline::builder()
         .graph(&g)
         .assignment(assignment.clone())
-        .config(config)
+        .config(config.clone())
         .build()
         .unwrap()
         .run()
@@ -197,7 +197,7 @@ fn mmap_csr_source_matches_in_memory_source() {
     let from_csr = EulerPipeline::builder()
         .source(MmapCsrSource::open(&path).unwrap())
         .assignment(assignment.clone())
-        .config(config)
+        .config(config.clone())
         .build()
         .unwrap()
         .run()

@@ -111,7 +111,7 @@ proptest! {
         let in_proc = EulerPipeline::builder()
             .graph(&g)
             .assignment(assignment.clone())
-            .config(config)
+            .config(config.clone())
             .backend(InProcessBackend::new())
             .build()
             .unwrap()
@@ -271,7 +271,7 @@ proptest! {
         let from_csr = EulerPipeline::builder()
             .source(source)
             .assignment(assignment.clone())
-            .config(config)
+            .config(config.clone())
             .build()
             .unwrap()
             .run()

@@ -141,7 +141,7 @@ proptest! {
             EulerPipeline::builder()
                 .source(NoGraphSource { inner: source })
                 .partitioner(HashPartitioner::new(parts).with_seed(hash_seed))
-                .config(config)
+                .config(config.clone())
                 .build()
                 .unwrap()
                 .run()
@@ -150,7 +150,7 @@ proptest! {
             EulerPipeline::builder()
                 .source(NoGraphSource { inner: source })
                 .partitioner(LdgPartitioner::new(parts))
-                .config(config)
+                .config(config.clone())
                 .build()
                 .unwrap()
                 .run()
@@ -160,7 +160,7 @@ proptest! {
             EulerPipeline::builder()
                 .graph(&g)
                 .partitioner(HashPartitioner::new(parts).with_seed(hash_seed))
-                .config(config)
+                .config(config.clone())
                 .build()
                 .unwrap()
                 .run()
@@ -169,7 +169,7 @@ proptest! {
             EulerPipeline::builder()
                 .graph(&g)
                 .partitioner(LdgPartitioner::new(parts))
-                .config(config)
+                .config(config.clone())
                 .build()
                 .unwrap()
                 .run()
@@ -197,7 +197,7 @@ proptest! {
         let unbounded = EulerPipeline::builder()
             .graph(&g)
             .assignment(a.clone())
-            .config(config)
+            .config(config.clone())
             .build()
             .unwrap()
             .run()
@@ -206,7 +206,7 @@ proptest! {
         let bounded = EulerPipeline::builder()
             .graph(&g)
             .assignment(a)
-            .config(config)
+            .config(config.clone())
             .memory_budget(budget)
             .build()
             .unwrap()
