@@ -121,19 +121,31 @@ pub fn read_checkpoint(path: &Path) -> Result<Vec<u64>, CheckpointError> {
     if bytes.len() < 32 {
         return Err(CheckpointError::Truncated);
     }
-    let word = |i: usize| u64::from_le_bytes(bytes[8 * i..8 * i + 8].try_into().expect("sized"));
-    if word(0) != CHECKPOINT_MAGIC {
+    // A torn write from a killed worker must surface as a typed error, so
+    // every word read is bounds-checked rather than indexed.
+    let word = |i: usize| {
+        bytes
+            .get(8 * i..8 * i + 8)
+            .and_then(|s| s.try_into().ok())
+            .map(u64::from_le_bytes)
+            .ok_or(CheckpointError::Truncated)
+    };
+    if word(0)? != CHECKPOINT_MAGIC {
         return Err(CheckpointError::BadMagic);
     }
-    if word(1) != CHECKPOINT_VERSION {
-        return Err(CheckpointError::UnsupportedVersion(word(1)));
+    if word(1)? != CHECKPOINT_VERSION {
+        return Err(CheckpointError::UnsupportedVersion(word(1)?));
     }
-    let len = word(2) as usize;
-    if bytes.len() < 8 * (4 + len) {
+    let len = word(2)? as usize;
+    // Checked arithmetic: a corrupt length word must not overflow the
+    // size computation (a debug-build panic is still a panic).
+    let need =
+        len.checked_add(4).and_then(|n| n.checked_mul(8)).ok_or(CheckpointError::Truncated)?;
+    if bytes.len() < need {
         return Err(CheckpointError::Truncated);
     }
-    let words: Vec<u64> = (0..len).map(|i| word(4 + i)).collect();
-    if fnv1a_words(&words) != word(3) {
+    let words: Vec<u64> = (0..len).map(|i| word(4 + i)).collect::<Result<_, _>>()?;
+    if fnv1a_words(&words) != word(3)? {
         return Err(CheckpointError::ChecksumMismatch);
     }
     Ok(words)

@@ -154,31 +154,41 @@ pub fn encode_frame(kind: u16, payload: &[u8]) -> Result<Vec<u8>, FrameError> {
     Ok(out)
 }
 
+/// Reads a fixed-size little-endian field at byte offset `at`, surfacing a
+/// short slice as [`FrameError::Truncated`] — decode paths must turn
+/// garbage input into typed errors, never panics.
+fn le_field<const N: usize>(bytes: &[u8], at: usize) -> Result<[u8; N], FrameError> {
+    bytes
+        .get(at..at.saturating_add(N))
+        .and_then(|s| s.try_into().ok())
+        .ok_or(FrameError::Truncated { expected: at.saturating_add(N), got: bytes.len() })
+}
+
 /// Decodes one frame from the front of `bytes`, returning
 /// `(kind, payload, consumed)`.
 pub fn decode_frame(bytes: &[u8]) -> Result<(u16, Vec<u8>, usize), FrameError> {
     if bytes.len() < FRAME_HEADER_BYTES {
         return Err(FrameError::Truncated { expected: FRAME_HEADER_BYTES, got: bytes.len() });
     }
-    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("sized"));
+    let magic = u32::from_le_bytes(le_field(bytes, 0)?);
     if magic != FRAME_MAGIC {
         return Err(FrameError::BadMagic { found: magic });
     }
-    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("sized"));
+    let version = u16::from_le_bytes(le_field(bytes, 4)?);
     if version != FRAME_VERSION {
         return Err(FrameError::UnsupportedVersion { found: version });
     }
-    let kind = u16::from_le_bytes(bytes[6..8].try_into().expect("sized"));
-    let len = u32::from_le_bytes(bytes[8..12].try_into().expect("sized"));
+    let kind = u16::from_le_bytes(le_field(bytes, 6)?);
+    let len = u32::from_le_bytes(le_field(bytes, 8)?);
     if len > MAX_FRAME_BYTES {
         return Err(FrameError::LengthOverflow { declared: len as u64 });
     }
-    let check = u64::from_le_bytes(bytes[12..20].try_into().expect("sized"));
+    let check = u64::from_le_bytes(le_field(bytes, 12)?);
     let total = FRAME_HEADER_BYTES + len as usize;
-    if bytes.len() < total {
-        return Err(FrameError::Truncated { expected: total, got: bytes.len() });
-    }
-    let payload = bytes[FRAME_HEADER_BYTES..total].to_vec();
+    let payload = bytes
+        .get(FRAME_HEADER_BYTES..total)
+        .ok_or(FrameError::Truncated { expected: total, got: bytes.len() })?
+        .to_vec();
     if frame_checksum(kind, len, &payload) != check {
         return Err(FrameError::ChecksumMismatch);
     }
@@ -191,20 +201,20 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(u16, Vec<u8>, usize), FrameError> {
 fn read_frame_stream(r: &mut impl Read) -> Result<(u16, Vec<u8>), FrameError> {
     let mut header = [0u8; FRAME_HEADER_BYTES];
     read_exact_or(r, &mut header, true)?;
-    let magic = u32::from_le_bytes(header[0..4].try_into().expect("sized"));
+    let magic = u32::from_le_bytes(le_field(&header, 0)?);
     if magic != FRAME_MAGIC {
         return Err(FrameError::BadMagic { found: magic });
     }
-    let version = u16::from_le_bytes(header[4..6].try_into().expect("sized"));
+    let version = u16::from_le_bytes(le_field(&header, 4)?);
     if version != FRAME_VERSION {
         return Err(FrameError::UnsupportedVersion { found: version });
     }
-    let kind = u16::from_le_bytes(header[6..8].try_into().expect("sized"));
-    let len = u32::from_le_bytes(header[8..12].try_into().expect("sized"));
+    let kind = u16::from_le_bytes(le_field(&header, 6)?);
+    let len = u32::from_le_bytes(le_field(&header, 8)?);
     if len > MAX_FRAME_BYTES {
         return Err(FrameError::LengthOverflow { declared: len as u64 });
     }
-    let check = u64::from_le_bytes(header[12..20].try_into().expect("sized"));
+    let check = u64::from_le_bytes(le_field(&header, 12)?);
     let mut payload = vec![0u8; len as usize];
     read_exact_or(r, &mut payload, false)?;
     if frame_checksum(kind, len, &payload) != check {
@@ -219,7 +229,7 @@ fn read_frame_stream(r: &mut impl Read) -> Result<(u16, Vec<u8>), FrameError> {
 fn read_exact_or(r: &mut impl Read, buf: &mut [u8], eof_is_close: bool) -> Result<(), FrameError> {
     let mut filled = 0usize;
     while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
+        match r.read(buf.get_mut(filled..).unwrap_or(&mut [])) {
             Ok(0) => {
                 return if eof_is_close && filled == 0 {
                     Err(FrameError::Closed)
@@ -239,6 +249,15 @@ fn read_exact_or(r: &mut impl Read, buf: &mut [u8], eof_is_close: bool) -> Resul
         }
     }
     Ok(())
+}
+
+/// Locks a mutex, tolerating poisoning. A panic on some other thread must
+/// not cascade into a second panic here: the guarded transport state
+/// (queues, stream halves, the listener registry) stays structurally
+/// valid across a poisoned lock, and the panicking worker's failure
+/// surfaces through its own join/heartbeat path instead.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// A bidirectional framed channel to one peer. `send` and `recv_timeout`
@@ -350,7 +369,7 @@ struct MemListener {
 
 impl Drop for MemListener {
     fn drop(&mut self) {
-        mem_registry().pending.lock().expect("registry lock").remove(&self.token);
+        lock_unpoisoned(&mem_registry().pending).remove(&self.token);
     }
 }
 
@@ -362,7 +381,7 @@ struct MemConnection {
 impl Connection for MemConnection {
     fn send(&self, kind: u16, payload: &[u8]) -> Result<(), FrameError> {
         let frame = encode_frame(kind, payload)?;
-        let guard = self.tx.lock().expect("send half lock");
+        let guard = lock_unpoisoned(&self.tx);
         match guard.as_ref() {
             Some(tx) => tx.send(frame).map_err(|_| FrameError::Closed),
             None => Err(FrameError::Closed),
@@ -370,7 +389,7 @@ impl Connection for MemConnection {
     }
 
     fn recv_timeout(&self, timeout: Option<Duration>) -> Result<(u16, Vec<u8>), FrameError> {
-        let rx = self.rx.lock().expect("recv half lock");
+        let rx = lock_unpoisoned(&self.rx);
         let frame = match timeout {
             None => rx.recv().map_err(|_| FrameError::Closed)?,
             Some(t) => rx.recv_timeout(t).map_err(|e| match e {
@@ -389,7 +408,7 @@ impl Listener for MemListener {
     }
 
     fn accept(&self, timeout: Duration) -> Result<Box<dyn Connection>, FrameError> {
-        let rx = self.accept_rx.lock().expect("accept lock");
+        let rx = lock_unpoisoned(&self.accept_rx);
         let (peer_tx, my_rx) = rx.recv_timeout(timeout).map_err(|e| match e {
             mpsc::RecvTimeoutError::Timeout => FrameError::Timeout,
             mpsc::RecvTimeoutError::Disconnected => FrameError::Closed,
@@ -407,7 +426,7 @@ impl Transport for MemTransport {
         let reg = mem_registry();
         let token = reg.next_token.fetch_add(1, Ordering::Relaxed);
         let (accept_tx, accept_rx) = mpsc::channel();
-        reg.pending.lock().expect("registry lock").insert(token, accept_tx);
+        lock_unpoisoned(&reg.pending).insert(token, accept_tx);
         Ok(Box::new(MemListener { token, accept_rx: Mutex::new(accept_rx) }))
     }
 
@@ -417,7 +436,7 @@ impl Transport for MemTransport {
             .and_then(|t| t.parse().ok())
             .ok_or_else(|| FrameError::Io(format!("bad mem endpoint: {endpoint}")))?;
         let accept_tx = {
-            let reg = mem_registry().pending.lock().expect("registry lock");
+            let reg = lock_unpoisoned(&mem_registry().pending);
             reg.get(&token).cloned().ok_or(FrameError::Closed)?
         };
         // Two directed queues; the listener side gets (its tx = our rx's tx).
@@ -446,14 +465,14 @@ struct StreamConnection<R: Read + Send, W: Write + Send> {
 impl<R: Read + Send, W: Write + Send> Connection for StreamConnection<R, W> {
     fn send(&self, kind: u16, payload: &[u8]) -> Result<(), FrameError> {
         let frame = encode_frame(kind, payload)?;
-        let mut w = self.writer.lock().expect("writer lock");
+        let mut w = lock_unpoisoned(&self.writer);
         w.write_all(&frame)?;
         w.flush()?;
         Ok(())
     }
 
     fn recv_timeout(&self, timeout: Option<Duration>) -> Result<(u16, Vec<u8>), FrameError> {
-        let mut r = self.reader.lock().expect("reader lock");
+        let mut r = lock_unpoisoned(&self.reader);
         (self.set_timeout)(timeout)?;
         read_frame_stream(&mut *r)
     }

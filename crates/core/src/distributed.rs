@@ -135,7 +135,7 @@ fn bytes_to_words(bytes: &[u8]) -> Result<Vec<u64>, String> {
     }
     Ok(bytes
         .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().expect("sized")))
+        .filter_map(|c| c.try_into().ok().map(u64::from_le_bytes))
         .collect())
 }
 
@@ -167,7 +167,10 @@ impl<'a> Cursor<'a> {
             .checked_add(n)
             .filter(|&e| e <= self.words.len())
             .ok_or_else(|| format!("protocol payload truncated: need {n} words at {}", self.at))?;
-        let s = &self.words[self.at..end];
+        let s = self
+            .words
+            .get(self.at..end)
+            .ok_or_else(|| format!("protocol payload truncated: need {n} words at {}", self.at))?;
         self.at = end;
         Ok(s)
     }
@@ -224,11 +227,13 @@ fn decode_tree(c: &mut Cursor<'_>) -> Result<MergeTree, String> {
         let n_pairs = c.u()? as usize;
         let mut pairs = Vec::with_capacity(c.cap(n_pairs));
         for _ in 0..n_pairs {
-            let w = c.take(3)?;
+            let &[parent, child, weight] = c.take(3)? else {
+                return Err("merge pair: expected 3 words".into());
+            };
             pairs.push(MergePair {
-                parent: PartitionId(w[0] as u32),
-                child: PartitionId(w[1] as u32),
-                weight: w[2],
+                parent: PartitionId(parent as u32),
+                child: PartitionId(child as u32),
+                weight,
             });
         }
         levels.push(pairs);
@@ -428,28 +433,32 @@ fn decode_done(words: &[u64]) -> Result<DoneMsg, String> {
     let mut reports = Vec::with_capacity(c.cap(n_reports));
     let mut post_memory = Vec::with_capacity(c.cap(n_reports));
     for _ in 0..n_reports {
-        let w = c.take(16)?;
+        let &[partition, even_internal, even_boundary, odd_boundary, remote_edges, local_edges, complexity, phase1_ns, merge_ns, memory_longs, remote_needed_now, transfer_in_longs, paths_found, cycles_found, internal_cycles_merged, post_mem] =
+            c.take(16)?
+        else {
+            return Err("partition report: expected 16 words".into());
+        };
         reports.push(LevelPartitionReport {
             level: superstep,
-            partition: PartitionId(w[0] as u32),
+            partition: PartitionId(partition as u32),
             counts: crate::state::VertexTypeCounts {
-                even_internal: w[1],
-                even_boundary: w[2],
-                odd_boundary: w[3],
-                remote_edges: w[4],
-                local_edges: w[5],
+                even_internal,
+                even_boundary,
+                odd_boundary,
+                remote_edges,
+                local_edges,
             },
-            complexity: w[6],
-            phase1_time: Duration::from_nanos(w[7]),
-            merge_time: Duration::from_nanos(w[8]),
-            memory_longs: w[9],
-            remote_needed_now: w[10],
-            transfer_in_longs: w[11],
-            paths_found: w[12],
-            cycles_found: w[13],
-            internal_cycles_merged: w[14],
+            complexity,
+            phase1_time: Duration::from_nanos(phase1_ns),
+            merge_time: Duration::from_nanos(merge_ns),
+            memory_longs,
+            remote_needed_now,
+            transfer_in_longs,
+            paths_found,
+            cycles_found,
+            internal_cycles_merged,
         });
-        post_memory.push(w[15]);
+        post_memory.push(post_mem);
     }
     let n_out = c.u()? as usize;
     let mut outgoing = Vec::with_capacity(c.cap(n_out));

@@ -491,8 +491,6 @@ impl WaveDriver<'_, '_> {
     fn launch(&mut self, start: SpecStart, queue: &WaveQueue<'_>, tr: &Traversal<'_>) {
         self.serial += 1;
         let mut count = 0usize;
-        // SAFETY (both loops): between waves the committing thread has
-        // exclusive access to the spec slots.
         match *queue {
             WaveQueue::Slots { rest, rule } => {
                 for &s in rest {
@@ -500,6 +498,10 @@ impl WaveDriver<'_, '_> {
                         break;
                     }
                     if rule.eligible(tr.remaining(s)) {
+                        // SAFETY: between waves the committing thread (us)
+                        // has exclusive access to the spec slots — workers
+                        // only touch them between the two barrier waits
+                        // below, after this loop has finished publishing.
                         unsafe { (*self.board.specs[count].0.get()).start = SpecStart::Slot(s) };
                         count += 1;
                     }
@@ -516,6 +518,9 @@ impl WaveDriver<'_, '_> {
                         break;
                     }
                     if !tr.is_visited(e) {
+                        // SAFETY: same exclusive-access window as the slot
+                        // loop above — no worker reads a spec slot until
+                        // the first barrier wait after publication.
                         unsafe { (*self.board.specs[count].0.get()).start = SpecStart::Edge(e) };
                         count += 1;
                     }

@@ -308,13 +308,17 @@ impl CsrFile {
         let file = File::open(path)?;
         let map = Mmap::map(&file)?;
         let len = map.len() as u64;
-        if len < HEADER_BYTES {
-            if map.len() < 8 || map[0..8] != MAGIC {
-                let mut found = [0u8; 8];
-                let take = map.len().min(8);
-                found[..take].copy_from_slice(&map[..take]);
-                return Err(CsrFileError::BadMagic { found }.into());
+        // Every header read below is bounds-checked: the bytes come straight
+        // from disk and may be arbitrarily short or corrupt, and open errors
+        // are typed, never panics.
+        if map.get(0..8) != Some(MAGIC.as_slice()) {
+            let mut found = [0u8; 8];
+            for (dst, &src) in found.iter_mut().zip(map.iter()) {
+                *dst = src;
             }
+            return Err(CsrFileError::BadMagic { found }.into());
+        }
+        if len < HEADER_BYTES {
             return Err(CsrFileError::Truncated {
                 what: "header",
                 needed: HEADER_BYTES,
@@ -322,25 +326,30 @@ impl CsrFile {
             }
             .into());
         }
-        if map[0..8] != MAGIC {
-            let mut found = [0u8; 8];
-            found.copy_from_slice(&map[0..8]);
-            return Err(CsrFileError::BadMagic { found }.into());
-        }
-        let le_u32 = |at: usize| u32::from_le_bytes(map[at..at + 4].try_into().unwrap());
-        let le_u64 = |at: usize| u64::from_le_bytes(map[at..at + 8].try_into().unwrap());
-        let tag = le_u32(12);
+        let le_u32 = |at: usize| {
+            map.get(at..at + 4)
+                .and_then(|s| s.try_into().ok())
+                .map(u32::from_le_bytes)
+                .ok_or(CsrFileError::Truncated { what: "header", needed: HEADER_BYTES, actual: len })
+        };
+        let le_u64 = |at: usize| {
+            map.get(at..at + 8)
+                .and_then(|s| s.try_into().ok())
+                .map(u64::from_le_bytes)
+                .ok_or(CsrFileError::Truncated { what: "header", needed: HEADER_BYTES, actual: len })
+        };
+        let tag = le_u32(12)?;
         if tag != ENDIAN_TAG || cfg!(target_endian = "big") {
             // A big-endian host cannot reinterpret the little-endian sections
             // in place; report it the same way as a foreign-endian file.
             return Err(CsrFileError::ForeignEndianness { tag }.into());
         }
-        let version = le_u32(8);
+        let version = le_u32(8)?;
         if version != VERSION {
             return Err(CsrFileError::UnsupportedVersion { found: version, supported: VERSION }.into());
         }
-        let num_vertices = le_u64(16);
-        let num_edges = le_u64(24);
+        let num_vertices = le_u64(16)?;
+        let num_edges = le_u64(24)?;
         let offsets_words = num_vertices
             .checked_add(1)
             .ok_or(CsrFileError::Invalid { message: "vertex count overflows".into() })?;
@@ -361,17 +370,26 @@ impl CsrFile {
             }
             Ok(off as usize..bytes as usize)
         };
-        let offsets = section("offsets", le_u64(32), offsets_words)?;
-        let targets = section("targets", le_u64(40), half_edges)?;
-        let edge_ids = section("edge_ids", le_u64(48), half_edges)?;
-        let endpoints = section("endpoints", le_u64(56), half_edges)?;
+        let offsets = section("offsets", le_u64(32)?, offsets_words)?;
+        let targets = section("targets", le_u64(40)?, half_edges)?;
+        let edge_ids = section("edge_ids", le_u64(48)?, half_edges)?;
+        let endpoints = section("endpoints", le_u64(56)?, half_edges)?;
 
         Ok(CsrFile { map, num_vertices, num_edges, offsets, targets, edge_ids, endpoints })
     }
 
     /// Recomputes the section checksum and compares it to the header's.
     fn verify_checksum(&self) -> Result<(), GraphError> {
-        let expected = u64::from_le_bytes(self.map[64..72].try_into().unwrap());
+        let expected = self
+            .map
+            .get(64..72)
+            .and_then(|s| s.try_into().ok())
+            .map(u64::from_le_bytes)
+            .ok_or(CsrFileError::Truncated {
+                what: "checksum",
+                needed: HEADER_BYTES,
+                actual: self.map.len() as u64,
+            })?;
         let mut hash = Fnv1a::new();
         for section in [self.offsets(), self.targets(), self.edge_ids(), self.endpoints_flat()] {
             hash.update_words(section);
@@ -391,14 +409,17 @@ impl CsrFile {
         if offsets.first() != Some(&0) {
             return Err(invalid("offsets[0] must be 0".into()));
         }
-        if offsets.windows(2).any(|w| w[0] > w[1]) {
+        if offsets.windows(2).any(|w| matches!(w, &[lo, hi] if lo > hi)) {
             return Err(invalid("offsets must be monotonically non-decreasing".into()));
         }
-        if *offsets.last().expect("offsets has num_vertices + 1 entries") != half_edges {
+        let last = offsets
+            .last()
+            .copied()
+            .ok_or_else(|| invalid("offsets section is empty".into()))?;
+        if last != half_edges {
             return Err(invalid(format!(
-                "offsets[{}] = {} but the graph has {half_edges} half-edges",
+                "offsets[{}] = {last} but the graph has {half_edges} half-edges",
                 self.num_vertices,
-                offsets.last().unwrap()
             )));
         }
         if let Some(&t) = self.targets().iter().find(|&&t| t >= self.num_vertices) {
@@ -417,13 +438,18 @@ impl CsrFile {
         // while slicing partitions from the endpoints.
         let mut degrees = vec![0u64; self.num_vertices as usize];
         for &v in self.endpoints_flat() {
-            degrees[v as usize] += 1;
+            // Every endpoint was range-checked above; a miss here would mean
+            // the map changed underneath us, and is simply not counted.
+            if let Some(d) = degrees.get_mut(v as usize) {
+                *d += 1;
+            }
         }
-        for (v, &d) in degrees.iter().enumerate() {
-            if d != offsets[v + 1] - offsets[v] {
+        for (v, (&d, w)) in degrees.iter().zip(offsets.windows(2)).enumerate() {
+            let &[lo, hi] = w else { continue };
+            if d != hi - lo {
                 return Err(invalid(format!(
                     "vertex v{v} has degree {d} under the endpoints section but {} under offsets",
-                    offsets[v + 1] - offsets[v]
+                    hi - lo
                 )));
             }
         }

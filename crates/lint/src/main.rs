@@ -1,0 +1,91 @@
+//! CLI entry point: lints the workspace, prints rustc-style diagnostics,
+//! optionally writes a JSON report, exits non-zero on findings.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: euler-lint [--root DIR] [--json FILE]\n\n\
+  --root DIR   workspace root (default: nearest ancestor with euler-lint.toml)\n\
+  --json FILE  also write a machine-readable report to FILE (`-` = stdout)\n";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root requires a directory"),
+            },
+            "--json" => match args.next() {
+                Some(path) => json = Some(path),
+                None => return usage_error("--json requires a file path (or `-`)"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.map_or_else(find_root, Ok) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("euler-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match euler_lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("euler-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", report.render_text());
+    if let Some(path) = json {
+        let rendered = report.render_json();
+        if path == "-" {
+            print!("{rendered}");
+        } else if let Err(e) = std::fs::write(&path, rendered) {
+            eprintln!("euler-lint: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("euler-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Nearest ancestor of the current directory containing `euler-lint.toml`.
+/// The policy file doubles as the root sentinel, so the binary works from
+/// any subdirectory of the workspace.
+fn find_root() -> Result<PathBuf, String> {
+    let start = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let mut dir: &Path = &start;
+    loop {
+        if dir.join(euler_lint::CONFIG_FILE).is_file() {
+            return Ok(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => {
+                return Err(format!(
+                    "no {} found in {} or any parent; pass --root",
+                    euler_lint::CONFIG_FILE,
+                    start.display()
+                ))
+            }
+        }
+    }
+}

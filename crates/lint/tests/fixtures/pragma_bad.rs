@@ -1,0 +1,16 @@
+// Fixture: broken pragmas are findings themselves AND suppress nothing.
+
+pub fn reasonless(bytes: &[u8]) -> u8 {
+    // lint:allow(no-panic-in-decode) //~ pragma
+    bytes[0] //~ no-panic-in-decode
+}
+
+pub fn unknown_rule(bytes: &[u8]) -> u8 {
+    // lint:allow(no-panic-in-dekode): the rule name is misspelled //~ pragma
+    bytes[1] //~ no-panic-in-decode
+}
+
+pub fn missing_parens(bytes: &[u8]) -> u8 {
+    // lint:allow no-panic-in-decode: no parens //~ pragma
+    bytes[2] //~ no-panic-in-decode
+}

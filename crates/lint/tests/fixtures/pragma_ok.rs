@@ -1,0 +1,11 @@
+// Fixture: well-formed pragmas (rule name + mandatory reason) suppress a
+// finding on their own line or the next code line — and nothing else.
+
+pub fn decode(bytes: &[u8]) -> u8 {
+    // lint:allow(no-panic-in-decode): offset 0 is validated by the header check above
+    bytes[0]
+}
+
+pub fn decode_tail(bytes: &[u8]) -> u8 {
+    bytes[1] // lint:allow(no-panic-in-decode): length was checked by the caller
+}

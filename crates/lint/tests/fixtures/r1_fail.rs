@@ -1,0 +1,14 @@
+// Fixture: `unsafe` sites with no SAFETY justification. Not compiled —
+// linted by tests/fixture_suite.rs against the expectation markers.
+
+fn raw_read(p: *const u64) -> u64 {
+    unsafe { *p } //~ unsafe-needs-safety
+}
+
+// A nearby comment that is not a safety justification.
+fn raw_read_let(p: *const u64) -> u64 {
+    let v = unsafe { *p }; //~ unsafe-needs-safety
+    v
+}
+
+unsafe fn contract_fn() {} //~ unsafe-needs-safety

@@ -1,0 +1,28 @@
+// Fixture: every `unsafe` form the rule must accept.
+
+fn ok_block(p: *const u64) -> u64 {
+    // SAFETY: the caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+fn ok_statement_split(p: *const u64) -> u64 {
+    // SAFETY: the caller guarantees `p` is valid for reads.
+    let v =
+        unsafe { *p };
+    v
+}
+
+fn ok_multiline_block(p: *const u64) -> u64 {
+    // The pointer comes from a live arena allocation.
+    // SAFETY: arena slots are never freed while a traversal borrows them.
+    // (Continuation line of the same comment block.)
+    unsafe { *p }
+}
+
+// SAFETY: the value is plain-old-data; sending it moves unique ownership.
+unsafe fn contract_fn() {}
+
+fn not_code() -> &'static str {
+    // The word below is inside a string literal, not code.
+    "unsafe { launder() }"
+}

@@ -1,0 +1,17 @@
+// Fixture: every panicking construct banned in decode modules.
+
+pub fn decode(bytes: &[u8]) -> Result<u64, String> {
+    let first = bytes.first().unwrap(); //~ no-panic-in-decode
+    let second = bytes.get(1).expect("second byte"); //~ no-panic-in-decode
+    if bytes.is_empty() {
+        panic!("empty"); //~ no-panic-in-decode
+    }
+    match first {
+        0 => unreachable!(), //~ no-panic-in-decode
+        1 => todo!(), //~ no-panic-in-decode
+        _ => {}
+    }
+    let direct = bytes[2]; //~ no-panic-in-decode
+    let range = &bytes[1..3]; //~ no-panic-in-decode
+    Ok((*first + *second + direct) as u64 + range.len() as u64)
+}

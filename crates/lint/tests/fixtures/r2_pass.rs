@@ -1,0 +1,27 @@
+// Fixture: decode-module code the rule must NOT flag — typed-error style
+// plus every bracket form the indexing heuristic must leave alone.
+
+pub fn decode(bytes: &[u8]) -> Result<u64, String> {
+    let arr = [0u8; 4];
+    let lit = vec![1u64, 2];
+    let [a, b] = [1u8, 2];
+    let sized: [u8; 2] = [a, b];
+    let borrowed = &mut [0u8; 8];
+    for w in [1u64, 2] {
+        let _ = w;
+    }
+    let first = bytes.first().ok_or("empty payload")?;
+    let second = bytes.get(1).copied().unwrap_or_default();
+    Ok(*first as u64 + second as u64 + arr.len() as u64 + lit.len() as u64 + borrowed.len() as u64
+        + sized.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = [1u8, 2];
+        assert_eq!(*v.first().unwrap(), 1);
+        assert_eq!(v[1], 2);
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: fn-scoped decode entry (`@ decode_frame`) — only the named
+// function (closures included) is in scope; the trusted path is exempt.
+
+pub fn decode_frame(bytes: &[u8]) -> u8 {
+    let pick = |i: usize| bytes[i]; //~ no-panic-in-decode
+    pick(0)
+}
+
+pub fn trusted_accessor(bytes: &[u8]) -> u8 {
+    bytes[0]
+}

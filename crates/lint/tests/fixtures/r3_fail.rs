@@ -1,0 +1,8 @@
+// Fixture: this file's allowlist entry permits only Relaxed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::SeqCst); //~ atomic-ordering-allowlist
+    c.store(0, Ordering::Relaxed);
+}

@@ -1,0 +1,10 @@
+// Fixture: allowlisted orderings pass, bare or path-qualified; the word
+// "Ordering" itself is not an ordering name.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering::Relaxed;
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Relaxed);
+    c.load(Ordering::Relaxed)
+}

@@ -1,0 +1,4 @@
+// Fixture: a file with NO allowlist entry may not name any ordering,
+// imports included.
+
+use std::sync::atomic::Ordering::Relaxed; //~ atomic-ordering-allowlist

@@ -1,0 +1,10 @@
+// Fixture: wall-clock reads in a configured kernel module.
+
+use std::time::Instant; //~ no-wall-clock-in-kernels
+
+pub fn kernel() -> u128 {
+    let t = Instant::now(); //~ no-wall-clock-in-kernels
+    let s = std::time::SystemTime::now(); //~ no-wall-clock-in-kernels
+    let _ = s;
+    t.elapsed().as_nanos()
+}

@@ -1,0 +1,18 @@
+// Fixture: a kernel module with no wall-clock reads; test items are
+// exempt (a timing assertion in a unit test is not a determinism hazard).
+
+pub fn kernel(x: u64) -> u64 {
+    x.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_allowed() {
+        let t = Instant::now();
+        assert!(super::kernel(1) != 0);
+        let _ = t.elapsed();
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: imports outside builtins + workspace members + local mods.
+
+use serde_json::Value; //~ shim-surface-guard
+
+extern crate libc; //~ shim-surface-guard

@@ -1,0 +1,19 @@
+// Fixture: every import root the guard must accept — builtins, a
+// workspace member, a local module (uniform paths), super/crate/self,
+// and an `extern "C"` block (not an extern-crate declaration).
+
+use std::collections::HashMap;
+use core::fmt;
+use alloc::vec::Vec2;
+use crate::anything;
+use self::stats::Quality;
+use super::helpers;
+use ::std::time::Duration;
+use euler_graph::CsrFile;
+
+mod stats;
+use stats::Histogram;
+
+extern "C" {
+    fn getpid() -> i32;
+}

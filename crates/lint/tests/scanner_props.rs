@@ -1,0 +1,75 @@
+//! Property tests holding the scanner to its contract: total over
+//! arbitrary bytes (never panics, always partitions the input), and exact
+//! about what is a string/comment and what is code.
+
+use euler_lint::scan::{scan, TokenKind};
+use proptest::prelude::*;
+
+/// Vocabulary of source snippets with the expected kind of the token that
+/// must start exactly at each snippet's offset. Every piece is
+/// self-delimiting (line comments carry their own newline), so arbitrary
+/// concatenations stay well-formed.
+const VOCAB: [(&str, TokenKind); 12] = [
+    ("\"str with \\\" escape\"", TokenKind::Str),
+    ("r#\"raw \" str\"#", TokenKind::Str),
+    ("br##\"byte raw \"# str\"##", TokenKind::Str),
+    ("b\"bytes\"", TokenKind::Str),
+    ("// line comment with \"quote\" and unsafe\n", TokenKind::LineComment),
+    ("/* block /* nested */ comment */", TokenKind::BlockComment),
+    ("some_ident", TokenKind::Ident),
+    ("r#match", TokenKind::Ident),
+    ("'lifetime", TokenKind::Lifetime),
+    ("'c'", TokenKind::Char),
+    ("0xfe17", TokenKind::Number),
+    ("::", TokenKind::Punct),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn never_panics_and_partitions_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let toks = scan(&bytes);
+        let mut prev_end = 0usize;
+        for t in &toks {
+            prop_assert!(t.start >= prev_end, "tokens overlap or run backwards");
+            prop_assert!(t.start < t.end, "empty token");
+            prop_assert!(t.end <= bytes.len(), "token extends past the input");
+            for &b in bytes.get(prev_end..t.start).unwrap_or(&[]) {
+                prop_assert!(b.is_ascii_whitespace(), "non-whitespace byte outside any token");
+            }
+            prop_assert!(t.line >= 1 && t.col >= 1 && t.end_line >= t.line);
+            prev_end = t.end;
+        }
+        for &b in bytes.get(prev_end..).unwrap_or(&[]) {
+            prop_assert!(b.is_ascii_whitespace(), "trailing non-whitespace outside any token");
+        }
+    }
+
+    #[test]
+    fn never_mislexes_strings_or_comments(
+        picks in prop::collection::vec(0usize..VOCAB.len(), 0..12),
+    ) {
+        // Concatenate random vocabulary pieces; each piece's first token
+        // must start at the piece's offset with the expected kind — i.e. no
+        // string or comment ever swallows what follows it.
+        let mut src = String::new();
+        let mut expected = Vec::new();
+        for &p in &picks {
+            let (text, kind) = VOCAB[p];
+            expected.push((src.len(), kind));
+            src.push_str(text);
+            src.push(' ');
+        }
+        let toks = scan(src.as_bytes());
+        for (offset, kind) in expected {
+            let tok = toks.iter().find(|t| t.start == offset);
+            prop_assert!(tok.is_some(), "no token starts at {offset} in {src:?}");
+            if let Some(t) = tok {
+                prop_assert_eq!(t.kind, kind, "wrong kind at {} in {:?}", offset, &src);
+            }
+        }
+    }
+}

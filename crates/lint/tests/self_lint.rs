@@ -1,0 +1,107 @@
+//! The gate on the gate: this workspace must lint clean against its own
+//! policy, and a workspace seeded with one violation per rule must fail
+//! through the real binary with precise `file:line:col` diagnostics, a
+//! non-zero exit code, and a JSON report.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = euler_lint::run(&root).expect("lint run succeeds");
+    assert!(report.is_clean(), "workspace has lint findings:\n{}", report.render_text());
+    assert!(
+        report.files_scanned > 100,
+        "workspace scan looks truncated: only {} files",
+        report.files_scanned
+    );
+}
+
+fn write(root: &Path, rel: &str, text: &str) {
+    let p = root.join(rel);
+    if let Some(dir) = p.parent() {
+        std::fs::create_dir_all(dir).expect("mkdir");
+    }
+    std::fs::write(p, text).expect("write seeded file");
+}
+
+fn temp_workspace(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("euler-lint-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir temp workspace");
+    dir
+}
+
+#[test]
+fn seeded_violations_fail_through_the_binary() {
+    let dir = temp_workspace("seeded");
+    write(&dir, "Cargo.toml", "[package]\nname = \"seed\"\n");
+    write(
+        &dir,
+        "euler-lint.toml",
+        "[rule.no-panic-in-decode]\nfile = src/decode.rs\n\
+         [rule.no-wall-clock-in-kernels]\nfile = src/kernel.rs\n",
+    );
+    // One violation per rule, at known positions.
+    write(&dir, "src/decode.rs", "pub fn decode(b: &[u8]) -> u8 {\n    b.first().unwrap()\n}\n");
+    write(
+        &dir,
+        "src/kernel.rs",
+        "pub fn kernel() -> u64 {\n    let t = std::time::Instant::now();\n    \
+         t.elapsed().as_nanos() as u64\n}\n",
+    );
+    write(&dir, "src/unsafe_site.rs", "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n");
+    write(&dir, "src/atomics.rs", "use std::sync::atomic::Ordering::Relaxed;\n");
+    write(&dir, "src/imports.rs", "use serde_json::Value;\n");
+
+    let json_path = dir.join("report.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_euler-lint"))
+        .arg("--root")
+        .arg(&dir)
+        .arg("--json")
+        .arg(&json_path)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+
+    assert_eq!(out.status.code(), Some(1), "findings must exit 1; stdout:\n{stdout}");
+    assert!(stdout.contains("error[no-panic-in-decode]"), "{stdout}");
+    assert!(stdout.contains("src/decode.rs:2:15"), "unwrap position; stdout:\n{stdout}");
+    assert!(stdout.contains("error[unsafe-needs-safety]"), "{stdout}");
+    assert!(stdout.contains("src/unsafe_site.rs:2:5"), "unsafe position; stdout:\n{stdout}");
+    assert!(stdout.contains("error[atomic-ordering-allowlist]"), "{stdout}");
+    assert!(stdout.contains("error[no-wall-clock-in-kernels]"), "{stdout}");
+    assert!(stdout.contains("error[shim-surface-guard]"), "{stdout}");
+    assert!(stdout.contains("`serde_json`"), "{stdout}");
+
+    let json = std::fs::read_to_string(&json_path).expect("json report written");
+    assert!(json.contains("\"clean\": false"), "{json}");
+    for rule in [
+        "unsafe-needs-safety",
+        "no-panic-in-decode",
+        "atomic-ordering-allowlist",
+        "no-wall-clock-in-kernels",
+        "shim-surface-guard",
+    ] {
+        assert!(json.contains(rule), "JSON report is missing rule {rule}:\n{json}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let dir = temp_workspace("clean");
+    write(&dir, "Cargo.toml", "[package]\nname = \"seed\"\n");
+    write(&dir, "euler-lint.toml", "# empty policy\n");
+    write(&dir, "src/lib.rs", "pub fn ok() -> u64 {\n    42\n}\n");
+    let out = Command::new(env!("CARGO_BIN_EXE_euler-lint"))
+        .arg("--root")
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "clean workspace must exit 0; stdout:\n{stdout}");
+    assert!(stdout.contains("0 finding(s)"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}

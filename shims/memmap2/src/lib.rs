@@ -64,6 +64,8 @@ enum Inner {
 // SAFETY: the mapping is read-only and owned exclusively by this value; the
 // raw pointer is only a region handle, never aliased mutably.
 unsafe impl Send for Mmap {}
+// SAFETY: all access is through `&self` returning `&[u8]` into a read-only
+// mapping, so concurrent readers can never observe a write.
 unsafe impl Sync for Mmap {}
 
 impl Mmap {

@@ -262,6 +262,12 @@
 #[doc = include_str!("../docs/ARCHITECTURE.md")]
 pub mod architecture {}
 
+/// The workspace's own static-analysis rules (docs/LINTS.md): what
+/// `euler-lint` enforces, why each rule exists, and how to suppress a
+/// finding per-site. Enforced in CI by `cargo run -p euler-lint`.
+#[doc = include_str!("../docs/LINTS.md")]
+pub mod lint_rules {}
+
 pub use euler_baseline as baseline;
 pub use euler_bsp as bsp;
 pub use euler_core as algo;
