@@ -15,6 +15,11 @@
 //! recording the real peak resident fragment Longs and the spill traffic
 //! (and asserting the two runs' circuits are bit-identical).
 //!
+//! The `w_streaming` section replays the same mmap workload through the
+//! one-pass W-streaming Phase 1 (`streaming_phase1(true)`), recording the
+//! chain machine's exact peak-resident traversal Longs next to the dense
+//! run's wall time and asserting circuit validity in-bench.
+//!
 //! The `fault_tolerance` section times the distributed wire-transport path
 //! on the R-MAT workload three ways — checkpointing off, checkpointing on,
 //! and a kill-and-resume recovery — asserting all three stay bit-identical
@@ -236,6 +241,63 @@ fn main() {
         ("spill_read_longs", Value::Num(stats.spill_read_longs as f64)),
         ("spill_errors", Value::Num(stats.spill_errors as f64)),
     ]);
+
+    // --- W-streaming section: same mmap'd .ecsr + streaming-LDG workload,
+    // but Phase 1 replaced by the one-pass chain machine — no dense arena,
+    // only O(n log n) resident traversal Longs. Timed against the dense
+    // bounded run above; circuit validity (Euler circuit over the exact
+    // edge multiset) is asserted in-bench, and the machine's exact
+    // peak-resident-Longs counter is recorded next to the dense path's
+    // fragment peak so the RAM-vs-wall-time trade is visible in one row.
+    let wstream_pipeline = EulerPipeline::builder()
+        .source(euler_graph::MmapCsrSource::open(&csr_path).expect("open .ecsr"))
+        .partitioner(LdgPartitioner::new(4))
+        .config(EulerConfig::default().sequential())
+        .streaming_phase1(true)
+        .memory_budget(budget)
+        .build()
+        .unwrap();
+    let mut last_wstream = None;
+    let (wstream_s, wstream_edges) = time_runs(reps, || {
+        let run = wstream_pipeline.run().unwrap();
+        let edges = run.circuit.result.total_edges();
+        last_wstream = Some(run);
+        edges
+    });
+    let wstream_run = last_wstream.expect("at least one repetition ran");
+    assert_eq!(wstream_edges, unbounded_edges, "w-streaming must cover the same edge multiset");
+    euler_core::verify::verify_result(&torus, &wstream_run.circuit.result)
+        .expect("w-streaming circuit must verify against the input graph");
+    let wstats = wstream_run.merge.wstream.expect("streaming_phase1 run reports WStreamStats");
+    assert_eq!(wstats.edges_ingested, torus.num_edges() as u64);
+    println!(
+        "w_streaming: one-pass chain machine {wstream_s:.3}s vs dense bounded {bounded_s:.3}s | \
+         peak traversal state {} Longs (dense arena would hold all {} edges) | {} fragments \
+         from {} flushes",
+        wstats.peak_resident_longs,
+        torus.num_edges(),
+        wstats.fragments_emitted,
+        wstats.open_chain_flushes,
+    );
+    let w_streaming = Value::obj(vec![
+        ("workload", Value::str("torus_354x354_mmap_streamed_ldg_4_parts_wstream")),
+        ("edges", Value::Num(torus.num_edges() as f64)),
+        ("memory_budget_longs", Value::Num(budget as f64)),
+        ("wstream_seconds", Value::Num(wstream_s)),
+        ("dense_bounded_seconds", Value::Num(bounded_s)),
+        ("peak_resident_longs", Value::Num(wstats.peak_resident_longs as f64)),
+        ("entries_streamed", Value::Num(wstats.entries_streamed as f64)),
+        ("edges_ingested", Value::Num(wstats.edges_ingested as f64)),
+        ("fragments_emitted", Value::Num(wstats.fragments_emitted as f64)),
+        ("cycles_emitted", Value::Num(wstats.cycles_emitted as f64)),
+        ("open_chain_flushes", Value::Num(wstats.open_chain_flushes as f64)),
+        ("residual_local_edges", Value::Num(wstats.residual_local_edges as f64)),
+        ("residual_remote_edges", Value::Num(wstats.residual_remote_edges as f64)),
+        (
+            "spilled_fragments",
+            Value::Num(wstream_run.circuit.fragment_stats.spilled_fragments as f64),
+        ),
+    ]);
     std::fs::remove_file(&csr_path).ok();
 
     // --- Fault-tolerance section: the distributed (wire-transport) path on
@@ -332,6 +394,10 @@ fn main() {
                  section runs the zero-Graph spine (mmap .ecsr + streaming LDG) with and \
                  without a fragment memory_budget, recording peak resident fragment Longs \
                  and spill traffic; bit-identity between the two runs is asserted in-bench. \
+                 The w_streaming section replays the same workload through the one-pass \
+                 W-streaming Phase 1 (streaming_phase1), recording the chain machine's exact \
+                 peak-resident traversal Longs against the dense run's wall time; circuit \
+                 validity over the full edge multiset is asserted in-bench. \
                  The fault_tolerance section times the distributed wire-transport path with \
                  checkpointing off, on, and through a kill-and-resume recovery, asserting \
                  bit-identity to the in-process run in all three.",
@@ -340,6 +406,7 @@ fn main() {
         ("repetitions", Value::Num(reps as f64)),
         ("results", Value::Arr(rows)),
         ("out_of_core", out_of_core),
+        ("w_streaming", w_streaming),
         ("fault_tolerance", fault_tolerance),
     ]);
     std::fs::write("BENCH_pipeline.json", doc.to_pretty() + "\n").expect("write BENCH_pipeline.json");

@@ -31,6 +31,18 @@ pub struct EulerConfig {
     /// not fail the run — spilling falls back to resident fragments and the
     /// degradation surfaces in `RunReport::warnings`.
     pub fragment_spill_directory: Option<std::path::PathBuf>,
+    /// Build level-0 partition tours with the one-pass W-streaming chain
+    /// machine ([`crate::phase1::wstream`]) instead of the dense resident
+    /// arena: edges are consumed straight off the source's
+    /// [`euler_graph::EdgeStream`], partial tours spill through the fragment
+    /// store, and resident traversal state stays `O(n log n)` — independent
+    /// of the edge count. The merge-tree walk and Phase 3 are unchanged, so
+    /// the mode composes with every backend and merge strategy.
+    pub streaming_phase1: bool,
+    /// Open-chain buffer capacity for the W-streaming pass, in tour edges
+    /// per chain. `0` (default) selects the `Θ(log n)` default
+    /// ([`crate::phase1::wstream::default_chunk_edges`]).
+    pub wstream_chunk_edges: usize,
 }
 
 impl Default for EulerConfig {
@@ -42,6 +54,8 @@ impl Default for EulerConfig {
             require_eulerian: true,
             fragment_memory_budget: None,
             fragment_spill_directory: None,
+            streaming_phase1: false,
+            wstream_chunk_edges: 0,
         }
     }
 }
@@ -87,6 +101,20 @@ impl EulerConfig {
     /// budget (see [`EulerConfig::fragment_spill_directory`]).
     pub fn with_fragment_spill_directory(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
         self.fragment_spill_directory = Some(dir.into());
+        self
+    }
+
+    /// Enables the W-streaming Phase-1 pass (see
+    /// [`EulerConfig::streaming_phase1`]).
+    pub fn with_streaming_phase1(mut self, yes: bool) -> Self {
+        self.streaming_phase1 = yes;
+        self
+    }
+
+    /// Sets the W-streaming open-chain buffer capacity (see
+    /// [`EulerConfig::wstream_chunk_edges`]; `0` = `Θ(log n)` default).
+    pub fn with_wstream_chunk_edges(mut self, edges: usize) -> Self {
+        self.wstream_chunk_edges = edges;
         self
     }
 }

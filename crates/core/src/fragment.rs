@@ -258,6 +258,12 @@ trait FragmentBacking: Send {
     /// a scratch buffer one at a time; nothing is retained.
     fn for_each(&mut self, f: &mut dyn FnMut(&Fragment));
     fn cycle_ids(&self) -> Vec<FragmentId>;
+    /// `(visible vertex, cycle id)` pairs over every cycle fragment, cycles
+    /// in id order and vertices in first-seen order within each — the
+    /// Phase-3 splice index. Answered without touching spilled payloads:
+    /// backings capture the vertex lists at `push`/`replace` time, while the
+    /// fragment is still resident.
+    fn cycle_vertex_pairs(&self) -> Vec<(VertexId, FragmentId)>;
     fn disk_longs(&self) -> u64;
     fn total_real_edges(&self) -> u64;
     fn stats(&self) -> FragmentStoreStats;
@@ -330,6 +336,20 @@ impl FragmentBacking for MemoryBacking {
 
     fn cycle_ids(&self) -> Vec<FragmentId> {
         self.frags.iter().filter(|f| f.kind == FragmentKind::Cycle).map(|f| f.id).collect()
+    }
+
+    fn cycle_vertex_pairs(&self) -> Vec<(VertexId, FragmentId)> {
+        // Everything is resident, so the pairs are computed straight off the
+        // slab; no captured lists needed.
+        let mut pairs = Vec::new();
+        for f in &self.frags {
+            if f.kind == FragmentKind::Cycle {
+                for v in f.visible_vertices() {
+                    pairs.push((v, f.id));
+                }
+            }
+        }
+        pairs
     }
 
     fn disk_longs(&self) -> u64 {
@@ -426,6 +446,10 @@ struct SpillBacking {
     budget_longs: u64,
     directory: PathBuf,
     index: Vec<SlotMeta>,
+    /// Visible-vertex lists of cycle fragments (empty for paths), captured
+    /// while the fragment was resident — the Phase-3 splice index, answered
+    /// without re-reading spilled payloads.
+    cycle_vis: Vec<Vec<VertexId>>,
     resident: HashMap<u64, Fragment>,
     /// Resident ids, oldest first — the eviction order.
     fifo: VecDeque<u64>,
@@ -447,6 +471,7 @@ impl SpillBacking {
             budget_longs: config.memory_budget_longs,
             directory: config.directory.unwrap_or_else(std::env::temp_dir),
             index: Vec::new(),
+            cycle_vis: Vec::new(),
             resident: HashMap::new(),
             fifo: VecDeque::new(),
             file: None,
@@ -568,6 +593,11 @@ impl FragmentBacking for SpillBacking {
             reals: fragment.edges.iter().filter(|e| e.is_real()).count() as u64,
             loc: Loc::Resident,
         });
+        self.cycle_vis.push(if fragment.kind == FragmentKind::Cycle {
+            fragment.visible_vertices()
+        } else {
+            Vec::new()
+        });
         self.insert_resident(fragment);
         id
     }
@@ -592,6 +622,11 @@ impl FragmentBacking for SpillBacking {
         slot.kind = fragment.kind;
         slot.longs = fragment.disk_longs();
         slot.reals = fragment.edges.iter().filter(|e| e.is_real()).count() as u64;
+        self.cycle_vis[id.index()] = if fragment.kind == FragmentKind::Cycle {
+            fragment.visible_vertices()
+        } else {
+            Vec::new()
+        };
         match meta.loc {
             Loc::Resident => {
                 let old = self.resident.insert(id.0, fragment).expect("resident");
@@ -650,6 +685,16 @@ impl FragmentBacking for SpillBacking {
             .filter(|(_, m)| m.kind == FragmentKind::Cycle)
             .map(|(i, _)| FragmentId(i as u64))
             .collect()
+    }
+
+    fn cycle_vertex_pairs(&self) -> Vec<(VertexId, FragmentId)> {
+        let mut pairs = Vec::new();
+        for (i, vis) in self.cycle_vis.iter().enumerate() {
+            for &v in vis {
+                pairs.push((v, FragmentId(i as u64)));
+            }
+        }
+        pairs
     }
 
     fn disk_longs(&self) -> u64 {
@@ -774,6 +819,17 @@ impl FragmentStore {
     /// from the index; spilled payloads are not touched.
     pub fn cycle_ids(&self) -> Vec<FragmentId> {
         self.inner.lock().cycle_ids()
+    }
+
+    /// `(visible vertex, cycle id)` pairs over every cycle fragment — the
+    /// Phase-3 splice index: cycles in id order, vertices in first-seen
+    /// order within each fragment. The lists are captured at
+    /// [`push`](Self::push)/[`replace`](Self::replace) time while the
+    /// fragment is resident, so this costs **no spill I/O** — which is what
+    /// lets Phase 3 read each spilled fragment exactly once (during the
+    /// unroll walk) instead of twice.
+    pub fn cycle_vertex_pairs(&self) -> Vec<(VertexId, FragmentId)> {
+        self.inner.lock().cycle_vertex_pairs()
     }
 
     /// Total Longs written to "disk" — the paper's modelled persistence
@@ -1064,6 +1120,46 @@ mod tests {
         assert_eq!(stats.spilled_fragments, 0);
         assert_eq!(stats.resident_longs, broken.disk_longs());
         assert_stores_agree(&mem, &broken);
+    }
+
+    #[test]
+    fn cycle_vertex_pairs_agree_across_backings_and_cost_no_spill_reads() {
+        let mem = FragmentStore::new();
+        let spill = FragmentStore::spilling(SpillConfig::with_budget(0));
+        for f in workload(30) {
+            mem.push(f.clone());
+            spill.push(f);
+        }
+        // Replace one spilled cycle with a different cycle and one with a
+        // path: the captured lists must follow.
+        let cycle_id = mem.cycle_ids()[1];
+        let as_cycle = Fragment {
+            id: FragmentId(0),
+            kind: FragmentKind::Cycle,
+            level: 2,
+            partition: PartitionId(0),
+            edges: vec![real(90, 40, 41), real(91, 41, 40)],
+        };
+        mem.replace(cycle_id, as_cycle.clone());
+        spill.replace(cycle_id, as_cycle);
+        let path_id = mem.cycle_ids()[2];
+        let as_path = Fragment {
+            id: FragmentId(0),
+            kind: FragmentKind::Path,
+            level: 2,
+            partition: PartitionId(0),
+            edges: vec![real(92, 50, 51)],
+        };
+        mem.replace(path_id, as_path.clone());
+        spill.replace(path_id, as_path);
+        let reads_before = spill.stats().spill_read_longs;
+        assert_eq!(mem.cycle_vertex_pairs(), spill.cycle_vertex_pairs());
+        assert_eq!(
+            spill.stats().spill_read_longs,
+            reads_before,
+            "the splice index must not touch spilled payloads"
+        );
+        assert!(!mem.cycle_vertex_pairs().is_empty());
     }
 
     #[test]

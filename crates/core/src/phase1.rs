@@ -62,6 +62,7 @@
 pub mod arena;
 pub mod parallel;
 pub mod reference;
+pub mod wstream;
 
 use crate::fragment::{Fragment, FragmentId, FragmentKind, FragmentStore, TourEdge};
 use crate::pathmap::{CycleEntry, PathEntry, PathMap};

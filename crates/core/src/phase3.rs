@@ -18,7 +18,7 @@
 //! local subgraph is disconnected.
 
 use crate::error::EulerError;
-use crate::fragment::{Fragment, FragmentId, FragmentKind, FragmentStore, TourEdge};
+use crate::fragment::{Fragment, FragmentId, FragmentStore, TourEdge};
 use euler_graph::{bucket_by_slot, EdgeId, LocalIndex, VertexId};
 use serde::{Deserialize, Serialize};
 
@@ -103,20 +103,17 @@ struct PendingCycles {
 
 impl PendingCycles {
     fn new(store: &FragmentStore) -> Self {
-        // One locked pass: per-cycle visible vertices, no fragment clones on
-        // the in-memory backing and one decoded fragment at a time on the
-        // spill backing (`for_each` is the bounded-memory read path).
+        // The splice index is captured by the store at push/replace time
+        // (while each fragment is still resident), so building the pending
+        // set costs no spill I/O: a spilled fragment is read back exactly
+        // once, by the unroll walk itself.
         let num_fragments = store.len();
+        let pairs = store.cycle_vertex_pairs();
         let mut is_cycle = vec![false; num_fragments];
-        let mut pairs: Vec<(VertexId, FragmentId)> = Vec::new();
-        store.for_each(|f| {
-            if f.kind == FragmentKind::Cycle {
-                is_cycle[f.id.index()] = true;
-                for v in f.visible_vertices() {
-                    pairs.push((v, f.id));
-                }
-            }
-        });
+        for &(_, id) in &pairs {
+            // Fragments are never empty, so every cycle contributes pairs.
+            is_cycle[id.index()] = true;
+        }
         let index = LocalIndex::from_vertices(pairs.iter().map(|&(v, _)| v));
         let n = index.len();
         // Counting-sort the (vertex, cycle) pairs into per-slot buckets,

@@ -39,6 +39,7 @@ use crate::fragment::{FragmentStore, FragmentStoreStats, SpillConfig};
 use crate::memory_model::{LevelTrace, PartitionLevelState};
 use crate::merge_strategy::MergeStrategy;
 use crate::merge_tree::{MergePair, MergeTree};
+use crate::phase1::wstream::{stream_phase1, WStreamStats};
 use crate::phase1::{Parallelism, Phase1Executor, Phase1Output};
 use crate::phase2::{apply_remote_edge_dedup, merge_partitions, remote_edge_needed_level};
 use crate::phase3::{unroll, CircuitResult};
@@ -129,6 +130,10 @@ pub struct RunReport {
     /// modelled platform overhead) when the run executed on [`BspBackend`];
     /// `None` for in-process runs.
     pub engine: Option<euler_bsp::EngineStats>,
+    /// Resident-state accounting of the W-streaming Phase-1 pass when the
+    /// run executed with [`EulerConfig::streaming_phase1`]; `None` for the
+    /// dense arena path.
+    pub wstream: Option<WStreamStats>,
     /// Non-fatal degradations the run absorbed: spill I/O failures that fell
     /// back to resident fragments, worker deaths that were recovered by
     /// checkpoint rollback or deterministic replay. Empty for a clean run.
@@ -1019,11 +1024,18 @@ pub fn run_on_partitioned(
     backend: &dyn ExecutionBackend,
 ) -> Result<(CircuitResult, RunReport), EulerError> {
     let meta = MetaGraph::from_partitioned(pg);
-    let tree = Arc::new(MergeTree::build(&meta));
-    // An explicit budget routes fragments through the out-of-core spill
-    // backing; otherwise they stay in the in-memory slab. Either way the
-    // circuits and the modelled disk accounting are identical.
-    let store = match config.fragment_memory_budget {
+    let store = fragment_store_for(config);
+    let states: Vec<WorkingPartition> =
+        pg.partitions().iter().map(WorkingPartition::from_partition).collect();
+    run_merge_walk(&meta, states, store, config, backend, None)
+}
+
+/// Builds the run's fragment store from its configuration: an explicit
+/// budget routes fragments through the out-of-core spill backing; otherwise
+/// they stay in the in-memory slab. Either way the circuits and the modelled
+/// disk accounting are identical.
+fn fragment_store_for(config: &EulerConfig) -> FragmentStore {
+    match config.fragment_memory_budget {
         Some(budget) => {
             let mut spill = SpillConfig::with_budget(budget);
             if let Some(dir) = &config.fragment_spill_directory {
@@ -1032,21 +1044,35 @@ pub fn run_on_partitioned(
             FragmentStore::spilling(spill)
         }
         None => FragmentStore::new(),
-    };
+    }
+}
 
-    let mut states: Vec<WorkingPartition> =
-        pg.partitions().iter().map(WorkingPartition::from_partition).collect();
+/// The merge-tree walk + Phase-3 unroll over prebuilt level-0 state: the
+/// common tail of the dense path ([`run_on_partitioned`], states from a
+/// [`PartitionedGraph`]) and the W-streaming path (states and `wstream`
+/// accounting from [`stream_phase1`], with partial tours already in
+/// `store`).
+fn run_merge_walk(
+    meta: &MetaGraph,
+    mut states: Vec<WorkingPartition>,
+    store: FragmentStore,
+    config: &EulerConfig,
+    backend: &dyn ExecutionBackend,
+    wstream: Option<WStreamStats>,
+) -> Result<(CircuitResult, RunReport), EulerError> {
+    let tree = Arc::new(MergeTree::build(meta));
     if config.merge_strategy.deduplicates() {
         apply_remote_edge_dedup(&mut states);
     }
     states.sort_by_key(|s| s.id);
 
     let mut report = RunReport {
-        num_partitions: pg.num_partitions(),
+        num_partitions: meta.num_vertices() as u32,
         supersteps: tree.num_supersteps(),
         strategy: config.merge_strategy,
         merge_tree: tree.as_ref().clone(),
         backend: backend.name().to_string(),
+        wstream,
         ..Default::default()
     };
 
@@ -1176,6 +1202,19 @@ impl EulerPipelineBuilder {
         self
     }
 
+    /// Builds level-0 partition tours with the one-pass W-streaming chain
+    /// machine instead of the dense resident arena (see
+    /// [`EulerConfig::streaming_phase1`]): edges are consumed straight off
+    /// the source's [`euler_graph::EdgeStream`], partial tours go out-of-core
+    /// through the fragment store, and resident traversal state stays
+    /// `O(n log n)` — reported in [`MergeStage::wstream`]. Composes with any
+    /// backend and merge strategy; the circuits cover the same edge multiset
+    /// as the dense path.
+    pub fn streaming_phase1(mut self, yes: bool) -> Self {
+        self.config.streaming_phase1 = yes;
+        self
+    }
+
     /// Sets the execution backend. Defaults to [`InProcessBackend`].
     pub fn backend(mut self, backend: impl ExecutionBackend + 'static) -> Self {
         self.backend = Some(Box::new(backend));
@@ -1277,6 +1316,9 @@ impl EulerPipeline {
     /// suitable streaming view (BFS placement, custom whole-graph
     /// partitioners), needs the whole graph and falls back to the load path.
     pub fn run(&self) -> Result<PipelineRun, EulerError> {
+        if self.config.streaming_phase1 {
+            return self.run_streaming();
+        }
         if let Some(csr) = self.source.csr() {
             if !self.config.verify {
                 match &self.partition {
@@ -1372,6 +1414,95 @@ impl EulerPipeline {
         };
         Ok(assemble_run(provenance, result, report))
     }
+
+    /// The W-streaming path ([`EulerConfig::streaming_phase1`]): level-0
+    /// tours are built by one pass of [`stream_phase1`] over the source's
+    /// edge stream — no dense incidence arena, no [`PartitionedGraph`] — and
+    /// the residual coarse state rides the ordinary merge-tree walk.
+    ///
+    /// The assignment comes from the builder verbatim, from a streaming
+    /// partitioner's own pass over a fresh stream, or (for whole-graph
+    /// partitioners) from a temporarily loaded graph that is dropped again
+    /// before the tour pass. The Eulerian precondition is checked from the
+    /// degrees the pass accumulates, so a violation surfaces *after* the
+    /// single pass rather than before the run as on the dense paths.
+    fn run_streaming(&self) -> Result<PipelineRun, EulerError> {
+        let t_part = Instant::now();
+        let (assignment, partitioner) = match &self.partition {
+            PartitionSpec::Assignment(a) => (a.clone(), "pre-assigned (w-streaming)".to_string()),
+            PartitionSpec::Partitioner(p) => {
+                let mut streamed = None;
+                if let (Some(sp), Some(mut stream)) = (p.as_streaming(), self.source.edge_stream())
+                {
+                    if sp.supports(stream.order()) {
+                        streamed = Some((
+                            sp.partition_stream(stream.as_mut())?,
+                            format!("{} (streamed, w-streaming)", sp.name()),
+                        ));
+                    }
+                }
+                match streamed {
+                    Some(x) => x,
+                    None => {
+                        let loaded;
+                        let graph: &Graph = match self.source.resident() {
+                            Some(g) => g,
+                            None => {
+                                loaded = self.source.load()?;
+                                &loaded
+                            }
+                        };
+                        (p.partition(graph), format!("{} (w-streaming)", p.name()))
+                    }
+                }
+            }
+        };
+        let partition_time = t_part.elapsed();
+
+        let mut stream = self.source.edge_stream().ok_or_else(|| {
+            EulerError::InvalidConfig(
+                "streaming_phase1 needs a source that exposes an edge stream".into(),
+            )
+        })?;
+        let store = fragment_store_for(&self.config);
+        let t1 = Instant::now();
+        let outcome =
+            stream_phase1(stream.as_mut(), &assignment, &store, self.config.wstream_chunk_edges)?;
+        let pass_time = t1.elapsed();
+        if self.config.require_eulerian {
+            require_even_degrees(outcome.first_odd)?;
+        }
+        let (result, mut report) = run_merge_walk(
+            &outcome.meta,
+            outcome.states,
+            store,
+            &self.config,
+            self.backend.as_ref(),
+            Some(outcome.stats),
+        )?;
+        report.phase12_time += pass_time;
+        if self.config.verify {
+            let loaded;
+            let graph: &Graph = match self.source.resident() {
+                Some(g) => g,
+                None => {
+                    loaded = self.source.load()?;
+                    &loaded
+                }
+            };
+            verify_result(graph, &result)?;
+        }
+        let provenance = Provenance {
+            source: self.source.name(),
+            load_time: Duration::ZERO,
+            partitioner,
+            partition_time,
+            num_vertices: outcome.stats.num_vertices,
+            num_edges: outcome.stats.edges_ingested,
+            assignment,
+        };
+        Ok(assemble_run(provenance, result, report))
+    }
 }
 
 /// Input-side provenance of a run — the [`PartitionStage`] fields that differ
@@ -1402,6 +1533,7 @@ fn assemble_run(provenance: Provenance, result: CircuitResult, report: RunReport
         merge_tree,
         backend,
         engine,
+        wstream,
         warnings,
     } = report;
     PipelineRun {
@@ -1424,6 +1556,7 @@ fn assemble_run(provenance: Provenance, result: CircuitResult, report: RunReport
             total_transfer_longs,
             merge_tree,
             engine,
+            wstream,
             warnings,
         },
         circuit: CircuitStage { result, phase3_time, fragment_disk_longs, fragment_stats },
@@ -1472,6 +1605,9 @@ pub struct MergeStage {
     pub merge_tree: MergeTree,
     /// BSP engine statistics (present for [`BspBackend`] runs).
     pub engine: Option<euler_bsp::EngineStats>,
+    /// W-streaming Phase-1 resident-state accounting (present when the run
+    /// executed with [`EulerPipelineBuilder::streaming_phase1`]).
+    pub wstream: Option<WStreamStats>,
     /// Non-fatal degradations absorbed during the walk (see
     /// [`RunReport::warnings`]).
     pub warnings: Vec<String>,
@@ -1530,6 +1666,7 @@ impl PipelineRun {
             merge_tree: self.merge.merge_tree.clone(),
             backend: self.merge.backend.clone(),
             engine: self.merge.engine.clone(),
+            wstream: self.merge.wstream,
             warnings: self.merge.warnings.clone(),
         }
     }

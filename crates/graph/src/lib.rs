@@ -65,5 +65,5 @@ pub use source::{
     EdgeListEdgeStream, EdgeListFileSource, GraphSource, InMemorySource, MmapCsrSource,
 };
 pub use stream::{
-    CsrFileEdgeStream, EdgeStream, GraphEdgeStream, StreamOrder, StreamSummary,
+    CsrFileEdgeStream, EdgeStream, GraphEdgeStream, IdEdgeBatchSink, StreamOrder, StreamSummary,
 };

@@ -68,6 +68,12 @@ pub const DEFAULT_BATCH_ENTRIES: usize = 64 * 1024;
 /// The sink an [`EdgeStream`] delivers its batches to.
 pub type EdgeBatchSink<'a> = dyn FnMut(&[(u64, u64)]) + 'a;
 
+/// The sink an id-carrying stream pass delivers its batches to: entries are
+/// `(edge_id, u, v)`, so a consumer that must tie each entry back to the
+/// graph's stable [`crate::EdgeId`]s (the W-streaming tour builder) can do so
+/// without a resident graph.
+pub type IdEdgeBatchSink<'a> = dyn FnMut(&[(u64, u64, u64)]) + 'a;
+
 /// A bounded-memory producer of a graph's edges.
 ///
 /// One call to [`stream`](EdgeStream::stream) delivers every entry, in the
@@ -89,6 +95,48 @@ pub trait EdgeStream {
     /// Producer-side failures only (I/O, parse); in-memory producers never
     /// fail.
     fn stream(&mut self, sink: &mut EdgeBatchSink<'_>) -> Result<StreamSummary, GraphError>;
+
+    /// Streams every entry as `(edge_id, u, v)` through `sink` in bounded
+    /// batches — the feed for consumers that must name each edge by its
+    /// stable [`crate::EdgeId`] (the W-streaming tour builder names edges in
+    /// the circuit it emits).
+    ///
+    /// For [`StreamOrder::EdgeIdOrder`] producers the ids are the stream
+    /// positions by definition, so the default implementation wraps
+    /// [`stream`](EdgeStream::stream) and counts. Vertex-grouped producers
+    /// deliver each undirected edge twice and must override this to attach
+    /// the true id to both half-edges; the default refuses with
+    /// [`GraphError::UnsupportedStream`] rather than fabricate ids.
+    ///
+    /// # Errors
+    /// Producer-side failures, plus [`GraphError::UnsupportedStream`] for
+    /// vertex-grouped producers without an override.
+    fn stream_with_ids(
+        &mut self,
+        sink: &mut IdEdgeBatchSink<'_>,
+    ) -> Result<StreamSummary, GraphError> {
+        match self.order() {
+            StreamOrder::EdgeIdOrder => {
+                let mut next_id = 0u64;
+                let mut scratch: Vec<(u64, u64, u64)> = Vec::new();
+                self.stream(&mut |batch| {
+                    scratch.clear();
+                    scratch.reserve(batch.len());
+                    for &(u, v) in batch {
+                        scratch.push((next_id, u, v));
+                        next_id += 1;
+                    }
+                    sink(&scratch);
+                })
+            }
+            StreamOrder::VertexGrouped => Err(GraphError::UnsupportedStream {
+                consumer: "stream_with_ids".to_string(),
+                message: "vertex-grouped producer has no edge-id override; \
+                          ids cannot be inferred from half-edge positions"
+                    .to_string(),
+            }),
+        }
+    }
 }
 
 /// Vertex-grouped stream over a resident [`Graph`]'s adjacency.
@@ -145,6 +193,28 @@ impl EdgeStream for GraphEdgeStream<'_> {
         }
         Ok(StreamSummary { num_vertices: self.g.num_vertices(), entries })
     }
+
+    fn stream_with_ids(
+        &mut self,
+        sink: &mut IdEdgeBatchSink<'_>,
+    ) -> Result<StreamSummary, GraphError> {
+        let mut batch = Vec::with_capacity(self.batch_entries);
+        let mut entries = 0u64;
+        for v in self.g.vertices() {
+            for &(nbr, e) in self.g.neighbors(v) {
+                batch.push((e.0, v.0, nbr.0));
+                entries += 1;
+                if batch.len() == self.batch_entries {
+                    sink(&batch);
+                    batch.clear();
+                }
+            }
+        }
+        if !batch.is_empty() {
+            sink(&batch);
+        }
+        Ok(StreamSummary { num_vertices: self.g.num_vertices(), entries })
+    }
 }
 
 /// Vertex-grouped stream over the mapped offsets/targets sections of a
@@ -188,6 +258,33 @@ impl EdgeStream for CsrFileEdgeStream<'_> {
             let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
             for &t in &targets[lo..hi] {
                 batch.push((v as u64, t));
+                if batch.len() == self.batch_entries {
+                    sink(&batch);
+                    batch.clear();
+                }
+            }
+        }
+        if !batch.is_empty() {
+            sink(&batch);
+        }
+        Ok(StreamSummary {
+            num_vertices: self.csr.num_vertices(),
+            entries: 2 * self.csr.num_edges(),
+        })
+    }
+
+    fn stream_with_ids(
+        &mut self,
+        sink: &mut IdEdgeBatchSink<'_>,
+    ) -> Result<StreamSummary, GraphError> {
+        let offsets = self.csr.offsets();
+        let targets = self.csr.targets();
+        let edge_ids = self.csr.edge_ids();
+        let mut batch = Vec::with_capacity(self.batch_entries);
+        for v in 0..self.csr.num_vertices() as usize {
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            for slot in lo..hi {
+                batch.push((edge_ids[slot], v as u64, targets[slot]));
                 if batch.len() == self.batch_entries {
                     sink(&batch);
                     batch.clear();
@@ -269,5 +366,97 @@ mod tests {
     fn order_displays_name_the_shape() {
         assert!(StreamOrder::VertexGrouped.to_string().contains("vertex"));
         assert!(StreamOrder::EdgeIdOrder.to_string().contains("edge-id"));
+    }
+
+    fn collect_ids(stream: &mut dyn EdgeStream) -> (Vec<(u64, u64, u64)>, StreamSummary) {
+        let mut all = Vec::new();
+        let summary = stream.stream_with_ids(&mut |batch| all.extend_from_slice(batch)).unwrap();
+        (all, summary)
+    }
+
+    #[test]
+    fn graph_id_stream_attaches_stable_edge_ids_to_both_half_edges() {
+        let mut b = GraphBuilder::with_vertices(5);
+        b.extend_edges([(0, 1), (1, 0), (2, 2), (3, 4)]); // parallel + self-loop
+        let g = b.build().unwrap();
+        for batch in [1usize, 3, 1024] {
+            let mut s = GraphEdgeStream::new(&g).with_batch_entries(batch);
+            let (all, summary) = collect_ids(&mut s);
+            assert_eq!(summary.entries, 8, "batch {batch}");
+            assert_eq!(all.len(), 8);
+            // Every entry's id resolves to the entry's own endpoints.
+            for &(e, u, v) in &all {
+                let (a, b) = g.endpoints(crate::EdgeId(e));
+                assert!((a.0, b.0) == (u, v) || (a.0, b.0) == (v, u));
+            }
+            // Each edge id appears exactly twice (self-loops twice in one group).
+            let mut counts = vec![0u32; g.num_edges() as usize];
+            for &(e, _, _) in &all {
+                counts[e as usize] += 1;
+            }
+            assert!(counts.iter().all(|&c| c == 2));
+        }
+    }
+
+    #[test]
+    fn csr_id_stream_is_bit_identical_to_the_graph_id_stream() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (2, 3), (3, 2), (1, 1)]);
+        let path = std::env::temp_dir().join("euler_graph_stream_ids_test.ecsr");
+        write_csr_file(&g, &path).unwrap();
+        let csr = CsrFile::open(&path).unwrap();
+        let (from_graph, gs) = collect_ids(&mut GraphEdgeStream::new(&g));
+        let (from_csr, cs) =
+            collect_ids(&mut CsrFileEdgeStream::new(&csr).with_batch_entries(3));
+        assert_eq!(from_graph, from_csr);
+        assert_eq!(gs, cs);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn edge_id_order_default_counts_positions_as_ids() {
+        // A hand-rolled EdgeIdOrder producer exercises the trait default.
+        struct Listed(Vec<(u64, u64)>);
+        impl EdgeStream for Listed {
+            fn order(&self) -> StreamOrder {
+                StreamOrder::EdgeIdOrder
+            }
+            fn num_vertices(&self) -> Option<u64> {
+                None
+            }
+            fn stream(
+                &mut self,
+                sink: &mut EdgeBatchSink<'_>,
+            ) -> Result<StreamSummary, GraphError> {
+                for chunk in self.0.chunks(2) {
+                    sink(chunk);
+                }
+                Ok(StreamSummary { num_vertices: 3, entries: self.0.len() as u64 })
+            }
+        }
+        let mut s = Listed(vec![(0, 1), (1, 2), (2, 0)]);
+        let (all, summary) = collect_ids(&mut s);
+        assert_eq!(all, vec![(0, 0, 1), (1, 1, 2), (2, 2, 0)]);
+        assert_eq!(summary.entries, 3);
+    }
+
+    #[test]
+    fn vertex_grouped_default_refuses_id_streaming() {
+        struct Grouped;
+        impl EdgeStream for Grouped {
+            fn order(&self) -> StreamOrder {
+                StreamOrder::VertexGrouped
+            }
+            fn num_vertices(&self) -> Option<u64> {
+                Some(0)
+            }
+            fn stream(
+                &mut self,
+                _sink: &mut EdgeBatchSink<'_>,
+            ) -> Result<StreamSummary, GraphError> {
+                Ok(StreamSummary { num_vertices: 0, entries: 0 })
+            }
+        }
+        let err = Grouped.stream_with_ids(&mut |_| {}).unwrap_err();
+        assert!(matches!(err, GraphError::UnsupportedStream { .. }));
     }
 }

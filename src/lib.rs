@@ -135,6 +135,43 @@
 //! and `.verify(true)` need the resident graph and fall back to the load
 //! path automatically.
 //!
+//! ## Bounded traversal state: the W-streaming Phase 1
+//!
+//! The direct-slice path above still builds each partition's dense
+//! incidence arena before walking it. `.streaming_phase1(true)` removes
+//! that last unbounded stage: level-0 tours are built by **one pass** over
+//! the source's edge stream with the W-streaming chain machine
+//! ([`algo::phase1::wstream`]) — resident traversal state is `O(n log n)`
+//! Longs regardless of the edge count, partial tours spill through the
+//! fragment store, and the residue rides the ordinary merge-tree walk on
+//! any backend. The exact footprint is reported per run:
+//!
+//! ```
+//! use euler_circuit::prelude::*;
+//!
+//! let graph = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]);
+//! let path = std::env::temp_dir().join("facade_wstreaming.ecsr");
+//! write_csr_file(&graph, &path).unwrap();
+//!
+//! let run = EulerPipeline::builder()
+//!     .source(MmapCsrSource::open(&path).unwrap())
+//!     .partitioner(LdgPartitioner::new(2))
+//!     .streaming_phase1(true)  // one-pass tours, O(n log n) resident
+//!     .memory_budget(1 << 20)  // fragments stay bounded too
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
+//!
+//! assert_eq!(run.circuit.result.total_edges(), graph.num_edges());
+//! let stats = run.merge.wstream.expect("streaming runs report resident state");
+//! // Peak resident traversal state, in Longs — bounded by O(n log n),
+//! // never by the edge count.
+//! assert!(stats.peak_resident_longs > 0);
+//! assert_eq!(stats.edges_ingested, graph.num_edges());
+//! std::fs::remove_file(&path).ok();
+//! ```
+//!
 //! ## Parallelism model
 //!
 //! How Phase 1 is scheduled onto threads is a backend option,
@@ -284,9 +321,10 @@ pub mod prelude {
         UnixTransport,
     };
     pub use euler_core::{
-        run_on_partitioned, run_with_backend, verify::verify_circuit, BspBackend, CircuitResult,
-        EulerConfig, EulerPipeline, ExecutionBackend, FragmentStoreStats, InProcessBackend,
-        LevelPartitionReport, MergeStrategy, Parallelism, PipelineRun, RunReport, SpillConfig,
+        run_on_partitioned, run_with_backend, stream_phase1, verify::verify_circuit, BspBackend,
+        CircuitResult, EulerConfig, EulerPipeline, ExecutionBackend, FragmentStoreStats,
+        InProcessBackend, LevelPartitionReport, MergeStrategy, Parallelism, PipelineRun,
+        RunReport, SpillConfig, WStreamStats,
     };
     pub use euler_gen::{
         configs::GraphConfig, eulerize::eulerize, rmat::RmatGenerator, synthetic,

@@ -295,3 +295,57 @@ fn interrupted_spill_still_unrolls_identical_circuits() {
     assert_eq!(broken.stats().spilled_fragments, 0);
     assert_eq!(broken.stats().resident_longs, broken.disk_longs());
 }
+
+/// Phase 3 reads each spilled fragment exactly once. The cycle-splice index
+/// is captured by the store while fragments are resident, so building the
+/// pending-cycle set costs no spill I/O — historically it reloaded every
+/// spilled fragment a second time, making `spill_read_longs` exactly double
+/// `spill_write_longs` on a push-only store. This pins the fixed 1:1 ratio.
+#[test]
+fn phase3_reads_each_spilled_fragment_exactly_once() {
+    // Push-only workload (no `replace`, so every written Long corresponds to
+    // one live fragment version): partition-local cycles sharing vertices,
+    // plus a path expanded through a virtual reference.
+    fn real(edge: u64, from: u64, to: u64) -> TourEdge {
+        TourEdge::Real {
+            edge: euler_circuit::graph::EdgeId(edge),
+            from: VertexId(from),
+            to: VertexId(to),
+        }
+    }
+    let store = FragmentStore::spilling(SpillConfig::with_budget(0));
+    let p = store.push(Fragment {
+        id: FragmentId(0),
+        kind: FragmentKind::Path,
+        level: 0,
+        partition: PartitionId(0),
+        edges: vec![real(10, 1, 2), real(11, 2, 3)],
+    });
+    store.push(Fragment {
+        id: FragmentId(0),
+        kind: FragmentKind::Cycle,
+        level: 0,
+        partition: PartitionId(0),
+        edges: vec![real(20, 2, 7), real(21, 7, 2)],
+    });
+    store.push(Fragment {
+        id: FragmentId(0),
+        kind: FragmentKind::Cycle,
+        level: 1,
+        partition: PartitionId(0),
+        edges: vec![
+            real(0, 0, 1),
+            TourEdge::Virtual { fragment: p, from: VertexId(1), to: VertexId(3) },
+            real(1, 3, 0),
+        ],
+    });
+    let result = unroll(&store);
+    assert_eq!(result.total_edges(), 6);
+    let stats = store.stats();
+    assert!(stats.spilled_fragments > 0, "budget 0 must spill everything");
+    assert_eq!(stats.spill_errors, 0);
+    assert_eq!(
+        stats.spill_read_longs, stats.spill_write_longs,
+        "each spilled fragment must be read back exactly once: {stats:?}"
+    );
+}
