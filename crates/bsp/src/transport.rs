@@ -269,6 +269,15 @@ pub trait Connection: Send + Sync {
     /// Receives one frame, blocking at most `timeout` (`None` blocks
     /// indefinitely). A quiet timeout returns [`FrameError::Timeout`].
     fn recv_timeout(&self, timeout: Option<Duration>) -> Result<(u16, Vec<u8>), FrameError>;
+    /// Arms a timeout for subsequent [`send`](Connection::send) calls: a
+    /// send that cannot make progress within `timeout` (a stalled peer whose
+    /// socket buffers are full) fails with [`FrameError::Timeout`] instead
+    /// of blocking forever. `None` (the default) restores indefinite
+    /// blocking; `Some(Duration::ZERO)` is rejected by the OS socket layer.
+    /// Transports whose sends cannot block (in-memory queues) ignore this.
+    fn set_send_timeout(&self, timeout: Option<Duration>) {
+        let _ = timeout;
+    }
 }
 
 /// Accepts inbound worker connections on an endpoint.
@@ -297,21 +306,35 @@ pub trait Transport: Send + Sync {
 
 /// Connects with bounded retry and linear backoff — worker processes race
 /// the coordinator's `accept`, and the first attempts may land early.
+///
+/// The backoff sleeps only *between* attempts: once the final attempt has
+/// failed there is nothing left to retry, so the error surfaces immediately
+/// instead of after one more (useless) backoff period.
 pub fn connect_with_retry(
     transport: &dyn Transport,
     endpoint: &str,
     attempts: u32,
     backoff: Duration,
 ) -> Result<Box<dyn Connection>, FrameError> {
+    let attempts = attempts.max(1);
     let mut last = FrameError::Io("no connect attempts were made".into());
-    for attempt in 0..attempts.max(1) {
+    for attempt in 0..attempts {
         match transport.connect(endpoint) {
             Ok(c) => return Ok(c),
             Err(e) => last = e,
         }
-        std::thread::sleep(backoff * (attempt + 1));
+        if attempt + 1 < attempts {
+            std::thread::sleep(retry_delay(backoff, attempt));
+        }
     }
     Err(last)
+}
+
+/// Linear-backoff delay after failed attempt `attempt` (0-based):
+/// `backoff * (attempt + 1)`, saturating — huge attempt counts or backoffs
+/// clamp to `Duration::MAX` instead of panicking in `Duration`'s `Mul<u32>`.
+fn retry_delay(backoff: Duration, attempt: u32) -> Duration {
+    backoff.saturating_mul(attempt.saturating_add(1))
 }
 
 /// Connects to an endpoint by scheme (`tcp:`/`unix:`/`mem:`) — what the
@@ -454,21 +477,37 @@ impl Transport for MemTransport {
 // Socket transports (TCP loopback + Unix domain).
 // ---------------------------------------------------------------------------
 
-/// A connection over any paired `Read`/`Write` stream halves with a
-/// settable read timeout.
+/// A connection over any paired `Read`/`Write` stream halves with settable
+/// read and write timeouts. Both timeouts are armed through the same
+/// OS-socket seam (`set_read_timeout`/`set_write_timeout` closures captured
+/// at construction), and both surface expiry as [`FrameError::Timeout`].
 struct StreamConnection<R: Read + Send, W: Write + Send> {
     reader: Mutex<R>,
     writer: Mutex<W>,
     set_timeout: Box<dyn Fn(Option<Duration>) -> std::io::Result<()> + Send + Sync>,
+    set_write_timeout: Box<dyn Fn(Option<Duration>) -> std::io::Result<()> + Send + Sync>,
+    /// The send timeout requested via [`Connection::set_send_timeout`],
+    /// armed on the socket at the next `send`.
+    send_timeout: Mutex<Option<Duration>>,
 }
 
 impl<R: Read + Send, W: Write + Send> Connection for StreamConnection<R, W> {
     fn send(&self, kind: u16, payload: &[u8]) -> Result<(), FrameError> {
         let frame = encode_frame(kind, payload)?;
+        let timeout = *lock_unpoisoned(&self.send_timeout);
         let mut w = lock_unpoisoned(&self.writer);
-        w.write_all(&frame)?;
-        w.flush()?;
-        Ok(())
+        (self.set_write_timeout)(timeout)?;
+        write_all_or(&mut *w, &frame)?;
+        match w.flush() {
+            Ok(()) => Ok(()),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Err(FrameError::Timeout)
+            }
+            Err(e) => Err(e.into()),
+        }
     }
 
     fn recv_timeout(&self, timeout: Option<Duration>) -> Result<(u16, Vec<u8>), FrameError> {
@@ -476,16 +515,46 @@ impl<R: Read + Send, W: Write + Send> Connection for StreamConnection<R, W> {
         (self.set_timeout)(timeout)?;
         read_frame_stream(&mut *r)
     }
+
+    fn set_send_timeout(&self, timeout: Option<Duration>) {
+        *lock_unpoisoned(&self.send_timeout) = timeout;
+    }
+}
+
+/// `write_all` with typed errors: `WouldBlock`/`TimedOut` from an armed send
+/// timeout surfaces as [`FrameError::Timeout`] (a stalled peer can no longer
+/// block a coordinator send past every `FaultPolicy` deadline); a peer that
+/// vanished mid-write surfaces as `Closed`/`Io`.
+fn write_all_or(w: &mut impl Write, buf: &[u8]) -> Result<(), FrameError> {
+    let mut written = 0usize;
+    while written < buf.len() {
+        match w.write(buf.get(written..).unwrap_or(&[])) {
+            Ok(0) => return Err(FrameError::Closed),
+            Ok(n) => written += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(FrameError::Timeout);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
 }
 
 fn tcp_connection(stream: TcpStream) -> Result<Box<dyn Connection>, FrameError> {
     stream.set_nodelay(true).ok();
     let reader = stream.try_clone()?;
-    let timeout_handle = stream.try_clone()?;
+    let read_handle = stream.try_clone()?;
+    let write_handle = stream.try_clone()?;
     Ok(Box::new(StreamConnection {
         reader: Mutex::new(reader),
         writer: Mutex::new(stream),
-        set_timeout: Box::new(move |t| timeout_handle.set_read_timeout(t)),
+        set_timeout: Box::new(move |t| read_handle.set_read_timeout(t)),
+        set_write_timeout: Box::new(move |t| write_handle.set_write_timeout(t)),
+        send_timeout: Mutex::new(None),
     }))
 }
 
@@ -582,11 +651,14 @@ impl Drop for UnixListenerWrap {
 
 fn unix_connection(stream: UnixStream) -> Result<Box<dyn Connection>, FrameError> {
     let reader = stream.try_clone()?;
-    let timeout_handle = stream.try_clone()?;
+    let read_handle = stream.try_clone()?;
+    let write_handle = stream.try_clone()?;
     Ok(Box::new(StreamConnection {
         reader: Mutex::new(reader),
         writer: Mutex::new(stream),
-        set_timeout: Box::new(move |t| timeout_handle.set_read_timeout(t)),
+        set_timeout: Box::new(move |t| read_handle.set_read_timeout(t)),
+        set_write_timeout: Box::new(move |t| write_handle.set_write_timeout(t)),
+        send_timeout: Mutex::new(None),
     }))
 }
 
@@ -811,6 +883,61 @@ mod tests {
             Err(e) => panic!("expected Io error, got {e:?}"),
             Ok(_) => panic!("connect to a closed port unexpectedly succeeded"),
         }
+    }
+
+    #[test]
+    fn retry_skips_backoff_after_final_attempt() {
+        // Two attempts => exactly one inter-attempt sleep (150ms). The old
+        // behaviour slept again after the final failure (150 + 300 = 450ms);
+        // the fix returns right after the second refusal.
+        let t0 = Instant::now();
+        let r = connect_with_retry(&TcpTransport, "tcp:127.0.0.1:1", 2, Duration::from_millis(150));
+        assert!(r.is_err());
+        let elapsed = t0.elapsed();
+        assert!(elapsed >= Duration::from_millis(140), "one backoff expected, got {elapsed:?}");
+        assert!(elapsed < Duration::from_millis(400), "trailing backoff not skipped: {elapsed:?}");
+
+        // A single attempt must never sleep at all, whatever the backoff.
+        let t0 = Instant::now();
+        let r = connect_with_retry(&TcpTransport, "tcp:127.0.0.1:1", 1, Duration::from_secs(3600));
+        assert!(r.is_err());
+        assert!(t0.elapsed() < Duration::from_secs(2), "attempts=1 slept on its huge backoff");
+    }
+
+    #[test]
+    fn retry_delay_saturates_instead_of_panicking() {
+        assert_eq!(retry_delay(Duration::from_secs(1), 3), Duration::from_secs(4));
+        // `Duration::MAX * 2` panics through `Mul<u32>`; the helper clamps.
+        assert_eq!(retry_delay(Duration::MAX, 1), Duration::MAX);
+        assert_eq!(retry_delay(Duration::MAX, u32::MAX), Duration::MAX);
+        assert_eq!(retry_delay(Duration::from_secs(u64::MAX / 2), u32::MAX), Duration::MAX);
+    }
+
+    #[test]
+    fn send_timeout_on_unread_socket_is_typed() {
+        // The accepting side never reads, so loopback socket buffers fill up
+        // and `send` stalls. With a send timeout armed the stall surfaces as
+        // FrameError::Timeout instead of blocking forever.
+        let listener = TcpTransport.listen().unwrap();
+        let endpoint = listener.endpoint();
+        let conn = TcpTransport.connect(&endpoint).unwrap();
+        let _peer = listener.accept(Duration::from_secs(5)).unwrap();
+        conn.set_send_timeout(Some(Duration::from_millis(200)));
+        let payload = vec![0xA5u8; 1 << 20];
+        let mut saw_timeout = false;
+        for _ in 0..64 {
+            match conn.send(9, &payload) {
+                Ok(()) => continue,
+                Err(FrameError::Timeout) => {
+                    saw_timeout = true;
+                    break;
+                }
+                Err(e) => panic!("expected Timeout, got {e:?}"),
+            }
+        }
+        assert!(saw_timeout, "64 MiB into an unread socket without a send timeout firing");
+        // Disarming restores the (non-blocking here) small-send path.
+        conn.set_send_timeout(None);
     }
 
     mod properties {

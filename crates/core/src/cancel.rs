@@ -1,0 +1,113 @@
+//! Cooperative cancellation for pipeline runs.
+//!
+//! A [`CancelToken`] is a cheap, clonable handle shared between the thread
+//! driving a run and whoever may want to stop it (a service handler noticing
+//! a client disconnect, a Cancel frame, a shutdown). The pipeline checks the
+//! token at its natural yield points — between merge-tree supersteps and
+//! before the Phase-3 unroll — and returns [`EulerError::Cancelled`] instead
+//! of finishing, so a cancelled run frees its memory within one superstep.
+//!
+//! The token also carries coarse progress (supersteps completed out of
+//! total), which the service layer streams back to clients without touching
+//! the run's internals.
+//!
+//! [`EulerError::Cancelled`]: crate::EulerError::Cancelled
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Shared cancellation flag plus coarse progress for one pipeline run.
+///
+/// Clones share state. All operations are lock-free and safe to call from
+/// any thread; cancellation is *cooperative* — the run notices at the next
+/// superstep boundary, not instantly.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<TokenState>,
+}
+
+#[derive(Debug, Default)]
+struct TokenState {
+    cancelled: AtomicBool,
+    steps_done: AtomicU32,
+    steps_total: AtomicU32,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; the run observes it at its next
+    /// check point and returns [`EulerError::Cancelled`].
+    ///
+    /// [`EulerError::Cancelled`]: crate::EulerError::Cancelled
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Progress as `(steps_done, steps_total)`. Total is `0` until the run
+    /// has built its merge tree; afterwards it is the superstep count plus
+    /// one for the Phase-3 unroll.
+    pub fn progress(&self) -> (u32, u32) {
+        (
+            self.inner.steps_done.load(Ordering::Relaxed),
+            self.inner.steps_total.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Errs with [`EulerError::Cancelled`] once the token is cancelled —
+    /// the check the pipeline runs at each yield point.
+    ///
+    /// [`EulerError::Cancelled`]: crate::EulerError::Cancelled
+    pub(crate) fn checkpoint(&self) -> Result<(), crate::EulerError> {
+        if self.is_cancelled() {
+            Err(crate::EulerError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+
+    pub(crate) fn set_total(&self, total: u32) {
+        self.inner.steps_total.store(total, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_step_done(&self) {
+        self.inner.steps_done.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state_and_progress_accumulates() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.progress(), (0, 0));
+        u.set_total(4);
+        u.note_step_done();
+        u.note_step_done();
+        assert_eq!(t.progress(), (2, 4));
+        assert!(t.checkpoint().is_ok());
+        u.cancel();
+        assert!(t.is_cancelled());
+        assert!(matches!(t.checkpoint(), Err(crate::EulerError::Cancelled)));
+    }
+
+    #[test]
+    fn cancellation_is_visible_across_threads() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        std::thread::spawn(move || u.cancel()).join().unwrap();
+        assert!(t.is_cancelled());
+    }
+}

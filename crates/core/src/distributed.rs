@@ -1120,6 +1120,11 @@ impl DistRun {
                 .map_err(|e| EulerError::Distributed(format!("handshake failed: {e}")))?;
             let words = bytes_to_words(&payload).map_err(EulerError::Distributed)?;
             if k == kind::HELLO && words.first() == Some(&(w as u64)) {
+                // A stalled worker must not block a coordinator send past the
+                // fault deadlines: bound every send by the heartbeat timeout
+                // so a full socket buffer surfaces as FrameError::Timeout and
+                // flows into the existing send-retry / dead-worker path.
+                conn.set_send_timeout(Some(self.cfg.policy.heartbeat_timeout));
                 break Arc::from(conn);
             }
             // A Hello from some other (late, stale) worker: drop it; its

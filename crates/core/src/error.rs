@@ -46,6 +46,9 @@ pub enum EulerError {
     /// A distributed run failed unrecoverably (transport failure, restart
     /// budget exhausted, protocol violation).
     Distributed(String),
+    /// The run was cancelled via a [`CancelToken`](crate::CancelToken)
+    /// before it finished; no result was produced.
+    Cancelled,
 }
 
 impl fmt::Display for EulerError {
@@ -66,6 +69,7 @@ impl fmt::Display for EulerError {
             }
             EulerError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             EulerError::Distributed(msg) => write!(f, "distributed run failed: {msg}"),
+            EulerError::Cancelled => write!(f, "run cancelled before completion"),
         }
     }
 }

@@ -210,6 +210,15 @@ pub struct FragmentStoreStats {
     pub spill_read_longs: u64,
     /// Spill I/O failures absorbed by keeping the fragment resident.
     pub spill_errors: u64,
+    /// Longs of superseded `replace` records currently dead in the spill
+    /// file — exactly the free extents awaiting reuse. Every file Long is
+    /// either part of a live record or counted here, so
+    /// `spill_file_longs == live record Longs + dead_longs` at all times.
+    pub dead_longs: u64,
+    /// Current spill-file extent in Longs (file bytes / 8). Bounded under
+    /// replace-heavy traffic because superseded records are reused through
+    /// the free list instead of growing the file monotonically.
+    pub spill_file_longs: u64,
 }
 
 /// Configuration of the out-of-core spill backing
@@ -442,6 +451,16 @@ static SPILL_FILE_SEQ: AtomicU64 = AtomicU64::new(0);
 /// counted in [`FragmentStoreStats::spill_errors`] and no further spilling
 /// is attempted, so an interrupted spill degrades to the in-memory backing
 /// with identical results.
+/// One reusable extent of the spill file: a superseded record's former
+/// location.
+#[derive(Clone, Copy, Debug)]
+struct FreeExtent {
+    /// Byte offset into the spill file.
+    offset: u64,
+    /// Extent length in words (Longs).
+    words: u64,
+}
+
 struct SpillBacking {
     budget_longs: u64,
     directory: PathBuf,
@@ -456,6 +475,10 @@ struct SpillBacking {
     /// Created lazily on first eviction; unlinked right after creation.
     file: Option<File>,
     file_end: u64,
+    /// Extents of superseded (`replace`d) records, available for reuse —
+    /// what keeps the spill file from growing monotonically under heavy
+    /// replace traffic. Word-granular; adjacent extents are coalesced.
+    free: Vec<FreeExtent>,
     /// Set after a spill I/O failure: stop spilling, stay resident.
     broken: bool,
     accounting: Accounting,
@@ -476,6 +499,7 @@ impl SpillBacking {
             fifo: VecDeque::new(),
             file: None,
             file_end: 0,
+            free: Vec::new(),
             broken: false,
             accounting: Accounting::default(),
             stats: FragmentStoreStats::default(),
@@ -500,7 +524,51 @@ impl SpillBacking {
         Ok(self.file.as_mut().expect("just created"))
     }
 
-    /// Writes `fragment`'s record at the end of the spill file, returning its
+    /// Returns a superseded record's extent to the free list, coalescing
+    /// with adjacent free extents. The space stays in the file (and in
+    /// [`FragmentStoreStats::dead_longs`]) until a later record reuses it.
+    fn free_record(&mut self, mut offset: u64, mut words: u64) {
+        self.stats.dead_longs += words;
+        loop {
+            if let Some(i) = self.free.iter().position(|e| e.offset + 8 * e.words == offset) {
+                let e = self.free.swap_remove(i);
+                offset = e.offset;
+                words += e.words;
+            } else if let Some(i) = self.free.iter().position(|e| e.offset == offset + 8 * words) {
+                let e = self.free.swap_remove(i);
+                words += e.words;
+            } else {
+                break;
+            }
+        }
+        self.free.push(FreeExtent { offset, words });
+    }
+
+    /// Best-fit allocation from the free list: the smallest free extent that
+    /// holds `words`, shrunk or consumed. `None` means the record appends at
+    /// the end of the file instead.
+    fn alloc_extent(&mut self, words: u64) -> Option<u64> {
+        let i = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.words >= words)
+            .min_by_key(|(_, e)| e.words)
+            .map(|(i, _)| i)?;
+        let e = &mut self.free[i];
+        let offset = e.offset;
+        if e.words == words {
+            self.free.swap_remove(i);
+        } else {
+            e.offset += 8 * words;
+            e.words -= words;
+        }
+        self.stats.dead_longs -= words;
+        Some(offset)
+    }
+
+    /// Writes `fragment`'s record into the spill file — into a reused free
+    /// extent when one fits, else appended at the end — returning its
     /// location.
     fn write_record(&mut self, fragment: &Fragment) -> std::io::Result<Loc> {
         let mut words = std::mem::take(&mut self.words);
@@ -511,15 +579,25 @@ impl SpillBacking {
         for w in &words {
             bytes.extend_from_slice(&w.to_le_bytes());
         }
-        let offset = self.file_end;
+        let need = words.len() as u64;
+        let reused = self.alloc_extent(need);
+        let offset = reused.unwrap_or(self.file_end);
         let out = (|| {
             let file = self.file()?;
             file.seek(SeekFrom::Start(offset))?;
             file.write_all(&bytes)?;
-            Ok(Loc::Spilled { offset, words: words.len() as u64 })
+            Ok(Loc::Spilled { offset, words: need })
         })();
-        if out.is_ok() {
-            self.file_end += bytes.len() as u64;
+        match (&out, reused) {
+            (Ok(_), None) => {
+                self.file_end += bytes.len() as u64;
+                self.stats.spill_file_longs = self.file_end / 8;
+            }
+            (Ok(_), Some(_)) => {}
+            // A failed write into a reused extent leaves no valid record
+            // there; the extent goes back on the free list.
+            (Err(_), Some(o)) => self.free_record(o, need),
+            (Err(_), None) => {}
         }
         self.words = words;
         self.bytes = bytes;
@@ -636,19 +714,26 @@ impl FragmentBacking for SpillBacking {
                     self.stats.peak_resident_longs.max(self.stats.resident_longs);
                 self.evict();
             }
-            Loc::Spilled { .. } => {
+            Loc::Spilled { offset, words } => {
                 // Supersede the spilled record with a fresh one; the old
-                // record becomes dead space in the (temporary) spill file.
+                // record's extent joins the free list for reuse, so heavy
+                // replace traffic cannot grow the spill file without bound.
+                // (The new record never lands on the old extent — it is not
+                // free until the write has succeeded — so a torn write can
+                // not corrupt the still-current version.)
                 if !self.broken {
                     if let Ok(loc) = self.write_record(&fragment) {
                         self.index[id.index()].loc = loc;
                         self.stats.spill_write_longs += self.index[id.index()].longs;
+                        self.free_record(offset, words);
                         return;
                     }
                     self.stats.spill_errors += 1;
                     self.broken = true;
                 }
                 // Spill unavailable: bring the new version back resident.
+                // The old on-disk record is dead either way.
+                self.free_record(offset, words);
                 self.stats.spilled_fragments -= 1;
                 self.index[id.index()].loc = Loc::Resident;
                 self.insert_resident(fragment);
@@ -1100,6 +1185,73 @@ mod tests {
             .map(|(i, f)| if i == 5 { longer.disk_longs() } else { f.disk_longs() })
             .sum();
         assert_eq!(store.disk_longs(), expected);
+    }
+
+    #[test]
+    fn replace_heavy_traffic_keeps_the_spill_file_bounded() {
+        let store = FragmentStore::spilling(SpillConfig::with_budget(0));
+        let n = 8u64;
+        let two_edges = |a: u64, b: u64, v: u64| Fragment {
+            id: FragmentId(0),
+            kind: FragmentKind::Path,
+            level: 0,
+            partition: PartitionId(0),
+            edges: vec![real(a, v, v + 1), real(b, v + 1, v + 2)],
+        };
+        for i in 0..n {
+            store.push(two_edges(i, 100 + i, i));
+        }
+        let baseline = store.stats().spill_file_longs;
+        assert!(baseline > 0, "a zero budget spills every push");
+        // Every round supersedes every record with a same-size version.
+        // Without extent reuse the file would gain `baseline` words per
+        // round; with the free list it reaches a small steady state.
+        let rounds = 50u64;
+        for round in 1..=rounds {
+            for i in 0..n {
+                store.replace(FragmentId(i), two_edges(1000 * round + i, 2000 * round + i, i));
+            }
+        }
+        let stats = store.stats();
+        assert!(
+            stats.spill_file_longs <= 3 * baseline,
+            "{rounds} replace rounds must not grow the file {rounds}x: \
+             baseline={baseline} stats={stats:?}"
+        );
+        // A varied-size round: shrinking replaces split free extents
+        // (best-fit leaves a dead remainder), growing ones append.
+        for i in 0..n {
+            let f = if i % 2 == 0 {
+                Fragment { edges: vec![real(9000 + i, i, i + 1)], ..two_edges(0, 0, i) }
+            } else {
+                Fragment {
+                    edges: vec![
+                        real(9100 + i, i, i + 1),
+                        real(9200 + i, i + 1, i + 2),
+                        real(9300 + i, i + 2, i + 3),
+                    ],
+                    ..two_edges(0, 0, i)
+                }
+            };
+            store.replace(FragmentId(i), f);
+        }
+        // `dead_longs` is exact: the file extent is live records + dead
+        // space, to the word.
+        let stats = store.stats();
+        let live: u64 =
+            (0..n).map(|i| 4 + 4 * store.get(FragmentId(i)).edges.len() as u64).sum();
+        assert_eq!(
+            stats.spill_file_longs,
+            live + stats.dead_longs,
+            "file words must equal live record words plus dead words: {stats:?}"
+        );
+        // Reads still serve the latest version of every fragment.
+        for i in 0..n {
+            let f = store.get(FragmentId(i));
+            let expect = if i % 2 == 0 { 1 } else { 3 };
+            assert_eq!(f.edges.len(), expect, "fragment {i} lost its last replace");
+        }
+        assert_eq!(store.len(), n as usize);
     }
 
     #[test]

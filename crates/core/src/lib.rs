@@ -44,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod config;
 pub mod distributed;
 pub mod error;
@@ -56,9 +57,11 @@ pub mod phase1;
 pub mod phase2;
 pub mod phase3;
 pub mod pipeline;
+pub mod service;
 pub mod state;
 pub mod verify;
 
+pub use cancel::CancelToken;
 pub use config::EulerConfig;
 pub use distributed::{default_worker_bin, worker_main};
 pub use error::EulerError;
@@ -72,8 +75,14 @@ pub use phase1::wstream::{default_chunk_edges, stream_phase1, WStreamOutcome, WS
 pub use phase1::{ArenaPool, Parallelism, Phase1Arena, Phase1Executor};
 pub use phase3::{CircuitResult, CircuitStep};
 pub use pipeline::{
-    run_on_partitioned, run_with_backend, BspBackend, CircuitStage, EulerPipeline,
-    EulerPipelineBuilder, ExecutionBackend, InProcessBackend, LevelOutcome, LevelPartitionReport,
-    LevelWork, MergeStage, PartitionStage, PipelineRun, RunReport,
+    run_on_partitioned, run_on_partitioned_cancellable, run_with_backend, BspBackend,
+    CircuitStage, EulerPipeline, EulerPipelineBuilder, ExecutionBackend, InProcessBackend,
+    LevelOutcome, LevelPartitionReport, LevelWork, MergeStage, PartitionStage, PipelineRun,
+    RunReport,
+};
+pub use service::{
+    estimate_run_longs, AdmissionController, AdmissionPermit, EulerService, GraphInfo,
+    PartitionerKind, RunEvent, RunOptions, RunOutcome, RunSummary, ServiceClient, ServiceConfig,
+    ServiceError, ServiceHandle, ServiceStats,
 };
 pub use state::{VertexTypeCounts, WorkingPartition};

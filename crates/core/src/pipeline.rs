@@ -33,6 +33,7 @@
 //! release and are now removed; their test suites live on in this module's
 //! tests. See the facade crate's migration table.
 
+use crate::cancel::CancelToken;
 use crate::config::EulerConfig;
 use crate::error::EulerError;
 use crate::fragment::{FragmentStore, FragmentStoreStats, SpillConfig};
@@ -1023,11 +1024,35 @@ pub fn run_on_partitioned(
     config: &EulerConfig,
     backend: &dyn ExecutionBackend,
 ) -> Result<(CircuitResult, RunReport), EulerError> {
+    run_on_partitioned_inner(pg, config, backend, None)
+}
+
+/// [`run_on_partitioned`] with cooperative cancellation: the walk checks
+/// `cancel` between supersteps and before the Phase-3 unroll, returning
+/// [`EulerError::Cancelled`] (and dropping all run state) once the token
+/// fires. Progress — supersteps completed out of total — is published on
+/// the token as the walk advances, so an observer thread can report it
+/// without touching the run.
+pub fn run_on_partitioned_cancellable(
+    pg: &PartitionedGraph,
+    config: &EulerConfig,
+    backend: &dyn ExecutionBackend,
+    cancel: &CancelToken,
+) -> Result<(CircuitResult, RunReport), EulerError> {
+    run_on_partitioned_inner(pg, config, backend, Some(cancel))
+}
+
+fn run_on_partitioned_inner(
+    pg: &PartitionedGraph,
+    config: &EulerConfig,
+    backend: &dyn ExecutionBackend,
+    cancel: Option<&CancelToken>,
+) -> Result<(CircuitResult, RunReport), EulerError> {
     let meta = MetaGraph::from_partitioned(pg);
     let store = fragment_store_for(config);
     let states: Vec<WorkingPartition> =
         pg.partitions().iter().map(WorkingPartition::from_partition).collect();
-    run_merge_walk(&meta, states, store, config, backend, None)
+    run_merge_walk(&meta, states, store, config, backend, None, cancel)
 }
 
 /// Builds the run's fragment store from its configuration: an explicit
@@ -1059,8 +1084,13 @@ fn run_merge_walk(
     config: &EulerConfig,
     backend: &dyn ExecutionBackend,
     wstream: Option<WStreamStats>,
+    cancel: Option<&CancelToken>,
 ) -> Result<(CircuitResult, RunReport), EulerError> {
     let tree = Arc::new(MergeTree::build(meta));
+    if let Some(token) = cancel {
+        // Supersteps plus the Phase-3 unroll — the checkpoints below.
+        token.set_total(tree.num_supersteps() + 1);
+    }
     if config.merge_strategy.deduplicates() {
         apply_remote_edge_dedup(&mut states);
     }
@@ -1079,6 +1109,9 @@ fn run_merge_walk(
     let t_run = Instant::now();
     let mut seed = Some(states);
     for level in 0..tree.num_supersteps() {
+        if let Some(token) = cancel {
+            token.checkpoint()?;
+        }
         let outcome = backend.run_level(LevelWork {
             level,
             pairs: tree.pairs_at(level),
@@ -1089,6 +1122,9 @@ fn run_merge_walk(
         })?;
         report.per_partition.extend(outcome.reports);
         report.total_transfer_longs += outcome.transfer_longs;
+        if let Some(token) = cancel {
+            token.note_step_done();
+        }
     }
     report.phase12_time = t_run.elapsed();
     // Snapshot engine statistics now, before Phase 3, so the engine's wall
@@ -1097,8 +1133,14 @@ fn run_merge_walk(
     report.warnings = backend.warnings();
 
     // --- Phase 3: unroll the fragments into the circuit. --------------------
+    if let Some(token) = cancel {
+        token.checkpoint()?;
+    }
     let t3 = Instant::now();
     let result = unroll(&store);
+    if let Some(token) = cancel {
+        token.note_step_done();
+    }
     report.phase3_time = t3.elapsed();
     report.fragment_disk_longs = store.disk_longs();
     report.fragment_stats = store.stats();
@@ -1479,6 +1521,7 @@ impl EulerPipeline {
             &self.config,
             self.backend.as_ref(),
             Some(outcome.stats),
+            None,
         )?;
         report.phase12_time += pass_time;
         if self.config.verify {

@@ -1,0 +1,1444 @@
+//! The Euler circuit service layer: one process, many graphs, many
+//! concurrent requests.
+//!
+//! Everything below this module computes one circuit for one caller. This
+//! module is the long-lived serving front over that spine:
+//!
+//! * **Graph registry** — clients register `.ecsr` files once; the key is
+//!   the file's FNV-1a content checksum ([`euler_graph::GraphRegistry`]),
+//!   so the same graph at two paths is one mapped file shared by every run.
+//! * **Admission control** — runs execute concurrently under one *global*
+//!   memory budget. Before a run starts, its peak-resident Longs are
+//!   estimated from the §5 analytical model
+//!   ([`crate::memory_model::model_series`]), scaled by a calibration ratio
+//!   learned from previous runs' measured peaks (`RunReport` +
+//!   [`crate::FragmentStoreStats`] actuals), plus the per-run fragment
+//!   spill budget that *enforces* the fragment share of the estimate. The
+//!   [`AdmissionController`] blocks the run until the sum of admitted
+//!   estimates fits under the cap — the invariant
+//!   `Σ admitted ≤ memory_cap_longs` holds at every instant.
+//! * **Circuit cache** — finished circuits are cached by (graph checksum,
+//!   canonicalized run options); a hit streams back without any pipeline
+//!   work.
+//! * **Streaming + cancellation** — circuits stream back in bounded
+//!   [`CircuitStep`] chunks. A client disconnect or an explicit
+//!   [`frame_kind::CANCEL`] frame cancels the run cooperatively (via
+//!   [`CancelToken`]) and its admitted budget is released immediately, so
+//!   a queued run can start.
+//!
+//! ## Wire protocol
+//!
+//! The service speaks the PR 6 frame codec (`euler_bsp::transport` — magic,
+//! version, kind, length, FNV-1a checksum) over TCP; the payload of every
+//! frame is a little-endian `u64` word array. Frame kinds are documented in
+//! [`frame_kind`]; the request lifecycle is
+//! `REGISTER → REGISTERED`, then per run
+//! `RUN → ACCEPTED → PROGRESS* → REPORT? → CHUNK* → DONE`
+//! (or `CANCELLED` / `ERROR`). Malformed *payloads* get typed
+//! [`frame_kind::ERROR`] replies and the connection keeps serving;
+//! malformed *frames* (bad magic, corrupt checksum) desynchronize the
+//! stream, so the connection is closed — the server itself never panics on
+//! either.
+//!
+//! Servers are started with [`EulerService::bind`]; the matching client is
+//! [`ServiceClient`].
+
+use crate::cancel::CancelToken;
+use crate::config::EulerConfig;
+use crate::error::EulerError;
+use crate::memory_model::{model_series, LevelTrace, PartitionLevelState};
+use crate::merge_strategy::MergeStrategy;
+use crate::phase1::Parallelism;
+use crate::phase3::{CircuitResult, CircuitStep};
+use crate::pipeline::{run_on_partitioned_cancellable, InProcessBackend, RunReport};
+use euler_bsp::transport::Connection;
+use euler_bsp::{connect_endpoint, FrameError, TcpTransport, Transport};
+use euler_graph::{CsrFileEdgeStream, EdgeId, GraphRegistry, RegisteredGraph, VertexId};
+use euler_partition::{HashPartitioner, LdgPartitioner, StreamingPartitioner};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Request/response frame kinds of the service protocol, one `u16` per
+/// frame (the `kind` field of the PR 6 frame header; see
+/// `euler_bsp::transport` for the byte layout). Requests are `0x1x`,
+/// responses `0x2x`, so neither range collides with the distributed-run
+/// protocol kinds (`1..=11`).
+pub mod frame_kind {
+    /// → Register the `.ecsr` file at a path: `[path string]`.
+    pub const REGISTER: u16 = 0x10;
+    /// → Start a run: `[checksum, partitions, strategy, partitioner]`.
+    pub const RUN: u16 = 0x11;
+    /// → Cancel the in-flight run on this connection: `[]`.
+    pub const CANCEL: u16 = 0x12;
+    /// → Request service statistics: `[]`.
+    pub const STATS: u16 = 0x13;
+    /// ← Registration done: `[checksum, num_vertices, num_edges]`.
+    pub const REGISTERED: u16 = 0x20;
+    /// ← Run admitted under the budget: `[admitted_longs, cached]`.
+    pub const ACCEPTED: u16 = 0x21;
+    /// ← Coarse progress: `[supersteps_done, supersteps_total]`.
+    pub const PROGRESS: u16 = 0x22;
+    /// ← Run accounting (an encoded [`RunSummary`](super::RunSummary)),
+    ///   sent before the chunks of a freshly computed circuit.
+    pub const REPORT: u16 = 0x23;
+    /// ← One circuit slice: `[circuit, base, k, k×(edge, from, to)]`.
+    pub const CHUNK: u16 = 0x24;
+    /// ← Run complete: `[num_circuits, total_edges]`.
+    pub const DONE: u16 = 0x25;
+    /// ← Run cancelled (by CANCEL frame or service shutdown): `[]`.
+    pub const CANCELLED: u16 = 0x26;
+    /// ← Service statistics (an encoded
+    ///   [`ServiceStats`](super::ServiceStats)).
+    pub const STATS_REPLY: u16 = 0x27;
+    /// ← Typed failure: `[code, message string]`; see
+    ///   [`error_code`](super::error_code).
+    pub const ERROR: u16 = 0x2F;
+}
+
+/// Error codes carried by [`frame_kind::ERROR`] frames.
+pub mod error_code {
+    /// The request payload did not decode (truncated, bad enum code, …).
+    pub const BAD_REQUEST: u64 = 1;
+    /// The run referenced a checksum no registered graph carries.
+    pub const UNKNOWN_GRAPH: u64 = 2;
+    /// Registration failed (missing file, checksum mismatch, …).
+    pub const REGISTER_FAILED: u64 = 3;
+    /// The pipeline run itself failed (non-Eulerian input, …).
+    pub const RUN_FAILED: u64 = 4;
+}
+
+// ---------------------------------------------------------------------------
+// Word-payload codec (mirrors the distributed-run protocol's idiom:
+// bounded cursor, typed failures, never a panic on wire input).
+// ---------------------------------------------------------------------------
+
+fn words_to_bytes(words: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 * words.len());
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+fn bytes_to_words(bytes: &[u8]) -> Result<Vec<u64>, String> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(format!("payload length {} is not word-aligned", bytes.len()));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .filter_map(|c| c.try_into().ok().map(u64::from_le_bytes))
+        .collect())
+}
+
+/// Bounded sequential reader over a word payload with typed failures.
+struct Cursor<'a> {
+    words: &'a [u64],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(words: &'a [u64]) -> Self {
+        Cursor { words, at: 0 }
+    }
+
+    fn u(&mut self) -> Result<u64, String> {
+        let v = self
+            .words
+            .get(self.at)
+            .copied()
+            .ok_or_else(|| format!("service payload truncated at word {}", self.at))?;
+        self.at += 1;
+        Ok(v)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u64], String> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.words.len())
+            .ok_or_else(|| format!("service payload truncated: need {n} words at {}", self.at))?;
+        let s = self
+            .words
+            .get(self.at..end)
+            .ok_or_else(|| format!("service payload truncated: need {n} words at {}", self.at))?;
+        self.at = end;
+        Ok(s)
+    }
+
+    /// Clamps a wire-declared element count to what the remaining payload
+    /// could hold, so `Vec::with_capacity` on garbage input cannot
+    /// over-allocate — decoding then fails with a truncation error instead.
+    fn cap(&self, n: usize) -> usize {
+        n.min(self.words.len().saturating_sub(self.at))
+    }
+}
+
+fn push_str(out: &mut Vec<u64>, s: &str) {
+    let bytes = s.as_bytes();
+    out.push(bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        out.push(u64::from_le_bytes(w));
+    }
+}
+
+fn read_str(c: &mut Cursor<'_>) -> Result<String, String> {
+    let n = c.u()? as usize;
+    let words = c.take(n.div_ceil(8))?;
+    let mut bytes = Vec::with_capacity(n);
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    bytes.truncate(n);
+    String::from_utf8(bytes).map_err(|e| format!("bad utf8 in service string: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Run options.
+// ---------------------------------------------------------------------------
+
+/// Which streaming partitioner a service run uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PartitionerKind {
+    /// [`HashPartitioner`]: stateless vertex hashing.
+    #[default]
+    Hash,
+    /// [`LdgPartitioner`]: one-pass linear deterministic greedy.
+    Ldg,
+}
+
+/// The canonicalized per-run configuration a client submits with
+/// [`frame_kind::RUN`] — also the second half of the circuit-cache key, so
+/// two requests with equal options on the same graph share one computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RunOptions {
+    /// Number of leaf partitions.
+    pub partitions: u32,
+    /// Remote-edge merge strategy (§5 of the paper).
+    pub strategy: MergeStrategy,
+    /// Partitioner used to cut the graph.
+    pub partitioner: PartitionerKind,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            partitions: 4,
+            strategy: MergeStrategy::Duplicated,
+            partitioner: PartitionerKind::Hash,
+        }
+    }
+}
+
+fn strategy_code(s: MergeStrategy) -> u64 {
+    match s {
+        MergeStrategy::Duplicated => 0,
+        MergeStrategy::Deduplicated => 1,
+        MergeStrategy::Deferred => 2,
+    }
+}
+
+fn decode_strategy(code: u64) -> Result<MergeStrategy, String> {
+    match code {
+        0 => Ok(MergeStrategy::Duplicated),
+        1 => Ok(MergeStrategy::Deduplicated),
+        2 => Ok(MergeStrategy::Deferred),
+        other => Err(format!("unknown merge strategy code {other}")),
+    }
+}
+
+fn partitioner_code(p: PartitionerKind) -> u64 {
+    match p {
+        PartitionerKind::Hash => 0,
+        PartitionerKind::Ldg => 1,
+    }
+}
+
+fn decode_partitioner(code: u64) -> Result<PartitionerKind, String> {
+    match code {
+        0 => Ok(PartitionerKind::Hash),
+        1 => Ok(PartitionerKind::Ldg),
+        other => Err(format!("unknown partitioner code {other}")),
+    }
+}
+
+fn encode_run(checksum: u64, opts: &RunOptions) -> Vec<u64> {
+    vec![
+        checksum,
+        u64::from(opts.partitions),
+        strategy_code(opts.strategy),
+        partitioner_code(opts.partitioner),
+    ]
+}
+
+fn decode_run(words: &[u64]) -> Result<(u64, RunOptions), String> {
+    let mut c = Cursor::new(words);
+    let checksum = c.u()?;
+    let partitions = u32::try_from(c.u()?).map_err(|_| "partition count overflows u32")?;
+    if partitions == 0 {
+        return Err("partition count must be at least 1".into());
+    }
+    let strategy = decode_strategy(c.u()?)?;
+    let partitioner = decode_partitioner(c.u()?)?;
+    Ok((checksum, RunOptions { partitions, strategy, partitioner }))
+}
+
+// ---------------------------------------------------------------------------
+// Admission control.
+// ---------------------------------------------------------------------------
+
+/// Schedules concurrent runs under the service's global memory cap: a run
+/// blocks in [`admit`](Self::admit) until the sum of admitted per-run
+/// estimates (each capped at the budget itself, so a single oversized run
+/// degrades to *exclusive* rather than *impossible*) fits under
+/// `memory_cap_longs`. Dropping the returned [`AdmissionPermit`] — normal
+/// completion, failure, or cancellation — releases the budget and wakes
+/// every waiter.
+#[derive(Debug)]
+pub struct AdmissionController {
+    cap: u64,
+    state: Mutex<AdmissionState>,
+    available: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    admitted: u64,
+    peak: u64,
+}
+
+/// One admitted run's reservation; releases on drop.
+#[derive(Debug)]
+pub struct AdmissionPermit {
+    longs: u64,
+    controller: Arc<AdmissionController>,
+}
+
+impl AdmissionController {
+    /// A controller with `cap` Longs of global budget.
+    pub fn new(cap: u64) -> Self {
+        AdmissionController {
+            cap: cap.max(1),
+            state: Mutex::new(AdmissionState::default()),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Blocks until `estimate` Longs (capped at the global budget) fit under
+    /// the cap alongside everything already admitted, then reserves them.
+    ///
+    /// # Errors
+    /// [`EulerError::Cancelled`] once `cancel` fires while waiting.
+    pub fn admit(
+        self: &Arc<Self>,
+        estimate: u64,
+        cancel: &CancelToken,
+    ) -> Result<AdmissionPermit, EulerError> {
+        let ask = estimate.clamp(1, self.cap);
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if cancel.is_cancelled() {
+                return Err(EulerError::Cancelled);
+            }
+            if state.admitted + ask <= self.cap {
+                break;
+            }
+            let (guard, _) = self
+                .available
+                .wait_timeout(state, Duration::from_millis(20))
+                .unwrap_or_else(|e| e.into_inner());
+            state = guard;
+        }
+        state.admitted += ask;
+        state.peak = state.peak.max(state.admitted);
+        Ok(AdmissionPermit { longs: ask, controller: Arc::clone(self) })
+    }
+
+    /// Longs currently admitted (the instantaneous budget in use).
+    pub fn admitted_longs(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).admitted
+    }
+
+    /// High-water mark of [`admitted_longs`](Self::admitted_longs) — by
+    /// construction never above the cap.
+    pub fn peak_admitted_longs(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).peak
+    }
+}
+
+impl AdmissionPermit {
+    /// Longs this permit reserves.
+    pub fn longs(&self) -> u64 {
+        self.longs
+    }
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        let mut state = self.controller.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.admitted = state.admitted.saturating_sub(self.longs);
+        drop(state);
+        self.controller.available.notify_all();
+    }
+}
+
+/// Estimates a run's peak-resident Longs from the §5 analytical model over
+/// a synthetic per-level trace: a balanced cut leaves half the edges remote
+/// at level 0, and each merge level localises half the surviving cut. The
+/// per-level totals run through [`model_series`] under the requested
+/// strategy; the estimate is the maximum cumulative level.
+pub fn estimate_run_longs(
+    vertices: u64,
+    edges: u64,
+    partitions: u32,
+    strategy: MergeStrategy,
+) -> u64 {
+    let mut remote = if partitions <= 1 { 0 } else { edges / 2 };
+    let mut local = edges - remote;
+    let mut trace = Vec::new();
+    for level in 0..64u32 {
+        trace.push(LevelTrace {
+            level,
+            partitions: vec![PartitionLevelState {
+                vertices,
+                local_edges: local,
+                remote_edges: remote,
+                remote_needed_now: remote.div_ceil(2),
+            }],
+        });
+        if remote == 0 {
+            break;
+        }
+        local += remote.div_ceil(2);
+        remote /= 2;
+    }
+    model_series(&trace, strategy)
+        .cumulative
+        .into_iter()
+        .max()
+        .unwrap_or(vertices + 3 * edges)
+        .max(1)
+}
+
+// ---------------------------------------------------------------------------
+// The service.
+// ---------------------------------------------------------------------------
+
+/// Configuration of [`EulerService::bind`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Global memory cap in Longs: the sum of admitted per-run estimates
+    /// never exceeds this.
+    pub memory_cap_longs: u64,
+    /// Connection-serving worker threads (each serves one client connection
+    /// at a time; runs spawn their own compute thread).
+    pub workers: usize,
+    /// Per-run fragment spill budget in Longs — the enforcement lever: every
+    /// service run executes under
+    /// [`EulerConfig::fragment_memory_budget`], so fragment memory above
+    /// this pages to disk instead of growing the resident set.
+    pub fragment_budget_longs: u64,
+    /// Circuit steps per [`frame_kind::CHUNK`] frame.
+    pub chunk_steps: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            memory_cap_longs: 64 << 20,
+            workers: 4,
+            fragment_budget_longs: 1 << 16,
+            chunk_steps: 512,
+        }
+    }
+}
+
+/// A point-in-time snapshot of service accounting, served over
+/// [`frame_kind::STATS`] and from [`EulerService::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// The configured global budget.
+    pub memory_cap_longs: u64,
+    /// Longs admitted right now.
+    pub admitted_longs: u64,
+    /// High-water mark of admitted Longs (never above the cap).
+    pub peak_admitted_longs: u64,
+    /// Pipeline runs actually executed (cache misses).
+    pub runs_executed: u64,
+    /// Requests served from the circuit cache without a pipeline run.
+    pub runs_cached: u64,
+    /// Runs cancelled before completion (explicit frame, disconnect, or
+    /// shutdown).
+    pub runs_cancelled: u64,
+    /// Distinct graphs registered.
+    pub graphs_registered: u64,
+}
+
+impl ServiceStats {
+    fn encode(&self) -> Vec<u64> {
+        vec![
+            self.memory_cap_longs,
+            self.admitted_longs,
+            self.peak_admitted_longs,
+            self.runs_executed,
+            self.runs_cached,
+            self.runs_cancelled,
+            self.graphs_registered,
+        ]
+    }
+
+    fn decode(words: &[u64]) -> Result<Self, String> {
+        let mut c = Cursor::new(words);
+        Ok(ServiceStats {
+            memory_cap_longs: c.u()?,
+            admitted_longs: c.u()?,
+            peak_admitted_longs: c.u()?,
+            runs_executed: c.u()?,
+            runs_cached: c.u()?,
+            runs_cancelled: c.u()?,
+            graphs_registered: c.u()?,
+        })
+    }
+}
+
+/// Per-run accounting streamed back in the [`frame_kind::REPORT`] frame of
+/// a freshly computed (non-cached) run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Merge-tree supersteps executed.
+    pub supersteps: u32,
+    /// Longs shipped between partitions across all merges.
+    pub transfer_longs: u64,
+    /// Peak resident Longs of the run's fragment store.
+    pub peak_resident_longs: u64,
+    /// Longs the admission controller reserved for this run.
+    pub estimated_longs: u64,
+    /// Measured peak Longs (partition states + fragment residency) used to
+    /// calibrate later estimates.
+    pub measured_longs: u64,
+}
+
+impl RunSummary {
+    fn encode(&self) -> Vec<u64> {
+        vec![
+            u64::from(self.supersteps),
+            self.transfer_longs,
+            self.peak_resident_longs,
+            self.estimated_longs,
+            self.measured_longs,
+        ]
+    }
+
+    fn decode(c: &mut Cursor<'_>) -> Result<Self, String> {
+        Ok(RunSummary {
+            supersteps: c.u()? as u32,
+            transfer_longs: c.u()?,
+            peak_resident_longs: c.u()?,
+            estimated_longs: c.u()?,
+            measured_longs: c.u()?,
+        })
+    }
+}
+
+type CacheKey = (u64, RunOptions);
+
+struct ServiceInner {
+    config: ServiceConfig,
+    registry: GraphRegistry,
+    admission: Arc<AdmissionController>,
+    cache: Mutex<HashMap<CacheKey, Arc<CircuitResult>>>,
+    /// EWMA of measured-peak / raw-estimate, clamped to `[0.25, 4.0]`.
+    calibration: Mutex<f64>,
+    runs_executed: AtomicU64,
+    runs_cached: AtomicU64,
+    runs_cancelled: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl ServiceInner {
+    fn new(config: ServiceConfig) -> Self {
+        ServiceInner {
+            admission: Arc::new(AdmissionController::new(config.memory_cap_longs)),
+            config,
+            registry: GraphRegistry::new(),
+            cache: Mutex::new(HashMap::new()),
+            calibration: Mutex::new(1.0),
+            runs_executed: AtomicU64::new(0),
+            runs_cached: AtomicU64::new(0),
+            runs_cancelled: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            memory_cap_longs: self.config.memory_cap_longs,
+            admitted_longs: self.admission.admitted_longs(),
+            peak_admitted_longs: self.admission.peak_admitted_longs(),
+            runs_executed: self.runs_executed.load(Ordering::Relaxed),
+            runs_cached: self.runs_cached.load(Ordering::Relaxed),
+            runs_cancelled: self.runs_cancelled.load(Ordering::Relaxed),
+            graphs_registered: self.registry.len() as u64,
+        }
+    }
+
+    fn cached(&self, key: &CacheKey) -> Option<Arc<CircuitResult>> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner()).get(key).cloned()
+    }
+
+    fn cache_put(&self, key: CacheKey, circuit: Arc<CircuitResult>) {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner()).insert(key, circuit);
+    }
+
+    /// Scales a raw model estimate by the learned calibration ratio and
+    /// adds the per-run spill budget (the fragment share is enforced, not
+    /// estimated).
+    fn calibrated(&self, raw: u64) -> u64 {
+        let ratio = *self.calibration.lock().unwrap_or_else(|e| e.into_inner());
+        (raw as f64 * ratio).ceil() as u64 + self.config.fragment_budget_longs
+    }
+
+    /// Feeds a finished run's measured peak back into the calibration EWMA.
+    fn note_measured(&self, raw_estimate: u64, measured: u64) {
+        if raw_estimate == 0 {
+            return;
+        }
+        let observed = (measured as f64 / raw_estimate as f64).clamp(0.25, 4.0);
+        let mut ratio = self.calibration.lock().unwrap_or_else(|e| e.into_inner());
+        *ratio = (0.5 * *ratio + 0.5 * observed).clamp(0.25, 4.0);
+    }
+}
+
+/// A cheap, clonable handle onto a running [`EulerService`]: statistics and
+/// shutdown signalling from any thread.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    inner: Arc<ServiceInner>,
+}
+
+impl ServiceHandle {
+    /// Current service accounting.
+    pub fn stats(&self) -> ServiceStats {
+        self.inner.stats()
+    }
+
+    /// Asks the service to stop: in-flight runs are cancelled, serving
+    /// threads drain. [`EulerService::shutdown`] joins them.
+    pub fn request_shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A running Euler circuit server: a TCP listener plus a bounded worker
+/// pool, serving the [`frame_kind`] protocol until
+/// [`shutdown`](Self::shutdown).
+pub struct EulerService {
+    inner: Arc<ServiceInner>,
+    endpoint: String,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl EulerService {
+    /// Binds a loopback TCP listener and starts the accept loop plus
+    /// `config.workers` serving threads.
+    ///
+    /// # Errors
+    /// [`ServiceError::Transport`] when the listener cannot bind, or a
+    /// thread-spawn failure as [`ServiceError::Protocol`].
+    pub fn bind(config: ServiceConfig) -> Result<EulerService, ServiceError> {
+        let listener = TcpTransport.listen()?;
+        let endpoint = listener.endpoint();
+        let inner = Arc::new(ServiceInner::new(config));
+        let (conn_tx, conn_rx) = mpsc::channel::<Box<dyn Connection>>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let spawn_err = |e: std::io::Error| ServiceError::Protocol(format!("spawn: {e}"));
+
+        let mut threads = Vec::new();
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("euler-serve-accept".into())
+                    .spawn(move || {
+                        while !inner.shutdown.load(Ordering::Relaxed) {
+                            match listener.accept(Duration::from_millis(50)) {
+                                Ok(conn) => {
+                                    if conn_tx.send(conn).is_err() {
+                                        return;
+                                    }
+                                }
+                                Err(FrameError::Timeout) => {}
+                                Err(_) => return,
+                            }
+                        }
+                    })
+                    .map_err(spawn_err)?,
+            );
+        }
+        for w in 0..inner.config.workers.max(1) {
+            let inner = Arc::clone(&inner);
+            let conn_rx = Arc::clone(&conn_rx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("euler-serve-{w}"))
+                    .spawn(move || loop {
+                        if inner.shutdown.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let next = conn_rx
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .recv_timeout(Duration::from_millis(50));
+                        match next {
+                            Ok(conn) => serve_connection(&inner, conn.as_ref()),
+                            Err(mpsc::RecvTimeoutError::Timeout) => {}
+                            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+                        }
+                    })
+                    .map_err(spawn_err)?,
+            );
+        }
+        Ok(EulerService { inner, endpoint, threads })
+    }
+
+    /// The endpoint clients connect to (`tcp:127.0.0.1:<port>`).
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// A clonable handle for statistics and shutdown signalling.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Current service accounting.
+    pub fn stats(&self) -> ServiceStats {
+        self.inner.stats()
+    }
+
+    /// Stops serving: cancels in-flight runs, drains the worker pool, joins
+    /// every thread.
+    pub fn shutdown(mut self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for EulerService {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server-side request handling.
+// ---------------------------------------------------------------------------
+
+fn send_error(conn: &dyn Connection, code: u64, message: &str) -> Result<(), FrameError> {
+    let mut words = vec![code];
+    push_str(&mut words, message);
+    conn.send(frame_kind::ERROR, &words_to_bytes(&words))
+}
+
+/// Serves one client connection to completion. Payload-level failures are
+/// answered with [`frame_kind::ERROR`] and the connection keeps serving;
+/// frame-level failures (the byte stream is desynchronized) close it.
+fn serve_connection(inner: &Arc<ServiceInner>, conn: &dyn Connection) {
+    loop {
+        if inner.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let (kind, payload) = match conn.recv_timeout(Some(Duration::from_millis(50))) {
+            Ok(frame) => frame,
+            Err(FrameError::Timeout) => continue,
+            Err(_) => return,
+        };
+        let outcome = match kind {
+            frame_kind::REGISTER => handle_register(inner, conn, &payload),
+            frame_kind::RUN => handle_run(inner, conn, &payload),
+            frame_kind::STATS => {
+                conn.send(frame_kind::STATS_REPLY, &words_to_bytes(&inner.stats().encode()))
+            }
+            // CANCEL with no run in flight is an idempotent no-op.
+            frame_kind::CANCEL => conn.send(frame_kind::CANCELLED, &[]),
+            other => {
+                send_error(conn, error_code::BAD_REQUEST, &format!("unknown frame kind {other:#x}"))
+            }
+        };
+        if outcome.is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_register(
+    inner: &Arc<ServiceInner>,
+    conn: &dyn Connection,
+    payload: &[u8],
+) -> Result<(), FrameError> {
+    let path = match bytes_to_words(payload).and_then(|w| read_str(&mut Cursor::new(&w))) {
+        Ok(path) => path,
+        Err(e) => return send_error(conn, error_code::BAD_REQUEST, &e),
+    };
+    match inner.registry.register(&path) {
+        Ok(graph) => conn.send(
+            frame_kind::REGISTERED,
+            &words_to_bytes(&[graph.checksum, graph.num_vertices(), graph.num_edges()]),
+        ),
+        Err(e) => send_error(conn, error_code::REGISTER_FAILED, &e.to_string()),
+    }
+}
+
+enum ComputeEvent {
+    Admitted { longs: u64 },
+    Finished(Box<Result<(Arc<CircuitResult>, RunSummary), EulerError>>),
+}
+
+fn handle_run(
+    inner: &Arc<ServiceInner>,
+    conn: &dyn Connection,
+    payload: &[u8],
+) -> Result<(), FrameError> {
+    let (checksum, opts) = match bytes_to_words(payload).and_then(|w| decode_run(&w)) {
+        Ok(req) => req,
+        Err(e) => return send_error(conn, error_code::BAD_REQUEST, &e),
+    };
+    let Some(graph) = inner.registry.get(checksum) else {
+        return send_error(
+            conn,
+            error_code::UNKNOWN_GRAPH,
+            &format!("no registered graph has checksum {checksum:#018x}"),
+        );
+    };
+    let key: CacheKey = (checksum, opts);
+    if let Some(circuit) = inner.cached(&key) {
+        inner.runs_cached.fetch_add(1, Ordering::Relaxed);
+        conn.send(frame_kind::ACCEPTED, &words_to_bytes(&[0, 1]))?;
+        return stream_result(conn, &circuit, inner.config.chunk_steps);
+    }
+
+    let token = CancelToken::new();
+    let (tx, rx) = mpsc::channel();
+    {
+        let inner = Arc::clone(inner);
+        let token = token.clone();
+        std::thread::spawn(move || compute_run(&inner, &graph, opts, key, &token, &tx));
+    }
+
+    // Supervise: relay admission/progress to the client, watch for CANCEL
+    // frames and disconnects, and cancel on service shutdown. A dead client
+    // cancels the run but the loop still drains the compute thread so the
+    // permit's release is observed before this handler returns.
+    let mut client_gone = false;
+    let mut note_client_gone = false;
+    let mut last_progress = (0u32, 0u32);
+    let finished = loop {
+        if inner.shutdown.load(Ordering::Relaxed) {
+            token.cancel();
+        }
+        match rx.recv_timeout(Duration::from_millis(2)) {
+            Ok(ComputeEvent::Admitted { longs }) => {
+                if !client_gone
+                    && conn.send(frame_kind::ACCEPTED, &words_to_bytes(&[longs, 0])).is_err()
+                {
+                    client_gone = true;
+                }
+            }
+            Ok(ComputeEvent::Finished(result)) => break *result,
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                break Err(EulerError::Distributed("compute thread exited without a result".into()))
+            }
+        }
+        let progress = token.progress();
+        if !client_gone && progress != last_progress && progress.1 > 0 {
+            last_progress = progress;
+            let words = [u64::from(progress.0), u64::from(progress.1)];
+            if conn.send(frame_kind::PROGRESS, &words_to_bytes(&words)).is_err() {
+                client_gone = true;
+            }
+        }
+        if !client_gone {
+            match conn.recv_timeout(Some(Duration::from_millis(1))) {
+                Ok((frame_kind::CANCEL, _)) => token.cancel(),
+                Ok(_) => {}
+                Err(FrameError::Timeout) => {}
+                Err(_) => client_gone = true,
+            }
+        }
+        if client_gone && !note_client_gone {
+            note_client_gone = true;
+            token.cancel();
+        }
+    };
+    if client_gone {
+        return Err(FrameError::Closed);
+    }
+    match finished {
+        Ok((circuit, summary)) => {
+            conn.send(frame_kind::REPORT, &words_to_bytes(&summary.encode()))?;
+            stream_result(conn, &circuit, inner.config.chunk_steps)
+        }
+        Err(EulerError::Cancelled) => conn.send(frame_kind::CANCELLED, &[]),
+        Err(e) => send_error(conn, error_code::RUN_FAILED, &e.to_string()),
+    }
+}
+
+/// The compute half of a run, on its own thread: admit under the budget,
+/// run the pipeline cancellably, calibrate, cache, release the permit
+/// *before* the handler streams the circuit (streaming needs no budget).
+fn compute_run(
+    inner: &Arc<ServiceInner>,
+    graph: &RegisteredGraph,
+    opts: RunOptions,
+    key: CacheKey,
+    token: &CancelToken,
+    tx: &mpsc::Sender<ComputeEvent>,
+) {
+    let raw = estimate_run_longs(graph.num_vertices(), graph.num_edges(), opts.partitions, opts.strategy);
+    let estimate = inner.calibrated(raw);
+    let permit = match inner.admission.admit(estimate, token) {
+        Ok(permit) => permit,
+        Err(_) => {
+            inner.runs_cancelled.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(ComputeEvent::Finished(Box::new(Err(EulerError::Cancelled))));
+            return;
+        }
+    };
+    let _ = tx.send(ComputeEvent::Admitted { longs: permit.longs() });
+    let result = match compute_circuit(graph, &opts, inner.config.fragment_budget_longs, token) {
+        Ok((circuit, report)) => {
+            let measured = report.cumulative_memory_by_level().into_iter().max().unwrap_or(0)
+                + report.fragment_stats.peak_resident_longs;
+            inner.note_measured(raw, measured);
+            let summary = RunSummary {
+                supersteps: report.supersteps,
+                transfer_longs: report.total_transfer_longs,
+                peak_resident_longs: report.fragment_stats.peak_resident_longs,
+                estimated_longs: permit.longs(),
+                measured_longs: measured,
+            };
+            let circuit = Arc::new(circuit);
+            inner.cache_put(key, Arc::clone(&circuit));
+            inner.runs_executed.fetch_add(1, Ordering::Relaxed);
+            Ok((circuit, summary))
+        }
+        Err(EulerError::Cancelled) => {
+            inner.runs_cancelled.fetch_add(1, Ordering::Relaxed);
+            Err(EulerError::Cancelled)
+        }
+        Err(e) => Err(e),
+    };
+    drop(permit);
+    let _ = tx.send(ComputeEvent::Finished(Box::new(result)));
+}
+
+/// One pipeline run over a registered graph: streaming-partition the mapped
+/// CSR, slice the partition view, walk the merge tree cancellably. The
+/// streaming partitioners produce the same assignment as their in-memory
+/// counterparts by construction, and the merge-tree walk is deterministic
+/// for every thread count, so the result is bit-identical to the library
+/// path ([`crate::EulerPipeline`]) on the same graph and options.
+fn compute_circuit(
+    graph: &RegisteredGraph,
+    opts: &RunOptions,
+    fragment_budget_longs: u64,
+    token: &CancelToken,
+) -> Result<(CircuitResult, RunReport), EulerError> {
+    let mut stream = CsrFileEdgeStream::new(&graph.csr);
+    let assignment = match opts.partitioner {
+        PartitionerKind::Hash => {
+            HashPartitioner::new(opts.partitions).partition_stream(&mut stream)?
+        }
+        PartitionerKind::Ldg => LdgPartitioner::new(opts.partitions).partition_stream(&mut stream)?,
+    };
+    let pg = graph.csr.partitioned(&assignment)?;
+    let config = EulerConfig {
+        merge_strategy: opts.strategy,
+        fragment_memory_budget: Some(fragment_budget_longs),
+        ..EulerConfig::default()
+    };
+    // IntraPartition keeps the circuit composition bit-identical to a
+    // sequential run at any thread count, so a cached circuit and a fresh
+    // recomputation of the same (graph, options) key are the same bytes.
+    let backend = InProcessBackend::new().with_parallelism(Parallelism::IntraPartition);
+    run_on_partitioned_cancellable(&pg, &config, &backend, token)
+}
+
+fn stream_result(
+    conn: &dyn Connection,
+    result: &CircuitResult,
+    chunk_steps: usize,
+) -> Result<(), FrameError> {
+    let chunk_steps = chunk_steps.max(1);
+    for (circuit_idx, circuit) in result.circuits.iter().enumerate() {
+        for (chunk_idx, chunk) in circuit.chunks(chunk_steps).enumerate() {
+            let mut words = Vec::with_capacity(3 + 3 * chunk.len());
+            words.push(circuit_idx as u64);
+            words.push((chunk_idx * chunk_steps) as u64);
+            words.push(chunk.len() as u64);
+            for step in chunk {
+                words.extend_from_slice(&[step.edge.0, step.from.0, step.to.0]);
+            }
+            conn.send(frame_kind::CHUNK, &words_to_bytes(&words))?;
+        }
+    }
+    conn.send(
+        frame_kind::DONE,
+        &words_to_bytes(&[result.circuits.len() as u64, result.total_edges()]),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Client.
+// ---------------------------------------------------------------------------
+
+/// Failures of the client half of the service protocol.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The transport failed (connect, frame codec, timeout, closed peer).
+    Transport(FrameError),
+    /// The server replied with a typed [`frame_kind::ERROR`] frame.
+    Remote {
+        /// An [`error_code`] constant.
+        code: u64,
+        /// Human-readable failure description from the server.
+        message: String,
+    },
+    /// The peer broke the protocol (unexpected frame kind, bad payload).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Transport(e) => write!(f, "service transport error: {e}"),
+            ServiceError::Remote { code, message } => {
+                write!(f, "service error {code}: {message}")
+            }
+            ServiceError::Protocol(msg) => write!(f, "service protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<FrameError> for ServiceError {
+    fn from(e: FrameError) -> Self {
+        ServiceError::Transport(e)
+    }
+}
+
+/// Identity and shape of a registered graph, from
+/// [`ServiceClient::register`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GraphInfo {
+    /// The content checksum — the handle every [`RunOptions`] run uses.
+    pub checksum: u64,
+    /// Vertex count.
+    pub num_vertices: u64,
+    /// Edge count.
+    pub num_edges: u64,
+}
+
+/// One streamed event of an in-flight run, from
+/// [`ServiceClient::next_event`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunEvent {
+    /// The run was admitted under the budget (or served from cache when
+    /// `cached` — then `admitted_longs` is 0).
+    Accepted {
+        /// Longs the admission controller reserved.
+        admitted_longs: u64,
+        /// Whether the circuit comes from the cache without a pipeline run.
+        cached: bool,
+    },
+    /// Coarse progress: merge-tree supersteps done out of total.
+    Progress {
+        /// Steps completed.
+        done: u32,
+        /// Total steps (supersteps + the Phase-3 unroll).
+        total: u32,
+    },
+    /// Run accounting, sent once before the chunks of a fresh computation.
+    Report(RunSummary),
+    /// A slice of circuit steps.
+    Chunk {
+        /// Which circuit of the result this slice belongs to.
+        circuit: usize,
+        /// Step offset of the slice within that circuit.
+        base: u64,
+        /// The steps.
+        steps: Vec<CircuitStep>,
+    },
+    /// The run finished; all chunks have been delivered.
+    Done {
+        /// Number of circuits in the result.
+        num_circuits: u64,
+        /// Total steps across all circuits.
+        total_edges: u64,
+    },
+    /// The run was cancelled before completion.
+    Cancelled,
+}
+
+/// A fully assembled run outcome, from the convenience driver
+/// [`ServiceClient::run`].
+#[derive(Clone, Debug, Default)]
+pub struct RunOutcome {
+    /// The circuits, assembled from the streamed chunks (empty when
+    /// cancelled).
+    pub circuits: Vec<Vec<CircuitStep>>,
+    /// Longs the admission controller reserved for this run.
+    pub admitted_longs: u64,
+    /// Whether the result came from the circuit cache.
+    pub cached: bool,
+    /// Whether the run was cancelled instead of completing.
+    pub cancelled: bool,
+    /// The run's accounting (absent for cached or cancelled runs).
+    pub summary: Option<RunSummary>,
+}
+
+fn decode_event(kind: u16, words: &[u64]) -> Result<RunEvent, ServiceError> {
+    let mut c = Cursor::new(words);
+    let event = match kind {
+        frame_kind::ACCEPTED => {
+            RunEvent::Accepted { admitted_longs: c.u()?, cached: c.u()? != 0 }
+        }
+        frame_kind::PROGRESS => {
+            RunEvent::Progress { done: c.u()? as u32, total: c.u()? as u32 }
+        }
+        frame_kind::REPORT => RunEvent::Report(RunSummary::decode(&mut c)?),
+        frame_kind::CHUNK => {
+            let circuit = c.u()? as usize;
+            let base = c.u()?;
+            let count = c.u()? as usize;
+            let mut steps = Vec::with_capacity(c.cap(count.saturating_mul(3)) / 3);
+            for _ in 0..count {
+                let &[edge, from, to] = c.take(3)? else {
+                    return Err(ServiceError::Protocol("chunk step: expected 3 words".into()));
+                };
+                steps.push(CircuitStep {
+                    edge: EdgeId(edge),
+                    from: VertexId(from),
+                    to: VertexId(to),
+                });
+            }
+            RunEvent::Chunk { circuit, base, steps }
+        }
+        frame_kind::DONE => RunEvent::Done { num_circuits: c.u()?, total_edges: c.u()? },
+        frame_kind::CANCELLED => RunEvent::Cancelled,
+        frame_kind::ERROR => return Err(decode_remote_error(&mut c)),
+        other => {
+            return Err(ServiceError::Protocol(format!("unexpected frame kind {other:#x}")))
+        }
+    };
+    Ok(event)
+}
+
+fn decode_remote_error(c: &mut Cursor<'_>) -> ServiceError {
+    let code = c.u().unwrap_or(0);
+    let message = read_str(c).unwrap_or_else(|_| "<unreadable error message>".into());
+    ServiceError::Remote { code, message }
+}
+
+impl From<String> for ServiceError {
+    fn from(msg: String) -> Self {
+        ServiceError::Protocol(msg)
+    }
+}
+
+/// A blocking client of one [`EulerService`] connection.
+///
+/// One request is in flight at a time per client; open several clients for
+/// concurrency (the server's worker pool serves them in parallel).
+pub struct ServiceClient {
+    conn: Box<dyn Connection>,
+    recv_timeout: Duration,
+}
+
+impl ServiceClient {
+    /// Connects to a service endpoint (`tcp:127.0.0.1:<port>`, as returned
+    /// by [`EulerService::endpoint`]).
+    ///
+    /// # Errors
+    /// [`ServiceError::Transport`] when the endpoint is unreachable.
+    pub fn connect(endpoint: &str) -> Result<ServiceClient, ServiceError> {
+        let conn = connect_endpoint(endpoint, 20, Duration::from_millis(10))?;
+        Ok(ServiceClient { conn, recv_timeout: Duration::from_secs(120) })
+    }
+
+    /// Overrides the per-reply receive timeout (default two minutes).
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> ServiceClient {
+        self.recv_timeout = timeout;
+        self
+    }
+
+    fn recv(&self) -> Result<(u16, Vec<u64>), ServiceError> {
+        let (kind, bytes) = self.conn.recv_timeout(Some(self.recv_timeout))?;
+        Ok((kind, bytes_to_words(&bytes)?))
+    }
+
+    /// Registers the `.ecsr` file at `path` (a path on the *server's*
+    /// filesystem) and returns its identity.
+    ///
+    /// # Errors
+    /// [`ServiceError::Remote`] with [`error_code::REGISTER_FAILED`] when
+    /// the server cannot open or verify the file.
+    pub fn register(&self, path: &str) -> Result<GraphInfo, ServiceError> {
+        let mut words = Vec::new();
+        push_str(&mut words, path);
+        self.conn.send(frame_kind::REGISTER, &words_to_bytes(&words))?;
+        let (kind, words) = self.recv()?;
+        let mut c = Cursor::new(&words);
+        match kind {
+            frame_kind::REGISTERED => Ok(GraphInfo {
+                checksum: c.u()?,
+                num_vertices: c.u()?,
+                num_edges: c.u()?,
+            }),
+            frame_kind::ERROR => Err(decode_remote_error(&mut c)),
+            other => Err(ServiceError::Protocol(format!(
+                "expected REGISTERED, got frame kind {other:#x}"
+            ))),
+        }
+    }
+
+    /// Submits a run without waiting for it; follow with
+    /// [`next_event`](Self::next_event) (and optionally
+    /// [`cancel`](Self::cancel)).
+    ///
+    /// # Errors
+    /// [`ServiceError::Transport`] when the request cannot be sent.
+    pub fn start_run(&self, checksum: u64, opts: RunOptions) -> Result<(), ServiceError> {
+        self.conn.send(frame_kind::RUN, &words_to_bytes(&encode_run(checksum, &opts)))?;
+        Ok(())
+    }
+
+    /// Receives the next streamed event of the in-flight run.
+    ///
+    /// # Errors
+    /// [`ServiceError::Remote`] for typed server failures,
+    /// [`ServiceError::Transport`] for transport failures/timeouts.
+    pub fn next_event(&self) -> Result<RunEvent, ServiceError> {
+        let (kind, words) = self.recv()?;
+        decode_event(kind, &words)
+    }
+
+    /// Asks the server to cancel the in-flight run. The stream then ends
+    /// with [`RunEvent::Cancelled`] (unless the run already finished, in
+    /// which case its chunks and [`RunEvent::Done`] arrive first, followed
+    /// by the cancel acknowledgement for the idle connection).
+    ///
+    /// # Errors
+    /// [`ServiceError::Transport`] when the request cannot be sent.
+    pub fn cancel(&self) -> Result<(), ServiceError> {
+        self.conn.send(frame_kind::CANCEL, &[])?;
+        Ok(())
+    }
+
+    /// Convenience driver: submits a run and assembles the streamed chunks
+    /// into a [`RunOutcome`].
+    ///
+    /// # Errors
+    /// Any [`ServiceError`] surfaced while streaming.
+    pub fn run(&self, checksum: u64, opts: RunOptions) -> Result<RunOutcome, ServiceError> {
+        self.start_run(checksum, opts)?;
+        let mut outcome = RunOutcome::default();
+        loop {
+            match self.next_event()? {
+                RunEvent::Accepted { admitted_longs, cached } => {
+                    outcome.admitted_longs = admitted_longs;
+                    outcome.cached = cached;
+                }
+                RunEvent::Progress { .. } => {}
+                RunEvent::Report(summary) => outcome.summary = Some(summary),
+                RunEvent::Chunk { circuit, steps, .. } => {
+                    if outcome.circuits.len() <= circuit {
+                        outcome.circuits.resize_with(circuit + 1, Vec::new);
+                    }
+                    if let Some(target) = outcome.circuits.get_mut(circuit) {
+                        target.extend(steps);
+                    }
+                }
+                RunEvent::Done { .. } => return Ok(outcome),
+                RunEvent::Cancelled => {
+                    outcome.cancelled = true;
+                    return Ok(outcome);
+                }
+            }
+        }
+    }
+
+    /// Fetches the server's current accounting.
+    ///
+    /// # Errors
+    /// [`ServiceError::Transport`] or [`ServiceError::Protocol`] when the
+    /// reply cannot be obtained or decoded.
+    pub fn stats(&self) -> Result<ServiceStats, ServiceError> {
+        self.conn.send(frame_kind::STATS, &[])?;
+        let (kind, words) = self.recv()?;
+        match kind {
+            frame_kind::STATS_REPLY => Ok(ServiceStats::decode(&words)?),
+            frame_kind::ERROR => Err(decode_remote_error(&mut Cursor::new(&words))),
+            other => Err(ServiceError::Protocol(format!(
+                "expected STATS_REPLY, got frame kind {other:#x}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_options_roundtrip_through_the_wire_encoding() {
+        for opts in [
+            RunOptions::default(),
+            RunOptions { partitions: 32, strategy: MergeStrategy::Deferred, partitioner: PartitionerKind::Ldg },
+            RunOptions { partitions: 1, strategy: MergeStrategy::Deduplicated, partitioner: PartitionerKind::Hash },
+        ] {
+            let words = encode_run(0xDEAD_BEEF, &opts);
+            let (checksum, back) = decode_run(&words).unwrap();
+            assert_eq!(checksum, 0xDEAD_BEEF);
+            assert_eq!(back, opts);
+        }
+    }
+
+    #[test]
+    fn malformed_run_payloads_yield_typed_errors_not_panics() {
+        assert!(decode_run(&[]).is_err());
+        assert!(decode_run(&[1, 2]).is_err());
+        assert!(decode_run(&[9, 0, 0, 0]).is_err(), "zero partitions rejected");
+        assert!(decode_run(&[9, 4, 99, 0]).is_err(), "unknown strategy rejected");
+        assert!(decode_run(&[9, 4, 0, 99]).is_err(), "unknown partitioner rejected");
+        assert!(decode_run(&[9, u64::MAX, 0, 0]).is_err(), "partition overflow rejected");
+    }
+
+    #[test]
+    fn event_decoding_survives_fuzzed_words() {
+        // A deterministic xorshift fuzz over every response kind: decoding
+        // must return, never panic, whatever the payload bytes are.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut rand = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for kinds in [
+            frame_kind::ACCEPTED,
+            frame_kind::PROGRESS,
+            frame_kind::REPORT,
+            frame_kind::CHUNK,
+            frame_kind::DONE,
+            frame_kind::CANCELLED,
+            frame_kind::ERROR,
+            0x7777,
+        ] {
+            for len in 0..16 {
+                let words: Vec<u64> = (0..len).map(|_| rand()).collect();
+                let _ = decode_event(kinds, &words);
+            }
+        }
+        // Odd byte payloads fail word alignment with a typed error.
+        assert!(bytes_to_words(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn strings_roundtrip_and_reject_truncation() {
+        let mut words = Vec::new();
+        push_str(&mut words, "graphs/torus.ecsr");
+        let back = read_str(&mut Cursor::new(&words)).unwrap();
+        assert_eq!(back, "graphs/torus.ecsr");
+        // Declared length beyond the payload is a typed error.
+        let truncated = [100u64, 0x6162_6364];
+        assert!(read_str(&mut Cursor::new(&truncated)).is_err());
+    }
+
+    #[test]
+    fn estimate_scales_with_edges_and_drops_with_heuristics() {
+        let base = estimate_run_longs(1_000, 10_000, 8, MergeStrategy::Duplicated);
+        let bigger = estimate_run_longs(1_000, 40_000, 8, MergeStrategy::Duplicated);
+        assert!(bigger > base);
+        let deferred = estimate_run_longs(1_000, 10_000, 8, MergeStrategy::Deferred);
+        assert!(deferred <= base, "§5 heuristics never increase the estimate");
+        // One partition has no remote edges: the estimate is the local state.
+        let single = estimate_run_longs(1_000, 10_000, 1, MergeStrategy::Duplicated);
+        assert_eq!(single, 1_000 + 3 * 10_000);
+        assert!(estimate_run_longs(0, 0, 4, MergeStrategy::Duplicated) >= 1);
+    }
+
+    #[test]
+    fn admission_blocks_until_a_permit_releases_and_peak_respects_the_cap() {
+        let ctl = Arc::new(AdmissionController::new(1_000));
+        let token = CancelToken::new();
+        let first = ctl.admit(600, &token).unwrap();
+        assert_eq!(ctl.admitted_longs(), 600);
+        // A second 600 must wait; release the first from another thread.
+        let ctl2 = Arc::clone(&ctl);
+        let waiter = std::thread::spawn(move || {
+            let token = CancelToken::new();
+            let permit = ctl2.admit(600, &token).unwrap();
+            (ctl2.admitted_longs(), permit.longs())
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        drop(first);
+        let (admitted_during, longs) = waiter.join().unwrap();
+        assert_eq!(longs, 600);
+        assert_eq!(admitted_during, 600, "only one 600 fits at a time");
+        assert!(ctl.peak_admitted_longs() <= 1_000, "invariant: peak never exceeds cap");
+        assert_eq!(ctl.admitted_longs(), 0, "all permits released");
+    }
+
+    #[test]
+    fn admission_cancellation_unblocks_a_waiter() {
+        let ctl = Arc::new(AdmissionController::new(100));
+        let hold_token = CancelToken::new();
+        let _hold = ctl.admit(100, &hold_token).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(matches!(ctl.admit(100, &token), Err(EulerError::Cancelled)));
+    }
+
+    #[test]
+    fn oversized_estimates_degrade_to_exclusive_not_impossible() {
+        let ctl = Arc::new(AdmissionController::new(100));
+        let token = CancelToken::new();
+        let permit = ctl.admit(10_000, &token).unwrap();
+        assert_eq!(permit.longs(), 100, "clamped to the whole budget");
+        assert_eq!(ctl.admitted_longs(), 100);
+    }
+
+    #[test]
+    fn stats_and_summary_roundtrip() {
+        let stats = ServiceStats {
+            memory_cap_longs: 1,
+            admitted_longs: 2,
+            peak_admitted_longs: 3,
+            runs_executed: 4,
+            runs_cached: 5,
+            runs_cancelled: 6,
+            graphs_registered: 7,
+        };
+        assert_eq!(ServiceStats::decode(&stats.encode()).unwrap(), stats);
+        assert!(ServiceStats::decode(&[1, 2]).is_err());
+        let summary = RunSummary {
+            supersteps: 3,
+            transfer_longs: 10,
+            peak_resident_longs: 20,
+            estimated_longs: 30,
+            measured_longs: 40,
+        };
+        assert_eq!(RunSummary::decode(&mut Cursor::new(&summary.encode())).unwrap(), summary);
+    }
+}

@@ -569,6 +569,19 @@ impl CsrFile {
         crate::partitioned::build_partition_view(self.num_vertices, self.num_edges, assignment, edges)
     }
 
+    /// The file's FNV-1a content checksum, as recorded in its header — the
+    /// identity of the graph's *content* (two files packed from the same
+    /// graph carry the same checksum). [`open`](Self::open) has already
+    /// verified it against the sections; this accessor just reads it back,
+    /// so it can serve as a registry/cache key.
+    pub fn checksum(&self) -> u64 {
+        self.map
+            .get(64..72)
+            .and_then(|s| s.try_into().ok())
+            .map(u64::from_le_bytes)
+            .unwrap_or(0)
+    }
+
     /// Total size of the mapped file in bytes.
     pub fn file_bytes(&self) -> u64 {
         self.map.len() as u64

@@ -40,6 +40,7 @@ pub mod local_index;
 pub mod metagraph;
 pub mod partitioned;
 pub mod properties;
+pub mod registry;
 pub mod source;
 pub mod stream;
 
@@ -61,6 +62,7 @@ pub use partitioned::{Partition, PartitionAssignment, PartitionedGraph, RemoteEd
 pub use properties::{
     connected_components, first_odd_vertex, is_connected_on_edges, is_eulerian, odd_vertices,
 };
+pub use registry::{GraphRegistry, RegisteredGraph};
 pub use source::{
     EdgeListEdgeStream, EdgeListFileSource, GraphSource, InMemorySource, MmapCsrSource,
 };

@@ -275,6 +275,70 @@
 //! assert!(!ckpt.exists()); // clean completion removes the checkpoint dir
 //! ```
 //!
+//! ## Serving circuits: one process, many graphs, many clients
+//!
+//! [`EulerService`](algo::EulerService) turns the pipeline into a
+//! long-lived TCP server speaking the same checksummed frame codec as the
+//! distributed backend: register `.ecsr` graphs by **content checksum**,
+//! run circuits for many clients concurrently under one global memory
+//! budget — an admission controller keeps the sum of per-run peak
+//! estimates from [`algo::memory_model`] under the cap, calibrated by each
+//! run's measured peak — cache finished circuits by (graph, options), and
+//! stream the steps back in chunks with cooperative cancellation. The
+//! `euler-serve` binary wraps the same service for out-of-process use.
+//!
+//! ```
+//! use euler_circuit::prelude::*;
+//!
+//! let graph = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]);
+//! let path = std::env::temp_dir().join("facade_serve_quickstart.ecsr");
+//! write_csr_file(&graph, &path).unwrap();
+//!
+//! let service = EulerService::bind(ServiceConfig {
+//!     memory_cap_longs: 1 << 16,
+//!     workers: 2,
+//!     ..ServiceConfig::default()
+//! })
+//! .unwrap();
+//!
+//! // Register: the graph's identity is its content checksum, not its path.
+//! let client = ServiceClient::connect(service.endpoint()).unwrap();
+//! let info = client.register(path.to_str().unwrap()).unwrap();
+//! assert_eq!(info.num_edges, graph.num_edges());
+//!
+//! // Run: admitted under the cap, computed, streamed back chunk by chunk
+//! // and reassembled by the convenience driver.
+//! let opts = RunOptions { partitions: 2, ..RunOptions::default() };
+//! let run = client.run(info.checksum, opts).unwrap();
+//! assert!(!run.cached);
+//! let steps: u64 = run.circuits.iter().map(|c| c.len() as u64).sum();
+//! assert_eq!(steps, graph.num_edges());
+//!
+//! // Same graph, same options: a cache hit — no pipeline run, same steps.
+//! let again = client.run(info.checksum, opts).unwrap();
+//! assert!(again.cached);
+//! assert_eq!(again.circuits, run.circuits);
+//!
+//! // Cancellation is cooperative: the run stops at the next merge-tree
+//! // superstep boundary and its admitted budget frees before the stream
+//! // ends (a run that already finished streams its chunks instead).
+//! let heavier = RunOptions { partitions: 4, strategy: MergeStrategy::Deferred, ..opts };
+//! client.start_run(info.checksum, heavier).unwrap();
+//! client.cancel().unwrap();
+//! loop {
+//!     match client.next_event().unwrap() {
+//!         RunEvent::Cancelled | RunEvent::Done { .. } => break,
+//!         _ => {} // Accepted / Progress / Report / Chunk
+//!     }
+//! }
+//! let stats = service.stats();
+//! assert_eq!(stats.runs_cached, 1);
+//! assert_eq!(stats.admitted_longs, 0, "terminal event means the budget is free");
+//! assert!(stats.peak_admitted_longs <= stats.memory_cap_longs);
+//! service.shutdown();
+//! std::fs::remove_file(&path).ok();
+//! ```
+//!
 //! ## Migrating from `find_euler_circuit` / `DistributedRunner`
 //!
 //! The pre-0.2 entry points were deprecated wrappers over the pipeline for
@@ -321,19 +385,21 @@ pub mod prelude {
         UnixTransport,
     };
     pub use euler_core::{
-        run_on_partitioned, run_with_backend, stream_phase1, verify::verify_circuit, BspBackend,
-        CircuitResult, EulerConfig, EulerPipeline, ExecutionBackend, FragmentStoreStats,
-        InProcessBackend, LevelPartitionReport, MergeStrategy, Parallelism, PipelineRun,
-        RunReport, SpillConfig, WStreamStats,
+        run_on_partitioned, run_on_partitioned_cancellable, run_with_backend, stream_phase1,
+        verify::verify_circuit, BspBackend, CancelToken, CircuitResult, CircuitStep, EulerConfig,
+        EulerPipeline, EulerService, ExecutionBackend, FragmentStoreStats, GraphInfo,
+        InProcessBackend, LevelPartitionReport, MergeStrategy, Parallelism, PartitionerKind,
+        PipelineRun, RunEvent, RunOptions, RunOutcome, RunReport, ServiceClient, ServiceConfig,
+        ServiceError, ServiceHandle, ServiceStats, SpillConfig, WStreamStats,
     };
     pub use euler_gen::{
         configs::GraphConfig, eulerize::eulerize, rmat::RmatGenerator, synthetic,
     };
     pub use euler_graph::{
         builder::graph_from_edges, is_eulerian, write_csr_file, Csr, CsrFile, EdgeId,
-        EdgeListFileSource, EdgeStream, Graph, GraphBuilder, GraphSource, InMemorySource,
-        MetaGraph, MmapCsrSource, Partition, PartitionAssignment, PartitionId, PartitionedGraph,
-        StreamOrder, VertexId,
+        EdgeListFileSource, EdgeStream, Graph, GraphBuilder, GraphRegistry, GraphSource,
+        InMemorySource, MetaGraph, MmapCsrSource, Partition, PartitionAssignment, PartitionId,
+        PartitionedGraph, StreamOrder, VertexId,
     };
     pub use euler_partition::{
         BfsPartitioner, HashPartitioner, LdgPartitioner, PartitionQuality, Partitioner,

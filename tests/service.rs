@@ -1,0 +1,364 @@
+//! Integration tests for the service layer (`euler_core::service`): a
+//! long-lived TCP server running many circuit requests concurrently under
+//! one global memory budget.
+//!
+//! What must hold:
+//!
+//! * circuits streamed to concurrent TCP clients are bit-identical to the
+//!   library path (`EulerPipeline::run` with the same configuration);
+//! * a repeated request is a cache hit — the executed-run counter does not
+//!   move and the bytes are the same;
+//! * cancelling an admitted run frees its budget for a queued run, and the
+//!   admission high-water mark never exceeds the cap (also property-tested
+//!   over random request mixes);
+//! * malformed input — unknown frame kinds, truncated payloads, raw
+//!   garbage bytes on the socket — yields typed errors, keeps the
+//!   connection (or at worst the server) alive, and never panics.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+use std::time::Duration;
+
+use euler_circuit::algo::service::{error_code, frame_kind};
+use euler_circuit::prelude::*;
+use proptest::prelude::*;
+
+/// A connected Eulerian graph from a seed.
+fn graph_from(seed: u64, n: u64, extra: usize) -> Graph {
+    synthetic::random_eulerian_connected(n.max(4), extra, 5, seed)
+}
+
+/// Writes `g` to a fresh `.ecsr` under the system temp dir (no tempfile
+/// crate in the build environment); pid + sequence keying keeps parallel
+/// test binaries and reruns from colliding.
+fn ecsr_path(g: &Graph, tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "euler-service-{}-{}-{}.ecsr",
+        tag,
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    write_csr_file(g, &path).unwrap();
+    path
+}
+
+fn bind(cap: u64, workers: usize) -> EulerService {
+    EulerService::bind(ServiceConfig {
+        memory_cap_longs: cap,
+        workers,
+        ..ServiceConfig::default()
+    })
+    .unwrap()
+}
+
+/// The library path the service must match bit for bit.
+fn reference(path: &std::path::Path, opts: RunOptions) -> CircuitResult {
+    let builder = EulerPipeline::builder()
+        .source(MmapCsrSource::open(path).unwrap())
+        .config(EulerConfig {
+            merge_strategy: opts.strategy,
+            fragment_memory_budget: Some(ServiceConfig::default().fragment_budget_longs),
+            ..EulerConfig::default()
+        })
+        .backend(InProcessBackend::new().with_parallelism(Parallelism::IntraPartition));
+    let builder = match opts.partitioner {
+        PartitionerKind::Hash => builder.partitioner(HashPartitioner::new(opts.partitions)),
+        PartitionerKind::Ldg => builder.partitioner(LdgPartitioner::new(opts.partitions)),
+    };
+    builder.build().unwrap().run().unwrap().circuit.result
+}
+
+#[test]
+fn concurrent_clients_stream_circuits_bit_identical_to_the_library_path() {
+    let g = graph_from(42, 120, 24);
+    let path = ecsr_path(&g, "concurrent");
+    let service = bind(1 << 22, 4);
+    let endpoint = service.endpoint().to_string();
+
+    let admin = ServiceClient::connect(&endpoint).unwrap();
+    let info = admin.register(path.to_str().unwrap()).unwrap();
+    assert_eq!(info.num_edges, g.num_edges());
+    assert_eq!(info.num_vertices, g.num_vertices());
+
+    let variants = [
+        RunOptions {
+            partitions: 2,
+            strategy: MergeStrategy::Duplicated,
+            partitioner: PartitionerKind::Hash,
+        },
+        RunOptions {
+            partitions: 4,
+            strategy: MergeStrategy::Deduplicated,
+            partitioner: PartitionerKind::Ldg,
+        },
+        RunOptions {
+            partitions: 3,
+            strategy: MergeStrategy::Deferred,
+            partitioner: PartitionerKind::Hash,
+        },
+    ];
+    let outcomes: Vec<RunOutcome> = thread::scope(|s| {
+        let handles: Vec<_> = variants
+            .iter()
+            .map(|&opts| {
+                let endpoint = endpoint.clone();
+                s.spawn(move || {
+                    let client = ServiceClient::connect(&endpoint).unwrap();
+                    client.run(info.checksum, opts).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (opts, outcome) in variants.iter().zip(&outcomes) {
+        assert!(!outcome.cached && !outcome.cancelled);
+        assert!(outcome.admitted_longs > 0, "fresh runs hold real budget");
+        let expect = reference(&path, *opts);
+        assert_eq!(outcome.circuits, expect.circuits, "service vs library for {opts:?}");
+        let summary = outcome.summary.expect("fresh runs carry a summary");
+        assert!(summary.measured_longs > 0);
+        assert_eq!(summary.estimated_longs, outcome.admitted_longs);
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.runs_executed, 3);
+    assert_eq!(stats.runs_cached, 0);
+    assert_eq!(stats.admitted_longs, 0, "all budget returned");
+    assert!(stats.peak_admitted_longs <= stats.memory_cap_longs);
+    service.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn repeated_requests_hit_the_cache_without_recomputing() {
+    let g = graph_from(7, 80, 12);
+    let path = ecsr_path(&g, "cache");
+    let service = bind(1 << 22, 2);
+    let client = ServiceClient::connect(service.endpoint()).unwrap();
+    let info = client.register(path.to_str().unwrap()).unwrap();
+
+    let opts = RunOptions { partitions: 2, ..RunOptions::default() };
+    let fresh = client.run(info.checksum, opts).unwrap();
+    assert!(!fresh.cached);
+
+    let before = client.stats().unwrap();
+    let repeat = client.run(info.checksum, opts).unwrap();
+    let after = client.stats().unwrap();
+    assert!(repeat.cached);
+    assert_eq!(repeat.admitted_longs, 0, "cache hits hold no budget");
+    assert!(repeat.summary.is_none(), "no fresh accounting for a cached result");
+    assert_eq!(repeat.circuits, fresh.circuits, "cached bytes are the computed bytes");
+    assert_eq!(after.runs_executed, before.runs_executed, "no pipeline re-run");
+    assert_eq!(after.runs_cached, before.runs_cached + 1);
+
+    // Different options on the same graph are a different cache key.
+    let other = client
+        .run(info.checksum, RunOptions { partitions: 3, ..RunOptions::default() })
+        .unwrap();
+    assert!(!other.cached);
+    assert_eq!(service.stats().runs_executed, 2);
+    service.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn cancelling_an_admitted_run_frees_the_budget_for_a_queued_run() {
+    // A cap so small every estimate clamps to it: admission is mutually
+    // exclusive and the second run can only start once the first lets go.
+    let cap = 1_000;
+    let g = graph_from(11, 2_500, 500);
+    let path = ecsr_path(&g, "cancel");
+    let service = bind(cap, 4);
+    let endpoint = service.endpoint().to_string();
+
+    let a = ServiceClient::connect(&endpoint).unwrap();
+    let info = a.register(path.to_str().unwrap()).unwrap();
+    let opts_a = RunOptions { partitions: 8, ..RunOptions::default() };
+    a.start_run(info.checksum, opts_a).unwrap();
+    let admitted = loop {
+        match a.next_event().unwrap() {
+            RunEvent::Accepted { admitted_longs, cached } => {
+                assert!(!cached);
+                break admitted_longs;
+            }
+            RunEvent::Cancelled => panic!("cancelled before admission"),
+            _ => {}
+        }
+    };
+    assert_eq!(admitted, cap, "oversized estimates clamp to the cap");
+
+    // B queues behind A's exclusive permit...
+    let b = ServiceClient::connect(&endpoint).unwrap();
+    let opts_b = RunOptions { partitions: 3, ..RunOptions::default() };
+    b.start_run(info.checksum, opts_b).unwrap();
+
+    // ...until A is cancelled.
+    a.cancel().unwrap();
+    loop {
+        match a.next_event().unwrap() {
+            RunEvent::Cancelled => break,
+            RunEvent::Done { .. } => panic!("run A finished before the cancel landed"),
+            _ => {}
+        }
+    }
+
+    let mut steps = 0u64;
+    let mut done = false;
+    while !done {
+        match b.next_event().unwrap() {
+            RunEvent::Chunk { steps: chunk, .. } => steps += chunk.len() as u64,
+            RunEvent::Done { total_edges, .. } => {
+                assert_eq!(total_edges, g.num_edges());
+                done = true;
+            }
+            RunEvent::Cancelled => panic!("run B was never cancelled"),
+            _ => {}
+        }
+    }
+    assert_eq!(steps, g.num_edges(), "the queued run completed in full");
+
+    let stats = service.stats();
+    assert_eq!(stats.runs_cancelled, 1);
+    assert_eq!(stats.runs_executed, 1);
+    assert_eq!(stats.admitted_longs, 0);
+    assert_eq!(stats.peak_admitted_longs, cap, "never above the cap even when clamped");
+    service.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn malformed_frames_yield_typed_errors_and_the_server_survives() {
+    let g = graph_from(3, 40, 6);
+    let path = ecsr_path(&g, "malformed");
+    let service = bind(1 << 22, 2);
+    let endpoint = service.endpoint().to_string();
+
+    let words_to_bytes =
+        |words: &[u64]| words.iter().flat_map(|w| w.to_le_bytes()).collect::<Vec<u8>>();
+    let bytes_to_words = |bytes: &[u8]| {
+        bytes.chunks(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect::<Vec<u64>>()
+    };
+
+    // A well-formed frame of an unknown kind: typed ERROR, connection lives.
+    let conn =
+        euler_circuit::bsp::connect_endpoint(&endpoint, 20, Duration::from_millis(10)).unwrap();
+    conn.send(0x0099, &[]).unwrap();
+    let (kind, payload) = conn.recv_timeout(Some(Duration::from_secs(10))).unwrap();
+    assert_eq!(kind, frame_kind::ERROR);
+    assert_eq!(bytes_to_words(&payload)[0], error_code::BAD_REQUEST);
+
+    // A truncated RUN payload on the same connection: typed ERROR again.
+    conn.send(frame_kind::RUN, &words_to_bytes(&[12345, 2])).unwrap();
+    let (kind, payload) = conn.recv_timeout(Some(Duration::from_secs(10))).unwrap();
+    assert_eq!(kind, frame_kind::ERROR);
+    assert_eq!(bytes_to_words(&payload)[0], error_code::BAD_REQUEST);
+
+    // A RUN for a checksum nobody registered: typed ERROR, not a hang.
+    let run_words = words_to_bytes(&[0xDEAD_BEEF, 2, 0, 0]);
+    conn.send(frame_kind::RUN, &run_words).unwrap();
+    let (kind, payload) = conn.recv_timeout(Some(Duration::from_secs(10))).unwrap();
+    assert_eq!(kind, frame_kind::ERROR);
+    assert_eq!(bytes_to_words(&payload)[0], error_code::UNKNOWN_GRAPH);
+
+    // The connection still serves well-formed requests after all that.
+    conn.send(frame_kind::STATS, &[]).unwrap();
+    let (kind, _) = conn.recv_timeout(Some(Duration::from_secs(10))).unwrap();
+    assert_eq!(kind, frame_kind::STATS_REPLY);
+
+    // Raw garbage bytes on a fresh socket: the server drops that connection
+    // (bad magic fails the frame codec) without taking the process down.
+    {
+        use std::io::{Read, Write};
+        let addr = endpoint.strip_prefix("tcp:").unwrap();
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        raw.write_all(b"this is not a EULR frame at all, not even close....").unwrap();
+        raw.flush().unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut sink = [0u8; 64];
+        // The server closes on us; either an orderly EOF (0 bytes) or a
+        // reset error is acceptable — a panic or a hang is not.
+        let _ = raw.read(&mut sink);
+    }
+
+    // And a real client still gets real service afterwards.
+    let client = ServiceClient::connect(&endpoint).unwrap();
+    let info = client.register(path.to_str().unwrap()).unwrap();
+    let outcome =
+        client.run(info.checksum, RunOptions { partitions: 2, ..RunOptions::default() }).unwrap();
+    let steps: u64 = outcome.circuits.iter().map(|c| c.len() as u64).sum();
+    assert_eq!(steps, g.num_edges());
+
+    // Registering an unreadable path is a typed remote error too.
+    let missing = client.register("/nonexistent/euler/service/missing.ecsr");
+    match missing {
+        Err(ServiceError::Remote { code, .. }) => assert_eq!(code, error_code::REGISTER_FAILED),
+        other => panic!("expected a typed remote error, got {other:?}"),
+    }
+
+    service.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Under random caps and random concurrent request mixes, the admission
+    /// high-water mark never exceeds the cap and all budget drains back.
+    #[test]
+    fn admission_never_exceeds_the_cap_under_random_request_mixes(
+        seed in 0u64..500,
+        n in 8u64..48,
+        extra in 0usize..8,
+        cap in 64u64..50_000,
+        parts in prop::collection::vec(1u32..6, 4),
+        strategies in prop::collection::vec(0u8..3, 4),
+    ) {
+        let g = graph_from(seed, n, extra);
+        let path = ecsr_path(&g, "admission");
+        let service = bind(cap, 4);
+        let endpoint = service.endpoint().to_string();
+        let admin = ServiceClient::connect(&endpoint).unwrap();
+        let info = admin.register(path.to_str().unwrap()).unwrap();
+
+        let decode = |s: u8| match s {
+            0 => MergeStrategy::Duplicated,
+            1 => MergeStrategy::Deduplicated,
+            _ => MergeStrategy::Deferred,
+        };
+        let outcomes: Vec<RunOutcome> = thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .iter()
+                .zip(strategies.iter())
+                .map(|(&partitions, &strategy)| {
+                    let endpoint = endpoint.clone();
+                    let opts = RunOptions {
+                        partitions,
+                        strategy: decode(strategy),
+                        ..RunOptions::default()
+                    };
+                    s.spawn(move || {
+                        let client = ServiceClient::connect(&endpoint).unwrap();
+                        client.run(info.checksum, opts).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for outcome in &outcomes {
+            prop_assert!(!outcome.cancelled);
+            let steps: u64 = outcome.circuits.iter().map(|c| c.len() as u64).sum();
+            prop_assert_eq!(steps, g.num_edges());
+            prop_assert!(outcome.cached || outcome.admitted_longs <= cap);
+        }
+        let stats = service.stats();
+        prop_assert!(stats.peak_admitted_longs <= cap, "peak {} over cap {}", stats.peak_admitted_longs, cap);
+        prop_assert_eq!(stats.admitted_longs, 0);
+        prop_assert!(stats.runs_executed >= 1);
+        service.shutdown();
+        std::fs::remove_file(&path).ok();
+    }
+}
