@@ -104,6 +104,57 @@ fn main() {
         ]));
     }
 
+    // --- Experiment 1b: the mergeInto splice-storm. -------------------------
+    // A star of cycles forces ~k internal cycles to splice into one pending
+    // fragment: the Vec-splice reference pays Θ(k) tail-shifting per merge
+    // (Θ(k²) total), the splice-order index links each in O(1)+O(|cycle|).
+    // Sizes triple so super-linear scaling is visible in the "before" column.
+    let mut storm_rows = Vec::new();
+    for &k in &[1_000u64, 4_000, 16_000] {
+        let g = synthetic::star_of_cycles(k);
+        let template = single_working_partition(&g);
+        let local_edges: u64 = template.iter().map(|wp| wp.local_edges.len() as u64).sum();
+        let (ref_s, ref_frags) = time_kernel(&template, reps, |wp, store| {
+            run_phase1_reference(wp, store);
+        });
+        let (dense_s, dense_frags) = time_kernel(&template, reps, |wp, store| {
+            run_phase1(wp, store);
+        });
+        assert_eq!(ref_frags, dense_frags, "kernels must produce identical fragment counts");
+        // One untimed run for the splice-index counters (identical for both
+        // kernels by construction; the dense one is cheaper to rerun).
+        let splice = {
+            let mut wps = template.to_vec();
+            let store = FragmentStore::new();
+            let mut acc = euler_core::phase1::SpliceStats::default();
+            for wp in &mut wps {
+                let out = run_phase1(wp, &store);
+                acc.pivot_lookups += out.splice.pivot_lookups;
+                acc.linked_splices += out.splice.linked_splices;
+                acc.materialization_longs += out.splice.materialization_longs;
+            }
+            acc
+        };
+        let speedup = ref_s / dense_s;
+        println!(
+            "star_of_cycles_{k}: {local_edges} local edges | {} linked splices | \
+             reference {ref_s:.3}s | dense {dense_s:.3}s | {speedup:.2}x",
+            splice.linked_splices
+        );
+        storm_rows.push(Value::obj(vec![
+            ("workload", Value::str(format!("star_of_cycles_{k}"))),
+            ("core_cycle_len", Value::Num(k as f64)),
+            ("local_edges", Value::Num(local_edges as f64)),
+            ("fragments", Value::Num(dense_frags as f64)),
+            ("pivot_lookups", Value::Num(splice.pivot_lookups as f64)),
+            ("linked_splices", Value::Num(splice.linked_splices as f64)),
+            ("materialization_longs", Value::Num(splice.materialization_longs as f64)),
+            ("reference_seconds", Value::Num(ref_s)),
+            ("dense_seconds", Value::Num(dense_s)),
+            ("speedup", Value::Num(speedup)),
+        ]));
+    }
+
     // --- Experiment 2: arena reuse + intra-partition parallel walker. -------
     // The 1M-edge R-MAT configs are the headline: the 4-way round-robin
     // split is boundary-heavy (many short OB-path walks — the shape the
@@ -196,6 +247,23 @@ fn main() {
         ),
         ("repetitions", Value::Num(reps as f64)),
         ("results", Value::Arr(rows)),
+        (
+            "splice_storm",
+            Value::obj(vec![
+                ("experiment", Value::str("phase1_merge_into_splice_storm")),
+                (
+                    "description",
+                    Value::str(
+                        "Hub-heavy star-of-cycles workload: ~k internal cycles all splice into \
+                         one pending fragment. Vec-splice reference (before, Theta(k^2) tail \
+                         shifts) vs the splice-order index (after, O(1) pivot lookup + \
+                         O(|cycle|) link-in); minimum over repetitions.",
+                    ),
+                ),
+                ("repetitions", Value::Num(reps as f64)),
+                ("results", Value::Arr(storm_rows)),
+            ]),
+        ),
         (
             "parallel",
             Value::obj(vec![

@@ -406,6 +406,9 @@ fn encode_done(m: &DoneMsg) -> Vec<u64> {
             r.paths_found,
             r.cycles_found,
             r.internal_cycles_merged,
+            r.splice_pivot_lookups,
+            r.splice_linked_splices,
+            r.splice_materialization_longs,
             *post,
         ]);
     }
@@ -433,10 +436,10 @@ fn decode_done(words: &[u64]) -> Result<DoneMsg, String> {
     let mut reports = Vec::with_capacity(c.cap(n_reports));
     let mut post_memory = Vec::with_capacity(c.cap(n_reports));
     for _ in 0..n_reports {
-        let &[partition, even_internal, even_boundary, odd_boundary, remote_edges, local_edges, complexity, phase1_ns, merge_ns, memory_longs, remote_needed_now, transfer_in_longs, paths_found, cycles_found, internal_cycles_merged, post_mem] =
-            c.take(16)?
+        let &[partition, even_internal, even_boundary, odd_boundary, remote_edges, local_edges, complexity, phase1_ns, merge_ns, memory_longs, remote_needed_now, transfer_in_longs, paths_found, cycles_found, internal_cycles_merged, splice_pivot_lookups, splice_linked_splices, splice_materialization_longs, post_mem] =
+            c.take(19)?
         else {
-            return Err("partition report: expected 16 words".into());
+            return Err("partition report: expected 19 words".into());
         };
         reports.push(LevelPartitionReport {
             level: superstep,
@@ -457,6 +460,9 @@ fn decode_done(words: &[u64]) -> Result<DoneMsg, String> {
             paths_found,
             cycles_found,
             internal_cycles_merged,
+            splice_pivot_lookups,
+            splice_linked_splices,
+            splice_materialization_longs,
         });
         post_memory.push(post_mem);
     }
@@ -697,6 +703,9 @@ impl WorkerState {
                 paths_found: out.path_map.num_paths() as u64,
                 cycles_found: out.path_map.num_cycles() as u64,
                 internal_cycles_merged: out.path_map.internal_cycles_merged,
+                splice_pivot_lookups: out.splice.pivot_lookups,
+                splice_linked_splices: out.splice.linked_splices,
+                splice_materialization_longs: out.splice.materialization_longs,
             });
             done.post_memory.push(post_memory);
 

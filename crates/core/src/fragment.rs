@@ -23,7 +23,7 @@
 use euler_graph::{EdgeId, LocalIndex, PartitionId, VertexId};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
@@ -219,6 +219,54 @@ pub struct FragmentStoreStats {
     /// replace-heavy traffic because superseded records are reused through
     /// the free list instead of growing the file monotonically.
     pub spill_file_longs: u64,
+    /// Evictions decided by push order (no [`ReadSchedule`] supplied).
+    pub evictions_fifo: u64,
+    /// Evictions decided by the merge-tree read schedule (farthest next
+    /// reader first).
+    pub evictions_scheduled: u64,
+    /// Longs of reload traffic the schedule saved versus plain FIFO: reads
+    /// that hit a resident fragment which a FIFO store with the same budget
+    /// and push/replace history would already have paged out. Maintained by
+    /// an exact shadow simulation of the FIFO policy; only meaningful (and
+    /// only nonzero) when a schedule is set.
+    pub reload_longs_avoided: u64,
+}
+
+/// When each fragment will next be read back, keyed by the `(level,
+/// partition)` it was pushed under — both are known at push time, and the
+/// merge tree statically determines the consuming side. The pipeline derives
+/// one from the [`MergeTree`](crate::merge_tree::MergeTree) and hands it to
+/// spill-backed stores ([`FragmentStore::set_read_schedule`]) so eviction can
+/// page out the fragment whose reader is *farthest* in the future
+/// (Belady-style) instead of the oldest one.
+///
+/// "Read steps" are an arbitrary monotone clock: the pipeline announces the
+/// current step with [`FragmentStore::begin_read_step`], and fragments whose
+/// scheduled step equals the current one are pinned (evicted only when the
+/// budget cannot be met any other way, preserving the peak-resident bound).
+#[derive(Clone, Debug, Default)]
+pub struct ReadSchedule {
+    steps: HashMap<(u32, u32), u64>,
+    default_step: u64,
+}
+
+impl ReadSchedule {
+    /// A schedule where unmapped `(level, partition)` keys read at
+    /// `default_step`.
+    pub fn new(default_step: u64) -> Self {
+        ReadSchedule { steps: HashMap::new(), default_step }
+    }
+
+    /// Declares that fragments pushed at `(level, partition)` are next read
+    /// at `step`.
+    pub fn set(&mut self, level: u32, partition: PartitionId, step: u64) {
+        self.steps.insert((level, partition.0), step);
+    }
+
+    /// The read step for fragments pushed at `(level, partition)`.
+    pub fn step_for(&self, level: u32, partition: PartitionId) -> u64 {
+        self.steps.get(&(level, partition.0)).copied().unwrap_or(self.default_step)
+    }
 }
 
 /// Configuration of the out-of-core spill backing
@@ -276,6 +324,12 @@ trait FragmentBacking: Send {
     fn disk_longs(&self) -> u64;
     fn total_real_edges(&self) -> u64;
     fn stats(&self) -> FragmentStoreStats;
+    /// Installs a next-reader schedule. Backings without an eviction policy
+    /// (the in-memory slab) ignore it.
+    fn set_read_schedule(&mut self, _schedule: ReadSchedule) {}
+    /// Announces the current read step of the schedule's clock; fragments
+    /// scheduled for this step become pinned. Ignored without a schedule.
+    fn begin_read_step(&mut self, _step: u64) {}
 }
 
 /// Shared bookkeeping of both backings: the modelled "persisted to disk"
@@ -396,6 +450,45 @@ struct SlotMeta {
     longs: u64,
     reals: u64,
     loc: Loc,
+    /// Merge level the current version was pushed/replaced under — the
+    /// schedule key, kept so a late [`ReadSchedule`] can still be applied.
+    level: u32,
+    /// Partition id the current version was pushed/replaced under.
+    partition: u32,
+    /// Scheduled read step of the current version (0 without a schedule).
+    next_read: u64,
+    /// Current eviction key: `next_read`, or `u64::MAX` once the scheduled
+    /// read has passed (an overdue fragment will not be read again, so it is
+    /// the best possible victim). Heap entries carry the key they were
+    /// pushed with; a mismatch marks them stale (lazy deletion).
+    evict_key: u64,
+    /// Push sequence number — the FIFO tie-break among equal eviction keys.
+    seq: u64,
+}
+
+/// An eviction candidate in the scheduled-mode max-heap: farthest
+/// `key` first, oldest `seq` first among equals (FIFO tie-break).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct EvictEntry {
+    key: u64,
+    seq: u64,
+    id: u64,
+}
+
+impl Ord for EvictEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.key, std::cmp::Reverse(self.seq), self.id).cmp(&(
+            other.key,
+            std::cmp::Reverse(other.seq),
+            other.id,
+        ))
+    }
+}
+
+impl PartialOrd for EvictEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 /// Flat `u64` record of one fragment in the spill file:
@@ -445,11 +538,22 @@ static SPILL_FILE_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// The out-of-core backing: a bounded resident set plus a spill file.
 ///
-/// Eviction is oldest-first (push order): low-level fragments are the ones
-/// Phase 3 reaches last, so they go cold first. A spill I/O failure is
-/// absorbed, not propagated — the fragment stays resident, the failure is
-/// counted in [`FragmentStoreStats::spill_errors`] and no further spilling
-/// is attempted, so an interrupted spill degrades to the in-memory backing
+/// Eviction runs in one of two modes. Without a [`ReadSchedule`] it is
+/// oldest-first (push order): low-level fragments are the ones Phase 3
+/// reaches last, so they go cold first. With a schedule installed it is
+/// Belady-style: the victim is the resident fragment whose scheduled next
+/// reader is *farthest* in the future (overdue fragments — scheduled step
+/// already passed — rank as "never read again" and go first), with push
+/// order as the tie-break; fragments whose reader is the *current* step are
+/// pinned and only evicted when nothing else can satisfy the budget, so the
+/// peak-resident bound (budget + one fragment) holds unconditionally. A
+/// shadow simulation of the FIFO policy runs alongside the scheduled mode
+/// to account [`FragmentStoreStats::reload_longs_avoided`] exactly.
+///
+/// A spill I/O failure is absorbed, not propagated — the fragment stays
+/// resident, the failure is counted in
+/// [`FragmentStoreStats::spill_errors`] and no further spilling is
+/// attempted, so an interrupted spill degrades to the in-memory backing
 /// with identical results.
 /// One reusable extent of the spill file: a superseded record's former
 /// location.
@@ -470,8 +574,25 @@ struct SpillBacking {
     /// without re-reading spilled payloads.
     cycle_vis: Vec<Vec<VertexId>>,
     resident: HashMap<u64, Fragment>,
-    /// Resident ids, oldest first — the eviction order.
+    /// Resident ids, oldest first — the eviction order of the FIFO mode.
     fifo: VecDeque<u64>,
+    /// Merge-tree read schedule; `None` means FIFO mode.
+    schedule: Option<ReadSchedule>,
+    /// The schedule clock's current read step.
+    current_step: u64,
+    /// Next push sequence number (FIFO tie-break in scheduled mode).
+    next_seq: u64,
+    /// Scheduled-mode eviction candidates, farthest next reader on top.
+    /// Entries whose `(key, seq)` no longer match the slot's meta, or whose
+    /// fragment is not resident, are stale and skipped on pop.
+    heap: BinaryHeap<EvictEntry>,
+    /// Shadow FIFO simulation (scheduled mode only): which fragments a
+    /// plain FIFO store with the same budget and push/replace history would
+    /// still have resident. A read that hits resident here but shadow-
+    /// spilled is a reload the schedule avoided.
+    shadow_fifo: VecDeque<u64>,
+    shadow_resident: HashMap<u64, u64>,
+    shadow_longs: u64,
     /// Created lazily on first eviction; unlinked right after creation.
     file: Option<File>,
     file_end: u64,
@@ -497,6 +618,13 @@ impl SpillBacking {
             cycle_vis: Vec::new(),
             resident: HashMap::new(),
             fifo: VecDeque::new(),
+            schedule: None,
+            current_step: 0,
+            next_seq: 0,
+            heap: BinaryHeap::new(),
+            shadow_fifo: VecDeque::new(),
+            shadow_resident: HashMap::new(),
+            shadow_longs: 0,
             file: None,
             file_end: 0,
             free: Vec::new(),
@@ -627,15 +755,31 @@ impl SpillBacking {
         let id = fragment.id.0;
         let longs = fragment.disk_longs();
         self.resident.insert(id, fragment);
-        self.fifo.push_back(id);
+        if self.schedule.is_some() {
+            let m = self.index[id as usize];
+            self.heap.push(EvictEntry { key: m.evict_key, seq: m.seq, id });
+        } else {
+            self.fifo.push_back(id);
+        }
         self.stats.resident_longs += longs;
         self.stats.peak_resident_longs =
             self.stats.peak_resident_longs.max(self.stats.resident_longs);
+        self.shadow_insert(id, longs);
         self.evict();
     }
 
-    /// Spills oldest-first until the resident set fits the budget.
+    /// Pages fragments out until the resident set fits the budget, by push
+    /// order (FIFO mode) or farthest next reader (scheduled mode).
     fn evict(&mut self) {
+        if self.schedule.is_some() {
+            self.evict_scheduled();
+        } else {
+            self.evict_fifo();
+        }
+    }
+
+    /// FIFO mode: spills oldest-first.
+    fn evict_fifo(&mut self) {
         while self.stats.resident_longs > self.budget_longs && !self.broken {
             let Some(id) = self.fifo.pop_front() else { break };
             let fragment = self.resident.remove(&id).expect("fifo ids are resident");
@@ -646,6 +790,7 @@ impl SpillBacking {
                     self.stats.resident_longs -= longs;
                     self.stats.spilled_fragments += 1;
                     self.stats.spill_write_longs += longs;
+                    self.stats.evictions_fifo += 1;
                 }
                 Err(_) => {
                     // Interrupted spill: keep the fragment resident, record
@@ -658,6 +803,111 @@ impl SpillBacking {
             }
         }
     }
+
+    /// True when a heap entry still describes the current state of its
+    /// fragment: resident, and `(key, seq)` matching the slot meta.
+    fn entry_is_live(&self, e: &EvictEntry) -> bool {
+        let m = &self.index[e.id as usize];
+        matches!(m.loc, Loc::Resident) && m.evict_key == e.key && m.seq == e.seq
+    }
+
+    /// Scheduled mode: spills the fragment whose next reader is farthest
+    /// away (overdue fragments first of all), FIFO among equals. Fragments
+    /// scheduled for the current read step are pinned — deferred until
+    /// nothing else can satisfy the budget, at which point the budget
+    /// invariant wins and the oldest pinned fragment goes anyway.
+    fn evict_scheduled(&mut self) {
+        let mut pinned: Vec<EvictEntry> = Vec::new();
+        while self.stats.resident_longs > self.budget_longs && !self.broken {
+            let top = loop {
+                match self.heap.pop() {
+                    Some(e) if self.entry_is_live(&e) => break Some(e),
+                    Some(_) => continue, // stale (lazy deletion)
+                    None => break None,
+                }
+            };
+            let entry = match top {
+                Some(e) if e.key == self.current_step => {
+                    pinned.push(e);
+                    continue;
+                }
+                Some(e) => e,
+                // Only pinned fragments remain over budget: evict the
+                // oldest of them (they popped in FIFO order).
+                None if !pinned.is_empty() => pinned.remove(0),
+                None => break,
+            };
+            let fragment =
+                self.resident.remove(&entry.id).expect("live heap entries are resident");
+            match self.write_record(&fragment) {
+                Ok(loc) => {
+                    let longs = fragment.disk_longs();
+                    self.index[entry.id as usize].loc = loc;
+                    self.stats.resident_longs -= longs;
+                    self.stats.spilled_fragments += 1;
+                    self.stats.spill_write_longs += longs;
+                    self.stats.evictions_scheduled += 1;
+                }
+                Err(_) => {
+                    self.resident.insert(entry.id, fragment);
+                    self.heap.push(entry);
+                    self.stats.spill_errors += 1;
+                    self.broken = true;
+                }
+            }
+        }
+        // Deferred pinned fragments stay candidates for later steps.
+        for e in pinned {
+            self.heap.push(e);
+        }
+    }
+
+    /// Mirrors a resident insertion in the shadow FIFO simulation
+    /// (scheduled mode only). The shadow assumes healthy spill I/O — it
+    /// tracks policy, not failures.
+    fn shadow_insert(&mut self, id: u64, longs: u64) {
+        if self.schedule.is_none() {
+            return;
+        }
+        if let Some(old) = self.shadow_resident.insert(id, longs) {
+            // Re-residency (replace fallback): size changes, position kept.
+            self.shadow_longs -= old;
+        } else {
+            self.shadow_fifo.push_back(id);
+        }
+        self.shadow_longs += longs;
+        self.shadow_evict();
+    }
+
+    /// Runs the shadow FIFO's eviction loop.
+    fn shadow_evict(&mut self) {
+        while self.shadow_longs > self.budget_longs {
+            let Some(v) = self.shadow_fifo.pop_front() else { break };
+            if let Some(l) = self.shadow_resident.remove(&v) {
+                self.shadow_longs -= l;
+            }
+        }
+    }
+
+    /// Counts a read of a resident fragment that plain FIFO would have had
+    /// to reload from disk (scheduled mode only).
+    fn note_resident_read(&mut self, id: u64, longs: u64) {
+        if self.schedule.is_some() && !self.shadow_resident.contains_key(&id) {
+            self.stats.reload_longs_avoided += longs;
+        }
+    }
+
+    /// The slot's `(next_read, evict_key)` under the current schedule.
+    fn schedule_keys(&self, level: u32, partition: u32) -> (u64, u64) {
+        match &self.schedule {
+            Some(s) => {
+                let nr = s.step_for(level, PartitionId(partition));
+                let key = if nr < self.current_step { u64::MAX } else { nr };
+                (nr, key)
+            }
+            None => (0, 0),
+        }
+    }
 }
 
 impl FragmentBacking for SpillBacking {
@@ -665,11 +915,19 @@ impl FragmentBacking for SpillBacking {
         let id = FragmentId(self.index.len() as u64);
         fragment.id = id;
         self.accounting.add(&fragment);
+        let (next_read, evict_key) = self.schedule_keys(fragment.level, fragment.partition.0);
+        let seq = self.next_seq;
+        self.next_seq += 1;
         self.index.push(SlotMeta {
             kind: fragment.kind,
             longs: fragment.disk_longs(),
             reals: fragment.edges.iter().filter(|e| e.is_real()).count() as u64,
             loc: Loc::Resident,
+            level: fragment.level,
+            partition: fragment.partition.0,
+            next_read,
+            evict_key,
+            seq,
         });
         self.cycle_vis.push(if fragment.kind == FragmentKind::Cycle {
             fragment.visible_vertices()
@@ -681,10 +939,14 @@ impl FragmentBacking for SpillBacking {
     }
 
     fn get(&mut self, id: FragmentId) -> Fragment {
-        match self.index[id.index()].loc {
-            Loc::Resident => self.resident[&id.0].clone(),
+        let meta = self.index[id.index()];
+        match meta.loc {
+            Loc::Resident => {
+                self.note_resident_read(id.0, meta.longs);
+                self.resident[&id.0].clone()
+            }
             Loc::Spilled { offset, words } => {
-                self.stats.spill_read_longs += self.index[id.index()].longs;
+                self.stats.spill_read_longs += meta.longs;
                 self.read_record(id, offset, words)
             }
         }
@@ -696,22 +958,43 @@ impl FragmentBacking for SpillBacking {
         self.accounting.disk_longs -= meta.longs;
         self.accounting.real_edges -= meta.reals;
         self.accounting.add(&fragment);
+        let (next_read, evict_key) = self.schedule_keys(fragment.level, fragment.partition.0);
+        let new_longs = fragment.disk_longs();
         let slot = &mut self.index[id.index()];
         slot.kind = fragment.kind;
-        slot.longs = fragment.disk_longs();
+        slot.longs = new_longs;
         slot.reals = fragment.edges.iter().filter(|e| e.is_real()).count() as u64;
+        slot.level = fragment.level;
+        slot.partition = fragment.partition.0;
+        slot.next_read = next_read;
+        slot.evict_key = evict_key;
+        // `seq` is deliberately kept: a replace does not move the fragment
+        // in the FIFO tie-break order, matching the FIFO mode (and shadow).
+        let seq = slot.seq;
         self.cycle_vis[id.index()] = if fragment.kind == FragmentKind::Cycle {
             fragment.visible_vertices()
         } else {
             Vec::new()
         };
+        // Shadow FIFO: a replace never changes residency there (resident
+        // stays resident, spilled stays spilled), only the resident size.
+        if let Some(l) = self.shadow_resident.get_mut(&id.0) {
+            self.shadow_longs = self.shadow_longs - *l + new_longs;
+            *l = new_longs;
+            self.shadow_evict();
+        }
         match meta.loc {
             Loc::Resident => {
                 let old = self.resident.insert(id.0, fragment).expect("resident");
                 self.stats.resident_longs -= old.disk_longs();
-                self.stats.resident_longs += self.index[id.index()].longs;
+                self.stats.resident_longs += new_longs;
                 self.stats.peak_resident_longs =
                     self.stats.peak_resident_longs.max(self.stats.resident_longs);
+                if self.schedule.is_some() {
+                    // The old heap entry is stale iff the key changed; a
+                    // fresh one keeps the slot evictable either way.
+                    self.heap.push(EvictEntry { key: evict_key, seq, id: id.0 });
+                }
                 self.evict();
             }
             Loc::Spilled { offset, words } => {
@@ -753,7 +1036,11 @@ impl FragmentBacking for SpillBacking {
         for i in 0..self.index.len() {
             let id = FragmentId(i as u64);
             match self.index[i].loc {
-                Loc::Resident => f(&self.resident[&id.0]),
+                Loc::Resident => {
+                    let longs = self.index[i].longs;
+                    self.note_resident_read(id.0, longs);
+                    f(&self.resident[&id.0]);
+                }
                 Loc::Spilled { offset, words } => {
                     self.stats.spill_read_longs += self.index[i].longs;
                     let fragment = self.read_record(id, offset, words);
@@ -792,6 +1079,47 @@ impl FragmentBacking for SpillBacking {
 
     fn stats(&self) -> FragmentStoreStats {
         self.stats
+    }
+
+    fn set_read_schedule(&mut self, schedule: ReadSchedule) {
+        self.schedule = Some(schedule);
+        // Re-key every slot under the new schedule and migrate the FIFO
+        // queue into the heap (push order becomes the tie-break, so the
+        // queue's order is preserved among equal keys). The shadow FIFO
+        // starts from the same resident set in the same order: before this
+        // point both policies behaved identically.
+        for i in 0..self.index.len() {
+            let m = self.index[i];
+            let (next_read, evict_key) = self.schedule_keys(m.level, m.partition);
+            self.index[i].next_read = next_read;
+            self.index[i].evict_key = evict_key;
+        }
+        while let Some(id) = self.fifo.pop_front() {
+            let m = self.index[id as usize];
+            self.heap.push(EvictEntry { key: m.evict_key, seq: m.seq, id });
+            self.shadow_resident.insert(id, m.longs);
+            self.shadow_fifo.push_back(id);
+            self.shadow_longs += m.longs;
+        }
+        self.shadow_evict();
+        self.evict();
+    }
+
+    fn begin_read_step(&mut self, step: u64) {
+        self.current_step = step;
+        if self.schedule.is_none() {
+            return;
+        }
+        // Resident fragments whose scheduled read has now passed will not
+        // be read again: re-key them to "never needed" so they are the
+        // first victims from here on.
+        for i in 0..self.index.len() {
+            let m = self.index[i];
+            if matches!(m.loc, Loc::Resident) && m.next_read < step && m.evict_key != u64::MAX {
+                self.index[i].evict_key = u64::MAX;
+                self.heap.push(EvictEntry { key: u64::MAX, seq: m.seq, id: i as u64 });
+            }
+        }
     }
 }
 
@@ -933,6 +1261,21 @@ impl FragmentStore {
     /// Real memory/spill statistics of the backing.
     pub fn stats(&self) -> FragmentStoreStats {
         self.inner.lock().stats()
+    }
+
+    /// Installs a merge-tree-derived next-reader schedule: spill-backed
+    /// stores switch from FIFO to farthest-next-use eviction (see
+    /// [`ReadSchedule`]); the in-memory backing ignores it.
+    pub fn set_read_schedule(&self, schedule: ReadSchedule) {
+        self.inner.lock().set_read_schedule(schedule)
+    }
+
+    /// Announces the current read step of the schedule's clock. Fragments
+    /// scheduled to be read at this step are pinned against eviction (up to
+    /// the budget invariant); fragments whose step has passed become
+    /// preferred victims. A no-op without a schedule.
+    pub fn begin_read_step(&self, step: u64) {
+        self.inner.lock().begin_read_step(step)
     }
 }
 
@@ -1312,6 +1655,192 @@ mod tests {
             "the splice index must not touch spilled payloads"
         );
         assert!(!mem.cycle_vertex_pairs().is_empty());
+    }
+
+    // --- Merge-tree-aware (scheduled) eviction. -----------------------------
+
+    /// A 2-edge path at `(level 0, partition pid)` — 10 modelled disk Longs,
+    /// 12 spill-record words. Uniform sizes keep the traces easy to reason
+    /// about: a 20-Long budget holds exactly two fragments.
+    fn frag_at(pid: u32, base: u64) -> Fragment {
+        Fragment {
+            id: FragmentId(0),
+            kind: FragmentKind::Path,
+            level: 0,
+            partition: PartitionId(pid),
+            edges: vec![real(base, base, base + 1), real(base + 1, base + 1, base + 2)],
+        }
+    }
+
+    /// The crafted multi-level merge trace of the regression test: pushes
+    /// interleaved with read steps and reads, driven identically against a
+    /// scheduled and a FIFO store. Partition id doubles as fragment number.
+    fn run_crafted_trace(store: &FragmentStore, schedule: Option<ReadSchedule>) {
+        if let Some(s) = schedule {
+            store.set_read_schedule(s);
+        }
+        // Step 0: A..D arrive. A and D are read at step 1, B and C not
+        // until step 5 — FIFO keeps the wrong two.
+        store.begin_read_step(0);
+        for pid in 0..4 {
+            store.push(frag_at(pid, 10 * pid as u64));
+        }
+        store.begin_read_step(1);
+        store.get(FragmentId(0)); // A
+        store.get(FragmentId(3)); // D
+        // Step 2: E (read at 3) and F (read at 5) arrive; A and D are now
+        // overdue and the scheduled store pages exactly them out.
+        store.begin_read_step(2);
+        store.push(frag_at(4, 40));
+        store.push(frag_at(5, 50));
+        store.begin_read_step(3);
+        store.get(FragmentId(4)); // E
+        // Step 4: G (read at 5) arrives.
+        store.begin_read_step(4);
+        store.push(frag_at(6, 60));
+        store.begin_read_step(5);
+        for pid in [1u64, 2, 5, 6] {
+            store.get(FragmentId(pid)); // B, C, F, G
+        }
+    }
+
+    fn crafted_schedule() -> ReadSchedule {
+        let mut s = ReadSchedule::new(100);
+        for (pid, step) in [(0, 1), (1, 5), (2, 5), (3, 1), (4, 3), (5, 5), (6, 5)] {
+            s.set(0, PartitionId(pid), step);
+        }
+        s
+    }
+
+    #[test]
+    fn scheduled_eviction_strictly_beats_fifo_on_the_crafted_trace() {
+        let budget = 20; // two of the uniform 10-Long fragments
+        let fifo = FragmentStore::spilling(SpillConfig::with_budget(budget));
+        run_crafted_trace(&fifo, None);
+        let scheduled = FragmentStore::spilling(SpillConfig::with_budget(budget));
+        run_crafted_trace(&scheduled, Some(crafted_schedule()));
+
+        let f = fifo.stats();
+        let s = scheduled.stats();
+        // The headline: strictly fewer Longs reloaded from the spill file.
+        assert!(
+            s.spill_read_longs < f.spill_read_longs,
+            "scheduled must read strictly less: scheduled={s:?} fifo={f:?}"
+        );
+        // The shadow simulation accounts the saving exactly: every Long the
+        // schedule avoided is one FIFO actually paid on the same trace.
+        assert_eq!(s.spill_read_longs + s.reload_longs_avoided, f.spill_read_longs);
+        assert!(s.reload_longs_avoided > 0);
+        // Policy counters attribute every eviction to its mode.
+        assert_eq!(s.evictions_fifo, 0);
+        assert!(s.evictions_scheduled > 0);
+        assert_eq!(f.evictions_scheduled, 0);
+        assert!(f.evictions_fifo > 0);
+        assert_eq!(f.reload_longs_avoided, 0, "no schedule, no counterfactual");
+        // Both stores serve identical fragments regardless of policy.
+        for pid in 0..7 {
+            assert_eq!(
+                fifo.get(FragmentId(pid)).edges,
+                scheduled.get(FragmentId(pid)).edges
+            );
+        }
+        // Exact-accounting invariants hold in scheduled mode: every spill
+        // file word is a live record or counted dead, and the peak resident
+        // set never exceeded budget + one fragment.
+        for st in [&f, &s] {
+            assert_eq!(st.spill_errors, 0);
+            assert!(st.peak_resident_longs <= budget + 10, "peak {}", st.peak_resident_longs);
+        }
+        // Nothing on this trace is reloaded-then-respilled, so every live
+        // file record is one 12-word eviction record.
+        let s_after = scheduled.stats();
+        assert_eq!(
+            s_after.spill_file_longs,
+            s_after.spilled_fragments * 12 + s_after.dead_longs,
+            "file words = live records + dead words: {s_after:?}"
+        );
+    }
+
+    #[test]
+    fn pinned_fragments_survive_eviction_while_unpinned_exist() {
+        // X and Z are read at the *current* step (0) — pinned. Y is read
+        // far later. FIFO would evict X (oldest); the schedule evicts Y.
+        let store = FragmentStore::spilling(SpillConfig::with_budget(20));
+        let mut s = ReadSchedule::new(100);
+        s.set(0, PartitionId(0), 0); // X
+        s.set(0, PartitionId(1), 5); // Y
+        s.set(0, PartitionId(2), 0); // Z
+        store.set_read_schedule(s);
+        store.begin_read_step(0);
+        store.push(frag_at(0, 0)); // X
+        store.push(frag_at(1, 10)); // Y
+        store.push(frag_at(2, 20)); // Z -> over budget
+        let before = store.stats();
+        assert_eq!(before.evictions_scheduled, 1);
+        store.get(FragmentId(0));
+        store.get(FragmentId(2));
+        let after = store.stats();
+        assert_eq!(after.spill_read_longs, 0, "pinned X and Z stayed resident");
+        store.get(FragmentId(1));
+        assert_eq!(store.stats().spill_read_longs, 10, "Y was the victim");
+    }
+
+    #[test]
+    fn all_pinned_overflow_still_respects_the_budget_invariant() {
+        // Every fragment is scheduled for the current step: the pin must
+        // yield to the budget bound, evicting in FIFO order among pinned.
+        let store = FragmentStore::spilling(SpillConfig::with_budget(20));
+        let mut s = ReadSchedule::new(100);
+        for pid in 0..3 {
+            s.set(0, PartitionId(pid), 0);
+        }
+        store.set_read_schedule(s);
+        store.begin_read_step(0);
+        for pid in 0..3 {
+            store.push(frag_at(pid, 10 * pid as u64));
+        }
+        let stats = store.stats();
+        assert!(stats.resident_longs <= 20, "budget holds: {stats:?}");
+        assert!(stats.peak_resident_longs <= 20 + 10);
+        assert_eq!(stats.evictions_scheduled, 1);
+        // The oldest pinned fragment went (FIFO tie-break).
+        store.get(FragmentId(0));
+        assert_eq!(store.stats().spill_read_longs, 10);
+    }
+
+    #[test]
+    fn schedule_set_mid_run_rekeys_the_existing_resident_set() {
+        // Two fragments resident under FIFO; installing a schedule must
+        // carry them into scheduled mode and evict by the new keys.
+        let store = FragmentStore::spilling(SpillConfig::with_budget(20));
+        store.push(frag_at(0, 0)); // older, but read soon (step 1)
+        store.push(frag_at(1, 10)); // newer, read late (step 9)
+        let mut s = ReadSchedule::new(100);
+        s.set(0, PartitionId(0), 1);
+        s.set(0, PartitionId(1), 9);
+        store.set_read_schedule(s);
+        store.push(frag_at(2, 20)); // read at 100 (default) -> the victim
+        store.begin_read_step(1);
+        store.get(FragmentId(0));
+        store.get(FragmentId(1));
+        let stats = store.stats();
+        // FIFO would have paged out fragment 0; the schedule paged out 2.
+        assert_eq!(stats.spill_read_longs, 0);
+        assert_eq!(stats.evictions_scheduled, 1);
+        store.get(FragmentId(2));
+        assert_eq!(store.stats().spill_read_longs, 10);
+    }
+
+    #[test]
+    fn memory_backing_ignores_schedules() {
+        let store = FragmentStore::new();
+        store.set_read_schedule(ReadSchedule::new(0));
+        store.begin_read_step(7);
+        store.push(frag_at(0, 0));
+        let stats = store.stats();
+        assert_eq!(stats.evictions_fifo + stats.evictions_scheduled, 0);
+        assert_eq!(stats.reload_longs_avoided, 0);
+        assert_eq!(store.get(FragmentId(0)).edges.len(), 2);
     }
 
     #[test]

@@ -62,6 +62,7 @@
 pub mod arena;
 pub mod parallel;
 pub mod reference;
+mod splice;
 pub mod wstream;
 
 use crate::fragment::{Fragment, FragmentId, FragmentKind, FragmentStore, TourEdge};
@@ -86,6 +87,23 @@ pub struct Phase1Output {
     /// The complexity measure `|B| + |I| + |L|` at the start of the run
     /// (Fig. 7's x axis).
     pub complexity: u64,
+    /// Splice-order-index work counters for this run.
+    pub splice: SpliceStats,
+}
+
+/// `mergeInto` work counters, exact and kernel-independent: the reference
+/// implementation computes the same values from the same decisions, so the
+/// differential suites can assert them bit-for-bit alongside the fragments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpliceStats {
+    /// Step-3 cycles that searched their vertices for a pivot (one lookup
+    /// per internal cycle, whether or not a pivot was found).
+    pub pivot_lookups: u64,
+    /// Internal cycles linked into a pending fragment (`mergeInto` calls).
+    pub linked_splices: u64,
+    /// Longs written while materializing linked tours into persisted
+    /// fragments (`Σ disk_longs` over this run's fragments).
+    pub materialization_longs: u64,
 }
 
 /// A fragment under construction during one Phase-1 run, before it receives
@@ -220,16 +238,6 @@ impl<'a> Traversal<'a> {
     }
 }
 
-/// Marks every slot of `vslots` visible in `fragment` (first registration
-/// wins, matching the reference's `or_insert`).
-fn register_visible(visible: &mut [u32], fragment: u32, vslots: &[u32]) {
-    for &s in vslots {
-        if visible[s as usize] == NOT_VISIBLE {
-            visible[s as usize] = fragment;
-        }
-    }
-}
-
 /// The Fig.-9 vertex classification, computed from the traverser's pre-walk
 /// arrays by merging two sorted sequences (interned local-endpoint vertices
 /// and boundary vertices) — equal to `WorkingPartition::vertex_type_counts`
@@ -319,12 +327,14 @@ fn run_phase1_core(
     let complexity = counts_before.phase1_complexity();
     let n = tr.k.index.len();
 
-    let HostScratch { visible, tour, vslots, odd_slots, boundary_slots } = host;
-    let mut pending: Vec<PendingFragment> = Vec::new();
+    let HostScratch { visible, tour, vslots, odd_slots, boundary_slots, splice } = host;
     // First pending fragment each vertex slot is visible in (mergeInto pivot
     // lookup), NOT_VISIBLE when none.
     visible.clear();
     visible.resize(n, NOT_VISIBLE);
+    // Pending fragments live in the splice-order index as linked tours;
+    // `Vec<TourEdge>` is only materialized once, at persist time.
+    splice.reset(n);
 
     // --- Step 1: OB paths. -------------------------------------------------
     // The odd set is fixed at the start of the step: every walk turns exactly
@@ -354,9 +364,7 @@ fn run_phase1_core(
             vslots.last(),
             "a maximal walk from an odd vertex ends elsewhere (Lemma 1)"
         );
-        let idx = pending.len() as u32;
-        register_visible(visible, idx, vslots);
-        pending.push(PendingFragment { kind: FragmentKind::Path, edges: tour.clone() });
+        splice.create_fragment(FragmentKind::Path, tour, vslots, visible, NOT_VISIBLE);
     }
 
     // --- Step 2: cycles at boundary vertices. -------------------------------
@@ -378,13 +386,12 @@ fn run_phase1_core(
             None => tr.walk(s, tour, vslots),
         }
         debug_assert_eq!(vslots.last(), Some(&s), "even-degree traversal closes (Lemma 2)");
-        let idx = pending.len() as u32;
-        register_visible(visible, idx, vslots);
-        pending.push(PendingFragment { kind: FragmentKind::Cycle, edges: tour.clone() });
+        splice.create_fragment(FragmentKind::Cycle, tour, vslots, visible, NOT_VISIBLE);
     }
 
     // --- Step 3: cycles at internal vertices, spliced at pivots. ------------
     let mut internal_cycles_merged = 0u64;
+    let mut pivot_lookups = 0u64;
     while let Some(e) = tr.any_unvisited() {
         let start = tr.k.ends[e as usize][0];
         match walks.as_deref_mut() {
@@ -395,33 +402,23 @@ fn run_phase1_core(
         // mergeInto: find a pivot vertex shared with an existing fragment.
         // Only the `tour.len()` from-slots are candidates (the final slot
         // closes the cycle and duplicates the first), as in the reference.
+        pivot_lookups += 1;
         let pivot = vslots[..tour.len()]
             .iter()
             .enumerate()
             .find(|(_, &s)| visible[s as usize] != NOT_VISIBLE)
-            .map(|(rot, &s)| (rot, s, visible[s as usize]));
+            .map(|(rot, &s)| (rot, visible[s as usize]));
         match pivot {
-            Some((rot, pivot_slot, at)) => {
-                // Rotate the cycle to start at the pivot, then splice it into
-                // the containing fragment at the pivot's current position.
-                let pivot_vertex = tr.k.index.vertex(pivot_slot);
-                let mut rotated = Vec::with_capacity(tour.len());
-                rotated.extend_from_slice(&tour[rot..]);
-                rotated.extend_from_slice(&tour[..rot]);
-                let target = &mut pending[at as usize].edges;
-                let insert_at = target
-                    .iter()
-                    .position(|e| e.from() == pivot_vertex)
-                    .unwrap_or(target.len());
-                register_visible(visible, at, vslots);
-                target.splice(insert_at..insert_at, rotated);
+            Some((rot, at)) => {
+                // Rotate the cycle to start at the pivot and link it in at
+                // the pivot's first occurrence: O(1) position lookup via the
+                // first-occurrence handle, O(|cycle|) link-in.
+                splice.merge_into(at, rot, tour, vslots, visible, NOT_VISIBLE);
                 internal_cycles_merged += 1;
             }
             None => {
                 // Disconnected local subgraph: keep as a standalone cycle.
-                let idx = pending.len() as u32;
-                register_visible(visible, idx, vslots);
-                pending.push(PendingFragment { kind: FragmentKind::Cycle, edges: tour.clone() });
+                splice.create_fragment(FragmentKind::Cycle, tour, vslots, visible, NOT_VISIBLE);
             }
         }
     }
@@ -431,15 +428,19 @@ fn run_phase1_core(
     path_map.internal_cycles_merged = internal_cycles_merged;
     path_map.local_edges_consumed = local_edges.len() as u64;
     let mut new_local = Vec::new();
-    for pf in pending {
+    let mut materialization_longs = 0u64;
+    for i in 0..splice.num_fragments() {
+        let mut edges = Vec::new();
+        splice.materialize(i, &mut edges);
         let fragment = Fragment {
             id: FragmentId(0),
-            kind: pf.kind,
+            kind: splice.fragment_kind(i),
             level: wp.level,
             partition: wp.id,
-            edges: pf.edges,
+            edges,
         };
         debug_assert!(fragment.is_well_formed(), "phase 1 produced a malformed fragment");
+        materialization_longs += fragment.disk_longs();
         let start = fragment.start();
         let end = fragment.end();
         let kind = fragment.kind;
@@ -457,7 +458,12 @@ fn run_phase1_core(
 
     wp.local_edges = new_local;
     wp.isolated_vertices = 0; // internal vertices are dropped from memory
-    Phase1Output { path_map, counts_before, complexity }
+    let splice_stats = SpliceStats {
+        pivot_lookups,
+        linked_splices: internal_cycles_merged,
+        materialization_longs,
+    };
+    Phase1Output { path_map, counts_before, complexity, splice: splice_stats }
 }
 
 #[cfg(test)]

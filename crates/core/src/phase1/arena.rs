@@ -24,6 +24,7 @@
 //! which provide the cross-thread ordering).
 
 use super::parallel::WaveScratch;
+use super::splice::SpliceIndex;
 use crate::fragment::TourEdge;
 use crate::state::LocalEdge;
 use euler_graph::{LocalIndex, LocalIndexBufs};
@@ -138,6 +139,9 @@ pub(crate) struct HostScratch {
     pub odd_slots: Vec<u32>,
     /// Step-2 start queue: boundary vertices' slots, ascending.
     pub boundary_slots: Vec<u32>,
+    /// Splice-order index holding the pending fragments as linked tours
+    /// (node arena + first-occurrence handles); reset per run.
+    pub splice: SpliceIndex,
 }
 
 /// Reusable scratch for one Phase-1 execution: checked out of an
@@ -167,6 +171,10 @@ pub struct ArenaCapacities {
     pub index_vertices: usize,
     /// Capacity of the walk tour buffer, in tour edges.
     pub tour: usize,
+    /// Capacity of the splice-order index's tour-node arena, in nodes.
+    pub splice_nodes: usize,
+    /// Size of the splice-order index's per-slot handle arrays, in slots.
+    pub splice_slots: usize,
 }
 
 impl ArenaCapacities {
@@ -178,6 +186,8 @@ impl ArenaCapacities {
             && self.visited_words >= other.visited_words
             && self.index_vertices >= other.index_vertices
             && self.tour >= other.tour
+            && self.splice_nodes >= other.splice_nodes
+            && self.splice_slots >= other.splice_slots
     }
 }
 
@@ -201,6 +211,8 @@ impl Phase1Arena {
                 // The recycle bin holds the rest of the capacity between runs.
                 .max(self.kernel.index_bufs.vertex_capacity()),
             tour: self.host.tour.capacity().max(self.wave.max_tour_capacity()),
+            splice_nodes: self.host.splice.node_capacity(),
+            splice_slots: self.host.splice.slot_capacity(),
         }
     }
 
@@ -227,6 +239,7 @@ impl Phase1Arena {
         self.host.vslots.fill(u32::MAX / 5);
         self.host.odd_slots.fill(1);
         self.host.boundary_slots.fill(2);
+        self.host.splice.poison();
         self.wave.poison();
     }
 }

@@ -141,11 +141,13 @@ pub fn run_phase1_reference(wp: &mut WorkingPartition, store: &FragmentStore) ->
 
     // --- Step 3: cycles at internal vertices, spliced at pivots. ------------
     let mut internal_cycles_merged = 0u64;
+    let mut pivot_lookups = 0u64;
     while let Some(slot) = traverser.any_unvisited() {
         let start = local_edges[slot].u;
         let tour = traverser.walk(start);
         debug_assert_eq!(tour.last().map(|e| e.to()), Some(start), "internal traversal closes (Lemma 2)");
         // mergeInto: find a pivot vertex shared with an existing fragment.
+        pivot_lookups += 1;
         let pivot = tour
             .iter()
             .map(|e| e.from())
@@ -187,6 +189,7 @@ pub fn run_phase1_reference(wp: &mut WorkingPartition, store: &FragmentStore) ->
     path_map.internal_cycles_merged = internal_cycles_merged;
     path_map.local_edges_consumed = local_edges.len() as u64;
     let mut new_local = Vec::new();
+    let mut materialization_longs = 0u64;
     for pf in pending {
         let fragment = Fragment {
             id: FragmentId(0),
@@ -196,6 +199,7 @@ pub fn run_phase1_reference(wp: &mut WorkingPartition, store: &FragmentStore) ->
             edges: pf.edges,
         };
         debug_assert!(fragment.is_well_formed(), "phase 1 produced a malformed fragment");
+        materialization_longs += fragment.disk_longs();
         let start = fragment.start();
         let end = fragment.end();
         let kind = fragment.kind;
@@ -213,5 +217,13 @@ pub fn run_phase1_reference(wp: &mut WorkingPartition, store: &FragmentStore) ->
 
     wp.local_edges = new_local;
     wp.isolated_vertices = 0; // internal vertices are dropped from memory
-    Phase1Output { path_map, counts_before, complexity }
+    // The stats mirror the dense kernel's splice-order index semantically
+    // (same decisions, same persisted bytes), so the differential suites can
+    // assert them bit-for-bit.
+    let splice = super::SpliceStats {
+        pivot_lookups,
+        linked_splices: internal_cycles_merged,
+        materialization_longs,
+    };
+    Phase1Output { path_map, counts_before, complexity, splice }
 }

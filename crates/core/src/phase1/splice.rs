@@ -1,0 +1,670 @@
+//! Splice-order index: the arena-backed linked-tour representation behind
+//! Phase-1 `mergeInto`.
+//!
+//! The dense kernel used to keep every pending fragment as a
+//! `Vec<TourEdge>` and splice internal cycles in with `Vec::splice` after a
+//! linear `position(..)` scan for the pivot's first occurrence — worst-case
+//! quadratic on hub-centric graphs where thousands of cycles merge into one
+//! fragment. This module replaces that representation with:
+//!
+//! * **Linked tour.** Every walked edge becomes a node in one shared arena
+//!   (`nodes` + `nxt` next-links). A pending fragment is a `(head, tail,
+//!   len)` view over that arena; splicing a rotated cycle is O(|cycle|)
+//!   link-in, and the `Vec<TourEdge>` the store expects is produced by a
+//!   single O(total) walk per fragment at persist time.
+//! * **First-occurrence handles.** For every vertex slot visible in a
+//!   pending fragment (the `visible` array the kernel already keeps), the
+//!   index records `first_pred[slot]`: the arena node *preceding* the
+//!   slot's first from-occurrence in tour order (`PRED_HEAD` when the first
+//!   occurrence is the fragment head, `PRED_END` when the vertex appears
+//!   only as the final `to` of a path). This makes the mergeInto insert
+//!   position an O(1) lookup instead of a scan.
+//! * **Order tags.** The documented semantics move a vertex's handle to the
+//!   spliced cycle's occurrence exactly when its old first occurrence sat
+//!   at-or-after the pivot's. Deciding that needs an order query between two
+//!   handles of the same fragment, so handles are kept on a per-fragment
+//!   doubly-linked list ordered by first occurrence, each carrying a u64
+//!   tag; `pos(a) < pos(b)` ⟺ `tag(a) < tag(b)`. Tags are spread evenly on
+//!   creation and maintained under insertion with Bender-style local
+//!   relabelling (grow aligned power-of-two tag windows around the
+//!   insertion point until the window is sparse enough, then re-spread) —
+//!   amortised O(log n) per insert instead of the quadratic full-list
+//!   relabel a fixed stride would degrade to under hub storms.
+//!
+//! Why `first_pred` (and not the first node itself) is stable: a splice at
+//! pivot `v` links the rotated cycle right after `first_pred[v]`, so `v`'s
+//! first occurrence becomes the cycle head but its *predecessor node* is
+//! unchanged. And no other vertex's splice can land between `first_pred[v]`
+//! and `v`'s first occurrence: two distinct vertices can never share a
+//! `first_pred` node, because sharing it would mean sharing the very next
+//! node as their first from-occurrence — one node, one `from()` vertex.
+//!
+//! Everything here is deterministic and allocation-reusing: the buffers
+//! live in [`HostScratch`](super::arena::HostScratch) and are re-`reset`
+//! for every run, so arena reuse across merge levels stays poison-safe and
+//! bit-identical (see the arena's dirty-arena differential test).
+
+use crate::fragment::{FragmentKind, TourEdge};
+
+/// Absent link / absent list entry.
+const NONE: u32 = u32::MAX;
+/// `first_pred` sentinel: first occurrence is the fragment head.
+const PRED_HEAD: u32 = u32::MAX - 1;
+/// `first_pred` sentinel: the vertex has no from-occurrence (it appears
+/// only as the final `to` of a path) — mergeInto appends at the tail.
+const PRED_END: u32 = u32::MAX;
+/// Exclusive upper bound of the tag space; live tags are in `(0, TAG_LIMIT)`.
+const TAG_LIMIT: u64 = 1 << 62;
+
+/// One pending fragment: a linked slice of the node arena plus the head and
+/// tail of its first-occurrence handle list.
+#[derive(Clone, Copy, Debug)]
+struct Frag {
+    kind: FragmentKind,
+    /// First / last arena node of the tour.
+    head: u32,
+    tail: u32,
+    len: u32,
+    /// Head / tail slot of the per-fragment handle list (`NONE` when empty).
+    h_head: u32,
+    h_tail: u32,
+}
+
+/// The splice-order index. One per [`HostScratch`]; `reset` before each run.
+#[derive(Default)]
+pub(crate) struct SpliceIndex {
+    /// Tour-node arena: every walked edge, in append order.
+    nodes: Vec<TourEdge>,
+    /// Next-links over `nodes` (`NONE` terminates a fragment's tour).
+    nxt: Vec<u32>,
+    frags: Vec<Frag>,
+    /// Per vertex slot: arena node preceding the slot's first
+    /// from-occurrence in its fragment (`PRED_HEAD` / `PRED_END` sentinels).
+    /// Only meaningful for slots marked visible this run.
+    first_pred: Vec<u32>,
+    /// Per vertex slot: handle-list links and order tag. Only meaningful for
+    /// slots with a node-valued `first_pred` this run.
+    h_prev: Vec<u32>,
+    h_next: Vec<u32>,
+    h_tag: Vec<u64>,
+    /// Per vertex slot: generation stamp deduplicating repeated occurrences
+    /// of a vertex within one spliced cycle.
+    mark: Vec<u32>,
+    generation: u32,
+    /// Scratch: handle block assembled during one create/merge call.
+    block: Vec<u32>,
+    /// Scratch: window entries collected during a relabel.
+    window: Vec<u32>,
+}
+
+impl SpliceIndex {
+    /// Prepares the index for a run over `n` vertex slots. Reuses every
+    /// allocation; per-slot arrays are grown but never shrunk (arena
+    /// discipline), and only `mark` needs a deterministic fill — the other
+    /// per-slot entries are always written before they are read, gated by
+    /// the kernel's freshly-reset `visible` array.
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.nodes.clear();
+        self.nxt.clear();
+        self.frags.clear();
+        self.block.clear();
+        self.window.clear();
+        if self.first_pred.len() < n {
+            self.first_pred.resize(n, PRED_END);
+            self.h_prev.resize(n, NONE);
+            self.h_next.resize(n, NONE);
+            self.h_tag.resize(n, 0);
+        }
+        self.mark.clear();
+        self.mark.resize(n, u32::MAX);
+        self.generation = 0;
+    }
+
+    /// Deliberately corrupts every buffer (arena poison test support).
+    #[cfg(test)]
+    pub(crate) fn poison(&mut self) {
+        self.nodes.clear();
+        self.nxt.clear();
+        self.frags.clear();
+        self.block.clear();
+        self.window.clear();
+        for p in &mut self.first_pred {
+            *p = 7;
+        }
+        for p in &mut self.h_prev {
+            *p = 7;
+        }
+        for p in &mut self.h_next {
+            *p = 7;
+        }
+        for t in &mut self.h_tag {
+            *t = 7;
+        }
+        for m in &mut self.mark {
+            *m = 7;
+        }
+        self.generation = u32::MAX - 3;
+    }
+
+    /// Capacity of the node arena (for [`ArenaCapacities`] monotonicity).
+    pub(crate) fn node_capacity(&self) -> usize {
+        self.nodes.capacity().min(self.nxt.capacity())
+    }
+
+    /// Capacity of the per-slot arrays (for [`ArenaCapacities`]).
+    pub(crate) fn slot_capacity(&self) -> usize {
+        self.first_pred.len()
+    }
+
+    pub(crate) fn num_fragments(&self) -> usize {
+        self.frags.len()
+    }
+
+    pub(crate) fn fragment_kind(&self, i: usize) -> FragmentKind {
+        self.frags[i].kind
+    }
+
+    /// Creates a new pending fragment from a freshly-walked tour, marking
+    /// its fresh vertex slots visible (first-wins, exactly like the old
+    /// `register_visible`) and building its handle list with evenly-spread
+    /// tags. Returns the fragment's index.
+    pub(crate) fn create_fragment(
+        &mut self,
+        kind: FragmentKind,
+        tour: &[TourEdge],
+        vslots: &[u32],
+        visible: &mut [u32],
+        not_visible: u32,
+    ) -> u32 {
+        debug_assert!(!tour.is_empty());
+        let base = self.nodes.len() as u32;
+        let len = tour.len() as u32;
+        let idx = self.frags.len() as u32;
+        for (i, &e) in tour.iter().enumerate() {
+            self.nodes.push(e);
+            self.nxt.push(if i as u32 + 1 == len { NONE } else { base + i as u32 + 1 });
+        }
+        // Handles, in first-occurrence (walk) order.
+        self.block.clear();
+        for (i, &s) in vslots[..tour.len()].iter().enumerate() {
+            if visible[s as usize] != not_visible {
+                continue;
+            }
+            visible[s as usize] = idx;
+            self.first_pred[s as usize] =
+                if i == 0 { PRED_HEAD } else { base + i as u32 - 1 };
+            self.block.push(s);
+        }
+        // The closing slot duplicates the start for cycles; for paths it can
+        // be a vertex with no from-occurrence — an END handle, kept out of
+        // the tag list (there is nothing to order it against until a splice
+        // turns it into a real occurrence).
+        let s_end = vslots[tour.len()];
+        if visible[s_end as usize] == not_visible {
+            visible[s_end as usize] = idx;
+            self.first_pred[s_end as usize] = PRED_END;
+        }
+        let h = self.block.len() as u64;
+        let stride = TAG_LIMIT / (h + 1);
+        let mut prev = NONE;
+        for (i, &s) in self.block.iter().enumerate() {
+            let s = s as usize;
+            self.h_tag[s] = (i as u64 + 1) * stride;
+            self.h_prev[s] = prev;
+            self.h_next[s] = NONE;
+            if prev != NONE {
+                self.h_next[prev as usize] = s as u32;
+            }
+            prev = s as u32;
+        }
+        let h_head = self.block.first().copied().unwrap_or(NONE);
+        let h_tail = prev;
+        self.frags.push(Frag { kind, head: base, tail: base + len - 1, len, h_head, h_tail });
+        self.block.clear();
+        idx
+    }
+
+    /// `mergeInto`: splices the cycle `tour` (rotated to start at
+    /// `vslots[rot]`, the pivot) into pending fragment `at` at the pivot's
+    /// first occurrence, reproducing the reference semantics exactly:
+    /// the rotated cycle lands immediately before the pivot's first
+    /// from-occurrence (at the tail when the pivot appears only as a final
+    /// `to`), and every cycle vertex's handle moves to its occurrence
+    /// inside the cycle iff its old first occurrence sat at-or-after the
+    /// pivot's.
+    pub(crate) fn merge_into(
+        &mut self,
+        at: u32,
+        rot: usize,
+        tour: &[TourEdge],
+        vslots: &[u32],
+        visible: &mut [u32],
+        not_visible: u32,
+    ) {
+        let len = tour.len();
+        let base = self.nodes.len() as u32;
+        for j in 0..len {
+            self.nodes.push(tour[(rot + j) % len]);
+            self.nxt.push(if j + 1 == len { NONE } else { base + j as u32 + 1 });
+        }
+        let v = vslots[rot] as usize;
+        let c_tail = base + len as u32 - 1;
+
+        // --- Link the rotated cycle into the fragment's tour. ---------------
+        let was_end = self.first_pred[v] == PRED_END;
+        {
+            let f = &mut self.frags[at as usize];
+            match self.first_pred[v] {
+                PRED_END => {
+                    // Pivot visible only as the final `to`: append.
+                    self.nxt[f.tail as usize] = base;
+                    self.first_pred[v] = f.tail;
+                    f.tail = c_tail;
+                }
+                PRED_HEAD => {
+                    self.nxt[c_tail as usize] = f.head;
+                    f.head = base;
+                }
+                p => {
+                    // `p` precedes the pivot's first occurrence, so it has a
+                    // successor and is never the tail.
+                    self.nxt[c_tail as usize] = self.nxt[p as usize];
+                    self.nxt[p as usize] = base;
+                }
+            }
+            f.len += len as u32;
+        }
+
+        // --- Update handles. -------------------------------------------------
+        // Handle ranks after the splice: everything strictly before the
+        // pivot's old first occurrence keeps its rank; the pivot keeps its
+        // rank (same predecessor node, see module docs); the cycle's fresh
+        // and moved handles follow the pivot as one contiguous block in
+        // cycle order; surviving later handles shift after the block.
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == u32::MAX || self.generation == 0 {
+            // Never collide with the reset fill (u32::MAX) even if a run
+            // somehow wraps the counter.
+            for m in &mut self.mark {
+                *m = u32::MAX;
+            }
+            self.generation = 1;
+        }
+        let gen = self.generation;
+        self.mark[v] = gen;
+        let pivot_tag = if was_end { u64::MAX } else { self.h_tag[v] };
+        let mut block = std::mem::take(&mut self.block);
+        block.clear();
+        for j in 1..len {
+            let s = vslots[(rot + j) % len];
+            let su = s as usize;
+            if self.mark[su] == gen {
+                continue; // later occurrence of a vertex already placed
+            }
+            self.mark[su] = gen;
+            let vis = visible[su];
+            if vis == not_visible {
+                visible[su] = at;
+                self.first_pred[su] = base + j as u32 - 1;
+                block.push(s);
+            } else if vis == at {
+                // An END handle sits past every from-occurrence, so it
+                // always moves; otherwise compare first-occurrence order
+                // with the pivot via the tags. (`was_end` pivots sit at the
+                // very end themselves, so node-valued handles never move.)
+                let moved = if self.first_pred[su] == PRED_END {
+                    true
+                } else if was_end {
+                    false
+                } else {
+                    self.h_tag[su] > pivot_tag
+                };
+                if moved {
+                    if self.first_pred[su] != PRED_END {
+                        self.unlink_handle(at, s);
+                    }
+                    self.first_pred[su] = base + j as u32 - 1;
+                    block.push(s);
+                }
+            }
+            // Visible in another fragment: first-wins, nothing changes.
+        }
+
+        // Insertion anchor: the pivot's own handle entry — which, for an END
+        // pivot, is itself new and goes to the current end of the list.
+        let (anchor, lead) = if was_end {
+            (self.frags[at as usize].h_tail, Some(v as u32))
+        } else {
+            (v as u32, None)
+        };
+        let need = block.len() + lead.is_some() as usize;
+        if need > 0 {
+            let (lo, stride) = self.make_room(at, anchor, need);
+            let mut prev = anchor;
+            let mut tag = lo;
+            for &s in lead.iter().chain(block.iter()) {
+                tag += stride;
+                self.link_handle_after(at, prev, s, tag);
+                prev = s;
+            }
+        }
+        block.clear();
+        self.block = block;
+    }
+
+    /// Removes slot `s` from fragment `at`'s handle list.
+    fn unlink_handle(&mut self, at: u32, s: u32) {
+        let su = s as usize;
+        let (p, nx) = (self.h_prev[su], self.h_next[su]);
+        if p != NONE {
+            self.h_next[p as usize] = nx;
+        } else {
+            self.frags[at as usize].h_head = nx;
+        }
+        if nx != NONE {
+            self.h_prev[nx as usize] = p;
+        } else {
+            self.frags[at as usize].h_tail = p;
+        }
+    }
+
+    /// Inserts slot `s` with `tag` immediately after `prev` (`NONE` = list
+    /// head) in fragment `at`'s handle list.
+    fn link_handle_after(&mut self, at: u32, prev: u32, s: u32, tag: u64) {
+        let su = s as usize;
+        let nx = if prev == NONE {
+            self.frags[at as usize].h_head
+        } else {
+            self.h_next[prev as usize]
+        };
+        self.h_tag[su] = tag;
+        self.h_prev[su] = prev;
+        self.h_next[su] = nx;
+        if prev != NONE {
+            self.h_next[prev as usize] = s;
+        } else {
+            self.frags[at as usize].h_head = s;
+        }
+        if nx != NONE {
+            self.h_prev[nx as usize] = s;
+        } else {
+            self.frags[at as usize].h_tail = s;
+        }
+    }
+
+    /// Finds room for `need` consecutive tags strictly after `anchor`
+    /// (`NONE` = before the current list head). Returns `(lo, stride)`;
+    /// the i-th inserted entry takes tag `lo + (i+1) * stride`.
+    ///
+    /// Fast path: the gap to the anchor's successor is wide enough. Slow
+    /// path: Bender-style local relabel — grow aligned power-of-two tag
+    /// windows around the anchor until the window's density (current
+    /// entries + the insertion) satisfies `total² ≤ width`, then re-spread
+    /// the window evenly, leaving the insertion gap. Level 62 always
+    /// accepts, so the loop terminates.
+    fn make_room(&mut self, at: u32, anchor: u32, need: usize) -> (u64, u64) {
+        let lo = if anchor == NONE { 0 } else { self.h_tag[anchor as usize] };
+        let succ = if anchor == NONE {
+            self.frags[at as usize].h_head
+        } else {
+            self.h_next[anchor as usize]
+        };
+        let hi = if succ == NONE { TAG_LIMIT } else { self.h_tag[succ as usize] };
+        let gap = hi - lo;
+        let stride = gap / (need as u64 + 1);
+        if stride >= 1 {
+            return (lo, stride);
+        }
+        // Local relabel. Window levels are aligned tag ranges around the
+        // anchor's tag (anchor NONE ⇒ around the low end of the space).
+        let center = lo;
+        for level in 1..=62u32 {
+            let width = 1u64 << level;
+            let base = center & !(width - 1);
+            let end = base.saturating_add(width);
+            // Collect the contiguous run of entries whose tags fall inside
+            // the window, walking outward from the insertion point.
+            self.window.clear();
+            let mut left = if anchor == NONE { NONE } else { anchor };
+            while left != NONE && self.h_tag[left as usize] >= base {
+                self.window.push(left);
+                left = self.h_prev[left as usize];
+            }
+            self.window.reverse();
+            let anchor_pos = self.window.len(); // entries ≤ anchor (1-based end)
+            let mut right = succ;
+            while right != NONE && self.h_tag[right as usize] < end {
+                self.window.push(right);
+                right = self.h_next[right as usize];
+            }
+            let total = (self.window.len() + need) as u64;
+            if total * total <= width && width / (total + 1) >= 1 {
+                let stride = width / (total + 1);
+                for (i, &s) in self.window.iter().enumerate() {
+                    let pos = if i < anchor_pos { i } else { i + need };
+                    self.h_tag[s as usize] = base + (pos as u64 + 1) * stride;
+                }
+                let new_lo = if anchor == NONE {
+                    base
+                } else {
+                    self.h_tag[anchor as usize]
+                };
+                return (new_lo, stride);
+            }
+        }
+        unreachable!("tag space exhausted: more than 2^31 handles in one fragment")
+    }
+
+    /// Walks fragment `i`'s linked tour into `out` — the single O(len)
+    /// materialization back to the `Vec<TourEdge>` the store persists.
+    pub(crate) fn materialize(&self, i: usize, out: &mut Vec<TourEdge>) {
+        let f = &self.frags[i];
+        out.clear();
+        out.reserve(f.len as usize);
+        let mut cur = f.head;
+        while cur != NONE {
+            out.push(self.nodes[cur as usize]);
+            cur = self.nxt[cur as usize];
+        }
+        debug_assert_eq!(out.len(), f.len as usize, "linked tour length drifted");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::TourEdge;
+    use euler_graph::{EdgeId, VertexId};
+
+    const NOT_VISIBLE: u32 = u32::MAX;
+
+    fn e(from: u64, to: u64, id: u64) -> TourEdge {
+        TourEdge::Real { edge: EdgeId(id), from: VertexId(from), to: VertexId(to) }
+    }
+
+    /// Reference splice on plain vectors, mirroring phase1::reference.
+    fn vec_merge(target: &mut Vec<TourEdge>, tour: &[TourEdge], rot: usize, pivot: VertexId) {
+        let mut rotated = Vec::with_capacity(tour.len());
+        rotated.extend_from_slice(&tour[rot..]);
+        rotated.extend_from_slice(&tour[..rot]);
+        let at = target.iter().position(|e| e.from() == pivot).unwrap_or(target.len());
+        target.splice(at..at, rotated);
+    }
+
+    /// Differential driver: feed the same walk sequence through the index
+    /// and the vector model; every fragment must materialize identically.
+    struct Model {
+        idx: SpliceIndex,
+        visible: Vec<u32>,
+        frags: Vec<Vec<TourEdge>>,
+    }
+
+    impl Model {
+        fn new(n: usize) -> Self {
+            let mut idx = SpliceIndex::default();
+            idx.reset(n);
+            Model { idx, visible: vec![NOT_VISIBLE; n], frags: Vec::new() }
+        }
+
+        /// Slots are vertex ids here (identity interning keeps tests terse).
+        fn vslots(tour: &[TourEdge]) -> Vec<u32> {
+            let mut v: Vec<u32> = tour.iter().map(|e| e.from().0 as u32).collect();
+            v.push(tour.last().unwrap().to().0 as u32);
+            v
+        }
+
+        fn walk(&mut self, kind: FragmentKind, tour: &[TourEdge]) {
+            let vslots = Self::vslots(tour);
+            if kind == FragmentKind::Cycle {
+                let pivot = vslots[..tour.len()]
+                    .iter()
+                    .enumerate()
+                    .find(|(_, &s)| self.visible[s as usize] != NOT_VISIBLE)
+                    .map(|(rot, &s)| (rot, self.visible[s as usize]));
+                if let Some((rot, at)) = pivot {
+                    self.idx.merge_into(at, rot, tour, &vslots, &mut self.visible, NOT_VISIBLE);
+                    let mut shadow = self.visible.clone();
+                    for &s in &vslots {
+                        if shadow[s as usize] == NOT_VISIBLE {
+                            shadow[s as usize] = at;
+                        }
+                    }
+                    assert_eq!(shadow, self.visible, "visibility must be first-wins");
+                    vec_merge(
+                        &mut self.frags[at as usize],
+                        tour,
+                        rot,
+                        VertexId(vslots[rot] as u64),
+                    );
+                    return;
+                }
+            }
+            self.idx.create_fragment(kind, tour, &vslots, &mut self.visible, NOT_VISIBLE);
+            self.frags.push(tour.to_vec());
+        }
+
+        fn check(&self) {
+            assert_eq!(self.idx.num_fragments(), self.frags.len());
+            let mut out = Vec::new();
+            for (i, expect) in self.frags.iter().enumerate() {
+                self.idx.materialize(i, &mut out);
+                assert_eq!(&out, expect, "fragment {i} diverged from the vector model");
+            }
+        }
+    }
+
+    #[test]
+    fn single_cycle_round_trips() {
+        let mut m = Model::new(8);
+        m.walk(FragmentKind::Cycle, &[e(0, 1, 0), e(1, 2, 1), e(2, 0, 2)]);
+        m.check();
+    }
+
+    #[test]
+    fn splice_at_interior_pivot_matches_vector_model() {
+        let mut m = Model::new(8);
+        m.walk(FragmentKind::Cycle, &[e(0, 1, 0), e(1, 2, 1), e(2, 0, 2)]);
+        // Cycle through vertex 2 (pivot at rot 0) and vertex 1 (pivot mid-cycle).
+        m.walk(FragmentKind::Cycle, &[e(2, 3, 3), e(3, 2, 4)]);
+        m.walk(FragmentKind::Cycle, &[e(4, 1, 5), e(1, 4, 6)]);
+        m.check();
+    }
+
+    #[test]
+    fn end_handle_pivot_appends_at_tail() {
+        let mut m = Model::new(8);
+        // Path 0→1→2: vertex 2 is visible only as the final `to`.
+        m.walk(FragmentKind::Path, &[e(0, 1, 0), e(1, 2, 1)]);
+        m.walk(FragmentKind::Cycle, &[e(2, 3, 2), e(3, 2, 3)]);
+        // And a second cycle at 2 — now a real from-occurrence exists.
+        m.walk(FragmentKind::Cycle, &[e(2, 4, 4), e(4, 2, 5)]);
+        m.check();
+    }
+
+    #[test]
+    fn moved_handle_counterexample_from_module_docs() {
+        // Splicing C=[b→v, v→b] into F=[a→b, b→v, v→a] at b moves v's first
+        // from-occurrence into C — the naive first-wins handle gets this
+        // wrong; the order tags must not.
+        let (a, b, v) = (0, 1, 2);
+        let mut m = Model::new(8);
+        m.walk(FragmentKind::Cycle, &[e(a, b, 0), e(b, v, 1), e(v, a, 2)]);
+        m.walk(FragmentKind::Cycle, &[e(b, v, 3), e(v, b, 4)]);
+        // Now splice a cycle at v: it must land before the *moved* first
+        // occurrence (inside the previous cycle), as the vector model does.
+        m.walk(FragmentKind::Cycle, &[e(v, 3, 5), e(3, v, 6)]);
+        m.check();
+    }
+
+    #[test]
+    fn hub_storm_differential_and_tag_relabel() {
+        // A hub star: many petals splicing into one fragment at the same
+        // pivot exhausts naive tag gaps and forces local relabels; every
+        // intermediate state must match the vector model.
+        let hub = 0u64;
+        let mut m = Model::new(4096);
+        m.walk(FragmentKind::Cycle, &[e(hub, 1, 0), e(1, hub, 1)]);
+        let mut id = 2;
+        for p in 0..600u64 {
+            let spoke = 2 + p;
+            m.walk(FragmentKind::Cycle, &[e(hub, spoke, id), e(spoke, hub, id + 1)]);
+            id += 2;
+        }
+        m.check();
+    }
+
+    #[test]
+    fn chained_pivot_storm_matches_vector_model() {
+        // Petals pivot at distinct core vertices, and cross-petals revisit
+        // earlier core vertices — exercising moved handles repeatedly.
+        let k = 48u64;
+        let mut m = Model::new(4096);
+        let core: Vec<TourEdge> =
+            (0..k).map(|i| e(i, (i + 1) % k, i)).collect();
+        m.walk(FragmentKind::Cycle, &core);
+        let mut id = k;
+        for i in 0..k {
+            let p = k + 2 * i;
+            let q = k + 2 * i + 1;
+            let j = (i * 7 + 3) % k;
+            m.walk(
+                FragmentKind::Cycle,
+                &[e(i, p, id), e(p, j, id + 1), e(j, q, id + 2), e(q, i, id + 3)],
+            );
+            id += 4;
+            m.check();
+        }
+    }
+
+    #[test]
+    fn disjoint_fragments_stay_independent() {
+        let mut m = Model::new(32);
+        m.walk(FragmentKind::Cycle, &[e(0, 1, 0), e(1, 0, 1)]);
+        m.walk(FragmentKind::Cycle, &[e(10, 11, 2), e(11, 10, 3)]);
+        m.walk(FragmentKind::Cycle, &[e(1, 2, 4), e(2, 1, 5)]);
+        m.walk(FragmentKind::Cycle, &[e(11, 12, 6), e(12, 11, 7)]);
+        m.check();
+    }
+
+    #[test]
+    fn reset_recovers_from_poison() {
+        let run = |idx: &mut SpliceIndex| {
+            idx.reset(16);
+            let mut visible = vec![NOT_VISIBLE; 16];
+            let tour = [e(0, 1, 0), e(1, 2, 1), e(2, 0, 2)];
+            let vslots = Model::vslots(&tour);
+            idx.create_fragment(FragmentKind::Cycle, &tour, &vslots, &mut visible, NOT_VISIBLE);
+            let cyc = [e(1, 3, 3), e(3, 1, 4)];
+            let vs2 = Model::vslots(&cyc);
+            idx.merge_into(0, 0, &cyc, &vs2, &mut visible, NOT_VISIBLE);
+            let mut out = Vec::new();
+            idx.materialize(0, &mut out);
+            out
+        };
+        let mut idx = SpliceIndex::default();
+        let clean = run(&mut idx);
+        idx.poison();
+        let dirty = run(&mut idx);
+        assert_eq!(clean, dirty, "poisoned index must reset to bit-identical output");
+    }
+}

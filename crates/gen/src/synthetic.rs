@@ -109,6 +109,32 @@ pub fn random_eulerian_connected(n: u64, extra_cycles: usize, cycle_len: usize, 
     b.build().expect("edges always valid")
 }
 
+/// A star of cycles — the `mergeInto` splice-storm workload: a core cycle
+/// `c_0..c_{k-1}` with one triangle "petal" `(c_i, p_i, q_i)` hanging off
+/// every core vertex. All degrees are even (core vertices 4, petal vertices
+/// 2), the graph is connected, `3k` vertices and `4k` edges.
+///
+/// Run single-partition, Phase 1's first traversal consumes the core plus
+/// whatever petals it can reach greedily; every remaining petal then walks
+/// as a 3-cycle whose only shared vertex is its hub `c_i`, so each one is an
+/// internal cycle spliced into the *same* pending fragment. With a
+/// `Vec::splice` tour this costs Θ(k) tail-shifting per merge — Θ(k²)
+/// total — while the splice-order index links each petal in O(1)+O(3).
+pub fn star_of_cycles(k: u64) -> Graph {
+    assert!(k >= 3, "the core cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::with_vertices(3 * k);
+    for i in 0..k {
+        b.add_edge(i, (i + 1) % k);
+    }
+    for i in 0..k {
+        let (p, q) = (k + 2 * i, k + 2 * i + 1);
+        b.add_edge(i, p);
+        b.add_edge(p, q);
+        b.add_edge(q, i);
+    }
+    b.build().expect("star-of-cycles edges always valid")
+}
+
 /// The octahedron wireframe: 6 vertices, 12 edges, 4-regular — the smallest
 /// platonic solid whose skeleton is Eulerian (used by the DNA-rendering
 /// example).
@@ -212,6 +238,20 @@ mod tests {
             let g = random_eulerian_connected(40, 6, 5, seed);
             assert!(is_eulerian(&g).is_ok(), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn star_of_cycles_is_eulerian_with_expected_shape() {
+        let g = star_of_cycles(12);
+        assert_eq!(g.num_vertices(), 36);
+        assert_eq!(g.num_edges(), 48);
+        for v in 0..12u64 {
+            assert_eq!(g.degree(euler_graph::VertexId(v)), 4, "core vertex {v}");
+        }
+        for v in 12..36u64 {
+            assert_eq!(g.degree(euler_graph::VertexId(v)), 2, "petal vertex {v}");
+        }
+        assert!(is_eulerian(&g).is_ok());
     }
 
     #[test]

@@ -14,6 +14,41 @@ fn graph_from(seed: u64, n: u64, extra: usize) -> Graph {
     synthetic::random_eulerian_connected(n.max(4), extra, 5, seed)
 }
 
+/// A hub-heavy Eulerian multigraph: a `k`-cycle of hubs where hub `i % k`
+/// carries `petals[i]` triangle petals, plus `digons[i]` doubled parallel
+/// edges between consecutive hubs. Every petal and digon is an internal
+/// cycle that `mergeInto` must splice into an earlier fragment, and the
+/// parallel edges make the pivot vertex visible many times over — the
+/// deep-splice-chain stress for the first-occurrence rotation semantics.
+/// All degrees stay even by construction (triangles add 2 everywhere they
+/// touch, digons add 2 to both endpoints), and the core keeps it connected.
+fn hub_multigraph(k: u64, petals: &[u8], digons: &[u8]) -> Graph {
+    let total: u64 = petals.iter().map(|&p| p as u64).sum();
+    let mut b = GraphBuilder::with_vertices(k + 2 * total);
+    for i in 0..k {
+        b.add_edge(i, (i + 1) % k);
+    }
+    let mut next = k;
+    for (i, &p) in petals.iter().enumerate() {
+        let hub = i as u64 % k;
+        for _ in 0..p {
+            let (x, y) = (next, next + 1);
+            next += 2;
+            b.add_edge(hub, x);
+            b.add_edge(x, y);
+            b.add_edge(y, hub);
+        }
+    }
+    for (i, &d) in digons.iter().enumerate() {
+        let (u, v) = (i as u64 % k, (i as u64 + 1) % k);
+        for _ in 0..d {
+            b.add_edge(u, v);
+            b.add_edge(u, v);
+        }
+    }
+    b.build().expect("hub multigraph edges always valid")
+}
+
 /// Runs the pipeline on the in-process backend, returning circuit + report.
 fn run_pipeline(
     g: &Graph,
@@ -193,6 +228,10 @@ proptest! {
             let out_ref = run_phase1_reference(&mut wp_ref, &store_ref);
             prop_assert_eq!(out_dense.path_map, out_ref.path_map);
             prop_assert_eq!(out_dense.complexity, out_ref.complexity);
+            // The splice-order index's counters are semantic, not
+            // implementation detail: both kernels must report the same
+            // pivot lookups, linked splices and materialised Longs.
+            prop_assert_eq!(out_dense.splice, out_ref.splice);
             prop_assert_eq!(wp_dense.local_edges, wp_ref.local_edges);
             prop_assert_eq!(wp_dense.remote_edges, wp_ref.remote_edges);
             // Zero-copy diff through `with_all` (snapshot would clone both).
@@ -207,6 +246,70 @@ proptest! {
                 })
             });
         }
+    }
+
+    /// Deep splice chains: on hub/star multigraphs (many internal cycles
+    /// merging into one pending fragment, parallel edges included) the
+    /// splice-order index must reproduce the reference's first-occurrence
+    /// rotation semantics bit for bit — fragments, path maps, splice
+    /// counters — and the wave walker must match the sequential kernel at
+    /// every thread count. The full pipeline must still solve the graph.
+    #[test]
+    fn phase1_dense_matches_reference_on_hub_multigraphs(
+        k in 3u64..24,
+        petals in prop::collection::vec(0u8..6, 1..24),
+        digons in prop::collection::vec(0u8..3, 0..12),
+        parts in 1u32..5,
+    ) {
+        use euler_circuit::algo::phase1::{reference::run_phase1_reference, run_phase1, run_phase1_parallel};
+        use euler_circuit::algo::{FragmentStore, Phase1Arena, WorkingPartition};
+        let g = hub_multigraph(k, &petals, &digons);
+        prop_assert!(is_eulerian(&g).is_ok());
+        let assignment = LdgPartitioner::new(parts).partition(&g);
+        let pg = PartitionedGraph::from_assignment(&g, &assignment).unwrap();
+        for p in pg.partitions() {
+            let mut wp_dense = WorkingPartition::from_partition(p);
+            let mut wp_ref = wp_dense.clone();
+            let store_dense = FragmentStore::new();
+            let store_ref = FragmentStore::new();
+            let out_dense = run_phase1(&mut wp_dense, &store_dense);
+            let out_ref = run_phase1_reference(&mut wp_ref, &store_ref);
+            prop_assert_eq!(&out_dense.path_map, &out_ref.path_map);
+            prop_assert_eq!(out_dense.splice, out_ref.splice);
+            prop_assert_eq!(wp_dense.local_edges, wp_ref.local_edges);
+            store_dense.with_all(|frags_dense| {
+                store_ref.with_all(|frags_ref| {
+                    assert_eq!(frags_dense.len(), frags_ref.len());
+                    for (d, r) in frags_dense.iter().zip(frags_ref) {
+                        assert_eq!(d.kind, r.kind);
+                        assert_eq!(&d.edges, &r.edges, "splice order diverged");
+                    }
+                })
+            });
+            // The wave walker shares the splice-order commit path: every
+            // thread count must stay bit-identical to sequential.
+            for threads in [1usize, 2, 4] {
+                let mut wp_par = WorkingPartition::from_partition(p);
+                let store_par = FragmentStore::new();
+                let mut arena = Phase1Arena::new();
+                let out_par = run_phase1_parallel(&mut wp_par, &store_par, &mut arena, threads);
+                prop_assert_eq!(&out_par.path_map, &out_dense.path_map);
+                prop_assert_eq!(out_par.splice, out_dense.splice);
+                prop_assert_eq!(&wp_par.local_edges, &wp_dense.local_edges);
+                store_par.with_all(|frags_par| {
+                    store_dense.with_all(|frags_dense| {
+                        assert_eq!(frags_par.len(), frags_dense.len());
+                        for (a, b) in frags_par.iter().zip(frags_dense) {
+                            assert_eq!(&a.edges, &b.edges, "{threads} threads diverged");
+                        }
+                    })
+                });
+            }
+        }
+        // End to end: the hub storm still unrolls into one valid circuit.
+        let (result, _) = run_pipeline(&g, &assignment, &EulerConfig::default());
+        prop_assert!(verify_result(&g, &result).is_ok());
+        prop_assert_eq!(result.total_edges(), g.num_edges());
     }
 
     /// Eulerization always produces a graph the pipeline can solve, whatever
